@@ -1,0 +1,112 @@
+"""Fig. 6(b): tractable TPC-H queries, tuple probabilities in (0, 0.01).
+
+The low-probability regime: result confidences are far from 1, so the
+relative-error termination check has to work much harder than in
+Fig. 6(a), and the paper observes d-tree(error 0) beating d-tree(0.01)
+because the exact path skips per-leaf bound computation.
+"""
+
+import pytest
+
+from conftest import aconf_status, dtree_status, tpch_answers
+from repro.bench import Harness
+from repro.core.approx import approximate_probability
+from repro.core.exact import exact_probability
+from repro.datasets.tpch_queries import HIERARCHICAL_QUERIES, make_query
+from repro.db.sprout import sprout_confidence
+from repro.mc.aconf import aconf
+
+HARNESS = Harness("Fig 6b tractable TPC-H probs (0,0.01)")
+SCALE = 0.1
+PROBS = (0.0, 0.01)
+ACONF_CAP = 3000
+QUERIES = list(HIERARCHICAL_QUERIES)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def report():
+    yield
+    HARNESS.print_series()
+    HARNESS.write_csv()
+
+
+@pytest.mark.parametrize("query_name", QUERIES)
+def test_aconf_rel_001(benchmark, query_name):
+    answers, database, _sel = tpch_answers(query_name, SCALE, *PROBS)
+
+    def run():
+        return HARNESS.run(
+            query_name,
+            "aconf(0.01)",
+            lambda: [
+                aconf(
+                    dnf,
+                    database.registry,
+                    epsilon=0.01,
+                    seed=0,
+                    max_samples=ACONF_CAP,
+                )
+                for _v, dnf in answers
+            ],
+            status_of=aconf_status,
+        )
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+@pytest.mark.parametrize("query_name", QUERIES)
+def test_dtree_rel_001(benchmark, query_name):
+    answers, database, selector = tpch_answers(query_name, SCALE, *PROBS)
+
+    def run():
+        return HARNESS.run(
+            query_name,
+            "d-tree(0.01)",
+            lambda: [
+                approximate_probability(
+                    dnf,
+                    database.registry,
+                    epsilon=0.01,
+                    error_kind="relative",
+                    choose_variable=selector,
+                )
+                for _v, dnf in answers
+            ],
+            status_of=dtree_status,
+        )
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+@pytest.mark.parametrize("query_name", QUERIES)
+def test_dtree_exact(benchmark, query_name):
+    answers, database, selector = tpch_answers(query_name, SCALE, *PROBS)
+
+    def run():
+        return HARNESS.run(
+            query_name,
+            "d-tree(0)",
+            lambda: [
+                exact_probability(
+                    dnf, database.registry, choose_variable=selector
+                )
+                for _v, dnf in answers
+            ],
+        )
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+@pytest.mark.parametrize("query_name", QUERIES)
+def test_sprout(benchmark, query_name):
+    _answers, database, _sel = tpch_answers(query_name, SCALE, *PROBS)
+    query = make_query(query_name)
+
+    def run():
+        return HARNESS.run(
+            query_name,
+            "SPROUT",
+            lambda: sprout_confidence(query, database),
+        )
+
+    benchmark.pedantic(run, rounds=1, iterations=1)

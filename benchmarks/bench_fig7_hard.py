@@ -1,0 +1,92 @@
+"""Fig. 7: #P-hard TPC-H queries B2, B9, B20, B21 — time vs. scale factor.
+
+Paper series: per query, aconf and d-tree at relative errors 0.01 and
+0.05, swept over the TPC-H scale factor.  Expected shape: d-tree beats
+aconf by orders of magnitude throughout; both grow with the scale factor;
+the larger error is cheaper; B20/B21 stay nearly flat because after
+eliminating the single nation variable the residual lineage falls apart
+into independent clauses (the paper's observation).
+
+The d-tree runs carry a deadline (the analogue of the paper's 100 s
+timeout); capped points are flagged.
+"""
+
+import pytest
+
+from conftest import aconf_status, dtree_status, tpch_answers
+from repro.bench import Harness
+from repro.core.approx import approximate_probability
+from repro.datasets.tpch_queries import HARD_QUERIES
+from repro.mc.aconf import aconf
+
+HARNESS = Harness("Fig 7 hard TPC-H queries")
+PROBS = (0.0, 1.0)
+SCALES = (0.05, 0.1, 0.15)
+ERRORS = (0.05, 0.01)
+ACONF_CAP = 2000
+DTREE_DEADLINE = 15.0
+QUERIES = list(HARD_QUERIES)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def report():
+    yield
+    HARNESS.print_series()
+    HARNESS.write_csv()
+
+
+def _workload(query_name, scale, epsilon):
+    return f"{query_name} sf={scale} ε={epsilon}"
+
+
+@pytest.mark.parametrize("epsilon", ERRORS)
+@pytest.mark.parametrize("scale", SCALES)
+@pytest.mark.parametrize("query_name", QUERIES)
+def test_dtree(benchmark, query_name, scale, epsilon):
+    answers, database, selector = tpch_answers(query_name, scale, *PROBS)
+
+    def run():
+        return HARNESS.run(
+            _workload(query_name, scale, epsilon),
+            "d-tree",
+            lambda: [
+                approximate_probability(
+                    dnf,
+                    database.registry,
+                    epsilon=epsilon,
+                    error_kind="relative",
+                    choose_variable=selector,
+                    deadline_seconds=DTREE_DEADLINE,
+                )
+                for _v, dnf in answers
+            ],
+            status_of=dtree_status,
+        )
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+@pytest.mark.parametrize("epsilon", ERRORS)
+@pytest.mark.parametrize("scale", SCALES)
+@pytest.mark.parametrize("query_name", QUERIES)
+def test_aconf(benchmark, query_name, scale, epsilon):
+    answers, database, _sel = tpch_answers(query_name, scale, *PROBS)
+
+    def run():
+        return HARNESS.run(
+            _workload(query_name, scale, epsilon),
+            "aconf",
+            lambda: [
+                aconf(
+                    dnf,
+                    database.registry,
+                    epsilon=epsilon,
+                    seed=0,
+                    max_samples=ACONF_CAP,
+                )
+                for _v, dnf in answers
+            ],
+            status_of=aconf_status,
+        )
+
+    benchmark.pedantic(run, rounds=1, iterations=1)

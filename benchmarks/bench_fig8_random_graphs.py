@@ -1,0 +1,126 @@
+"""Fig. 8: motif queries on random graphs.
+
+Three panels from the paper:
+
+* triangle query, time vs. clique size, edge probabilities 0.3 / 0.7,
+  relative error 0.01;
+* path-of-length-2 query, same setup;
+* triangle & path2 at *absolute* error 0.05 with tiny edge probabilities
+  (0.01 / 0.1) — where the absolute criterion converges almost instantly
+  because the upper bounds are already small.
+
+Expected shape: with p = 0.7 the d-tree converges immediately (result
+probability ≈ 1); with p = 0.3 the instance sits in the hard region of
+the easy-hard-easy pattern and grows steeply (runs are capped by a
+deadline, the analogue of the paper's 200 s ceiling).  aconf cost grows
+with the clique size everywhere.
+"""
+
+import functools
+
+import pytest
+
+from conftest import aconf_status, dtree_status
+from repro.bench import Harness
+from repro.core.approx import approximate_probability
+from repro.datasets.graphs import path2_dnf, random_graph, triangle_dnf
+from repro.mc.aconf import aconf
+
+HARNESS = Harness("Fig 8 random graphs")
+NODE_COUNTS = (6, 10, 15, 20)
+EDGE_PROBS = (0.3, 0.7)
+ACONF_CAP = 2000
+DTREE_DEADLINE = 10.0
+
+_QUERIES = {"triangle": triangle_dnf, "path2": path2_dnf}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def report():
+    yield
+    HARNESS.print_series()
+    HARNESS.write_csv()
+
+
+@functools.lru_cache(maxsize=None)
+def _instance(node_count, edge_prob, query):
+    graph = random_graph(node_count, edge_prob)
+    return _QUERIES[query](graph), graph.registry
+
+
+@pytest.mark.parametrize("edge_prob", EDGE_PROBS)
+@pytest.mark.parametrize("node_count", NODE_COUNTS)
+@pytest.mark.parametrize("query", list(_QUERIES))
+def test_dtree_rel_001(benchmark, query, node_count, edge_prob):
+    dnf, registry = _instance(node_count, edge_prob, query)
+
+    def run():
+        return HARNESS.run(
+            f"{query} n={node_count} p={edge_prob}",
+            "d-tree(0.01)",
+            lambda: [
+                approximate_probability(
+                    dnf,
+                    registry,
+                    epsilon=0.01,
+                    error_kind="relative",
+                    deadline_seconds=DTREE_DEADLINE,
+                )
+            ],
+            status_of=dtree_status,
+        )
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+@pytest.mark.parametrize("edge_prob", EDGE_PROBS)
+@pytest.mark.parametrize("node_count", NODE_COUNTS)
+@pytest.mark.parametrize("query", list(_QUERIES))
+def test_aconf_rel_001(benchmark, query, node_count, edge_prob):
+    dnf, registry = _instance(node_count, edge_prob, query)
+
+    def run():
+        return HARNESS.run(
+            f"{query} n={node_count} p={edge_prob}",
+            "aconf(0.01)",
+            lambda: [
+                aconf(
+                    dnf,
+                    registry,
+                    epsilon=0.01,
+                    seed=0,
+                    max_samples=ACONF_CAP,
+                )
+            ],
+            status_of=aconf_status,
+        )
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+# ----------------------------------------------------------------------
+# Bottom panel: absolute error 0.05, tiny edge probabilities.
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("edge_prob", (0.01, 0.1))
+@pytest.mark.parametrize("node_count", (6, 10, 15))
+@pytest.mark.parametrize("query", list(_QUERIES))
+def test_dtree_absolute_005(benchmark, query, node_count, edge_prob):
+    dnf, registry = _instance(node_count, edge_prob, query)
+
+    def run():
+        return HARNESS.run(
+            f"{query} n={node_count} p={edge_prob} abs",
+            "d-tree(abs 0.05)",
+            lambda: [
+                approximate_probability(
+                    dnf,
+                    registry,
+                    epsilon=0.05,
+                    error_kind="absolute",
+                    deadline_seconds=DTREE_DEADLINE,
+                )
+            ],
+            status_of=dtree_status,
+        )
+
+    benchmark.pedantic(run, rounds=1, iterations=1)

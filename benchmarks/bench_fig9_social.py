@@ -1,0 +1,103 @@
+"""Fig. 9: social networks — time vs. relative error.
+
+Paper series: the dolphin and karate networks, queries t (triangle),
+s2 (≤ 2 degrees of separation), p2, p3, for relative errors from 0.05
+down to 0.0001, d-tree vs. aconf.
+
+Expected shape: on these high-confidence networks the motif probabilities
+are close to 1 and the d-tree bounds converge after few (often zero)
+decomposition steps even at the smallest errors, while aconf's sample
+bound explodes as ε shrinks and hits the work cap (the paper's 300 s
+timeout line).
+"""
+
+import functools
+
+import pytest
+
+from conftest import aconf_status, dtree_status
+from repro.bench import Harness
+from repro.core.approx import approximate_probability
+from repro.datasets.graphs import GRAPH_QUERIES
+from repro.datasets.social import SOCIAL_NETWORKS
+from repro.mc.aconf import aconf
+
+HARNESS = Harness("Fig 9 social networks")
+ERRORS = (0.05, 0.01, 0.001, 0.0001)
+ACONF_CAP = 5000
+DTREE_DEADLINE = 15.0
+
+#: The paper's Fig. 9 runs t, s2, p2 on both networks and p3 where it
+#: completes; we mirror that (p3 on the dolphins-like network exceeds the
+#: Python budget at the smallest errors).
+NETWORK_QUERIES = {
+    "karate": ("t", "s2", "p2", "p3"),
+    "dolphins": ("t", "s2", "p2"),
+}
+
+
+@functools.lru_cache(maxsize=None)
+def _instance(network, query):
+    graph = SOCIAL_NETWORKS[network]()
+    return GRAPH_QUERIES[query](graph), graph.registry
+
+
+def _cases():
+    for network, queries in NETWORK_QUERIES.items():
+        for query in queries:
+            yield network, query
+
+
+@pytest.fixture(scope="module", autouse=True)
+def report():
+    yield
+    HARNESS.print_series()
+    HARNESS.write_csv()
+
+
+@pytest.mark.parametrize("epsilon", ERRORS)
+@pytest.mark.parametrize("network,query", list(_cases()))
+def test_dtree(benchmark, network, query, epsilon):
+    dnf, registry = _instance(network, query)
+
+    def run():
+        return HARNESS.run(
+            f"{network}-{query} ε={epsilon}",
+            "d-tree",
+            lambda: [
+                approximate_probability(
+                    dnf,
+                    registry,
+                    epsilon=epsilon,
+                    error_kind="relative",
+                    deadline_seconds=DTREE_DEADLINE,
+                )
+            ],
+            status_of=dtree_status,
+        )
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+@pytest.mark.parametrize("epsilon", ERRORS)
+@pytest.mark.parametrize("network,query", list(_cases()))
+def test_aconf(benchmark, network, query, epsilon):
+    dnf, registry = _instance(network, query)
+
+    def run():
+        return HARNESS.run(
+            f"{network}-{query} ε={epsilon}",
+            "aconf",
+            lambda: [
+                aconf(
+                    dnf,
+                    registry,
+                    epsilon=epsilon,
+                    seed=0,
+                    max_samples=ACONF_CAP,
+                )
+            ],
+            status_of=aconf_status,
+        )
+
+    benchmark.pedantic(run, rounds=1, iterations=1)

@@ -1,0 +1,71 @@
+"""Shared fixtures and helpers for the benchmark suite.
+
+Each benchmark module reproduces one figure of the paper's evaluation
+(Section VII).  Conventions:
+
+* workloads are scaled down for a pure-Python engine (see DESIGN.md);
+  absolute times are not comparable to the paper's C/Postgres numbers,
+  but the *relative* behaviour of the methods is;
+* the paper's wall-clock timeouts are replaced by deterministic work caps
+  (sample counts for aconf, deadlines/steps for the d-tree algorithm);
+  capped runs are reported with a ``capped`` status, mirroring the
+  "Timeout" line in the paper's plots;
+* every module prints its series table (the data behind the figure) and
+  writes a CSV under ``benchmarks/results/``.
+"""
+
+import functools
+
+import pytest
+
+from repro.datasets.tpch import TPCHConfig, generate_tpch
+from repro.db.engine import answer_selector, evaluate_to_dnf
+
+
+@functools.lru_cache(maxsize=None)
+def tpch_database(scale_factor: float, prob_low: float, prob_high: float,
+                  seed: int = 1):
+    """Cached TPC-H database for a configuration."""
+    return generate_tpch(
+        TPCHConfig(
+            scale_factor=scale_factor,
+            probability_range=(prob_low, prob_high),
+            seed=seed,
+        )
+    )
+
+
+@functools.lru_cache(maxsize=None)
+def tpch_answers(query_name: str, scale_factor: float, prob_low: float,
+                 prob_high: float, seed: int = 1):
+    """Cached (answers, database, selector) for a query configuration."""
+    from repro.datasets.tpch_queries import make_query
+
+    database = tpch_database(scale_factor, prob_low, prob_high, seed)
+    query = make_query(query_name)
+    answers = evaluate_to_dnf(query, database)
+    return answers, database, answer_selector(database)
+
+
+def aconf_status(results):
+    """Status string for a list of AconfResult."""
+    return "capped" if any(r.capped for r in results) else "ok"
+
+
+def dtree_status(results):
+    """Status string for a list of ApproximationResult."""
+    return "ok" if all(r.converged for r in results) else "capped"
+
+
+def pytest_terminal_summary(terminalreporter):
+    """Print every experiment's series table after the benchmark stats.
+
+    This is the data behind the paper's figures; plain prints from module
+    fixtures are swallowed by pytest's capture, terminal-summary output is
+    not.
+    """
+    from repro.bench.harness import ALL_HARNESSES
+
+    for harness in ALL_HARNESSES:
+        if harness.points:
+            terminalreporter.write_line(harness.series_table())

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""The d-tree algorithm as an *anytime* algorithm (paper, Section I/V).
+
+"Being incremental, the algorithm is also useful under a given time
+budget."  This example makes that concrete: a hard-query lineage on a
+random graph is approximated under increasing step budgets, and the
+certified probability interval narrows monotonically toward the exact
+value — every intermediate interval is sound.
+
+Run:  python examples/anytime_bounds.py
+"""
+
+from repro.core.approx import approximate_probability
+from repro.core.semantics import brute_force_probability
+from repro.datasets.graphs import random_graph, triangle_dnf
+
+
+def main() -> None:
+    graph = random_graph(7, 0.3)
+    dnf = triangle_dnf(graph)
+    registry = graph.registry
+    truth = brute_force_probability(dnf, registry)
+    print(
+        f"triangle lineage on a 7-clique: {len(dnf)} clauses over "
+        f"{len(dnf.variables)} edges; exact P = {truth:.6f}\n"
+    )
+
+    print(f"{'budget':>7} {'lower':>10} {'upper':>10} {'width':>10} "
+          f"{'converged':>10}")
+    for budget in (0, 1, 2, 4, 8, 16, 32, 64, 128, 256, None):
+        result = approximate_probability(
+            dnf,
+            registry,
+            epsilon=0.0,
+            max_steps=budget,
+        )
+        label = "∞" if budget is None else str(budget)
+        print(
+            f"{label:>7} {result.lower:>10.6f} {result.upper:>10.6f} "
+            f"{result.width():>10.6f} {str(result.converged):>10}"
+        )
+        assert result.lower - 1e-9 <= truth <= result.upper + 1e-9
+
+    final = approximate_probability(dnf, registry, epsilon=0.0)
+    print(
+        f"\nnode kinds constructed: {final.node_histogram} "
+        f"(leaves closed: {final.leaves_closed}, "
+        f"exact leaves folded: {final.leaves_exact})"
+    )
+
+
+if __name__ == "__main__":
+    main()

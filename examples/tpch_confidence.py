@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Confidence computation on probabilistic TPC-H (paper, Section VII.A).
+
+Generates a tuple-independent TPC-H database, runs the paper's query
+suite, and for each query compares:
+
+* SPROUT      — exact, query-aware (hierarchical queries only);
+* d-tree(0)   — exact, generic;
+* d-tree(ε)   — approximate with relative error 0.01;
+* aconf       — the Monte-Carlo baseline (work-capped).
+
+This is a miniature of Fig. 6 of the paper; the benchmark suite under
+``benchmarks/`` runs the full sweeps.
+
+Run:  python examples/tpch_confidence.py
+"""
+
+import time
+
+from repro.core.approx import approximate_probability
+from repro.core.exact import exact_probability
+from repro.datasets.tpch import TPCHConfig, generate_tpch
+from repro.datasets.tpch_queries import (
+    HARD_QUERIES,
+    HIERARCHICAL_QUERIES,
+    IQ_QUERIES,
+    make_query,
+)
+from repro.db.engine import answer_selector, evaluate_to_dnf
+from repro.db.sprout import UnsafeQueryError, sprout_confidence
+from repro.mc import aconf
+
+
+def timed(fn):
+    started = time.perf_counter()
+    value = fn()
+    return value, time.perf_counter() - started
+
+
+def main() -> None:
+    config = TPCHConfig(scale_factor=0.1, seed=1)
+    database = generate_tpch(config)
+    selector = answer_selector(database)
+    registry = database.registry
+    print(
+        "probabilistic TPC-H at scale factor "
+        f"{config.scale_factor}: "
+        + ", ".join(
+            f"{name}={len(database[name])}"
+            for name in database.relation_names()
+        )
+    )
+
+    suites = [
+        ("hierarchical", HIERARCHICAL_QUERIES),
+        ("inequality (IQ)", IQ_QUERIES),
+        ("#P-hard", HARD_QUERIES),
+    ]
+    for suite_name, suite in suites:
+        print(f"\n== {suite_name} queries ==")
+        print(
+            f"{'query':<7} {'answers':>7} {'clauses':>8} "
+            f"{'sprout':>10} {'d-tree(0)':>10} {'d-tree(.01)':>11} "
+            f"{'aconf':>10}"
+        )
+        for name in suite:
+            query = make_query(name)
+            answers, _t = timed(lambda: evaluate_to_dnf(query, database))
+            clauses = sum(len(dnf) for _v, dnf in answers)
+
+            try:
+                sprout_result, sprout_time = timed(
+                    lambda: sprout_confidence(query, database)
+                )
+                sprout_cell = f"{sprout_time:>9.3f}s"
+            except UnsafeQueryError:
+                sprout_cell = f"{'n/a':>10}"
+
+            if name == "B9":
+                exact_cell = f"{'skipped':>10}"
+            else:
+                _exact, exact_time = timed(
+                    lambda: [
+                        exact_probability(
+                            dnf, registry, choose_variable=selector
+                        )
+                        for _v, dnf in answers
+                    ]
+                )
+                exact_cell = f"{exact_time:>9.3f}s"
+
+            _approx, approx_time = timed(
+                lambda: [
+                    approximate_probability(
+                        dnf,
+                        registry,
+                        epsilon=0.01,
+                        error_kind="relative",
+                        choose_variable=selector,
+                    )
+                    for _v, dnf in answers
+                ]
+            )
+
+            _mc, mc_time = timed(
+                lambda: [
+                    aconf(
+                        dnf,
+                        registry,
+                        epsilon=0.1,
+                        delta=0.01,
+                        seed=0,
+                        max_samples=20_000,
+                    )
+                    for _v, dnf in answers
+                ]
+            )
+
+            print(
+                f"{name:<7} {len(answers):>7} {clauses:>8} "
+                f"{sprout_cell} {exact_cell} {approx_time:>10.3f}s "
+                f"{mc_time:>9.3f}s"
+            )
+
+    print(
+        "\nNote: aconf is work-capped at 20k samples per answer here; "
+        "see benchmarks/ for the full Fig. 6/7 reproductions."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""repro — approximate confidence computation in probabilistic databases.
+
+A faithful, self-contained reproduction of
+
+    Dan Olteanu, Jiewen Huang, Christoph Koch.
+    "Approximate Confidence Computation in Probabilistic Databases."
+    ICDE 2010.
+
+The library provides:
+
+* :mod:`repro.core` — DNFs over discrete random variables, d-tree
+  compilation, the Fig. 3 bounds heuristic, and the incremental
+  ε-approximation algorithm with leaf closing (the paper's contribution);
+* :mod:`repro.mc` — the Karp–Luby / Dagum–Karp–Luby–Ross ``aconf``
+  baseline used by MystiQ and MayBMS;
+* :mod:`repro.db` — a probabilistic database substrate: tuple-independent,
+  block-independent-disjoint and c-tables, positive relational algebra with
+  lineage, conjunctive queries, and a SPROUT-style exact operator for
+  hierarchical queries;
+* :mod:`repro.datasets` — the paper's workloads: probabilistic TPC-H,
+  random graphs, and social networks with the motif queries.
+
+Quickstart
+----------
+>>> from repro import VariableRegistry, DNF, approximate_probability
+>>> reg = VariableRegistry.from_boolean_probabilities(
+...     {"x": 0.3, "y": 0.2, "z": 0.7, "v": 0.8})
+>>> phi = DNF.from_positive_clauses([["x", "y"], ["x", "z"], ["v"]])
+>>> result = approximate_probability(phi, reg, epsilon=0.01)
+>>> abs(result.estimate - 0.8456) <= 0.01
+True
+"""
+
+from .core import (
+    ABSOLUTE,
+    RELATIVE,
+    ApproximationResult,
+    Atom,
+    Clause,
+    DNF,
+    DTree,
+    VariableRegistry,
+    approximate_probability,
+    brute_force_probability,
+    compile_dnf,
+    exact_probability,
+    exact_probability_compiled,
+    independent_bounds,
+    make_variable_selector,
+    read_once_probability,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ABSOLUTE",
+    "RELATIVE",
+    "ApproximationResult",
+    "Atom",
+    "Clause",
+    "DNF",
+    "DTree",
+    "VariableRegistry",
+    "approximate_probability",
+    "brute_force_probability",
+    "compile_dnf",
+    "exact_probability",
+    "exact_probability_compiled",
+    "independent_bounds",
+    "make_variable_selector",
+    "read_once_probability",
+    "__version__",
+]

@@ -1,0 +1,5 @@
+"""Benchmark harness (timing, series tables, CSV output)."""
+
+from .harness import Harness, SeriesPoint, format_table
+
+__all__ = ["Harness", "SeriesPoint", "format_table"]

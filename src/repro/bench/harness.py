@@ -1,0 +1,198 @@
+"""Benchmark harness utilities.
+
+The paper's evaluation plots wall-clock time per (query, method) pair,
+with a timeout line.  This harness reproduces that protocol in a
+deterministic, laptop-friendly way:
+
+* each method runs once under a *work cap* (decomposition steps for the
+  d-tree algorithms, sample counts for aconf) standing in for the paper's
+  wall-clock timeout;
+* results are collected as :class:`SeriesPoint` rows and printed as the
+  aligned series tables the paper's figures plot;
+* everything is also written to ``benchmarks/results/*.csv`` so the series
+  can be re-plotted.
+
+pytest-benchmark handles the timing statistics; this module handles the
+experiment structure.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+__all__ = ["SeriesPoint", "Harness", "format_table", "ALL_HARNESSES"]
+
+#: Every Harness registers itself here so a pytest terminal-summary hook
+#: can print all series tables after the run (plain prints from fixtures
+#: are swallowed by pytest's output capture).
+ALL_HARNESSES: List["Harness"] = []
+
+
+class SeriesPoint:
+    """One measurement: a method on a workload configuration."""
+
+    __slots__ = (
+        "experiment",
+        "workload",
+        "method",
+        "seconds",
+        "value",
+        "status",
+        "detail",
+    )
+
+    def __init__(
+        self,
+        experiment: str,
+        workload: str,
+        method: str,
+        seconds: float,
+        value: Optional[float],
+        status: str = "ok",
+        detail: str = "",
+    ) -> None:
+        self.experiment = experiment
+        self.workload = workload
+        self.method = method
+        self.seconds = seconds
+        self.value = value
+        self.status = status
+        self.detail = detail
+
+    def row(self) -> List[str]:
+        value = "" if self.value is None else f"{self.value:.6g}"
+        return [
+            self.experiment,
+            self.workload,
+            self.method,
+            f"{self.seconds:.6f}",
+            value,
+            self.status,
+            self.detail,
+        ]
+
+
+class Harness:
+    """Collects :class:`SeriesPoint` rows for one experiment (figure)."""
+
+    def __init__(self, experiment: str, results_dir: Optional[str] = None):
+        self.experiment = experiment
+        self.points: List[SeriesPoint] = []
+        if results_dir is None:
+            results_dir = os.path.join(
+                os.path.dirname(os.path.dirname(os.path.dirname(
+                    os.path.dirname(os.path.abspath(__file__))))),
+                "benchmarks",
+                "results",
+            )
+        self.results_dir = results_dir
+        ALL_HARNESSES.append(self)
+
+    def run(
+        self,
+        workload: str,
+        method: str,
+        fn: Callable[[], object],
+        *,
+        value_of: Optional[Callable[[object], float]] = None,
+        status_of: Optional[Callable[[object], str]] = None,
+        detail_of: Optional[Callable[[object], str]] = None,
+    ) -> SeriesPoint:
+        """Time one call and record the outcome."""
+        started = time.perf_counter()
+        outcome = fn()
+        elapsed = time.perf_counter() - started
+        point = SeriesPoint(
+            self.experiment,
+            workload,
+            method,
+            elapsed,
+            value_of(outcome) if value_of else None,
+            status_of(outcome) if status_of else "ok",
+            detail_of(outcome) if detail_of else "",
+        )
+        self.points.append(point)
+        return point
+
+    # ------------------------------------------------------------------
+    def series_table(self, group_by: str = "workload") -> str:
+        """Render the experiment as an aligned table grouped by workload."""
+        methods: List[str] = []
+        for point in self.points:
+            if point.method not in methods:
+                methods.append(point.method)
+        groups: Dict[str, Dict[str, SeriesPoint]] = {}
+        order: List[str] = []
+        for point in self.points:
+            key = point.workload
+            if key not in groups:
+                groups[key] = {}
+                order.append(key)
+            groups[key][point.method] = point
+
+        header = [group_by] + [f"{m} [s]" for m in methods]
+        rows = []
+        for key in order:
+            row = [key]
+            for method in methods:
+                point = groups[key].get(method)
+                if point is None:
+                    row.append("-")
+                elif point.status == "ok":
+                    row.append(f"{point.seconds:.3f}")
+                else:
+                    row.append(f"{point.seconds:.3f} ({point.status})")
+            rows.append(row)
+        return (
+            f"\n=== {self.experiment} ===\n"
+            + format_table(header, rows)
+        )
+
+    def print_series(self, group_by: str = "workload") -> None:
+        """Print the series table (see :meth:`series_table`)."""
+        print(self.series_table(group_by))
+
+    def write_csv(self, filename: Optional[str] = None) -> str:
+        os.makedirs(self.results_dir, exist_ok=True)
+        if filename is None:
+            safe = self.experiment.lower().replace(" ", "_").replace(
+                "/", "-"
+            )
+            filename = f"{safe}.csv"
+        path = os.path.join(self.results_dir, filename)
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(
+                [
+                    "experiment",
+                    "workload",
+                    "method",
+                    "seconds",
+                    "value",
+                    "status",
+                    "detail",
+                ]
+            )
+            for point in self.points:
+                writer.writerow(point.row())
+        return path
+
+
+def format_table(header: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Simple aligned text table."""
+    widths = [len(h) for h in header]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(str(cell)))
+    lines = [
+        "  ".join(str(h).ljust(widths[i]) for i, h in enumerate(header))
+    ]
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(
+            "  ".join(str(cell).ljust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)

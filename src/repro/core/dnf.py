@@ -1,0 +1,275 @@
+"""DNF formulas represented as sets of clauses.
+
+The paper represents a DNF "by a set of sets of atomic formulae"
+(Section IV).  :class:`DNF` is that representation: an immutable set of
+consistent :class:`~repro.core.events.Clause` objects, with the operations
+the compiler of Fig. 1 needs — subsumption removal, Shannon restriction,
+and bookkeeping over the variable set.
+
+Inconsistent clauses are dropped at construction (they have probability
+zero and the paper assumes every clause has non-null probability).
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from .events import Atom, Clause, InconsistentClauseError
+from .variables import VariableRegistry
+
+__all__ = ["DNF"]
+
+
+class DNF:
+    """An immutable DNF: a finite set of consistent clauses.
+
+    The empty DNF is the constant *false*; a DNF containing the empty
+    clause is the constant *true* (after subsumption removal it is exactly
+    ``{∅}``).
+    """
+
+    __slots__ = ("_clauses", "_variables", "_hash", "_sorted")
+
+    def __init__(self, clauses: Iterable[Clause] = ()) -> None:
+        clause_set = frozenset(clauses)
+        variables: Set[Hashable] = set()
+        for clause in clause_set:
+            variables.update(clause.variables)
+        object.__setattr__(self, "_clauses", clause_set)
+        object.__setattr__(self, "_variables", frozenset(variables))
+        object.__setattr__(self, "_hash", hash(clause_set))
+        object.__setattr__(self, "_sorted", None)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("DNF is immutable")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def false(cls) -> "DNF":
+        """The empty DNF — unsatisfiable."""
+        return cls()
+
+    @classmethod
+    def true(cls) -> "DNF":
+        """The DNF ``{∅}`` — valid."""
+        return cls((Clause(),))
+
+    @classmethod
+    def from_sets(
+        cls, clause_specs: Iterable[Mapping[Hashable, Hashable]]
+    ) -> "DNF":
+        """Build from an iterable of ``var -> value`` mappings.
+
+        Mappings that are internally inconsistent cannot arise (dict keys
+        are unique), so every spec becomes a clause.
+        """
+        return cls(Clause(spec) for spec in clause_specs)
+
+    @classmethod
+    def from_positive_clauses(
+        cls, variable_groups: Iterable[Iterable[Hashable]]
+    ) -> "DNF":
+        """Build a positive-Boolean DNF: each group is a conjunction of
+        ``v = True`` atoms.  This is the shape produced by positive
+        relational algebra on tuple-independent tables."""
+        return cls(Clause.positive(*group) for group in variable_groups)
+
+    @classmethod
+    def of_atoms(cls, *atoms: Atom) -> "DNF":
+        """A DNF with one singleton clause per atom (a plain disjunction)."""
+        return cls(Clause((atom,)) for atom in atoms)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def clauses(self) -> FrozenSet[Clause]:
+        return self._clauses
+
+    @property
+    def variables(self) -> FrozenSet[Hashable]:
+        return self._variables
+
+    def __len__(self) -> int:
+        return len(self._clauses)
+
+    def __iter__(self) -> Iterator[Clause]:
+        return iter(self._clauses)
+
+    def __contains__(self, clause: object) -> bool:
+        return clause in self._clauses
+
+    def is_false(self) -> bool:
+        return not self._clauses
+
+    def is_true(self) -> bool:
+        """True iff the DNF contains the empty clause (constant true)."""
+        return any(clause.is_empty() for clause in self._clauses)
+
+    def is_single_clause(self) -> bool:
+        return len(self._clauses) == 1
+
+    def sole_clause(self) -> Clause:
+        """The only clause of a singleton DNF (raises otherwise)."""
+        if len(self._clauses) != 1:
+            raise ValueError(f"DNF has {len(self._clauses)} clauses, not 1")
+        return next(iter(self._clauses))
+
+    def size(self) -> int:
+        """Total number of atoms — the paper's notion of DNF size."""
+        return sum(len(clause) for clause in self._clauses)
+
+    def sorted_clauses(self) -> List[Clause]:
+        """Clauses in a deterministic order (by repr), for reproducibility.
+
+        The order is computed once per (immutable) DNF; callers receive a
+        fresh copy they may reorder freely.
+        """
+        cached = self._sorted
+        if cached is None:
+            cached = sorted(self._clauses, key=repr)
+            object.__setattr__(self, "_sorted", cached)
+        return list(cached)
+
+    # ------------------------------------------------------------------
+    # Logic operations
+    # ------------------------------------------------------------------
+    def remove_subsumed(self) -> "DNF":
+        """Drop every clause that is a strict superset of another clause.
+
+        This is step 1 of the compiler in Fig. 1 of the paper: if
+        ``s ⊂ t`` then ``t`` is redundant.  Quadratic in the number of
+        clauses, with a grouping-by-variable pre-filter that makes the
+        common relational-lineage case close to linear.
+        """
+        clauses = list(self._clauses)
+        if len(clauses) <= 1:
+            return self
+        # Sort by clause length: only shorter (or equal-length, but equal
+        # length + subset means equality, already deduplicated) clauses can
+        # subsume longer ones.
+        clauses.sort(key=len)
+        kept: List[Clause] = []
+        # Index kept clauses by one of their variables to prune comparisons:
+        # a kept clause can only subsume `candidate` if all its variables
+        # appear in `candidate`.
+        by_variable: Dict[Hashable, List[Clause]] = {}
+        for candidate in clauses:
+            if candidate.is_empty():
+                # The empty clause subsumes everything.
+                return DNF.true()
+            subsumed = False
+            seen: Set[int] = set()
+            for variable in candidate.variables:
+                for keeper in by_variable.get(variable, ()):
+                    if id(keeper) in seen:
+                        continue
+                    seen.add(id(keeper))
+                    if keeper.subsumes(candidate):
+                        subsumed = True
+                        break
+                if subsumed:
+                    break
+            if not subsumed:
+                kept.append(candidate)
+                for variable in candidate.variables:
+                    by_variable.setdefault(variable, []).append(candidate)
+        if len(kept) == len(self._clauses):
+            return self
+        return DNF(kept)
+
+    def restrict(self, variable: Hashable, value: Hashable) -> "DNF":
+        """``Φ|_{variable=value}`` — the Shannon cofactor (Fig. 1, step 4).
+
+        Removes clauses inconsistent with ``variable = value`` and strips
+        the atom from the remaining clauses.
+        """
+        restricted: List[Clause] = []
+        for clause in self._clauses:
+            reduced = clause.restrict(variable, value)
+            if reduced is not None:
+                restricted.append(reduced)
+        return DNF(restricted)
+
+    def union(self, other: "DNF") -> "DNF":
+        """Disjunction: union of clause sets."""
+        return DNF(self._clauses | other._clauses)
+
+    def conjoin(self, other: "DNF") -> "DNF":
+        """Conjunction via clause-wise distribution; inconsistent products
+        are dropped.  Quadratic in the clause counts (DNF × DNF)."""
+        product: Set[Clause] = set()
+        for left in self._clauses:
+            for right in other._clauses:
+                try:
+                    product.add(left.union(right))
+                except InconsistentClauseError:
+                    continue
+        return DNF(product)
+
+    def conjoin_clause(self, clause: Clause) -> "DNF":
+        """Conjunction with a single clause."""
+        return self.conjoin(DNF((clause,)))
+
+    # ------------------------------------------------------------------
+    # Semantics
+    # ------------------------------------------------------------------
+    def evaluate(self, world: Mapping[Hashable, Hashable]) -> bool:
+        """Truth under a valuation covering the DNF's variables."""
+        return any(clause.evaluate(world) for clause in self._clauses)
+
+    def variable_frequencies(self) -> Dict[Hashable, int]:
+        """How many clauses each variable appears in (Shannon heuristic)."""
+        counts: Dict[Hashable, int] = {}
+        for clause in self._clauses:
+            for variable in clause.variables:
+                counts[variable] = counts.get(variable, 0) + 1
+        return counts
+
+    def most_frequent_variable(self) -> Hashable:
+        """The paper's default Shannon pivot: a most frequent variable.
+
+        Ties are broken deterministically by ``repr`` of the variable.
+        """
+        counts = self.variable_frequencies()
+        if not counts:
+            raise ValueError("DNF has no variables")
+        return max(counts.items(), key=lambda item: (item[1], repr(item[0])))[0]
+
+    def marginal_probabilities(
+        self, registry: VariableRegistry
+    ) -> List[Tuple[Clause, float]]:
+        """Each clause paired with its marginal probability."""
+        return [
+            (clause, clause.probability(registry)) for clause in self._clauses
+        ]
+
+    # ------------------------------------------------------------------
+    # Dunder plumbing
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DNF):
+            return NotImplemented
+        return self._clauses == other._clauses
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        if not self._clauses:
+            return "⊥"
+        parts = [f"({clause!r})" for clause in self.sorted_clauses()]
+        return " ∨ ".join(parts)

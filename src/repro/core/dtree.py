@@ -1,0 +1,279 @@
+"""d-trees: decomposition trees for DNFs (paper, Section IV).
+
+A d-tree is a formula built from ``⊗`` (independent-or), ``⊙``
+(independent-and) and ``⊕`` (exclusive-or) with non-empty DNFs at the
+leaves.  A d-tree is *complete* when every leaf is a single clause.
+
+Two evaluations are supported, both in one bottom-up pass:
+
+* :func:`DTree.probability` — exact probability, defined when every leaf is
+  a single clause or carries an exact probability (Prop. 4.3);
+* :func:`DTree.bounds` — lower/upper bound propagation from leaf bounds
+  (Prop. 5.4), using the monotone combination formulas of Section V.B.
+
+The combination formulas (Section IV):
+
+* ``⊗``: ``P = 1 − Π (1 − P(cᵢ))``
+* ``⊙``: ``P = Π P(cᵢ)``
+* ``⊕``: ``P = Σ P(cᵢ)`` (children mutually exclusive; upper bounds are
+  clamped at 1 because heuristic leaf bounds may over-sum)
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator, List, Optional, Sequence, Tuple
+
+from .dnf import DNF
+from .events import Clause
+from .variables import VariableRegistry
+
+__all__ = [
+    "DTree",
+    "LeafNode",
+    "IndependentOrNode",
+    "IndependentAndNode",
+    "ExclusiveOrNode",
+    "Bounds",
+    "combine_or_bounds",
+    "combine_and_bounds",
+    "combine_xor_bounds",
+]
+
+Bounds = Tuple[float, float]
+
+
+# ----------------------------------------------------------------------
+# Bound combination helpers (shared with the incremental algorithm)
+# ----------------------------------------------------------------------
+def combine_or_bounds(children: Sequence[Bounds]) -> Bounds:
+    """``⊗`` combination: monotone in every child."""
+    lower_complement = 1.0
+    upper_complement = 1.0
+    for low, high in children:
+        lower_complement *= 1.0 - low
+        upper_complement *= 1.0 - high
+    return 1.0 - lower_complement, 1.0 - upper_complement
+
+
+def combine_and_bounds(children: Sequence[Bounds]) -> Bounds:
+    """``⊙`` combination: products of bounds."""
+    lower = 1.0
+    upper = 1.0
+    for low, high in children:
+        lower *= low
+        upper *= high
+    return lower, upper
+
+
+def combine_xor_bounds(children: Sequence[Bounds]) -> Bounds:
+    """``⊕`` combination: sums, with the upper bound clamped at 1."""
+    lower = 0.0
+    upper = 0.0
+    for low, high in children:
+        lower += low
+        upper += high
+    return min(1.0, lower), min(1.0, upper)
+
+
+# ----------------------------------------------------------------------
+# Nodes
+# ----------------------------------------------------------------------
+class DTree:
+    """Abstract base of d-tree nodes."""
+
+    __slots__ = ()
+
+    KIND: str = "abstract"
+
+    def probability(self, registry: VariableRegistry) -> float:
+        """Exact probability; raises when a leaf is not exactly computable."""
+        raise NotImplementedError
+
+    def bounds(self, registry: VariableRegistry) -> Bounds:
+        """Lower/upper probability bounds (Prop. 5.4)."""
+        raise NotImplementedError
+
+    def leaves(self) -> Iterator["LeafNode"]:
+        raise NotImplementedError
+
+    def is_complete(self) -> bool:
+        """True when every leaf holds a single clause."""
+        return all(leaf.dnf.is_single_clause() for leaf in self.leaves())
+
+    def node_count(self) -> int:
+        """Number of nodes in the tree (leaves included)."""
+        raise NotImplementedError
+
+    def depth(self) -> int:
+        raise NotImplementedError
+
+    def inner_node_histogram(self) -> dict:
+        """Count nodes by kind — the paper reports "90% ⊗ nodes"."""
+        histogram: dict = {}
+        stack: List[DTree] = [self]
+        while stack:
+            node = stack.pop()
+            histogram[node.KIND] = histogram.get(node.KIND, 0) + 1
+            if isinstance(node, _InnerNode):
+                stack.extend(node.children)
+        return histogram
+
+    def pretty(self, indent: int = 0) -> str:
+        """Human-readable multi-line rendering (used in examples)."""
+        raise NotImplementedError
+
+
+class LeafNode(DTree):
+    """A leaf holding a non-empty DNF.
+
+    A leaf may carry externally computed ``leaf_bounds`` (from the
+    :mod:`repro.core.bounds` heuristic).  Bounds default to the trivial
+    ``[0, 1]`` unless the DNF is a single clause, whose probability is
+    exact by a table lookup.
+    """
+
+    __slots__ = ("dnf", "leaf_bounds")
+
+    KIND = "leaf"
+
+    def __init__(self, dnf: DNF, leaf_bounds: Optional[Bounds] = None) -> None:
+        if dnf.is_false():
+            raise ValueError("d-tree leaves must hold non-empty DNFs")
+        self.dnf = dnf
+        self.leaf_bounds = leaf_bounds
+
+    def probability(self, registry: VariableRegistry) -> float:
+        # Explicit bounds take precedence: they are how callers (and the
+        # paper's examples) override a leaf with externally computed
+        # values.
+        if self.leaf_bounds is not None:
+            low, high = self.leaf_bounds
+            if low == high:
+                return low
+            raise ValueError(
+                "exact probability undefined for a leaf with non-point "
+                f"bounds {self.leaf_bounds}; use bounds()"
+            )
+        if self.dnf.is_single_clause():
+            return self.dnf.sole_clause().probability(registry)
+        raise ValueError(
+            "exact probability undefined for a multi-clause leaf without "
+            "point bounds; compile further or use bounds()"
+        )
+
+    def bounds(self, registry: VariableRegistry) -> Bounds:
+        if self.leaf_bounds is not None:
+            return self.leaf_bounds
+        if self.dnf.is_single_clause():
+            prob = self.dnf.sole_clause().probability(registry)
+            return prob, prob
+        return 0.0, 1.0
+
+    def leaves(self) -> Iterator["LeafNode"]:
+        yield self
+
+    def node_count(self) -> int:
+        return 1
+
+    def depth(self) -> int:
+        return 1
+
+    def pretty(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        suffix = ""
+        if self.leaf_bounds is not None:
+            suffix = f"  bounds={self.leaf_bounds}"
+        return f"{pad}leaf {self.dnf!r}{suffix}"
+
+
+class _InnerNode(DTree):
+    """Shared plumbing of the three inner node kinds."""
+
+    __slots__ = ("children",)
+
+    SYMBOL = "?"
+
+    def __init__(self, children: Sequence[DTree]) -> None:
+        if not children:
+            raise ValueError("inner d-tree nodes need at least one child")
+        self.children = tuple(children)
+
+    def leaves(self) -> Iterator[LeafNode]:
+        for child in self.children:
+            yield from child.leaves()
+
+    def node_count(self) -> int:
+        return 1 + sum(child.node_count() for child in self.children)
+
+    def depth(self) -> int:
+        return 1 + max(child.depth() for child in self.children)
+
+    def pretty(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        lines = [f"{pad}{self.SYMBOL}"]
+        for child in self.children:
+            lines.append(child.pretty(indent + 1))
+        return "\n".join(lines)
+
+
+class IndependentOrNode(_InnerNode):
+    """``⊗`` — disjunction of pairwise independent children."""
+
+    __slots__ = ()
+
+    KIND = "independent-or"
+    SYMBOL = "⊗"
+
+    def probability(self, registry: VariableRegistry) -> float:
+        complement = 1.0
+        for child in self.children:
+            complement *= 1.0 - child.probability(registry)
+        return 1.0 - complement
+
+    def bounds(self, registry: VariableRegistry) -> Bounds:
+        return combine_or_bounds(
+            [child.bounds(registry) for child in self.children]
+        )
+
+
+class IndependentAndNode(_InnerNode):
+    """``⊙`` — conjunction of pairwise independent children."""
+
+    __slots__ = ()
+
+    KIND = "independent-and"
+    SYMBOL = "⊙"
+
+    def probability(self, registry: VariableRegistry) -> float:
+        product = 1.0
+        for child in self.children:
+            product *= child.probability(registry)
+        return product
+
+    def bounds(self, registry: VariableRegistry) -> Bounds:
+        return combine_and_bounds(
+            [child.bounds(registry) for child in self.children]
+        )
+
+
+class ExclusiveOrNode(_InnerNode):
+    """``⊕`` — disjunction of mutually exclusive children.
+
+    Children produced by Shannon expansion have the shape
+    ``{x=a} ⊙ Φ|_{x=a}`` and are therefore inconsistent pairwise.
+    """
+
+    __slots__ = ()
+
+    KIND = "exclusive-or"
+    SYMBOL = "⊕"
+
+    def probability(self, registry: VariableRegistry) -> float:
+        return min(
+            1.0, sum(child.probability(registry) for child in self.children)
+        )
+
+    def bounds(self, registry: VariableRegistry) -> Bounds:
+        return combine_xor_bounds(
+            [child.bounds(registry) for child in self.children]
+        )

@@ -1,0 +1,300 @@
+"""Atomic events and clauses.
+
+An *atomic event* (paper, Section III) has the form ``x = a`` for a random
+variable ``x`` and a domain value ``a``.  A *clause* is a conjunction of
+atomic events.  A clause is consistent iff it does not bind the same
+variable to two different values; consistent clauses are exactly partial
+valuations, so we represent a clause as an immutable mapping ``var -> value``.
+
+Boolean shorthand: ``x`` means ``x = True`` and ``¬x`` means ``x = False``.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Iterator,
+    Mapping,
+    Tuple,
+)
+
+from .variables import VariableRegistry
+
+__all__ = ["Atom", "Clause", "InconsistentClauseError"]
+
+
+class InconsistentClauseError(ValueError):
+    """Raised when a clause would bind one variable to two distinct values."""
+
+
+class Atom:
+    """The atomic event ``variable = value``.
+
+    Atoms are immutable value objects; two atoms are equal iff they name the
+    same variable and value.
+    """
+
+    __slots__ = ("variable", "value", "_hash")
+
+    def __init__(self, variable: Hashable, value: Hashable = True) -> None:
+        object.__setattr__(self, "variable", variable)
+        object.__setattr__(self, "value", value)
+        object.__setattr__(self, "_hash", hash((variable, value)))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Atom is immutable")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Atom):
+            return NotImplemented
+        return self.variable == other.variable and self.value == other.value
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def probability(self, registry: VariableRegistry) -> float:
+        """``P(variable = value)`` under ``registry``."""
+        return registry.probability(self.variable, self.value)
+
+    def negated(self) -> "Atom":
+        """For Boolean atoms only: ``x`` becomes ``¬x`` and vice versa."""
+        if self.value is True:
+            return Atom(self.variable, False)
+        if self.value is False:
+            return Atom(self.variable, True)
+        raise ValueError(
+            f"cannot negate non-Boolean atom {self!r}; enumerate the domain"
+        )
+
+    def __repr__(self) -> str:
+        if self.value is True:
+            return f"{self.variable}"
+        if self.value is False:
+            return f"¬{self.variable}"
+        return f"{self.variable}={self.value}"
+
+
+class Clause:
+    """A consistent conjunction of atomic events.
+
+    Internally a frozen ``var -> value`` mapping.  The empty clause is the
+    constant *true*.  Construction from atoms that bind the same variable to
+    two different values raises :class:`InconsistentClauseError`, mirroring
+    the paper's convention that every clause of a DNF has non-null
+    probability.
+    """
+
+    __slots__ = ("_bindings", "_hash", "_repr")
+
+    def __init__(
+        self,
+        atoms: Iterable[Atom] | Mapping[Hashable, Hashable] = (),
+    ) -> None:
+        bindings: Dict[Hashable, Hashable] = {}
+        if isinstance(atoms, Mapping):
+            items: Iterable[Tuple[Hashable, Hashable]] = atoms.items()
+        else:
+            items = ((atom.variable, atom.value) for atom in atoms)
+        for variable, value in items:
+            existing = bindings.get(variable, _MISSING)
+            if existing is not _MISSING and existing != value:
+                raise InconsistentClauseError(
+                    f"clause binds {variable!r} to both {existing!r} "
+                    f"and {value!r}"
+                )
+            bindings[variable] = value
+        object.__setattr__(self, "_bindings", bindings)
+        object.__setattr__(
+            self, "_hash", hash(frozenset(bindings.items()))
+        )
+        object.__setattr__(self, "_repr", None)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Clause is immutable")
+
+    # ------------------------------------------------------------------
+    # Convenience constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def of(cls, *atoms: Atom) -> "Clause":
+        """Clause from atoms given positionally."""
+        return cls(atoms)
+
+    @classmethod
+    def positive(cls, *variables: Hashable) -> "Clause":
+        """Clause asserting ``v = True`` for each Boolean variable given."""
+        return cls(Atom(v, True) for v in variables)
+
+    # ------------------------------------------------------------------
+    # Mapping-like access
+    # ------------------------------------------------------------------
+    @property
+    def variables(self) -> FrozenSet[Hashable]:
+        return frozenset(self._bindings)
+
+    def value_of(self, variable: Hashable) -> Hashable:
+        """The value this clause binds ``variable`` to (KeyError if unbound)."""
+        return self._bindings[variable]
+
+    def binds(self, variable: Hashable) -> bool:
+        return variable in self._bindings
+
+    def atoms(self) -> Iterator[Atom]:
+        """Iterate the atoms of the clause in deterministic order."""
+        for variable, value in sorted(
+            self._bindings.items(), key=lambda item: repr(item[0])
+        ):
+            yield Atom(variable, value)
+
+    def items(self) -> Iterator[Tuple[Hashable, Hashable]]:
+        return iter(self._bindings.items())
+
+    def __len__(self) -> int:
+        return len(self._bindings)
+
+    def __bool__(self) -> bool:
+        # Even the empty clause (constant true) is a real object; avoid the
+        # accidental falsiness of empty containers.
+        return True
+
+    def is_empty(self) -> bool:
+        """True for the empty clause, i.e. the constant *true*."""
+        return not self._bindings
+
+    # ------------------------------------------------------------------
+    # Logic
+    # ------------------------------------------------------------------
+    def is_consistent_with_atom(self, variable: Hashable, value: Hashable) -> bool:
+        """False iff this clause binds ``variable`` to a different value."""
+        bound = self._bindings.get(variable, _MISSING)
+        return bound is _MISSING or bound == value
+
+    def subsumes(self, other: "Clause") -> bool:
+        """True when ``self ⊆ other`` as atom sets (``self`` is more general).
+
+        In a DNF, a clause that subsumes another makes the other redundant:
+        whenever the superset clause is true the subset clause is, too.
+        """
+        if len(self._bindings) > len(other._bindings):
+            return False
+        other_bindings = other._bindings
+        for variable, value in self._bindings.items():
+            if other_bindings.get(variable, _MISSING) != value:
+                return False
+        return True
+
+    def restrict(self, variable: Hashable, value: Hashable) -> "Clause | None":
+        """The clause conditioned on ``variable = value``.
+
+        Returns ``None`` when the clause is inconsistent with the atom;
+        otherwise the clause with any ``variable`` binding removed (it is
+        implied by the condition).  This is the per-clause step of Shannon
+        expansion (paper, Section IV).
+        """
+        bound = self._bindings.get(variable, _MISSING)
+        if bound is _MISSING:
+            return self
+        if bound != value:
+            return None
+        remaining = {
+            var: val for var, val in self._bindings.items() if var != variable
+        }
+        return Clause(remaining)
+
+    def union(self, other: "Clause") -> "Clause":
+        """Conjunction of two clauses (raises if inconsistent)."""
+        merged = dict(self._bindings)
+        for variable, value in other._bindings.items():
+            existing = merged.get(variable, _MISSING)
+            if existing is not _MISSING and existing != value:
+                raise InconsistentClauseError(
+                    f"clauses disagree on {variable!r}: "
+                    f"{existing!r} vs {value!r}"
+                )
+            merged[variable] = value
+        return Clause(merged)
+
+    def independent_of(self, other: "Clause") -> bool:
+        """True when the clauses share no variable (paper, Section III)."""
+        mine, theirs = self._bindings, other._bindings
+        if len(mine) > len(theirs):
+            mine, theirs = theirs, mine
+        return not any(variable in theirs for variable in mine)
+
+    def project(self, variables: FrozenSet[Hashable]) -> "Clause":
+        """The sub-clause over ``variables`` (used by ⊙-factorization)."""
+        return Clause(
+            {
+                var: val
+                for var, val in self._bindings.items()
+                if var in variables
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # Semantics
+    # ------------------------------------------------------------------
+    def probability(self, registry: VariableRegistry) -> float:
+        """Product of atomic-event probabilities (1.0 for the empty clause)."""
+        result = 1.0
+        for variable, value in self._bindings.items():
+            result *= registry.probability(variable, value)
+        return result
+
+    def evaluate(self, world: Mapping[Hashable, Hashable]) -> bool:
+        """Truth value under a (possibly partial) valuation.
+
+        Unbound variables make the clause false only if the clause binds
+        them; the caller is expected to pass worlds covering the clause.
+        """
+        for variable, value in self._bindings.items():
+            if world.get(variable, _MISSING) != value:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Dunder plumbing
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Clause):
+            return NotImplemented
+        return self._bindings == other._bindings
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        # Cached: clause reprs double as deterministic sort keys on hot
+        # paths (bucket partitioning, component ordering).
+        cached = self._repr
+        if cached is not None:
+            return cached
+        if not self._bindings:
+            text = "⊤"
+        else:
+            parts = []
+            for variable, value in sorted(
+                self._bindings.items(), key=lambda item: repr(item[0])
+            ):
+                if value is True:
+                    parts.append(f"{variable}")
+                elif value is False:
+                    parts.append(f"¬{variable}")
+                else:
+                    parts.append(f"{variable}={value}")
+            text = " ∧ ".join(parts)
+        object.__setattr__(self, "_repr", text)
+        return text
+
+
+class _Missing:
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<missing>"
+
+
+_MISSING = _Missing()

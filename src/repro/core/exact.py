@@ -1,0 +1,92 @@
+"""Exact probability computation via d-trees.
+
+Two paths are offered (paper, Section VII reports both: "d-tree(error 0)"):
+
+* :func:`exact_probability` — runs the incremental algorithm with ε = 0.
+  It still benefits from the Fig. 3 bucket heuristic: a leaf whose clauses
+  are pairwise independent gets *point* bounds and is folded immediately,
+  so the exponential Shannon fallback is avoided whenever independence is
+  discovered — this is the paper's exact mode.
+
+* :func:`exact_probability_compiled` — materialises the complete d-tree of
+  Fig. 1 and evaluates it in one pass (Prop. 4.3).  Useful for inspecting
+  the tree and for the tractable-query results of Section VI, where the
+  tree is guaranteed to stay polynomial.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Optional
+
+from .approx import ABSOLUTE, approximate_probability
+from .compiler import CompilationStats, compile_dnf
+from .dnf import DNF
+from .dtree import DTree
+from .orders import VariableSelector
+from .variables import VariableRegistry
+
+__all__ = ["exact_probability", "exact_probability_compiled"]
+
+
+def exact_probability(
+    dnf: DNF,
+    registry: VariableRegistry,
+    *,
+    choose_variable: Optional[VariableSelector] = None,
+    max_steps: Optional[int] = None,
+) -> float:
+    """Exact ``P(Φ)`` via the ε = 0 incremental algorithm.
+
+    Raises :class:`RuntimeError` if a ``max_steps`` budget is given and
+    exhausted before the computation finishes.
+    """
+    result = approximate_probability(
+        dnf,
+        registry,
+        epsilon=0.0,
+        error_kind=ABSOLUTE,
+        choose_variable=choose_variable,
+        max_steps=max_steps,
+    )
+    if not result.converged:
+        raise RuntimeError(
+            "exact computation exhausted its step budget "
+            f"(bounds so far: [{result.lower}, {result.upper}])"
+        )
+    return result.estimate
+
+
+def exact_probability_compiled(
+    dnf: DNF,
+    registry: VariableRegistry,
+    *,
+    choose_variable: Optional[VariableSelector] = None,
+    max_nodes: Optional[int] = None,
+    stats: Optional[CompilationStats] = None,
+) -> float:
+    """Exact ``P(Φ)`` by full compilation into a complete d-tree.
+
+    The recursion depth of the compiler is proportional to the d-tree
+    depth; the interpreter recursion limit is raised accordingly for large
+    tractable instances (IQ lineage produces chains of ``⊕`` nodes, one
+    per literal — Thm. 6.9).
+    """
+    if dnf.is_false():
+        return 0.0
+    needed = dnf.size() + len(dnf.variables) + 100
+    old_limit = sys.getrecursionlimit()
+    if needed > old_limit:
+        sys.setrecursionlimit(needed)
+    try:
+        tree: DTree = compile_dnf(
+            dnf,
+            registry,
+            choose_variable=choose_variable,
+            max_nodes=max_nodes,
+            stats=stats,
+        )
+        return tree.probability(registry)
+    finally:
+        if needed > old_limit:
+            sys.setrecursionlimit(old_limit)

@@ -1,0 +1,125 @@
+"""Variable-elimination orders for Shannon expansion.
+
+The order of Shannon pivots greatly influences d-tree size (paper,
+Section IV).  Two strategies are provided:
+
+* :func:`max_frequency_choice` — the paper's default: pick a variable that
+  occurs in the most clauses.
+
+* :func:`iq_variable_choice` — the order of Lemma 6.8 for IQ (inequality)
+  queries: pick a variable ``v`` from relation ``Rᵢ`` that occurs in
+  clauses together with *all* variables of *all other* relations appearing
+  in the DNF.  After Shannon expansion on ``v``, the positive cofactor's
+  clause set collapses under subsumption (the co-factor of ``v`` subsumes
+  ``Φ|_v``), which is what makes the compilation polynomial (Thm. 6.9).
+
+:func:`make_variable_selector` composes them: try the IQ order when
+variable→relation provenance is available, fall back to max frequency —
+exactly the strategy described at the end of Section IV.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable, Dict, Hashable, Mapping, Optional
+
+from .dnf import DNF
+
+__all__ = [
+    "VariableSelector",
+    "max_frequency_choice",
+    "iq_variable_choice",
+    "make_variable_selector",
+]
+
+VariableSelector = Callable[[DNF], Hashable]
+
+
+def max_frequency_choice(dnf: DNF) -> Hashable:
+    """A variable occurring in the most clauses (deterministic ties)."""
+    return dnf.most_frequent_variable()
+
+
+def iq_variable_choice(
+    dnf: DNF,
+    relation_of: Mapping[Hashable, Hashable],
+    *,
+    max_candidates: Optional[int] = None,
+) -> Optional[Hashable]:
+    """The Lemma 6.8 pivot, or ``None`` when no variable qualifies.
+
+    A variable ``x`` from relation ``R`` qualifies when restricting the DNF
+    to the clauses containing ``x`` preserves the per-relation distinct
+    variable counts of every relation other than ``R``.  Candidates are
+    tried in descending frequency order (for sorted inequality lineage the
+    most frequent variable is the minimal one, which qualifies), so the
+    scan almost always succeeds on the first candidate.
+
+    ``max_candidates`` bounds the scan; the lemma guarantees success for IQ
+    lineage, so a small cap only matters for non-IQ inputs where ``None``
+    (fallback to max frequency) is the right answer anyway.
+
+    Variables missing from ``relation_of`` disqualify the heuristic (we
+    cannot establish the lemma's counting condition), and ``None`` is
+    returned.
+    """
+    variables = dnf.variables
+    if not variables:
+        return None
+    if any(variable not in relation_of for variable in variables):
+        return None
+
+    total_counts: Counter = Counter(
+        relation_of[variable] for variable in variables
+    )
+    if len(total_counts) < 2:
+        return None  # single relation: the lemma is vacuous
+
+    frequencies = dnf.variable_frequencies()
+    candidates = sorted(
+        variables, key=lambda v: (-frequencies[v], repr(v))
+    )
+    if max_candidates is not None:
+        candidates = candidates[:max_candidates]
+
+    for candidate in candidates:
+        home_relation = relation_of[candidate]
+        co_occurring: set = set()
+        for clause in dnf:
+            if clause.binds(candidate):
+                co_occurring.update(clause.variables)
+        restricted_counts: Counter = Counter(
+            relation_of[variable] for variable in co_occurring
+        )
+        if all(
+            restricted_counts.get(relation, 0) == count
+            for relation, count in total_counts.items()
+            if relation != home_relation
+        ):
+            return candidate
+    return None
+
+
+def make_variable_selector(
+    relation_of: Optional[Mapping[Hashable, Hashable]] = None,
+    *,
+    max_iq_candidates: Optional[int] = 25,
+) -> VariableSelector:
+    """Build the paper's composite pivot strategy.
+
+    With provenance (``relation_of``), the IQ order is attempted first and
+    max-frequency is the fallback; without provenance the selector is plain
+    max-frequency.
+    """
+    if relation_of is None:
+        return max_frequency_choice
+
+    def selector(dnf: DNF) -> Hashable:
+        choice = iq_variable_choice(
+            dnf, relation_of, max_candidates=max_iq_candidates
+        )
+        if choice is not None:
+            return choice
+        return max_frequency_choice(dnf)
+
+    return selector

@@ -1,0 +1,174 @@
+"""Read-once (one-occurrence form, 1OF) factorization of DNFs.
+
+A formula is in one-occurrence form when every variable occurs exactly once
+(paper, Section VI.B).  The probability of a 1OF can be computed in linear
+time because ``∧``/``∨`` over variable-disjoint subformulas are exactly the
+``⊙``/``⊗`` decompositions.
+
+:func:`try_read_once` attempts to factor a DNF into 1OF by recursively
+alternating independent-or partitioning and independent-and factorization,
+the same structure the d-tree compiler uses (Prop. 6.3: complete d-trees
+with only ``⊗``/``⊙`` inner nodes capture read-once functions).  For DNFs
+that are the full expansion of a read-once form — which is what positive
+relational algebra on tuple-independent tables produces for hierarchical
+queries — the recursion succeeds; on failure it returns ``None``.
+
+The result is a :class:`ReadOnceFormula` tree whose probability evaluator is
+linear in its size.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Optional, Sequence, Tuple
+
+from .decompositions import (
+    independent_and_factorization,
+    independent_or_partition,
+)
+from .dnf import DNF
+from .events import Atom, Clause
+from .variables import VariableRegistry
+
+__all__ = [
+    "ReadOnceFormula",
+    "ReadOnceAtom",
+    "ReadOnceAnd",
+    "ReadOnceOr",
+    "try_read_once",
+    "read_once_probability",
+]
+
+
+class ReadOnceFormula:
+    """Base class of 1OF nodes."""
+
+    __slots__ = ()
+
+    def probability(self, registry: VariableRegistry) -> float:
+        raise NotImplementedError
+
+    def variable_count(self) -> int:
+        raise NotImplementedError
+
+
+class ReadOnceAtom(ReadOnceFormula):
+    """A single atomic event."""
+
+    __slots__ = ("atom",)
+
+    def __init__(self, atom: Atom) -> None:
+        self.atom = atom
+
+    def probability(self, registry: VariableRegistry) -> float:
+        return self.atom.probability(registry)
+
+    def variable_count(self) -> int:
+        return 1
+
+    def __repr__(self) -> str:
+        return repr(self.atom)
+
+
+class ReadOnceAnd(ReadOnceFormula):
+    """Conjunction of variable-disjoint 1OFs."""
+
+    __slots__ = ("children",)
+
+    def __init__(self, children: Sequence[ReadOnceFormula]) -> None:
+        self.children = tuple(children)
+
+    def probability(self, registry: VariableRegistry) -> float:
+        product = 1.0
+        for child in self.children:
+            product *= child.probability(registry)
+        return product
+
+    def variable_count(self) -> int:
+        return sum(child.variable_count() for child in self.children)
+
+    def __repr__(self) -> str:
+        return "(" + " ∧ ".join(repr(c) for c in self.children) + ")"
+
+
+class ReadOnceOr(ReadOnceFormula):
+    """Disjunction of variable-disjoint 1OFs."""
+
+    __slots__ = ("children",)
+
+    def __init__(self, children: Sequence[ReadOnceFormula]) -> None:
+        self.children = tuple(children)
+
+    def probability(self, registry: VariableRegistry) -> float:
+        complement = 1.0
+        for child in self.children:
+            complement *= 1.0 - child.probability(registry)
+        return 1.0 - complement
+
+    def variable_count(self) -> int:
+        return sum(child.variable_count() for child in self.children)
+
+    def __repr__(self) -> str:
+        return "(" + " ∨ ".join(repr(c) for c in self.children) + ")"
+
+
+def _clause_to_read_once(clause: Clause) -> ReadOnceFormula:
+    atoms = [ReadOnceAtom(atom) for atom in clause.atoms()]
+    if len(atoms) == 1:
+        return atoms[0]
+    return ReadOnceAnd(atoms)
+
+
+def try_read_once(
+    dnf: DNF, *, _already_reduced: bool = False
+) -> Optional[ReadOnceFormula]:
+    """Factor ``Φ`` into one-occurrence form, or return ``None``.
+
+    The input is subsumption-reduced first (a 1OF expansion is always
+    subsumption-free, and reduction never changes semantics).
+    """
+    if dnf.is_false() or dnf.is_true():
+        return None  # constants are not 1OF over variables
+    if not _already_reduced:
+        dnf = dnf.remove_subsumed()
+        if dnf.is_true():
+            return None
+    if dnf.is_single_clause():
+        return _clause_to_read_once(dnf.sole_clause())
+
+    components = independent_or_partition(dnf)
+    if len(components) > 1:
+        children: List[ReadOnceFormula] = []
+        for component in components:
+            child = try_read_once(component, _already_reduced=True)
+            if child is None:
+                return None
+            children.append(child)
+        return ReadOnceOr(children)
+
+    factors = independent_and_factorization(dnf)
+    if factors is None:
+        return None
+    children = []
+    for factor in factors:
+        child = try_read_once(factor, _already_reduced=True)
+        if child is None:
+            return None
+        children.append(child)
+    return ReadOnceAnd(children)
+
+
+def read_once_probability(
+    dnf: DNF, registry: VariableRegistry
+) -> Optional[float]:
+    """Exact probability when ``Φ`` factors into 1OF, else ``None``.
+
+    Linear-time evaluation over the factored form (paper [19]).
+    """
+    if dnf.is_false():
+        return 0.0
+    if dnf.is_true():
+        return 1.0
+    formula = try_read_once(dnf)
+    if formula is None:
+        return None
+    return formula.probability(registry)

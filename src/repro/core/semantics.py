@@ -1,0 +1,88 @@
+"""Brute-force possible-worlds semantics.
+
+These functions realise the definition ``P(φ) = Σ_{ψ ∈ ω(φ)} P(ψ)`` from
+Section III of the paper literally, by enumerating valuations.  They are
+exponential and exist as the *ground truth* that every other algorithm in
+the library is tested against, and as a didactic reference.
+
+A small optimisation keeps tests fast: only the variables that occur in the
+formula are enumerated — the remaining variables marginalise out.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Hashable, Iterable, Iterator, Mapping, Sequence, Tuple
+
+from .dnf import DNF
+from .events import Clause
+from .variables import VariableRegistry
+
+__all__ = [
+    "enumerate_worlds",
+    "brute_force_probability",
+    "brute_force_formula_probability",
+    "satisfying_worlds",
+    "equivalent_on_registry",
+]
+
+
+def enumerate_worlds(
+    registry: VariableRegistry, variables: Sequence[Hashable]
+) -> Iterator[Tuple[Dict[Hashable, Hashable], float]]:
+    """Yield ``(world, probability)`` over the given variables."""
+    names = list(variables)
+    domains = [registry.domain(name) for name in names]
+    for combo in itertools.product(*domains):
+        world = dict(zip(names, combo))
+        yield world, registry.world_probability(world)
+
+
+def brute_force_probability(dnf: DNF, registry: VariableRegistry) -> float:
+    """Exact ``P(Φ)`` by summing over satisfying valuations.
+
+    Exponential in ``|vars(Φ)|``; use only on small formulas (tests).
+    """
+    if dnf.is_false():
+        return 0.0
+    if dnf.is_true():
+        return 1.0
+    variables = sorted(dnf.variables, key=repr)
+    total = 0.0
+    for world, prob in enumerate_worlds(registry, variables):
+        if dnf.evaluate(world):
+            total += prob
+    return total
+
+
+def brute_force_formula_probability(formula, registry: VariableRegistry) -> float:
+    """Exact probability of a lineage :class:`~repro.core.formulas.Formula`."""
+    variables = sorted(formula.variables(), key=repr)
+    if not variables:
+        return 1.0 if formula.evaluate({}) else 0.0
+    total = 0.0
+    for world, prob in enumerate_worlds(registry, variables):
+        if formula.evaluate(world):
+            total += prob
+    return total
+
+
+def satisfying_worlds(
+    dnf: DNF, registry: VariableRegistry
+) -> Iterator[Dict[Hashable, Hashable]]:
+    """Enumerate the valuations (over vars(Φ)) on which Φ is true."""
+    variables = sorted(dnf.variables, key=repr)
+    for world, _prob in enumerate_worlds(registry, variables):
+        if dnf.evaluate(world):
+            yield world
+
+
+def equivalent_on_registry(
+    left: DNF, right: DNF, registry: VariableRegistry
+) -> bool:
+    """Semantic equivalence check by enumeration (tests only)."""
+    variables = sorted(left.variables | right.variables, key=repr)
+    for world, _prob in enumerate_worlds(registry, variables):
+        if left.evaluate(world) != right.evaluate(world):
+            return False
+    return True

@@ -1,0 +1,192 @@
+"""Discrete random variables and their probability distributions.
+
+The paper (Section III) defines a finite probability space via a set of
+*independent* random variables with finite domains.  A distribution assigns
+``P(x = a)`` in ``(0, 1]`` to each atomic event so that for every variable
+the assigned probabilities sum to one.
+
+:class:`VariableRegistry` is that probability space.  Everything else in the
+library (DNFs, d-trees, Monte-Carlo estimators, the query engine) computes
+probabilities against a registry.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Dict, Hashable, Iterable, Iterator, Mapping, Sequence, Tuple
+
+__all__ = ["VariableRegistry", "BOOLEAN_DOMAIN"]
+
+#: Domain of a Boolean random variable; ``x`` abbreviates ``x = True`` and
+#: ``¬x`` abbreviates ``x = False`` (paper, Section III).
+BOOLEAN_DOMAIN: Tuple[bool, bool] = (True, False)
+
+_SUM_TOLERANCE = 1e-9
+
+
+class VariableRegistry:
+    """A finite probability space over independent discrete random variables.
+
+    Variables are registered with a finite domain and a probability for each
+    domain value.  The registry validates that probabilities are in
+    ``(0, 1]`` and sum to one per variable (within a small tolerance, after
+    which they are renormalised so downstream arithmetic is exact).
+
+    Example
+    -------
+    >>> reg = VariableRegistry()
+    >>> reg.add_boolean("x", 0.3)
+    'x'
+    >>> reg.add_variable("u", {1: 0.5, 2: 0.2, 3: 0.3})
+    'u'
+    >>> reg.probability("u", 2)
+    0.2
+    """
+
+    def __init__(self) -> None:
+        self._distributions: Dict[Hashable, Dict[Hashable, float]] = {}
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def add_variable(
+        self, name: Hashable, distribution: Mapping[Hashable, float]
+    ) -> Hashable:
+        """Register ``name`` with the given ``value -> probability`` map.
+
+        Returns the variable name so registration chains read naturally.
+        Raises :class:`ValueError` on empty domains, out-of-range
+        probabilities, sums far from one, or duplicate registration with a
+        *different* distribution (re-registering the identical distribution
+        is a no-op, which makes data loaders idempotent).
+        """
+        if not distribution:
+            raise ValueError(f"variable {name!r} needs a non-empty domain")
+        for value, prob in distribution.items():
+            if not (0.0 < prob <= 1.0):
+                raise ValueError(
+                    f"P({name!r} = {value!r}) = {prob} is outside (0, 1]"
+                )
+        total = math.fsum(distribution.values())
+        if abs(total - 1.0) > _SUM_TOLERANCE:
+            raise ValueError(
+                f"distribution of {name!r} sums to {total}, expected 1.0"
+            )
+        normalised = {value: prob / total for value, prob in distribution.items()}
+        existing = self._distributions.get(name)
+        if existing is not None:
+            if existing != normalised:
+                raise ValueError(f"variable {name!r} already registered")
+            return name
+        self._distributions[name] = normalised
+        return name
+
+    def add_boolean(self, name: Hashable, probability_true: float) -> Hashable:
+        """Register a Boolean variable with ``P(name = True)`` given."""
+        if not (0.0 < probability_true < 1.0):
+            raise ValueError(
+                f"P({name!r}) = {probability_true} must be strictly in (0, 1) "
+                "for a Boolean variable (both outcomes need positive mass)"
+            )
+        return self.add_variable(
+            name, {True: probability_true, False: 1.0 - probability_true}
+        )
+
+    def add_booleans(
+        self, names_and_probabilities: Iterable[Tuple[Hashable, float]]
+    ) -> None:
+        """Bulk-register Boolean variables from ``(name, P(True))`` pairs."""
+        for name, prob in names_and_probabilities:
+            self.add_boolean(name, prob)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def __contains__(self, name: Hashable) -> bool:
+        return name in self._distributions
+
+    def __len__(self) -> int:
+        return len(self._distributions)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._distributions)
+
+    def variables(self) -> Iterator[Hashable]:
+        """Iterate over all registered variable names."""
+        return iter(self._distributions)
+
+    def domain(self, name: Hashable) -> Tuple[Hashable, ...]:
+        """Domain values of ``name`` (insertion order, deterministic)."""
+        return tuple(self._distribution_of(name))
+
+    def distribution(self, name: Hashable) -> Dict[Hashable, float]:
+        """A copy of the ``value -> probability`` map of ``name``."""
+        return dict(self._distribution_of(name))
+
+    def probability(self, name: Hashable, value: Hashable) -> float:
+        """``P(name = value)``; raises ``KeyError`` on unknown atoms."""
+        dist = self._distribution_of(name)
+        try:
+            return dist[value]
+        except KeyError:
+            raise KeyError(
+                f"value {value!r} not in domain of variable {name!r}"
+            ) from None
+
+    def is_boolean(self, name: Hashable) -> bool:
+        """True when ``name`` has the domain ``{True, False}``."""
+        return set(self._distribution_of(name)) == {True, False}
+
+    def _distribution_of(self, name: Hashable) -> Dict[Hashable, float]:
+        try:
+            return self._distributions[name]
+        except KeyError:
+            raise KeyError(f"unknown random variable {name!r}") from None
+
+    # ------------------------------------------------------------------
+    # Worlds
+    # ------------------------------------------------------------------
+    def world_count(self, names: Sequence[Hashable] | None = None) -> int:
+        """Number of valuations over ``names`` (default: all variables)."""
+        names = list(self._distributions) if names is None else list(names)
+        count = 1
+        for name in names:
+            count *= len(self._distribution_of(name))
+        return count
+
+    def worlds(
+        self, names: Sequence[Hashable] | None = None
+    ) -> Iterator[Dict[Hashable, Hashable]]:
+        """Enumerate valuations of ``names`` as ``var -> value`` dicts.
+
+        Exponential in the number of variables; intended for tests and for
+        the brute-force semantics in :mod:`repro.core.semantics`.
+        """
+        names = list(self._distributions) if names is None else list(names)
+        domains = [self.domain(name) for name in names]
+        for combo in itertools.product(*domains):
+            yield dict(zip(names, combo))
+
+    def world_probability(self, world: Mapping[Hashable, Hashable]) -> float:
+        """Probability of a full valuation (product of atomic events)."""
+        result = 1.0
+        for name, value in world.items():
+            result *= self.probability(name, value)
+        return result
+
+    # ------------------------------------------------------------------
+    # Convenience constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_boolean_probabilities(
+        cls, probabilities: Mapping[Hashable, float]
+    ) -> "VariableRegistry":
+        """Build a registry of Boolean variables from a ``name -> P`` map."""
+        registry = cls()
+        for name, prob in probabilities.items():
+            registry.add_boolean(name, prob)
+        return registry
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VariableRegistry({len(self)} variables)"

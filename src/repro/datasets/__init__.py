@@ -1,0 +1,56 @@
+"""Workload generators for the paper's evaluation (Section VII).
+
+* :mod:`~repro.datasets.tpch` — tuple-independent probabilistic TPC-H;
+* :mod:`~repro.datasets.tpch_queries` — the paper's query suite
+  (hierarchical, IQ, and hard queries);
+* :mod:`~repro.datasets.graphs` — random graphs and motif queries
+  (triangle, path2, path3, separation);
+* :mod:`~repro.datasets.social` — the karate-club and dolphins-like
+  social networks.
+"""
+
+from .graphs import (
+    GRAPH_QUERIES,
+    ProbabilisticGraph,
+    graph_from_edges,
+    path2_dnf,
+    path3_dnf,
+    random_graph,
+    separation2_dnf,
+    triangle_dnf,
+)
+from .social import (
+    SOCIAL_NETWORKS,
+    dolphins_like_network,
+    karate_club_network,
+)
+from .tpch import BASE_CARDINALITIES, TPCHConfig, generate_tpch
+from .tpch_queries import (
+    ALL_QUERIES,
+    HARD_QUERIES,
+    HIERARCHICAL_QUERIES,
+    IQ_QUERIES,
+    make_query,
+)
+
+__all__ = [
+    "GRAPH_QUERIES",
+    "ProbabilisticGraph",
+    "graph_from_edges",
+    "path2_dnf",
+    "path3_dnf",
+    "random_graph",
+    "separation2_dnf",
+    "triangle_dnf",
+    "SOCIAL_NETWORKS",
+    "dolphins_like_network",
+    "karate_club_network",
+    "BASE_CARDINALITIES",
+    "TPCHConfig",
+    "generate_tpch",
+    "ALL_QUERIES",
+    "HARD_QUERIES",
+    "HIERARCHICAL_QUERIES",
+    "IQ_QUERIES",
+    "make_query",
+]

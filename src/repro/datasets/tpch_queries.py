@@ -1,0 +1,339 @@
+"""The paper's TPC-H query suite (Section VII.A), as conjunctive queries.
+
+The paper evaluates "modified versions of the TPC-H queries without
+aggregations but with confidence computation", in three groups:
+
+* **six tractable (hierarchical) queries** — "1, 15, B1, B6, B16, B17";
+  two are selections on the large ``lineitem`` table, the others joins of
+  two large tables (lineitem with supplier / orders / part);
+* **three tractable queries with inequality joins** — "IQ B1, IQ B4,
+  IQ 6" in the style of the IQ queries of Example 6.7;
+* **four #P-hard queries** — B2 (part ⋈ supplier ⋈ partsupp ⋈ nation ⋈
+  region), B9 (part ⋈ supplier ⋈ lineitem ⋈ partsupp ⋈ orders ⋈ nation),
+  B20 (supplier ⋈ nation ⋈ partsupp ⋈ part), B21 (supplier ⋈ lineitem ⋈
+  orders ⋈ nation).
+
+The exact selection constants of the original study are not published; the
+constants here are tuned so that each query returns non-trivial lineage on
+the scaled-down generator of :mod:`repro.datasets.tpch` while keeping the
+paper's join structure attribute-for-attribute.  Queries whose name starts
+with "B" are Boolean.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..db.cq import ConjunctiveQuery, Const, Inequality, SubGoal, Var
+
+__all__ = [
+    "HIERARCHICAL_QUERIES",
+    "IQ_QUERIES",
+    "HARD_QUERIES",
+    "ALL_QUERIES",
+    "make_query",
+]
+
+
+# Shared variable pool (fresh objects per query keep queries independent).
+def _lineitem(prefix: str = "L") -> SubGoal:
+    return SubGoal(
+        "lineitem",
+        [
+            Var(f"{prefix}_O"),
+            Var(f"{prefix}_P"),
+            Var(f"{prefix}_S"),
+            Var(f"{prefix}_Q"),
+            Var(f"{prefix}_E"),
+            Var(f"{prefix}_D"),
+            Var(f"{prefix}_DI"),
+            Var(f"{prefix}_RF"),
+            Var(f"{prefix}_LS"),
+        ],
+    )
+
+
+def query_1() -> ConjunctiveQuery:
+    """Q1 analogue: pricing-summary selection on lineitem, grouped by
+    returnflag/linestatus (aggregations dropped, heads kept)."""
+    lineitem = _lineitem()
+    return ConjunctiveQuery(
+        head=[Var("L_RF"), Var("L_LS")],
+        subgoals=[lineitem],
+        inequalities=[Inequality(Var("L_D"), "<=", Const(2200))],
+        name="1",
+    )
+
+
+def query_15() -> ConjunctiveQuery:
+    """Q15 analogue: top-supplier view — supplier ⋈ lineitem on suppkey,
+    shipdate window, head = suppkey."""
+    return ConjunctiveQuery(
+        head=[Var("S")],
+        subgoals=[
+            SubGoal(
+                "supplier", [Var("S"), Var("SN"), Var("N"), Var("AB")]
+            ),
+            _lineitem(),
+        ],
+        inequalities=[
+            Inequality(Var("L_S"), "<=", Const(10**9)),  # no-op guard
+            Inequality(Var("L_D"), ">=", Const(1200)),
+            Inequality(Var("L_D"), "<=", Const(1400)),
+        ],
+        name="15",
+    )
+
+
+def query_b1() -> ConjunctiveQuery:
+    """B1: Boolean lineitem ⋈ orders (orderkey) with a shipdate filter."""
+    lineitem = _lineitem()
+    return ConjunctiveQuery(
+        head=[],
+        subgoals=[
+            lineitem,
+            SubGoal(
+                "orders", [Var("L_O"), Var("C"), Var("T"), Var("DT")]
+            ),
+        ],
+        inequalities=[Inequality(Var("L_D"), "<=", Const(700))],
+        name="B1",
+    )
+
+
+def query_b6() -> ConjunctiveQuery:
+    """B6: Boolean forecast-revenue selection on lineitem."""
+    lineitem = _lineitem()
+    return ConjunctiveQuery(
+        head=[],
+        subgoals=[lineitem],
+        inequalities=[
+            Inequality(Var("L_D"), ">=", Const(400)),
+            Inequality(Var("L_D"), "<=", Const(800)),
+            Inequality(Var("L_Q"), "<", Const(24)),
+            Inequality(Var("L_DI"), ">=", Const(0.02)),
+            Inequality(Var("L_DI"), "<=", Const(0.08)),
+        ],
+        name="B6",
+    )
+
+
+def query_b16() -> ConjunctiveQuery:
+    """B16: Boolean part ⋈ partsupp (partkey) with a size filter."""
+    return ConjunctiveQuery(
+        head=[],
+        subgoals=[
+            SubGoal(
+                "part",
+                [Var("P"), Var("NA"), Var("BR"), Var("SZ"), Var("RP")],
+            ),
+            SubGoal("partsupp", [Var("P"), Var("S"), Var("CO")]),
+        ],
+        inequalities=[Inequality(Var("SZ"), ">=", Const(30))],
+        name="B16",
+    )
+
+
+def query_b17() -> ConjunctiveQuery:
+    """B17: Boolean lineitem ⋈ part (partkey), small-quantity filter."""
+    lineitem = _lineitem()
+    return ConjunctiveQuery(
+        head=[],
+        subgoals=[
+            lineitem,
+            SubGoal(
+                "part",
+                [Var("L_P"), Var("NA"), Var("BR"), Var("SZ"), Var("RP")],
+            ),
+        ],
+        inequalities=[Inequality(Var("L_Q"), "<", Const(10))],
+        name="B17",
+    )
+
+
+def query_iq_b1() -> ConjunctiveQuery:
+    """IQ B1: supplier/customer account-balance comparison
+    (the ``R(E,F), S(B,C), E < C`` shape)."""
+    return ConjunctiveQuery(
+        head=[],
+        subgoals=[
+            SubGoal(
+                "supplier", [Var("S"), Var("SN"), Var("N"), Var("AB")]
+            ),
+            SubGoal(
+                "customer", [Var("C"), Var("CN"), Var("NC"), Var("AC")]
+            ),
+        ],
+        inequalities=[Inequality(Var("AB"), "<", Var("AC"))],
+        name="IQ B1",
+    )
+
+
+def query_iq_b4() -> ConjunctiveQuery:
+    """IQ B4: a three-relation inequality chain
+    (the ``R(E,F), T(D), T'(G,H), E < D < H`` shape of Example 6.7)."""
+    return ConjunctiveQuery(
+        head=[],
+        subgoals=[
+            SubGoal(
+                "supplier", [Var("S"), Var("SN"), Var("N"), Var("AB")]
+            ),
+            SubGoal(
+                "customer", [Var("C"), Var("CN"), Var("NC"), Var("AC")]
+            ),
+            SubGoal(
+                "orders", [Var("O"), Var("CO"), Var("T"), Var("DT")]
+            ),
+        ],
+        inequalities=[
+            Inequality(Var("AB"), "<", Var("AC")),
+            Inequality(Var("AC"), "<", Var("DT")),
+        ],
+        name="IQ B4",
+    )
+
+
+def query_iq_6() -> ConjunctiveQuery:
+    """IQ 6: lineitem/orders price comparison with a shipdate window."""
+    lineitem = _lineitem()
+    return ConjunctiveQuery(
+        head=[],
+        subgoals=[
+            lineitem,
+            SubGoal(
+                "orders", [Var("O"), Var("CU"), Var("T"), Var("DT")]
+            ),
+        ],
+        inequalities=[
+            Inequality(Var("L_E"), "<", Var("T")),
+            Inequality(Var("L_D"), "<=", Const(500)),
+            Inequality(Var("T"), "<=", Const(120000)),
+        ],
+        name="IQ 6",
+    )
+
+
+def query_b2() -> ConjunctiveQuery:
+    """B2: part ⋈ partsupp ⋈ supplier ⋈ nation ⋈ region (hard)."""
+    return ConjunctiveQuery(
+        head=[],
+        subgoals=[
+            SubGoal(
+                "part",
+                [Var("P"), Var("NA"), Var("BR"), Var("SZ"), Var("RP")],
+            ),
+            SubGoal("partsupp", [Var("P"), Var("S"), Var("CO")]),
+            SubGoal(
+                "supplier", [Var("S"), Var("SN"), Var("N"), Var("AB")]
+            ),
+            SubGoal("nation", [Var("N"), Var("NN"), Var("R")]),
+            SubGoal("region", [Var("R"), Const("EUROPE")]),
+        ],
+        inequalities=[Inequality(Var("SZ"), ">=", Const(10))],
+        name="B2",
+    )
+
+
+def query_b9() -> ConjunctiveQuery:
+    """B9: part ⋈ supplier ⋈ lineitem ⋈ partsupp ⋈ orders ⋈ nation
+    (the paper's largest hard query)."""
+    lineitem = _lineitem()
+    return ConjunctiveQuery(
+        head=[],
+        subgoals=[
+            lineitem,
+            SubGoal(
+                "part",
+                [Var("L_P"), Var("NA"), Var("BR"), Var("SZ"), Var("RP")],
+            ),
+            SubGoal(
+                "supplier", [Var("L_S"), Var("SN"), Var("N"), Var("AB")]
+            ),
+            SubGoal("partsupp", [Var("L_P"), Var("L_S"), Var("CO")]),
+            SubGoal(
+                "orders", [Var("L_O"), Var("CU"), Var("T"), Var("DT")]
+            ),
+            SubGoal("nation", [Var("N"), Var("NN"), Var("R")]),
+        ],
+        name="B9",
+    )
+
+
+def query_b20() -> ConjunctiveQuery:
+    """B20: supplier ⋈ nation ⋈ partsupp ⋈ part (hard; single-nation
+    selection, the case the paper highlights for fast convergence)."""
+    return ConjunctiveQuery(
+        head=[],
+        subgoals=[
+            SubGoal(
+                "supplier", [Var("S"), Var("SN"), Var("N"), Var("AB")]
+            ),
+            SubGoal("nation", [Var("N"), Const("ALGERIA"), Var("R")]),
+            SubGoal("partsupp", [Var("P"), Var("S"), Var("CO")]),
+            SubGoal(
+                "part",
+                [Var("P"), Var("NA"), Var("BR"), Var("SZ"), Var("RP")],
+            ),
+        ],
+        inequalities=[Inequality(Var("SZ"), "<", Const(30))],
+        name="B20",
+    )
+
+
+def query_b21() -> ConjunctiveQuery:
+    """B21: supplier ⋈ lineitem ⋈ orders ⋈ nation (hard; single-nation
+    selection)."""
+    lineitem = _lineitem()
+    return ConjunctiveQuery(
+        head=[],
+        subgoals=[
+            SubGoal(
+                "supplier", [Var("L_S"), Var("SN"), Var("N"), Var("AB")]
+            ),
+            lineitem,
+            SubGoal(
+                "orders", [Var("L_O"), Var("CU"), Var("T"), Var("DT")]
+            ),
+            SubGoal("nation", [Var("N"), Const("ARGENTINA"), Var("R")]),
+        ],
+        name="B21",
+    )
+
+
+HIERARCHICAL_QUERIES: Dict[str, Callable[[], ConjunctiveQuery]] = {
+    "1": query_1,
+    "15": query_15,
+    "B1": query_b1,
+    "B6": query_b6,
+    "B16": query_b16,
+    "B17": query_b17,
+}
+
+IQ_QUERIES: Dict[str, Callable[[], ConjunctiveQuery]] = {
+    "IQ B1": query_iq_b1,
+    "IQ B4": query_iq_b4,
+    "IQ 6": query_iq_6,
+}
+
+HARD_QUERIES: Dict[str, Callable[[], ConjunctiveQuery]] = {
+    "B2": query_b2,
+    "B9": query_b9,
+    "B20": query_b20,
+    "B21": query_b21,
+}
+
+ALL_QUERIES: Dict[str, Callable[[], ConjunctiveQuery]] = {
+    **HIERARCHICAL_QUERIES,
+    **IQ_QUERIES,
+    **HARD_QUERIES,
+}
+
+
+def make_query(name: str) -> ConjunctiveQuery:
+    """Instantiate a benchmark query by its paper name."""
+    try:
+        return ALL_QUERIES[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown query {name!r}; available: {sorted(ALL_QUERIES)}"
+        ) from None

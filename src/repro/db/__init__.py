@@ -1,0 +1,73 @@
+"""Probabilistic database substrate (paper, Section VI).
+
+* :mod:`~repro.db.relation` — tuple-independent, block-independent-
+  disjoint, certain, and c-table relations with lineage;
+* :mod:`~repro.db.database` — a named collection of relations over one
+  probability space;
+* :mod:`~repro.db.algebra` — positive relational algebra with lineage and
+  the ``conf()`` aggregate;
+* :mod:`~repro.db.cq` — conjunctive queries and the tractability
+  classifiers (hierarchical, IQ, Theorem 6.4 hard patterns);
+* :mod:`~repro.db.engine` — query evaluation producing per-answer lineage
+  DNFs;
+* :mod:`~repro.db.sprout` — the SPROUT-style exact extensional operator
+  for hierarchical queries (the paper's exact baseline).
+"""
+
+from .algebra import (
+    conf,
+    natural_join,
+    product,
+    project,
+    rename_attributes,
+    select,
+    theta_join,
+    union,
+)
+from .cq import (
+    ConjunctiveQuery,
+    Const,
+    Inequality,
+    SubGoal,
+    Var,
+    hard_pattern_tractable,
+)
+from .database import Database
+from .engine import QueryAnswer, answer_selector, evaluate, evaluate_to_dnf
+from .explain import QueryExplanation, explain
+from .relation import Relation
+from .sprout import UnsafeQueryError, sprout_confidence
+from .sql import SqlSyntaxError, parse_conf_query, run_conf_query
+from .topk import RankedAnswer, top_k_answers
+
+__all__ = [
+    "conf",
+    "natural_join",
+    "product",
+    "project",
+    "rename_attributes",
+    "select",
+    "theta_join",
+    "union",
+    "ConjunctiveQuery",
+    "Const",
+    "Inequality",
+    "SubGoal",
+    "Var",
+    "hard_pattern_tractable",
+    "Database",
+    "QueryAnswer",
+    "answer_selector",
+    "evaluate",
+    "evaluate_to_dnf",
+    "Relation",
+    "UnsafeQueryError",
+    "sprout_confidence",
+    "SqlSyntaxError",
+    "parse_conf_query",
+    "run_conf_query",
+    "QueryExplanation",
+    "explain",
+    "RankedAnswer",
+    "top_k_answers",
+]

@@ -1,0 +1,64 @@
+"""A probabilistic database: named relations over one probability space."""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, Optional
+
+from ..core.variables import VariableRegistry
+from .relation import Relation
+
+__all__ = ["Database"]
+
+
+class Database:
+    """A collection of relations sharing a :class:`VariableRegistry`.
+
+    The database also aggregates per-variable provenance
+    (``variable -> relation name``), which the Lemma 6.8 variable order
+    consumes via :meth:`variable_origins`.
+    """
+
+    __slots__ = ("registry", "_relations")
+
+    def __init__(
+        self,
+        registry: Optional[VariableRegistry] = None,
+        relations: Iterable[Relation] = (),
+    ) -> None:
+        self.registry = registry if registry is not None else VariableRegistry()
+        self._relations: Dict[str, Relation] = {}
+        for relation in relations:
+            self.add(relation)
+
+    def add(self, relation: Relation) -> Relation:
+        """Register a relation (name must be fresh)."""
+        if relation.name in self._relations:
+            raise ValueError(f"relation {relation.name!r} already exists")
+        self._relations[relation.name] = relation
+        return relation
+
+    def __getitem__(self, name: str) -> Relation:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise KeyError(f"unknown relation {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __iter__(self) -> Iterator[Relation]:
+        return iter(self._relations.values())
+
+    def relation_names(self) -> Iterator[str]:
+        return iter(self._relations)
+
+    def variable_origins(self) -> Dict[Hashable, str]:
+        """Merged ``variable -> relation name`` provenance map."""
+        origins: Dict[Hashable, str] = {}
+        for relation in self._relations.values():
+            origins.update(relation.variable_origin)
+        return origins
+
+    def __repr__(self) -> str:
+        names = ", ".join(sorted(self._relations))
+        return f"Database({names})"

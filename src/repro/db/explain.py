@@ -1,0 +1,202 @@
+"""Query explanation: classify a query and recommend an algorithm.
+
+Section VI of the paper maps out the tractability landscape:
+
+* hierarchical conjunctive queries without self-joins → exact PTIME
+  (SPROUT's extensional plans, or d-trees with only ⊗/⊙ nodes);
+* IQ inequality queries → exact PTIME via the Lemma 6.8 variable order;
+* instances of the hard pattern ``R(X), S(X,Y), T(Y)`` whose middle table
+  satisfies Theorem 6.4 → exact PTIME despite the query being #P-hard in
+  general;
+* everything else → the incremental ε-approximation (Section V).
+
+:func:`explain` runs those classifiers against a query (and optionally
+the concrete database, for the data-dependent Theorem 6.4 case) and
+returns a structured report used by tools and tests — the decision
+procedure a query optimiser would embed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .cq import ConjunctiveQuery, SubGoal, Var, hard_pattern_tractable
+from .database import Database
+
+__all__ = ["explain", "QueryExplanation"]
+
+
+class QueryExplanation:
+    """Structured outcome of :func:`explain`.
+
+    Attributes
+    ----------
+    hierarchical, iq, self_join:
+        The Section VI classifications.
+    hard_pattern:
+        True when the query matches the shape ``R(X), S(X,Y), T(Y)``.
+    theorem_6_4:
+        For hard-pattern queries with a database: whether the concrete
+        S table satisfies Theorem 6.4 (None when not applicable/checked).
+    tractable:
+        The bottom line: is exact PTIME computation guaranteed?
+    recommendation:
+        Human-readable algorithm advice.
+    notes:
+        Supporting detail, one line per finding.
+    """
+
+    __slots__ = (
+        "hierarchical",
+        "iq",
+        "self_join",
+        "hard_pattern",
+        "theorem_6_4",
+        "tractable",
+        "recommendation",
+        "notes",
+    )
+
+    def __init__(self) -> None:
+        self.hierarchical = False
+        self.iq = False
+        self.self_join = False
+        self.hard_pattern = False
+        self.theorem_6_4: Optional[bool] = None
+        self.tractable = False
+        self.recommendation = ""
+        self.notes: List[str] = []
+
+    def __repr__(self) -> str:
+        status = "tractable" if self.tractable else "hard"
+        return f"QueryExplanation({status}: {self.recommendation})"
+
+
+def _match_hard_pattern(query: ConjunctiveQuery):
+    """Detect ``R(X), S(X,Y), T(Y)`` up to subgoal order and extra local
+    variables; returns ``(s_subgoal, x_var, y_var)`` or ``None``."""
+    if len(query.subgoals) != 3 or query.has_self_join():
+        return None
+    unary = [
+        subgoal for subgoal in query.subgoals if len(subgoal.variables()) == 1
+    ]
+    binary = [
+        subgoal for subgoal in query.subgoals if len(subgoal.variables()) == 2
+    ]
+    if len(unary) != 2 or len(binary) != 1:
+        return None
+    (s_subgoal,) = binary
+    s_vars = s_subgoal.variables()
+    unary_vars = {subgoal.variables()[0] for subgoal in unary}
+    if set(s_vars) != unary_vars:
+        return None
+    x_var, y_var = s_vars
+    return s_subgoal, x_var, y_var
+
+
+def explain(
+    query: ConjunctiveQuery, database: Optional[Database] = None
+) -> QueryExplanation:
+    """Classify ``query`` and recommend a confidence algorithm.
+
+    With a ``database``, the data-dependent Theorem 6.4 condition is also
+    checked for hard-pattern queries.
+    """
+    report = QueryExplanation()
+    report.self_join = query.has_self_join()
+    report.hierarchical = query.is_hierarchical()
+    report.iq = query.is_iq()
+
+    if report.self_join:
+        report.notes.append(
+            "query contains self-joins: outside every known tractable "
+            "class; Section V approximation applies"
+        )
+        report.recommendation = (
+            "incremental d-tree approximation (choose ε per application)"
+        )
+        return report
+
+    inequalities_are_local = all(
+        any(
+            set(inequality.variables()) <= set(subgoal.variables())
+            for subgoal in query.subgoals
+        )
+        for inequality in query.inequalities
+    )
+
+    if report.hierarchical and inequalities_are_local:
+        # Local inequalities are mere selections: the hierarchical result
+        # applies directly (and SPROUT handles them as row filters).
+        report.tractable = True
+        if query.inequalities:
+            report.notes.append(
+                "hierarchical (Def. 6.1) with only local inequality "
+                "selections: exact PTIME"
+            )
+        else:
+            report.notes.append(
+                "hierarchical without self-joins (Def. 6.1): exact PTIME"
+            )
+        report.recommendation = (
+            "SPROUT extensional plan, or d-tree(0) — compiles with ⊗/⊙ "
+            "only (Prop. 6.3)"
+        )
+        return report
+
+    if report.iq and query.inequalities:
+        report.tractable = True
+        report.notes.append(
+            "IQ query (Defs. 6.5/6.6): exact PTIME with the Lemma 6.8 "
+            "variable-elimination order (Thm. 6.9)"
+        )
+        report.recommendation = (
+            "d-tree(0) with make_variable_selector(database provenance)"
+        )
+        return report
+
+    if report.hierarchical:
+        report.notes.append(
+            "hierarchical skeleton but cross-subgoal inequalities outside "
+            "the max-one property"
+        )
+
+    pattern = _match_hard_pattern(query)
+    if pattern is not None:
+        report.hard_pattern = True
+        s_subgoal, x_var, y_var = pattern
+        report.notes.append(
+            "matches the prototypical #P-hard pattern R(X), S(X,Y), T(Y)"
+        )
+        if database is not None and s_subgoal.relation in database:
+            relation = database[s_subgoal.relation]
+            positions = {
+                term: index
+                for index, term in enumerate(s_subgoal.terms)
+                if isinstance(term, Var)
+            }
+            x_attr = relation.attributes[positions[x_var]]
+            y_attr = relation.attributes[positions[y_var]]
+            report.theorem_6_4 = hard_pattern_tractable(
+                relation, x_attr, y_attr
+            )
+            if report.theorem_6_4:
+                report.tractable = True
+                report.notes.append(
+                    "Theorem 6.4 holds on this database: every bipartite "
+                    "component of S is functional, or complete with "
+                    "deterministic S — lineage factorizes into 1OF"
+                )
+                report.recommendation = (
+                    "d-tree(0): compiles with ⊗/⊙ only on this data"
+                )
+                return report
+            report.notes.append(
+                "Theorem 6.4 fails on this database: the instance is "
+                "genuinely hard"
+            )
+
+    report.recommendation = (
+        "incremental d-tree approximation (choose ε per application)"
+    )
+    return report

@@ -1,0 +1,288 @@
+"""SPROUT-style exact confidence computation for hierarchical queries.
+
+The paper benchmarks its generic d-tree operator against SPROUT, the
+query-aware exact operator of [Olteanu, Huang, Koch; ICDE 2009]: for
+hierarchical conjunctive queries without self-joins on tuple-independent
+databases, confidence can be computed *extensionally*, by an evaluation
+plan derived from the query's hierarchy — without ever materialising
+lineage.
+
+This module reproduces that operator:
+
+* an answer's confidence is computed by recursive decomposition of the
+  (head-instantiated, hence Boolean) query:
+
+  - subgoals that share no unbound variable form independent groups whose
+    probabilities multiply (independent-and on disjoint relations — no
+    self-joins means distinct relations, hence disjoint tuple variables);
+  - within a group, a *root* variable occurring in every subgoal is
+    eliminated: distinct root values touch disjoint sets of tuples, so the
+    group probability is an independent-or over the root's candidate
+    values;
+  - a fully bound subgoal contributes the probability that at least one
+    matching row is present.
+
+The recursion mirrors SPROUT's safe plans: its cost is polynomial in the
+data (each level partitions the remaining rows by the root value).  A
+non-hierarchical query (or one with self-joins) is rejected with
+:class:`UnsafeQueryError` — that is precisely when the d-tree algorithm is
+needed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+from ..core.formulas import AtomNode, Formula, TrueNode
+from ..core.variables import VariableRegistry
+from .cq import Const, ConjunctiveQuery, SubGoal, Var
+from .database import Database
+from .engine import evaluate
+
+__all__ = ["sprout_confidence", "UnsafeQueryError"]
+
+
+class UnsafeQueryError(ValueError):
+    """The query is outside SPROUT's tractable class."""
+
+
+def _row_probability(lineage: Formula, registry: VariableRegistry) -> float:
+    """Probability of one tuple-independent row's lineage."""
+    if isinstance(lineage, TrueNode):
+        return 1.0
+    if isinstance(lineage, AtomNode):
+        return lineage.atom.probability(registry)
+    raise UnsafeQueryError(
+        "SPROUT requires tuple-independent (or certain) input rows; found "
+        f"composite lineage {lineage!r}"
+    )
+
+
+class _Goal:
+    """A subgoal with its candidate rows, filtered as variables bind."""
+
+    __slots__ = ("terms", "rows")
+
+    def __init__(
+        self,
+        terms: Sequence,
+        rows: List[Tuple[Tuple[Hashable, ...], float]],
+    ) -> None:
+        self.terms = tuple(terms)
+        self.rows = rows
+
+    def unbound_variables(self, binding: Dict[Var, Hashable]) -> Set[Var]:
+        return {
+            term
+            for term in self.terms
+            if isinstance(term, Var) and term not in binding
+        }
+
+    def restrict(self, var: Var, value: Hashable) -> "_Goal":
+        positions = [
+            position
+            for position, term in enumerate(self.terms)
+            if term == var
+        ]
+        rows = [
+            row
+            for row in self.rows
+            if all(row[0][position] == value for position in positions)
+        ]
+        return _Goal(self.terms, rows)
+
+    def values_of(self, var: Var) -> Set[Hashable]:
+        positions = [
+            position
+            for position, term in enumerate(self.terms)
+            if term == var
+        ]
+        position = positions[0]
+        return {row[0][position] for row in self.rows}
+
+
+def _group_probability(
+    goals: List[_Goal], binding: Dict[Var, Hashable], depth: int
+) -> float:
+    """Probability of a connected group of subgoals (all must match)."""
+    # Split into connected components on the *unbound* variables.
+    unbound_sets = [goal.unbound_variables(binding) for goal in goals]
+
+    # Fully bound goals are independent of everything else.
+    probability = 1.0
+    open_goals: List[_Goal] = []
+    open_vars: List[Set[Var]] = []
+    for goal, unbound in zip(goals, unbound_sets):
+        if unbound:
+            open_goals.append(goal)
+            open_vars.append(unbound)
+            continue
+        # All terms bound: the goal holds iff at least one matching row is
+        # in the world.  Matching rows are independent tuples.
+        miss = 1.0
+        for _values, row_probability in goal.rows:
+            miss *= 1.0 - row_probability
+        probability *= 1.0 - miss
+        if probability == 0.0:
+            return 0.0
+
+    if not open_goals:
+        return probability
+
+    # Connected components among open goals.
+    assigned = [-1] * len(open_goals)
+    component = 0
+    for start in range(len(open_goals)):
+        if assigned[start] >= 0:
+            continue
+        frontier_vars = set(open_vars[start])
+        assigned[start] = component
+        changed = True
+        while changed:
+            changed = False
+            for other in range(len(open_goals)):
+                if assigned[other] >= 0:
+                    continue
+                if open_vars[other] & frontier_vars:
+                    assigned[other] = component
+                    frontier_vars |= open_vars[other]
+                    changed = True
+        component += 1
+
+    for comp in range(component):
+        members = [
+            goal
+            for index, goal in enumerate(open_goals)
+            if assigned[index] == comp
+        ]
+        member_vars: Set[Var] = set()
+        for index, goal in enumerate(open_goals):
+            if assigned[index] == comp:
+                member_vars |= open_vars[index]
+
+        if len(members) == 1:
+            # A lone subgoal holds iff at least one of its (independent)
+            # matching rows is present — no recursion over local values.
+            miss = 1.0
+            for _values, row_probability in members[0].rows:
+                miss *= 1.0 - row_probability
+            probability *= 1.0 - miss
+            if probability == 0.0:
+                return 0.0
+            continue
+
+        # Root variable: occurs in every member subgoal (hierarchy).
+        roots = [
+            var
+            for var in member_vars
+            if all(var in goal.unbound_variables(binding) for goal in members)
+        ]
+        if not roots:
+            raise UnsafeQueryError(
+                "no root variable for a connected subgoal group — "
+                "the query is not hierarchical"
+            )
+        root = sorted(roots, key=lambda var: var.name)[0]
+
+        # Candidate values: the root must match in every member subgoal.
+        candidate_values: Optional[Set[Hashable]] = None
+        for goal in members:
+            values = goal.values_of(root)
+            candidate_values = (
+                values
+                if candidate_values is None
+                else candidate_values & values
+            )
+        assert candidate_values is not None
+
+        # Distinct root values touch disjoint tuples: independent-or.
+        miss = 1.0
+        for value in sorted(candidate_values, key=repr):
+            restricted = [goal.restrict(root, value) for goal in members]
+            sub_binding = dict(binding)
+            sub_binding[root] = value
+            miss *= 1.0 - _group_probability(
+                restricted, sub_binding, depth + 1
+            )
+        probability *= 1.0 - miss
+        if probability == 0.0:
+            return 0.0
+    return probability
+
+
+def sprout_confidence(
+    query: ConjunctiveQuery,
+    database: Database,
+) -> List[Tuple[Tuple[Hashable, ...], float]]:
+    """Exact per-answer confidence via SPROUT's extensional evaluation.
+
+    Requires a hierarchical conjunctive query without self-joins or
+    inequalities on tuple-independent (or certain) relations; raises
+    :class:`UnsafeQueryError` otherwise.
+    """
+    if query.has_self_join():
+        raise UnsafeQueryError("SPROUT does not support self-joins")
+    if not query.is_hierarchical():
+        raise UnsafeQueryError(f"query {query!r} is not hierarchical")
+
+    # Inequalities are supported only as *selections*: every variable of an
+    # inequality must be local to a single subgoal, where the predicate
+    # becomes a row filter.  Cross-subgoal inequality joins belong to the
+    # IQ algorithm (d-trees with the Lemma 6.8 order), not to SPROUT.
+    local_checks: Dict[int, List] = {}
+    for inequality in query.inequalities:
+        ineq_vars = set(inequality.variables())
+        home = None
+        for index, subgoal in enumerate(query.subgoals):
+            if ineq_vars <= set(subgoal.variables()):
+                home = index
+                break
+        if home is None:
+            raise UnsafeQueryError(
+                f"inequality {inequality!r} joins subgoals; this SPROUT "
+                "operator covers equality joins and local selections only"
+            )
+        local_checks.setdefault(home, []).append(inequality)
+
+    registry = database.registry
+
+    # Distinct answers come from ordinary evaluation; the confidence of
+    # each is then computed extensionally with head variables fixed.
+    answers = evaluate(query, database)
+    results: List[Tuple[Tuple[Hashable, ...], float]] = []
+    for answer in answers:
+        binding: Dict[Var, Hashable] = dict(zip(query.head, answer.values))
+        goals: List[_Goal] = []
+        for goal_index, subgoal in enumerate(query.subgoals):
+            relation = database[subgoal.relation]
+            checks = local_checks.get(goal_index, ())
+            rows: List[Tuple[Tuple[Hashable, ...], float]] = []
+            for values, lineage in relation.rows:
+                consistent = True
+                seen: Dict[Var, Hashable] = {}
+                for position, term in enumerate(subgoal.terms):
+                    if isinstance(term, Const):
+                        if values[position] != term.value:
+                            consistent = False
+                            break
+                    else:
+                        if term in binding and values[position] != binding[term]:
+                            consistent = False
+                            break
+                        if term in seen and seen[term] != values[position]:
+                            consistent = False
+                            break
+                        seen[term] = values[position]
+                if consistent and checks:
+                    row_binding = dict(binding)
+                    row_binding.update(seen)
+                    consistent = all(
+                        inequality.holds(row_binding)
+                        for inequality in checks
+                    )
+                if consistent:
+                    rows.append((values, _row_probability(lineage, registry)))
+            goals.append(_Goal(subgoal.terms, rows))
+        probability = _group_probability(goals, binding, 0)
+        results.append((answer.values, probability))
+    return results

@@ -1,0 +1,353 @@
+"""A small SQL front-end for ``conf()`` queries.
+
+The paper presents queries in MayBMS-style SQL, e.g. the triangle motif
+(Section VI.A)::
+
+    select conf() as triangle_prob
+    from E n1, E n2, E n3
+    where n1.v = n2.u and n2.v = n3.v and
+          n1.u = n3.u and n1.u < n2.u and n2.u < n3.v;
+
+This module parses the conjunctive fragment of that language —
+``SELECT [columns | conf()] FROM table [alias], … WHERE conjunction`` —
+into a :class:`~repro.db.cq.ConjunctiveQuery` against a
+:class:`~repro.db.database.Database`, and evaluates it with a pluggable
+confidence method.
+
+Supported WHERE predicates: equality between two columns (an equi-join),
+equality with a literal (a selection), and the comparison operators
+``< <= > >= <> !=`` between columns or against literals.  Aliases make
+self-joins expressible, exactly as in the paper's motif queries.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple, Union
+
+from ..core.approx import approximate_probability
+from .cq import ConjunctiveQuery, Const, Inequality, SubGoal, Var
+from .database import Database
+from .engine import answer_selector, evaluate
+
+__all__ = ["parse_conf_query", "run_conf_query", "SqlSyntaxError", "ParsedQuery"]
+
+
+class SqlSyntaxError(ValueError):
+    """Raised on queries outside the supported fragment."""
+
+
+_TOKEN_PATTERN = re.compile(
+    r"""
+    \s*(
+        (?P<string>'[^']*')
+      | (?P<number>-?\d+(\.\d+)?)
+      | (?P<op><=|>=|<>|!=|=|<|>)
+      | (?P<punct>[(),;.*])
+      | (?P<word>[A-Za-z_][A-Za-z_0-9]*)
+    )
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"select", "from", "where", "and", "as", "conf"}
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_PATTERN.match(text, position)
+        if match is None:
+            remainder = text[position:].strip()
+            if not remainder:
+                break
+            raise SqlSyntaxError(f"cannot tokenize near {remainder[:20]!r}")
+        position = match.end()
+        for kind in ("string", "number", "op", "punct", "word"):
+            value = match.group(kind)
+            if value is not None:
+                if kind == "word" and value.lower() in _KEYWORDS:
+                    tokens.append(("keyword", value.lower()))
+                else:
+                    tokens.append((kind, value))
+                break
+    return tokens
+
+
+class _TokenStream:
+    def __init__(self, tokens: List[Tuple[str, str]]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    def peek(self) -> Optional[Tuple[str, str]]:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def next(self) -> Tuple[str, str]:
+        token = self.peek()
+        if token is None:
+            raise SqlSyntaxError("unexpected end of query")
+        self._index += 1
+        return token
+
+    def expect(self, kind: str, value: Optional[str] = None) -> str:
+        token_kind, token_value = self.next()
+        if token_kind != kind or (value is not None and token_value != value):
+            raise SqlSyntaxError(
+                f"expected {value or kind}, found {token_value!r}"
+            )
+        return token_value
+
+    def accept(self, kind: str, value: Optional[str] = None) -> bool:
+        token = self.peek()
+        if (
+            token is not None
+            and token[0] == kind
+            and (value is None or token[1] == value)
+        ):
+            self._index += 1
+            return True
+        return False
+
+
+_ColumnRef = Tuple[Optional[str], str]  # (alias or None, column)
+_Literal = Tuple[str, Hashable]  # ("literal", value)
+
+
+def _parse_column_or_literal(stream: _TokenStream):
+    kind, value = stream.next()
+    if kind == "string":
+        return ("literal", value[1:-1])
+    if kind == "number":
+        number = float(value)
+        if number.is_integer() and "." not in value:
+            return ("literal", int(value))
+        return ("literal", number)
+    if kind == "word":
+        if stream.accept("punct", "."):
+            column = stream.expect("word")
+            return (value, column)
+        return (None, value)
+    raise SqlSyntaxError(f"expected column or literal, found {value!r}")
+
+
+class ParsedQuery:
+    """The outcome of parsing: a CQ plus presentation metadata."""
+
+    __slots__ = ("query", "select_columns", "wants_conf", "conf_alias")
+
+    def __init__(
+        self,
+        query: ConjunctiveQuery,
+        select_columns: List[str],
+        wants_conf: bool,
+        conf_alias: Optional[str],
+    ) -> None:
+        self.query = query
+        self.select_columns = select_columns
+        self.wants_conf = wants_conf
+        self.conf_alias = conf_alias
+
+
+def parse_conf_query(text: str, database: Database) -> ParsedQuery:
+    """Parse a ``SELECT … FROM … WHERE …`` string into a conjunctive query.
+
+    Relation schemas are resolved against ``database``; every table column
+    becomes a query variable named ``<alias>.<column>``, and WHERE
+    equalities between columns unify the corresponding variables.
+    """
+    stream = _TokenStream(_tokenize(text))
+    stream.expect("keyword", "select")
+
+    # ---- SELECT list ----------------------------------------------------
+    select_items: List[Union[str, _ColumnRef]] = []
+    wants_conf = False
+    conf_alias: Optional[str] = None
+    while True:
+        if stream.accept("keyword", "conf"):
+            stream.expect("punct", "(")
+            stream.expect("punct", ")")
+            wants_conf = True
+            if stream.accept("keyword", "as"):
+                conf_alias = stream.expect("word")
+        else:
+            ref = _parse_column_or_literal(stream)
+            if ref[0] == "literal":
+                raise SqlSyntaxError("literals are not selectable")
+            select_items.append(ref)
+            if stream.accept("keyword", "as"):
+                stream.expect("word")  # output aliases are cosmetic
+        if not stream.accept("punct", ","):
+            break
+
+    # ---- FROM list -------------------------------------------------------
+    stream.expect("keyword", "from")
+    from_entries: List[Tuple[str, str]] = []  # (table, alias)
+    while True:
+        table = stream.expect("word")
+        if table not in database:
+            raise SqlSyntaxError(f"unknown table {table!r}")
+        alias = table
+        token = stream.peek()
+        if token is not None and token[0] == "word":
+            alias = stream.next()[1]
+        if any(existing == alias for _t, existing in from_entries):
+            raise SqlSyntaxError(f"duplicate alias {alias!r}")
+        from_entries.append((table, alias))
+        if not stream.accept("punct", ","):
+            break
+
+    # ---- WHERE conjunction -------------------------------------------------
+    predicates: List[Tuple[object, str, object]] = []
+    if stream.accept("keyword", "where"):
+        while True:
+            left = _parse_column_or_literal(stream)
+            op = stream.expect("op")
+            right = _parse_column_or_literal(stream)
+            predicates.append((left, op, right))
+            if not stream.accept("keyword", "and"):
+                break
+    stream.accept("punct", ";")
+    if stream.peek() is not None:
+        raise SqlSyntaxError(
+            f"unexpected trailing token {stream.peek()[1]!r}"
+        )
+
+    # ---- Build the conjunctive query ----------------------------------------
+    # One variable per (alias, column); equality predicates merge variable
+    # classes (union-find), after which each class maps to a single Var.
+    parent: Dict[Tuple[str, str], Tuple[str, str]] = {}
+
+    def find(key: Tuple[str, str]) -> Tuple[str, str]:
+        parent.setdefault(key, key)
+        root = key
+        while parent[root] != root:
+            root = parent[root]
+        while parent[key] != root:
+            parent[key], key = root, parent[key]
+        return root
+
+    def unite(a: Tuple[str, str], b: Tuple[str, str]) -> None:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[rb] = ra
+
+    alias_of: Dict[str, str] = {alias: table for table, alias in from_entries}
+    columns_of: Dict[str, Sequence[str]] = {
+        alias: database[table].attributes for table, alias in from_entries
+    }
+
+    def resolve(ref) -> Tuple[str, str]:
+        alias, column = ref
+        if alias is None:
+            owners = [
+                a for a, columns in columns_of.items() if column in columns
+            ]
+            if len(owners) != 1:
+                raise SqlSyntaxError(
+                    f"column {column!r} is "
+                    + ("ambiguous" if owners else "unknown")
+                )
+            alias = owners[0]
+        if alias not in alias_of:
+            raise SqlSyntaxError(f"unknown alias {alias!r}")
+        if column not in columns_of[alias]:
+            raise SqlSyntaxError(
+                f"table {alias_of[alias]!r} has no column {column!r}"
+            )
+        return alias, column
+
+    constants: Dict[Tuple[str, str], Hashable] = {}
+    inequalities_raw: List[Tuple[object, str, object]] = []
+    for left, op, right in predicates:
+        left_is_literal = left[0] == "literal"
+        right_is_literal = right[0] == "literal"
+        if op == "=":
+            if left_is_literal and right_is_literal:
+                raise SqlSyntaxError("literal = literal predicates unsupported")
+            if left_is_literal or right_is_literal:
+                column_ref = right if left_is_literal else left
+                literal = left if left_is_literal else right
+                constants[find(resolve(column_ref))] = literal[1]
+            else:
+                unite(resolve(left), resolve(right))
+        else:
+            inequalities_raw.append((left, op, right))
+
+    # Assign one Var per class root (or a Const if the class is pinned).
+    variables: Dict[Tuple[str, str], Var] = {}
+
+    def term_for(ref) -> Union[Var, Const]:
+        root = find(resolve(ref))
+        if root in constants:
+            return Const(constants[root])
+        if root not in variables:
+            variables[root] = Var(f"{root[0]}.{root[1]}")
+        return variables[root]
+
+    subgoals = []
+    for table, alias in from_entries:
+        terms = [term_for((alias, column)) for column in columns_of[alias]]
+        subgoals.append(SubGoal(table, terms))
+
+    op_map = {"<": "<", "<=": "<=", ">": ">", ">=": ">=", "<>": "!=",
+              "!=": "!="}
+    inequalities = []
+    for left, op, right in inequalities_raw:
+        left_term = (
+            Const(left[1]) if left[0] == "literal" else term_for(left)
+        )
+        right_term = (
+            Const(right[1]) if right[0] == "literal" else term_for(right)
+        )
+        if isinstance(left_term, Const) and isinstance(right_term, Const):
+            raise SqlSyntaxError("literal-only comparisons are unsupported")
+        inequalities.append(Inequality(left_term, op_map[op], right_term))
+
+    head = []
+    select_columns = []
+    for ref in select_items:
+        term = term_for(ref)
+        if isinstance(term, Const):
+            raise SqlSyntaxError(
+                f"selected column {ref} is pinned to a constant"
+            )
+        head.append(term)
+        select_columns.append(f"{ref[0]}.{ref[1]}" if ref[0] else ref[1])
+
+    query = ConjunctiveQuery(head, subgoals, inequalities, name="sql")
+    return ParsedQuery(query, select_columns, wants_conf, conf_alias)
+
+
+def run_conf_query(
+    text: str,
+    database: Database,
+    *,
+    epsilon: float = 0.0,
+    error_kind: str = "absolute",
+) -> List[Tuple[Tuple[Hashable, ...], Optional[float]]]:
+    """Parse and evaluate a conf() query.
+
+    Returns ``(answer_tuple, confidence)`` pairs; the confidence is
+    ``None`` when the query does not request ``conf()``.  Confidence is
+    computed with the d-tree algorithm at the requested error, using the
+    database's variable provenance for the Shannon order.
+    """
+    parsed = parse_conf_query(text, database)
+    answers = evaluate(parsed.query, database)
+    if not parsed.wants_conf:
+        return [(answer.values, None) for answer in answers]
+    selector = answer_selector(database)
+    results = []
+    for answer in answers:
+        outcome = approximate_probability(
+            answer.lineage.to_dnf(),
+            database.registry,
+            epsilon=epsilon,
+            error_kind=error_kind,
+            choose_variable=selector,
+        )
+        results.append((answer.values, outcome.estimate))
+    return results

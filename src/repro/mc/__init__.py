@@ -1,0 +1,35 @@
+"""Monte-Carlo baselines (paper, Sections II and VII).
+
+* :mod:`~repro.mc.karp_luby` — the Karp–Luby–Madras unbiased estimator in
+  its zero-one and fractional variants;
+* :mod:`~repro.mc.dklr` — the Dagum–Karp–Luby–Ross optimal sequential
+  estimation algorithms (stopping rule and 𝒜𝒜);
+* :mod:`~repro.mc.aconf` — their combination, the ``aconf()`` operator of
+  MayBMS that the paper benchmarks against;
+* :mod:`~repro.mc.naive` — naive world sampling (absolute error only).
+"""
+
+from .aconf import DEFAULT_DELTA, AconfResult, aconf
+from .dklr import (
+    LAMBDA,
+    MonteCarloResult,
+    approximation_algorithm_estimate,
+    stopping_rule_estimate,
+)
+from .karp_luby import FRACTIONAL, ZERO_ONE, KarpLubyEstimator
+from .naive import hoeffding_sample_bound, naive_monte_carlo
+
+__all__ = [
+    "DEFAULT_DELTA",
+    "AconfResult",
+    "aconf",
+    "LAMBDA",
+    "MonteCarloResult",
+    "approximation_algorithm_estimate",
+    "stopping_rule_estimate",
+    "FRACTIONAL",
+    "ZERO_ONE",
+    "KarpLubyEstimator",
+    "hoeffding_sample_bound",
+    "naive_monte_carlo",
+]

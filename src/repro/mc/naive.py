@@ -1,0 +1,91 @@
+"""Naive Monte-Carlo estimation of DNF probability.
+
+Samples complete worlds over ``vars(Φ)`` and reports the fraction
+satisfying ``Φ``.  With ``N ≥ ln(2/δ)/(2ε²)`` samples this is an additive
+(ε, δ) approximation by Hoeffding's inequality — the paper notes that
+"designing a Monte Carlo algorithm for efficient absolute approximation is
+trivial" (Section VII.3); this module is that triviality, used as a sanity
+baseline and in tests.
+
+Its fatal weakness, which the Karp–Luby scheme repairs, is *relative*
+error on small probabilities: when ``P(Φ) ≈ 0`` almost all worlds miss.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Hashable, List, Optional, Tuple
+
+from ..core.dnf import DNF
+from ..core.variables import VariableRegistry
+
+__all__ = ["naive_monte_carlo", "hoeffding_sample_bound"]
+
+
+def hoeffding_sample_bound(epsilon: float, delta: float) -> int:
+    """Samples needed for an additive (ε, δ) guarantee."""
+    if not (0.0 < epsilon < 1.0) or not (0.0 < delta < 1.0):
+        raise ValueError("epsilon and delta must be in (0, 1)")
+    return math.ceil(math.log(2.0 / delta) / (2.0 * epsilon * epsilon))
+
+
+def naive_monte_carlo(
+    dnf: DNF,
+    registry: VariableRegistry,
+    samples: int,
+    *,
+    rng: Optional[random.Random] = None,
+    seed: Optional[int] = None,
+) -> float:
+    """Fraction of sampled worlds satisfying ``Φ``."""
+    if samples <= 0:
+        raise ValueError("need at least one sample")
+    if dnf.is_false():
+        return 0.0
+    if dnf.is_true():
+        return 1.0
+    if rng is None:
+        rng = random.Random(seed)
+
+    variables: List[Hashable] = sorted(dnf.variables, key=repr)
+    # Pre-compile inverse-CDF tables and integer-indexed clauses.
+    domains: List[List[Hashable]] = []
+    cumulative: List[List[float]] = []
+    index_of = {variable: i for i, variable in enumerate(variables)}
+    for variable in variables:
+        dist = registry.distribution(variable)
+        values = list(dist)
+        cums: List[float] = []
+        running = 0.0
+        for value in values:
+            running += dist[value]
+            cums.append(running)
+        cums[-1] = 1.0
+        domains.append(values)
+        cumulative.append(cums)
+    clauses: List[List[Tuple[int, Hashable]]] = [
+        [(index_of[variable], value) for variable, value in clause.items()]
+        for clause in dnf.sorted_clauses()
+    ]
+
+    hits = 0
+    world: List[Hashable] = [None] * len(variables)
+    for _ in range(samples):
+        for var_idx in range(len(variables)):
+            target = rng.random()
+            cums = cumulative[var_idx]
+            values = domains[var_idx]
+            low, high = 0, len(cums) - 1
+            while low < high:
+                mid = (low + high) // 2
+                if cums[mid] < target:
+                    low = mid + 1
+                else:
+                    high = mid
+            world[var_idx] = values[low]
+        for clause in clauses:
+            if all(world[var_idx] == value for var_idx, value in clause):
+                hits += 1
+                break
+    return hits / samples

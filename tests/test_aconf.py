@@ -1,0 +1,127 @@
+"""Tests for the aconf baseline (Karp–Luby + DKLR)."""
+
+import random
+
+import pytest
+
+from repro.core.dnf import DNF
+from repro.core.events import Clause
+from repro.core.semantics import brute_force_probability
+from repro.core.variables import VariableRegistry
+from repro.mc.aconf import DEFAULT_DELTA, aconf
+from repro.mc.naive import hoeffding_sample_bound, naive_monte_carlo
+
+
+def random_instance(seed, variables=7, clauses=6):
+    rng = random.Random(seed)
+    reg = VariableRegistry.from_boolean_probabilities(
+        {f"v{i}": rng.uniform(0.1, 0.9) for i in range(variables)}
+    )
+    specs = [
+        Clause(
+            {
+                f"v{rng.randrange(variables)}": rng.random() < 0.7
+                for _ in range(rng.randint(1, 3))
+            }
+        )
+        for _ in range(clauses)
+    ]
+    return DNF(specs), reg
+
+
+class TestAconf:
+    def test_relative_accuracy_on_random_instances(self):
+        for seed in range(8):
+            dnf, reg = random_instance(seed)
+            truth = brute_force_probability(dnf, reg)
+            result = aconf(dnf, reg, epsilon=0.05, delta=0.05, seed=seed)
+            assert not result.capped
+            # Allow 2x slack over the probabilistic guarantee.
+            assert abs(result.estimate - truth) <= 2 * 0.05 * truth + 1e-9
+
+    def test_small_probability_instance(self):
+        reg = VariableRegistry.from_boolean_probabilities(
+            {"a": 0.01, "b": 0.02, "c": 0.015}
+        )
+        dnf = DNF.from_sets([{"a": True, "b": True}, {"c": True}])
+        truth = brute_force_probability(dnf, reg)
+        result = aconf(dnf, reg, epsilon=0.1, delta=0.05, seed=1)
+        assert abs(result.estimate - truth) <= 2 * 0.1 * truth
+
+    def test_default_delta_matches_paper(self):
+        assert DEFAULT_DELTA == 0.0001
+
+    def test_degenerate_inputs(self):
+        reg = VariableRegistry()
+        assert aconf(DNF.false(), reg, epsilon=0.1).estimate == 0.0
+        assert aconf(DNF.true(), reg, epsilon=0.1).estimate == 1.0
+
+    def test_max_samples_cap(self):
+        dnf, reg = random_instance(3)
+        result = aconf(
+            dnf, reg, epsilon=0.001, delta=0.0001, seed=3, max_samples=50
+        )
+        assert result.capped
+        assert result.samples <= 50
+
+    def test_sra_algorithm_variant(self):
+        dnf, reg = random_instance(4)
+        truth = brute_force_probability(dnf, reg)
+        result = aconf(
+            dnf, reg, epsilon=0.05, delta=0.05, seed=4, algorithm="sra"
+        )
+        assert abs(result.estimate - truth) <= 2 * 0.05 * truth
+
+    def test_unknown_algorithm_rejected(self):
+        dnf, reg = random_instance(5)
+        with pytest.raises(ValueError, match="algorithm"):
+            aconf(dnf, reg, epsilon=0.1, algorithm="magic")
+
+    def test_determinism_with_seed(self):
+        dnf, reg = random_instance(6)
+        a = aconf(dnf, reg, epsilon=0.1, delta=0.05, seed=42)
+        b = aconf(dnf, reg, epsilon=0.1, delta=0.05, seed=42)
+        assert a.estimate == b.estimate
+        assert a.samples == b.samples
+
+    def test_estimate_never_exceeds_one(self):
+        reg = VariableRegistry.from_boolean_probabilities(
+            {"a": 0.99, "b": 0.99}
+        )
+        dnf = DNF.from_sets([{"a": True}, {"b": True}])
+        result = aconf(dnf, reg, epsilon=0.2, delta=0.1, seed=0)
+        assert result.estimate <= 1.0
+
+
+class TestNaive:
+    def test_converges_to_truth(self):
+        dnf, reg = random_instance(9)
+        truth = brute_force_probability(dnf, reg)
+        estimate = naive_monte_carlo(dnf, reg, 30000, seed=9)
+        assert estimate == pytest.approx(truth, abs=0.02)
+
+    def test_hoeffding_bound(self):
+        import math
+
+        bound = hoeffding_sample_bound(0.05, 0.01)
+        assert bound == math.ceil(math.log(2 / 0.01) / (2 * 0.05**2))
+
+    def test_degenerate(self):
+        reg = VariableRegistry()
+        assert naive_monte_carlo(DNF.false(), reg, 10) == 0.0
+        assert naive_monte_carlo(DNF.true(), reg, 10) == 1.0
+
+    def test_sample_count_validated(self):
+        dnf, reg = random_instance(1)
+        with pytest.raises(ValueError):
+            naive_monte_carlo(dnf, reg, 0)
+
+    def test_multivalued_variables(self):
+        reg = VariableRegistry()
+        reg.add_variable("u", {1: 0.5, 2: 0.3, 3: 0.2})
+        reg.add_boolean("x", 0.4)
+        dnf = DNF.from_sets([{"u": 2, "x": True}, {"u": 3}])
+        truth = brute_force_probability(dnf, reg)
+        assert naive_monte_carlo(dnf, reg, 30000, seed=2) == pytest.approx(
+            truth, abs=0.02
+        )

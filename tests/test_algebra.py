@@ -1,0 +1,193 @@
+"""Tests for positive relational algebra with lineage.
+
+Every operator is checked against possible-worlds semantics: the lineage of
+an output tuple must be true exactly in the worlds where the tuple would be
+produced by evaluating the operator on the world's deterministic instance.
+"""
+
+import pytest
+
+from repro.core.semantics import brute_force_formula_probability
+from repro.core.variables import VariableRegistry
+from repro.db.algebra import (
+    conf,
+    natural_join,
+    product,
+    project,
+    rename_attributes,
+    select,
+    theta_join,
+    union,
+)
+from repro.db.relation import Relation
+
+
+@pytest.fixture
+def setup():
+    reg = VariableRegistry()
+    r = Relation.tuple_independent(
+        "R",
+        ["a", "b"],
+        [((1, 10), 0.5), ((1, 20), 0.6), ((2, 10), 0.7)],
+        reg,
+    )
+    s = Relation.tuple_independent(
+        "S", ["b", "c"], [((10, "x"), 0.4), ((20, "y"), 0.9)], reg
+    )
+    return reg, r, s
+
+
+def worlds_of(reg, variables):
+    import itertools
+
+    variables = sorted(variables, key=repr)
+    for combo in itertools.product([True, False], repeat=len(variables)):
+        yield dict(zip(variables, combo))
+
+
+def materialise(relation, world):
+    """Rows of `relation` present in `world` (deterministic instance)."""
+    return [
+        values
+        for values, lineage in relation.rows
+        if lineage.evaluate(world)
+    ]
+
+
+class TestSelect:
+    def test_predicate_filtering(self, setup):
+        _reg, r, _s = setup
+        result = select(r, lambda row: row["a"] == 1)
+        assert [v for v, _l in result.rows] == [(1, 10), (1, 20)]
+
+    def test_lineage_untouched(self, setup):
+        _reg, r, _s = setup
+        result = select(r, lambda row: True)
+        assert [l for _v, l in result.rows] == [l for _v, l in r.rows]
+
+
+class TestProject:
+    def test_deduplication_merges_lineage(self, setup):
+        reg, r, _s = setup
+        result = project(r, ["a"])
+        assert len(result.rows) == 2  # a=1 (two derivations), a=2
+        by_key = {values: lineage for values, lineage in result.rows}
+        # P(a=1 present) = 1 - (1-0.5)(1-0.6)
+        assert brute_force_formula_probability(
+            by_key[(1,)], reg
+        ) == pytest.approx(1 - 0.5 * 0.4)
+
+    def test_without_deduplication(self, setup):
+        _reg, r, _s = setup
+        result = project(r, ["a"], deduplicate=False)
+        assert len(result.rows) == 3
+
+    def test_world_semantics(self, setup):
+        reg, r, _s = setup
+        result = project(r, ["a"])
+        for world in worlds_of(reg, reg.variables()):
+            expected = {values[:1] for values in materialise(r, world)}
+            actual = {
+                values
+                for values, lineage in result.rows
+                if lineage.evaluate(world)
+            }
+            assert actual == expected
+
+
+class TestJoins:
+    def test_natural_join_combines_lineage(self, setup):
+        reg, r, s = setup
+        result = natural_join(r, s)
+        assert result.attributes == ("a", "b", "c")
+        for world in worlds_of(reg, reg.variables()):
+            r_rows = materialise(r, world)
+            s_rows = materialise(s, world)
+            expected = {
+                (ra, rb, sc)
+                for (ra, rb) in r_rows
+                for (sb, sc) in s_rows
+                if rb == sb
+            }
+            actual = {
+                values
+                for values, lineage in result.rows
+                if lineage.evaluate(world)
+            }
+            assert actual == expected
+
+    def test_theta_join_inequality(self, setup):
+        reg, r, _s = setup
+        t = Relation.tuple_independent(
+            "T", ["d"], [((15,), 0.5), ((5,), 0.3)], reg
+        )
+        result = theta_join(r, t, lambda l, rr: l["b"] < rr["d"])
+        pairs = {values for values, _l in result.rows}
+        assert pairs == {(1, 10, 15), (2, 10, 15)}
+
+    def test_theta_join_requires_disjoint_attributes(self, setup):
+        _reg, r, s = setup
+        with pytest.raises(ValueError, match="disjoint"):
+            theta_join(r, r, lambda a, b: True)
+
+    def test_product(self, setup):
+        reg, _r, s = setup
+        t = Relation.certain("T", ["d"], [(1,), (2,)])
+        result = product(s, t)
+        assert len(result.rows) == 4
+
+
+class TestUnionRename:
+    def test_union_merges_identical_tuples(self, setup):
+        reg, _r, _s = setup
+        u1 = Relation.tuple_independent("U1", ["x"], [((7,), 0.5)], reg)
+        u2 = Relation.tuple_independent("U2", ["x"], [((7,), 0.4)], reg)
+        result = union(u1, u2)
+        assert len(result.rows) == 1
+        assert brute_force_formula_probability(
+            result.rows[0][1], reg
+        ) == pytest.approx(1 - 0.5 * 0.6)
+
+    def test_union_schema_mismatch(self, setup):
+        _reg, r, s = setup
+        with pytest.raises(ValueError, match="identical attribute"):
+            union(r, s)
+
+    def test_rename(self, setup):
+        _reg, r, _s = setup
+        renamed = rename_attributes(r, {"a": "a2"})
+        assert renamed.attributes == ("a2", "b")
+
+    def test_rename_collision_rejected(self, setup):
+        _reg, r, _s = setup
+        with pytest.raises(ValueError, match="duplicate"):
+            rename_attributes(r, {"a": "b"})
+
+
+class TestConf:
+    def test_conf_matches_brute_force(self, setup):
+        reg, r, s = setup
+        joined = natural_join(r, s)
+        projected = project(joined, ["a"])
+        results = dict(conf(projected, reg))
+        for values, lineage in projected.rows:
+            expected = brute_force_formula_probability(lineage, reg)
+            assert results[values] == pytest.approx(expected)
+
+    def test_conf_with_custom_method(self, setup):
+        reg, r, _s = setup
+        calls = []
+
+        def method(dnf, registry):
+            calls.append(dnf)
+            return 0.42
+
+        results = conf(project(r, ["a"]), reg, method=method)
+        assert all(p == 0.42 for _v, p in results)
+        assert len(calls) == 2
+
+    def test_conf_with_epsilon(self, setup):
+        reg, r, _s = setup
+        results = dict(conf(project(r, ["a"]), reg, epsilon=0.01))
+        expected = 1 - 0.5 * 0.4
+        assert results[(1,)] == pytest.approx(expected, abs=0.011)

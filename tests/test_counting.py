@@ -1,0 +1,169 @@
+"""Tests for model counting and conditioning (repro.core.counting)."""
+
+import itertools
+
+import pytest
+
+from repro.core.counting import (
+    conditional_probability,
+    model_count,
+    weighted_model_count,
+)
+from repro.core.dnf import DNF
+from repro.core.semantics import brute_force_probability
+from repro.core.variables import VariableRegistry
+
+
+def brute_count(dnf, variables):
+    count = 0
+    for combo in itertools.product([True, False], repeat=len(variables)):
+        world = dict(zip(variables, combo))
+        if dnf.evaluate(world):
+            count += 1
+    return count
+
+
+class TestModelCount:
+    def test_simple_formulas(self):
+        dnf = DNF.from_sets([{"x": True, "y": True}])
+        assert model_count(dnf) == pytest.approx(1)
+        dnf = DNF.from_sets([{"x": True}, {"y": True}])
+        assert model_count(dnf) == pytest.approx(3)
+
+    def test_against_brute_force(self):
+        import random
+
+        for trial in range(25):
+            rng = random.Random(trial)
+            variables = [f"v{i}" for i in range(6)]
+            clauses = [
+                {
+                    f"v{rng.randrange(6)}": rng.random() < 0.5
+                    for _ in range(rng.randint(1, 3))
+                }
+                for _ in range(rng.randint(1, 6))
+            ]
+            dnf = DNF.from_sets(clauses)
+            expected = brute_count(dnf, variables)
+            assert model_count(dnf, variables) == pytest.approx(expected)
+
+    def test_universe_extension(self):
+        dnf = DNF.from_sets([{"x": True}])
+        assert model_count(dnf, ["x", "y", "z"]) == pytest.approx(4)
+
+    def test_universe_must_cover_formula(self):
+        dnf = DNF.from_sets([{"x": True}])
+        with pytest.raises(ValueError, match="outside the universe"):
+            model_count(dnf, ["y"])
+
+    def test_constants(self):
+        assert model_count(DNF.false(), ["a", "b"]) == 0.0
+        assert model_count(DNF.true(), ["a", "b"]) == 4.0
+
+    def test_approximate_count(self):
+        variables = [f"v{i}" for i in range(10)]
+        dnf = DNF.from_sets(
+            [{f"v{i}": True, f"v{(i + 3) % 10}": True} for i in range(10)]
+        )
+        exact = brute_count(dnf, variables)
+        approx = model_count(dnf, variables, epsilon=0.05)
+        assert abs(approx - exact) <= 0.05 * exact * 1.001
+
+
+class TestWeightedModelCount:
+    def test_matches_direct_sum(self):
+        weights = {
+            ("x", True): 2.0,
+            ("x", False): 1.0,
+            ("y", True): 3.0,
+            ("y", False): 5.0,
+        }
+        dnf = DNF.from_sets([{"x": True}, {"y": False}])
+        # worlds: (T,T): 6, (T,F): 10, (F,F): 5 satisfy; (F,T): 3 doesn't.
+        assert weighted_model_count(dnf, weights) == pytest.approx(21.0)
+
+    def test_uniform_weights_reduce_to_counting(self):
+        weights = {
+            (v, polarity): 1.0
+            for v in ("a", "b", "c")
+            for polarity in (True, False)
+        }
+        dnf = DNF.from_sets([{"a": True, "b": True}, {"c": False}])
+        assert weighted_model_count(dnf, weights) == pytest.approx(
+            brute_count(dnf, ["a", "b", "c"])
+        )
+
+    def test_zero_weight_atom_prunes_clause(self):
+        weights = {
+            ("x", True): 0.0,
+            ("x", False): 1.0,
+            ("y", True): 1.0,
+            ("y", False): 1.0,
+        }
+        dnf = DNF.from_sets([{"x": True, "y": True}, {"y": False}])
+        # Only the y=False clause can hold: worlds (F, F) weight 1.
+        assert weighted_model_count(dnf, weights) == pytest.approx(1.0)
+
+    def test_missing_weights_rejected(self):
+        dnf = DNF.from_sets([{"x": True}])
+        with pytest.raises(ValueError, match="missing weights"):
+            weighted_model_count(dnf, {})
+
+    def test_negative_weight_rejected(self):
+        dnf = DNF.from_sets([{"x": True}])
+        with pytest.raises(ValueError, match="negative"):
+            weighted_model_count(
+                dnf, {("x", True): -1.0, ("x", False): 1.0}
+            )
+
+
+class TestConditioning:
+    @pytest.fixture
+    def registry(self):
+        return VariableRegistry.from_boolean_probabilities(
+            {"x": 0.3, "y": 0.6, "z": 0.5}
+        )
+
+    def test_definition(self, registry):
+        phi = DNF.from_sets([{"x": True}])
+        psi = DNF.from_sets([{"x": True}, {"y": True}])
+        joint = brute_force_probability(phi.conjoin(psi), registry)
+        condition = brute_force_probability(psi, registry)
+        assert conditional_probability(
+            phi, psi, registry
+        ) == pytest.approx(joint / condition)
+
+    def test_independent_events(self, registry):
+        phi = DNF.from_sets([{"x": True}])
+        psi = DNF.from_sets([{"y": True}])
+        assert conditional_probability(
+            phi, psi, registry
+        ) == pytest.approx(0.3)
+
+    def test_certain_condition(self, registry):
+        phi = DNF.from_sets([{"x": True}])
+        assert conditional_probability(
+            phi, DNF.true(), registry
+        ) == pytest.approx(0.3)
+
+    def test_contradictory_condition(self, registry):
+        phi = DNF.from_sets([{"x": True}])
+        with pytest.raises(ZeroDivisionError):
+            conditional_probability(phi, DNF.false(), registry)
+
+    def test_conditioning_flips_probability(self, registry):
+        # P(x | x∧y) = 1.
+        phi = DNF.from_sets([{"x": True}])
+        psi = DNF.from_sets([{"x": True, "y": True}])
+        assert conditional_probability(
+            phi, psi, registry
+        ) == pytest.approx(1.0)
+
+    def test_approximate_conditioning(self, registry):
+        phi = DNF.from_sets([{"x": True}, {"z": True}])
+        psi = DNF.from_sets([{"y": True}, {"z": True}])
+        exact = conditional_probability(phi, psi, registry)
+        approx = conditional_probability(
+            phi, psi, registry, epsilon=0.01
+        )
+        assert approx == pytest.approx(exact, rel=0.05)

@@ -1,0 +1,157 @@
+"""Tests for query classification (hierarchical / IQ / Theorem 6.4)."""
+
+import pytest
+
+from repro.core.variables import VariableRegistry
+from repro.db.cq import (
+    ConjunctiveQuery,
+    Const,
+    Inequality,
+    SubGoal,
+    Var,
+    hard_pattern_tractable,
+)
+from repro.db.relation import Relation
+
+
+class TestTerms:
+    def test_var_equality(self):
+        assert Var("X") == Var("X")
+        assert Var("X") != Var("Y")
+        assert Var("X") != Const("X")
+
+    def test_const_equality(self):
+        assert Const(1) == Const(1)
+        assert Const(1) != Const(2)
+
+    def test_subgoal_variables_deduplicated(self):
+        a = Var("A")
+        sg = SubGoal("R", [a, a, Const(3)])
+        assert sg.variables() == [a]
+
+    def test_inequality_validation(self):
+        with pytest.raises(ValueError, match="operator"):
+            Inequality(Var("X"), "~", Var("Y"))
+
+    def test_inequality_holds(self):
+        x, y = Var("X"), Var("Y")
+        assert Inequality(x, "<", y).holds({x: 1, y: 2})
+        assert not Inequality(x, ">=", y).holds({x: 1, y: 2})
+        assert Inequality(x, "!=", Const(5)).holds({x: 4})
+
+
+class TestQueryStructure:
+    def test_head_variable_must_occur_in_body(self):
+        with pytest.raises(ValueError, match="head variable"):
+            ConjunctiveQuery([Var("Z")], [SubGoal("R", [Var("A")])])
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(ValueError, match="at least one subgoal"):
+            ConjunctiveQuery([], [])
+
+    def test_subgoal_set(self):
+        a, b = Var("A"), Var("B")
+        q = ConjunctiveQuery(
+            [], [SubGoal("R", [a, b]), SubGoal("S", [a])]
+        )
+        assert q.subgoal_set(a) == frozenset({0, 1})
+        assert q.subgoal_set(b) == frozenset({0})
+
+    def test_self_join_detection(self):
+        a = Var("A")
+        q = ConjunctiveQuery(
+            [], [SubGoal("R", [a]), SubGoal("R", [a])]
+        )
+        assert q.has_self_join()
+
+    def test_boolean_flag(self):
+        a = Var("A")
+        assert ConjunctiveQuery([], [SubGoal("R", [a])]).is_boolean()
+        assert not ConjunctiveQuery([a], [SubGoal("R", [a])]).is_boolean()
+
+    def test_repr_is_datalog_like(self):
+        a, b = Var("A"), Var("B")
+        q = ConjunctiveQuery(
+            [a],
+            [SubGoal("R", [a, b])],
+            [Inequality(b, "<", Const(5))],
+            name="test",
+        )
+        assert "test(A) :- R(A, B)" in repr(q)
+
+
+class TestHierarchy:
+    def test_head_variables_exempt(self):
+        # X and Y overlap only through the head variable—still counted
+        # per Definition 6.1 on *non-head* variables only.
+        x, y, z = Var("X"), Var("Y"), Var("Z")
+        q = ConjunctiveQuery(
+            [x],
+            [SubGoal("R", [x, y]), SubGoal("S", [x, z])],
+        )
+        assert q.is_hierarchical()
+
+    def test_hard_pattern_not_hierarchical(self):
+        x, y = Var("X"), Var("Y")
+        q = ConjunctiveQuery(
+            [],
+            [SubGoal("R", [x]), SubGoal("S", [x, y]), SubGoal("T", [y])],
+        )
+        assert not q.is_hierarchical()
+
+    def test_contained_subgoal_sets(self):
+        a, b = Var("A"), Var("B")
+        q = ConjunctiveQuery(
+            [],
+            [SubGoal("R", [a, b]), SubGoal("S", [a])],
+        )
+        # sg(B) = {0} ⊆ sg(A) = {0, 1}
+        assert q.is_hierarchical()
+
+
+class TestTheorem64:
+    """Tractable instances of R(X), S(X,Y), T(Y) by the structure of S."""
+
+    def _relation(self, rows, probabilistic=True):
+        reg = VariableRegistry()
+        if probabilistic:
+            return Relation.tuple_independent(
+                "S", ["x", "y"], [(row, 0.5) for row in rows], reg
+            )
+        return Relation.certain("S", ["x", "y"], rows)
+
+    def test_functional_x_to_y(self):
+        # Every X connects to one Y: functional.
+        s = self._relation([(1, 10), (2, 10), (3, 20)])
+        assert hard_pattern_tractable(s, "x", "y")
+
+    def test_functional_y_to_x(self):
+        s = self._relation([(1, 10), (1, 20), (2, 30)])
+        assert hard_pattern_tractable(s, "x", "y")
+
+    def test_mixed_functional_components(self):
+        # Component {1,2}→{10} functional; component {3}→{20,30} functional.
+        s = self._relation([(1, 10), (2, 10), (3, 20), (3, 30)])
+        assert hard_pattern_tractable(s, "x", "y")
+
+    def test_complete_deterministic_component(self):
+        # 2×2 complete bipartite block, deterministic S: tractable.
+        s = self._relation(
+            [(1, 10), (1, 20), (2, 10), (2, 20)], probabilistic=False
+        )
+        assert hard_pattern_tractable(s, "x", "y")
+
+    def test_complete_probabilistic_component_not_tractable(self):
+        s = self._relation([(1, 10), (1, 20), (2, 10), (2, 20)])
+        assert not hard_pattern_tractable(s, "x", "y")
+
+    def test_incomplete_nonfunctional_component_not_tractable(self):
+        # Path 1-10, 1-20, 2-20: neither functional nor complete.
+        s = self._relation([(1, 10), (1, 20), (2, 20)])
+        assert not hard_pattern_tractable(s, "x", "y")
+
+    def test_generalises_early_fd_result(self):
+        """The early tractability result (FD on all of S) is the special
+        case where every component is functional."""
+        s = self._relation([(x, x * 10) for x in range(1, 6)])
+        assert hard_pattern_tractable(s, "x", "y")

@@ -1,0 +1,145 @@
+"""Property-based tests for the database layer.
+
+Random small tuple-independent databases and conjunctive queries; the
+engine's lineage must agree with direct possible-worlds evaluation, and
+SPROUT must agree with the d-tree algorithms whenever it accepts the
+query.
+"""
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.exact import exact_probability
+from repro.core.semantics import brute_force_formula_probability
+from repro.core.variables import VariableRegistry
+from repro.db.cq import ConjunctiveQuery, SubGoal, Var
+from repro.db.database import Database
+from repro.db.engine import evaluate
+from repro.db.relation import Relation
+from repro.db.sprout import UnsafeQueryError, sprout_confidence
+
+COMMON = dict(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+_value = st.integers(min_value=1, max_value=3)
+_prob = st.floats(min_value=0.1, max_value=0.9, allow_nan=False)
+
+
+@st.composite
+def databases(draw):
+    """Two binary relations R(a,b), S(a,c) over a tiny value domain."""
+    registry = VariableRegistry()
+    database = Database(registry)
+    for name, attrs in (("R", ["a", "b"]), ("S", ["a", "c"])):
+        row_count = draw(st.integers(min_value=0, max_value=4))
+        rows = {}
+        for _ in range(row_count):
+            key = (draw(_value), draw(_value))
+            rows.setdefault(key, draw(_prob))
+        database.add(
+            Relation.tuple_independent(
+                name, attrs, list(rows.items()), registry
+            )
+        )
+    return database
+
+
+def world_rows(relation, world):
+    return [
+        values
+        for values, lineage in relation.rows
+        if lineage.evaluate(world)
+    ]
+
+
+def all_worlds(registry):
+    import itertools
+
+    variables = sorted(registry.variables(), key=repr)
+    for combo in itertools.product([True, False], repeat=len(variables)):
+        world = dict(zip(variables, combo))
+        yield world, registry.world_probability(world)
+
+
+class TestEngineSemantics:
+    @given(databases())
+    @settings(**COMMON)
+    def test_join_lineage_matches_worlds(self, database):
+        a, b, c = Var("A"), Var("B"), Var("C")
+        query = ConjunctiveQuery(
+            [a], [SubGoal("R", [a, b]), SubGoal("S", [a, c])]
+        )
+        answers = {ans.values: ans.lineage for ans in evaluate(query, database)}
+        registry = database.registry
+        # Per world: the answer set of the deterministic instance must
+        # equal the set of answers whose lineage holds.
+        for world, _probability in all_worlds(registry):
+            r_rows = world_rows(database["R"], world)
+            s_rows = world_rows(database["S"], world)
+            expected = {
+                (ra,)
+                for (ra, _rb) in r_rows
+                for (sa, _sc) in s_rows
+                if ra == sa
+            }
+            actual = {
+                values
+                for values, lineage in answers.items()
+                if lineage.evaluate(world)
+            }
+            assert actual == expected
+
+    @given(databases())
+    @settings(**COMMON)
+    def test_sprout_equals_dtree_and_brute_force(self, database):
+        a, b, c = Var("A"), Var("B"), Var("C")
+        query = ConjunctiveQuery(
+            [], [SubGoal("R", [a, b]), SubGoal("S", [a, c])]
+        )
+        registry = database.registry
+        answers = evaluate(query, database)
+        try:
+            sprout = dict(sprout_confidence(query, database))
+        except UnsafeQueryError:  # pragma: no cover - query is safe
+            raise AssertionError("hierarchical query rejected")
+        if not answers:
+            assert sprout == {}
+            return
+        lineage = answers[0].lineage
+        truth = brute_force_formula_probability(lineage, registry)
+        assert math.isclose(sprout[()], truth, abs_tol=1e-9)
+        assert math.isclose(
+            exact_probability(lineage.to_dnf(), registry),
+            truth,
+            abs_tol=1e-9,
+        )
+
+    @given(databases())
+    @settings(**COMMON)
+    def test_projection_probability_monotone(self, database):
+        """P(boolean query) ≥ P(any single answer of the non-boolean
+        version): projection only merges evidence."""
+        a, b, c = Var("A"), Var("B"), Var("C")
+        boolean = ConjunctiveQuery(
+            [], [SubGoal("R", [a, b]), SubGoal("S", [a, c])]
+        )
+        grouped = ConjunctiveQuery(
+            [a], [SubGoal("R", [a, b]), SubGoal("S", [a, c])]
+        )
+        registry = database.registry
+        boolean_answers = evaluate(boolean, database)
+        if not boolean_answers:
+            return
+        total = brute_force_formula_probability(
+            boolean_answers[0].lineage, registry
+        )
+        for answer in evaluate(grouped, database):
+            partial = brute_force_formula_probability(
+                answer.lineage, registry
+            )
+            assert partial <= total + 1e-9

@@ -1,0 +1,120 @@
+"""Tests for the Dagum–Karp–Luby–Ross stopping-rule algorithms."""
+
+import random
+
+import pytest
+
+from repro.mc.dklr import (
+    LAMBDA,
+    approximation_algorithm_estimate,
+    stopping_rule_estimate,
+)
+
+
+def bernoulli_stream(p, seed):
+    rng = random.Random(seed)
+
+    def sample():
+        return 1.0 if rng.random() < p else 0.0
+
+    return sample
+
+
+def scaled_uniform_stream(mean, seed):
+    rng = random.Random(seed)
+
+    def sample():
+        return rng.uniform(0.0, 2.0 * mean)
+
+    return sample
+
+
+class TestStoppingRule:
+    @pytest.mark.parametrize("mean", [0.7, 0.3, 0.05])
+    def test_relative_accuracy(self, mean):
+        result = stopping_rule_estimate(
+            bernoulli_stream(mean, 1), epsilon=0.1, delta=0.05
+        )
+        assert not result.capped
+        assert abs(result.estimate - mean) <= 0.1 * mean * 1.5  # slack
+
+    def test_smaller_mean_needs_more_samples(self):
+        big = stopping_rule_estimate(
+            bernoulli_stream(0.5, 2), epsilon=0.1, delta=0.05
+        )
+        small = stopping_rule_estimate(
+            bernoulli_stream(0.05, 2), epsilon=0.1, delta=0.05
+        )
+        assert small.samples > big.samples
+
+    def test_cap_reported(self):
+        result = stopping_rule_estimate(
+            bernoulli_stream(0.01, 3), epsilon=0.01, delta=0.01,
+            max_samples=100,
+        )
+        assert result.capped
+        assert result.samples == 100
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            stopping_rule_estimate(lambda: 1.0, epsilon=0.0, delta=0.5)
+        with pytest.raises(ValueError):
+            stopping_rule_estimate(lambda: 1.0, epsilon=0.5, delta=0.0)
+        with pytest.raises(ValueError):
+            stopping_rule_estimate(lambda: 1.0, epsilon=1.5, delta=0.5)
+
+    def test_lambda_constant(self):
+        import math
+
+        assert LAMBDA == pytest.approx(math.e - 2.0)
+
+
+class TestApproximationAlgorithm:
+    @pytest.mark.parametrize("mean", [0.6, 0.2])
+    def test_bernoulli_accuracy(self, mean):
+        result = approximation_algorithm_estimate(
+            bernoulli_stream(mean, 11), epsilon=0.05, delta=0.05
+        )
+        assert not result.capped
+        assert abs(result.estimate - mean) <= 0.05 * mean * 1.5
+
+    def test_low_variance_stream_uses_fewer_samples(self):
+        # A near-constant stream has tiny variance: AA should beat the
+        # zero-one stream sample count at equal mean.
+        def constant_stream():
+            return 0.5
+
+        noisy = approximation_algorithm_estimate(
+            bernoulli_stream(0.5, 7), epsilon=0.02, delta=0.05
+        )
+        quiet = approximation_algorithm_estimate(
+            constant_stream, epsilon=0.02, delta=0.05
+        )
+        assert quiet.samples < noisy.samples
+        assert quiet.estimate == pytest.approx(0.5)
+
+    def test_uniform_stream(self):
+        result = approximation_algorithm_estimate(
+            scaled_uniform_stream(0.25, 13), epsilon=0.05, delta=0.05
+        )
+        assert abs(result.estimate - 0.25) <= 0.05 * 0.25 * 1.5
+
+    def test_cap_propagates(self):
+        result = approximation_algorithm_estimate(
+            bernoulli_stream(0.001, 5), epsilon=0.01, delta=0.001,
+            max_samples=500,
+        )
+        assert result.capped
+        assert result.samples <= 500
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            approximation_algorithm_estimate(
+                lambda: 1.0, epsilon=0.5, delta=1.0
+            )
+
+    def test_repr(self):
+        result = stopping_rule_estimate(
+            bernoulli_stream(0.5, 1), epsilon=0.3, delta=0.3
+        )
+        assert "MonteCarloResult" in repr(result)

@@ -1,0 +1,205 @@
+"""Unit tests for the d-tree data structure and bound propagation."""
+
+import pytest
+
+from repro.core.dnf import DNF
+from repro.core.dtree import (
+    ExclusiveOrNode,
+    IndependentAndNode,
+    IndependentOrNode,
+    LeafNode,
+    combine_and_bounds,
+    combine_or_bounds,
+    combine_xor_bounds,
+)
+from repro.core.variables import VariableRegistry
+
+
+@pytest.fixture
+def registry():
+    return VariableRegistry.from_boolean_probabilities(
+        {"x": 0.3, "y": 0.2, "z": 0.7, "u": 0.5, "v": 0.8}
+    )
+
+
+def leaf(spec, bounds=None):
+    return LeafNode(DNF.from_sets([spec]), leaf_bounds=bounds)
+
+
+class TestLeaf:
+    def test_single_clause_probability(self, registry):
+        node = leaf({"x": True, "y": True})
+        assert node.probability(registry) == pytest.approx(0.06)
+        assert node.bounds(registry) == (
+            pytest.approx(0.06),
+            pytest.approx(0.06),
+        )
+
+    def test_multi_clause_without_bounds_defaults_to_unit_interval(
+        self, registry
+    ):
+        node = LeafNode(DNF.from_sets([{"x": True}, {"x": False, "y": True}]))
+        assert node.bounds(registry) == (0.0, 1.0)
+        with pytest.raises(ValueError, match="compile further"):
+            node.probability(registry)
+
+    def test_point_bounds_allow_probability(self, registry):
+        node = LeafNode(
+            DNF.from_sets([{"x": True}, {"y": True}]),
+            leaf_bounds=(0.44, 0.44),
+        )
+        assert node.probability(registry) == pytest.approx(0.44)
+
+    def test_empty_dnf_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            LeafNode(DNF.false())
+
+
+class TestNodeFormulas:
+    def test_independent_or_probability(self, registry):
+        node = IndependentOrNode([leaf({"x": True}), leaf({"y": True})])
+        assert node.probability(registry) == pytest.approx(
+            1 - 0.7 * 0.8
+        )
+
+    def test_independent_and_probability(self, registry):
+        node = IndependentAndNode([leaf({"x": True}), leaf({"y": True})])
+        assert node.probability(registry) == pytest.approx(0.06)
+
+    def test_exclusive_or_probability(self, registry):
+        node = ExclusiveOrNode(
+            [leaf({"z": True, "u": True}), leaf({"z": False, "v": True})]
+        )
+        assert node.probability(registry) == pytest.approx(
+            0.7 * 0.5 + 0.3 * 0.8
+        )
+
+    def test_example_4_1_tree(self, registry):
+        # (x ⊗ y) ⊙ ((z ⊙ u) ⊕ (¬z ⊙ v)) — Example 4.1 of the paper.
+        tree = IndependentAndNode(
+            [
+                IndependentOrNode([leaf({"x": True}), leaf({"y": True})]),
+                ExclusiveOrNode(
+                    [
+                        IndependentAndNode(
+                            [leaf({"z": True}), leaf({"u": True})]
+                        ),
+                        IndependentAndNode(
+                            [leaf({"z": False}), leaf({"v": True})]
+                        ),
+                    ]
+                ),
+            ]
+        )
+        expected = (1 - (1 - 0.3) * (1 - 0.2)) * (0.7 * 0.5 + 0.3 * 0.8)
+        assert tree.probability(registry) == pytest.approx(expected)
+
+    def test_inner_node_requires_children(self):
+        with pytest.raises(ValueError):
+            IndependentOrNode([])
+
+
+class TestBoundPropagation:
+    def test_example_5_5(self, registry):
+        """The worked bound propagation of Example 5.5 / Fig. 4."""
+        phi1 = LeafNode(
+            DNF.from_sets([{"x": True}]), leaf_bounds=(0.1, 0.11)
+        )
+        clause_leaf = LeafNode(
+            DNF.from_sets([{"u": True}]), leaf_bounds=(0.5, 0.5)
+        )
+        phi2 = LeafNode(
+            DNF.from_sets([{"y": True}]), leaf_bounds=(0.4, 0.44)
+        )
+        phi3 = LeafNode(
+            DNF.from_sets([{"z": True}]), leaf_bounds=(0.35, 0.38)
+        )
+        tree = IndependentOrNode(
+            [
+                phi1,
+                ExclusiveOrNode(
+                    [IndependentAndNode([clause_leaf, phi2]), phi3]
+                ),
+            ]
+        )
+        lower, upper = tree.bounds(registry)
+        assert lower == pytest.approx(
+            1 - (1 - 0.1) * (1 - (0.5 * 0.4 + 0.35))
+        )  # 0.595
+        assert upper == pytest.approx(
+            1 - (1 - 0.11) * (1 - (0.5 * 0.44 + 0.38))
+        )
+        assert lower == pytest.approx(0.595)
+        assert upper == pytest.approx(0.644)
+
+    def test_xor_upper_clamped(self, registry):
+        node = ExclusiveOrNode(
+            [
+                LeafNode(DNF.from_sets([{"x": True}]), leaf_bounds=(0.6, 0.9)),
+                LeafNode(DNF.from_sets([{"y": True}]), leaf_bounds=(0.5, 0.8)),
+            ]
+        )
+        lower, upper = node.bounds(registry)
+        assert upper == 1.0
+        assert lower == 1.0  # lower sum 1.1 also clamps
+
+    def test_combination_helpers(self):
+        assert combine_or_bounds([(0.1, 0.2), (0.3, 0.4)]) == (
+            pytest.approx(1 - 0.9 * 0.7),
+            pytest.approx(1 - 0.8 * 0.6),
+        )
+        assert combine_and_bounds([(0.5, 0.6), (0.5, 0.5)]) == (
+            pytest.approx(0.25),
+            pytest.approx(0.3),
+        )
+        assert combine_xor_bounds([(0.1, 0.2), (0.3, 0.4)]) == (
+            pytest.approx(0.4),
+            pytest.approx(0.6),
+        )
+
+    def test_bounds_contain_probability(self, registry):
+        tree = IndependentOrNode(
+            [
+                leaf({"x": True}),
+                IndependentAndNode([leaf({"y": True}), leaf({"z": True})]),
+            ]
+        )
+        probability = tree.probability(registry)
+        lower, upper = tree.bounds(registry)
+        assert lower == pytest.approx(probability)
+        assert upper == pytest.approx(probability)
+
+
+class TestTreeIntrospection:
+    def _tree(self):
+        return IndependentOrNode(
+            [
+                leaf({"x": True}),
+                IndependentAndNode([leaf({"y": True}), leaf({"z": True})]),
+            ]
+        )
+
+    def test_leaves(self):
+        assert len(list(self._tree().leaves())) == 3
+
+    def test_node_count_and_depth(self):
+        tree = self._tree()
+        assert tree.node_count() == 5
+        assert tree.depth() == 3
+
+    def test_is_complete(self, registry):
+        assert self._tree().is_complete()
+        partial = IndependentOrNode(
+            [LeafNode(DNF.from_sets([{"x": True}, {"x": False, "y": True}]))]
+        )
+        assert not partial.is_complete()
+
+    def test_histogram(self):
+        histogram = self._tree().inner_node_histogram()
+        assert histogram["independent-or"] == 1
+        assert histogram["independent-and"] == 1
+        assert histogram["leaf"] == 3
+
+    def test_pretty_render(self):
+        text = self._tree().pretty()
+        assert "⊗" in text and "⊙" in text and "leaf" in text

@@ -1,0 +1,213 @@
+"""Tests for conjunctive-query evaluation with lineage."""
+
+import pytest
+
+from repro.core.semantics import brute_force_formula_probability
+from repro.core.variables import VariableRegistry
+from repro.db.cq import ConjunctiveQuery, Const, Inequality, SubGoal, Var
+from repro.db.database import Database
+from repro.db.engine import answer_selector, evaluate, evaluate_to_dnf
+from repro.db.relation import Relation
+
+
+@pytest.fixture
+def database():
+    reg = VariableRegistry()
+    db = Database(reg)
+    db.add(
+        Relation.tuple_independent(
+            "R",
+            ["a", "b"],
+            [((1, 10), 0.5), ((1, 20), 0.6), ((2, 10), 0.7)],
+            reg,
+        )
+    )
+    db.add(
+        Relation.tuple_independent(
+            "S", ["b", "c"], [((10, 5), 0.4), ((20, 6), 0.9)], reg
+        )
+    )
+    db.add(Relation.certain("T", ["c"], [(5,), (6,), (7,)]))
+    return db
+
+
+class TestBasicEvaluation:
+    def test_single_subgoal_all_rows(self, database):
+        a, b = Var("A"), Var("B")
+        query = ConjunctiveQuery([a, b], [SubGoal("R", [a, b])])
+        answers = evaluate(query, database)
+        assert {ans.values for ans in answers} == {(1, 10), (1, 20), (2, 10)}
+
+    def test_join_produces_conjoined_lineage(self, database):
+        a, b, c = Var("A"), Var("B"), Var("C")
+        query = ConjunctiveQuery(
+            [a, c], [SubGoal("R", [a, b]), SubGoal("S", [b, c])]
+        )
+        answers = {ans.values: ans for ans in evaluate(query, database)}
+        assert set(answers) == {(1, 5), (1, 6), (2, 5)}
+        # (1,5) comes from r(1,10) ∧ s(10,5): probability 0.5 * 0.4.
+        reg = database.registry
+        assert brute_force_formula_probability(
+            answers[(1, 5)].lineage, reg
+        ) == pytest.approx(0.5 * 0.4)
+
+    def test_projection_merges_derivations(self, database):
+        a, b, c = Var("A"), Var("B"), Var("C")
+        query = ConjunctiveQuery(
+            [a], [SubGoal("R", [a, b]), SubGoal("S", [b, c])]
+        )
+        answers = {ans.values: ans for ans in evaluate(query, database)}
+        reg = database.registry
+        # a=1 via (r(1,10)∧s(10,5)) ∨ (r(1,20)∧s(20,6))
+        expected = 1 - (1 - 0.5 * 0.4) * (1 - 0.6 * 0.9)
+        assert brute_force_formula_probability(
+            answers[(1,)].lineage, reg
+        ) == pytest.approx(expected)
+
+    def test_boolean_query_single_answer(self, database):
+        a, b = Var("A"), Var("B")
+        query = ConjunctiveQuery([], [SubGoal("R", [a, b])])
+        answers = evaluate(query, database)
+        assert len(answers) == 1
+        assert answers[0].values == ()
+
+    def test_no_match_returns_empty(self, database):
+        a = Var("A")
+        query = ConjunctiveQuery(
+            [a], [SubGoal("R", [a, Const(999)])]
+        )
+        assert evaluate(query, database) == []
+
+
+class TestConstantsAndRepeats:
+    def test_constant_in_subgoal(self, database):
+        b = Var("B")
+        query = ConjunctiveQuery([b], [SubGoal("R", [Const(1), b])])
+        answers = {ans.values for ans in evaluate(query, database)}
+        assert answers == {(10,), (20,)}
+
+    def test_repeated_variable_within_subgoal(self):
+        reg = VariableRegistry()
+        db = Database(reg)
+        db.add(
+            Relation.tuple_independent(
+                "P",
+                ["x", "y"],
+                [((1, 1), 0.5), ((1, 2), 0.6), ((3, 3), 0.7)],
+                reg,
+            )
+        )
+        a = Var("A")
+        query = ConjunctiveQuery([a], [SubGoal("P", [a, a])])
+        answers = {ans.values for ans in evaluate(query, db)}
+        assert answers == {(1,), (3,)}
+
+    def test_certain_rows_contribute_true_lineage(self, database):
+        c = Var("C")
+        query = ConjunctiveQuery([c], [SubGoal("T", [c])])
+        answers = evaluate(query, database)
+        reg = database.registry
+        for ans in answers:
+            assert brute_force_formula_probability(
+                ans.lineage, reg
+            ) == pytest.approx(1.0)
+
+
+class TestInequalities:
+    def test_cross_subgoal_inequality(self, database):
+        a, b, c = Var("A"), Var("B"), Var("C")
+        query = ConjunctiveQuery(
+            [a, c],
+            [SubGoal("R", [a, b]), SubGoal("S", [b, c])],
+            [Inequality(a, "<", c)],
+        )
+        answers = {ans.values for ans in evaluate(query, database)}
+        assert answers == {(1, 5), (1, 6), (2, 5)}
+
+    def test_constant_inequality(self, database):
+        a, b = Var("A"), Var("B")
+        query = ConjunctiveQuery(
+            [a, b],
+            [SubGoal("R", [a, b])],
+            [Inequality(b, ">=", Const(20))],
+        )
+        answers = {ans.values for ans in evaluate(query, database)}
+        assert answers == {(1, 20)}
+
+    def test_unbindable_inequality_rejected(self, database):
+        a, b = Var("A"), Var("B")
+        with pytest.raises(ValueError, match="not in query body"):
+            ConjunctiveQuery(
+                [a],
+                [SubGoal("R", [a, b])],
+                [Inequality(Var("GHOST"), "<", Const(1))],
+            )
+
+    def test_self_join_inequality(self):
+        """Inequality self-join (the IQ pattern R(X), R2(Y), X < Y)."""
+        reg = VariableRegistry()
+        db = Database(reg)
+        db.add(
+            Relation.tuple_independent(
+                "R", ["x"], [((1,), 0.5), ((2,), 0.6)], reg
+            )
+        )
+        db.add(
+            Relation.tuple_independent(
+                "S", ["y"], [((1,), 0.7), ((3,), 0.8)], reg
+            )
+        )
+        x, y = Var("X"), Var("Y")
+        query = ConjunctiveQuery(
+            [],
+            [SubGoal("R", [x]), SubGoal("S", [y])],
+            [Inequality(x, "<", y)],
+        )
+        answers = evaluate(query, db)
+        assert len(answers) == 1
+        reg = db.registry
+        # Qualifying pairs: (x=1, y=3) and (x=2, y=3); the lineage is
+        # (r1 ∧ s3) ∨ (r2 ∧ s3) = s3 ∧ (r1 ∨ r2).
+        actual = brute_force_formula_probability(answers[0].lineage, reg)
+        assert actual == pytest.approx(0.8 * (1 - 0.5 * 0.4))
+
+
+class TestErrors:
+    def test_arity_mismatch(self, database):
+        a = Var("A")
+        query = ConjunctiveQuery([a], [SubGoal("R", [a])])
+        with pytest.raises(ValueError, match="terms"):
+            evaluate(query, database)
+
+    def test_unknown_relation(self, database):
+        a = Var("A")
+        query = ConjunctiveQuery([a], [SubGoal("GHOST", [a])])
+        with pytest.raises(KeyError):
+            evaluate(query, database)
+
+
+class TestToDnf:
+    def test_evaluate_to_dnf_matches_lineage(self, database):
+        a, b, c = Var("A"), Var("B"), Var("C")
+        query = ConjunctiveQuery(
+            [a], [SubGoal("R", [a, b]), SubGoal("S", [b, c])]
+        )
+        reg = database.registry
+        for values, dnf in evaluate_to_dnf(query, database):
+            lineage = {
+                ans.values: ans.lineage for ans in evaluate(query, database)
+            }[values]
+            assert brute_force_formula_probability(
+                lineage, reg
+            ) == pytest.approx(
+                __import__(
+                    "repro.core.semantics", fromlist=["x"]
+                ).brute_force_probability(dnf, reg)
+            )
+
+    def test_answer_selector_usable(self, database):
+        selector = answer_selector(database)
+        from repro.core.dnf import DNF
+
+        dnf = DNF.from_sets([{("R", 0): True}, {("R", 1): True}])
+        assert selector(dnf) in {("R", 0), ("R", 1)}

@@ -1,0 +1,162 @@
+"""Unit tests for atoms and clauses (repro.core.events)."""
+
+import pytest
+
+from repro.core.events import Atom, Clause, InconsistentClauseError
+from repro.core.variables import VariableRegistry
+
+
+@pytest.fixture
+def registry():
+    reg = VariableRegistry.from_boolean_probabilities({"x": 0.3, "y": 0.2})
+    reg.add_variable("u", {1: 0.5, 2: 0.2, 3: 0.3})
+    return reg
+
+
+class TestAtom:
+    def test_equality_and_hash(self):
+        assert Atom("x", True) == Atom("x", True)
+        assert Atom("x", True) != Atom("x", False)
+        assert hash(Atom("u", 2)) == hash(Atom("u", 2))
+
+    def test_default_value_is_true(self):
+        assert Atom("x").value is True
+
+    def test_immutability(self):
+        atom = Atom("x", True)
+        with pytest.raises(AttributeError):
+            atom.value = False
+
+    def test_probability(self, registry):
+        assert Atom("x", True).probability(registry) == pytest.approx(0.3)
+        assert Atom("u", 3).probability(registry) == pytest.approx(0.3)
+
+    def test_negation_boolean(self):
+        assert Atom("x", True).negated() == Atom("x", False)
+        assert Atom("x", False).negated() == Atom("x", True)
+
+    def test_negation_of_multivalued_rejected(self):
+        with pytest.raises(ValueError, match="negate non-Boolean"):
+            Atom("u", 2).negated()
+
+    def test_repr_shorthand(self):
+        assert repr(Atom("x", True)) == "x"
+        assert repr(Atom("x", False)) == "¬x"
+        assert repr(Atom("u", 2)) == "u=2"
+
+
+class TestClauseConstruction:
+    def test_from_atoms(self):
+        clause = Clause([Atom("x", True), Atom("u", 2)])
+        assert clause.value_of("x") is True
+        assert clause.value_of("u") == 2
+
+    def test_from_mapping(self):
+        clause = Clause({"x": True, "u": 2})
+        assert clause.binds("x") and clause.binds("u")
+
+    def test_duplicate_atom_deduplicated(self):
+        clause = Clause([Atom("x", True), Atom("x", True)])
+        assert len(clause) == 1
+
+    def test_inconsistent_rejected(self):
+        with pytest.raises(InconsistentClauseError):
+            Clause([Atom("x", True), Atom("x", False)])
+        with pytest.raises(InconsistentClauseError):
+            Clause([Atom("u", 1), Atom("u", 2)])
+
+    def test_positive_helper(self):
+        clause = Clause.positive("x", "y")
+        assert clause.value_of("x") is True and clause.value_of("y") is True
+
+    def test_empty_clause_is_true_and_truthy(self):
+        clause = Clause()
+        assert clause.is_empty()
+        assert bool(clause)  # explicitly not container-falsy
+        assert repr(clause) == "⊤"
+
+    def test_immutability(self):
+        clause = Clause({"x": True})
+        with pytest.raises(AttributeError):
+            clause._bindings = {}
+
+
+class TestClauseLogic:
+    def test_subsumes_subset(self):
+        small = Clause({"x": True})
+        big = Clause({"x": True, "y": False})
+        assert small.subsumes(big)
+        assert not big.subsumes(small)
+        assert small.subsumes(small)
+
+    def test_subsumes_requires_same_values(self):
+        a = Clause({"x": True})
+        b = Clause({"x": False, "y": True})
+        assert not a.subsumes(b)
+
+    def test_empty_clause_subsumes_everything(self):
+        assert Clause().subsumes(Clause({"x": True, "y": False}))
+
+    def test_restrict_consistent_strips_atom(self):
+        clause = Clause({"x": True, "y": False})
+        restricted = clause.restrict("x", True)
+        assert restricted == Clause({"y": False})
+
+    def test_restrict_inconsistent_returns_none(self):
+        clause = Clause({"x": True})
+        assert clause.restrict("x", False) is None
+
+    def test_restrict_unbound_variable_is_identity(self):
+        clause = Clause({"y": False})
+        assert clause.restrict("x", True) is clause
+
+    def test_union_merges(self):
+        merged = Clause({"x": True}).union(Clause({"y": False}))
+        assert merged == Clause({"x": True, "y": False})
+
+    def test_union_conflict_raises(self):
+        with pytest.raises(InconsistentClauseError):
+            Clause({"x": True}).union(Clause({"x": False}))
+
+    def test_independence(self):
+        assert Clause({"x": True}).independent_of(Clause({"y": True}))
+        assert not Clause({"x": True}).independent_of(
+            Clause({"x": False, "y": True})
+        )
+
+    def test_project(self):
+        clause = Clause({"x": True, "y": False, "u": 2})
+        assert clause.project(frozenset(["x", "u"])) == Clause(
+            {"x": True, "u": 2}
+        )
+
+    def test_is_consistent_with_atom(self):
+        clause = Clause({"x": True})
+        assert clause.is_consistent_with_atom("x", True)
+        assert not clause.is_consistent_with_atom("x", False)
+        assert clause.is_consistent_with_atom("y", False)
+
+
+class TestClauseSemantics:
+    def test_probability_is_product(self, registry):
+        clause = Clause({"x": True, "u": 2})
+        assert clause.probability(registry) == pytest.approx(0.3 * 0.2)
+
+    def test_empty_clause_probability_is_one(self, registry):
+        assert Clause().probability(registry) == 1.0
+
+    def test_evaluate(self):
+        clause = Clause({"x": True, "y": False})
+        assert clause.evaluate({"x": True, "y": False})
+        assert not clause.evaluate({"x": True, "y": True})
+        assert not clause.evaluate({"x": True})  # unbound y
+
+    def test_atoms_in_deterministic_order(self):
+        clause = Clause({"y": False, "x": True})
+        assert [repr(a) for a in clause.atoms()] == ["x", "¬y"]
+
+    def test_equality_and_hash(self):
+        assert Clause({"x": True, "y": False}) == Clause(
+            {"y": False, "x": True}
+        )
+        assert hash(Clause({"x": True})) == hash(Clause({"x": True}))

@@ -1,0 +1,101 @@
+"""Tests for the exact computation paths (repro.core.exact)."""
+
+import pytest
+
+from repro.core.compiler import CompilationBudgetExceeded, CompilationStats
+from repro.core.dnf import DNF
+from repro.core.exact import exact_probability, exact_probability_compiled
+from repro.core.semantics import brute_force_probability
+from repro.core.variables import VariableRegistry
+
+
+@pytest.fixture
+def registry():
+    return VariableRegistry.from_boolean_probabilities(
+        {name: 0.2 + 0.1 * i for i, name in enumerate("abcdef")}
+    )
+
+
+class TestExactProbability:
+    def test_matches_brute_force(self, registry):
+        dnf = DNF.from_sets(
+            [
+                {"a": True, "b": True},
+                {"b": True, "c": True},
+                {"a": True, "c": True},
+                {"d": True},
+            ]
+        )
+        assert exact_probability(dnf, registry) == pytest.approx(
+            brute_force_probability(dnf, registry)
+        )
+
+    def test_budget_exhaustion_raises(self, registry):
+        dnf = DNF.from_sets(
+            [
+                {"a": True, "b": True},
+                {"b": True, "c": True},
+                {"a": True, "c": True},
+            ]
+        )
+        with pytest.raises(RuntimeError, match="step budget"):
+            exact_probability(dnf, registry, max_steps=1)
+
+    def test_false_dnf(self, registry):
+        assert exact_probability(DNF.false(), registry) == 0.0
+
+    def test_true_dnf(self, registry):
+        assert exact_probability(DNF.true(), registry) == 1.0
+
+
+class TestExactCompiled:
+    def test_matches_incremental(self, registry):
+        dnf = DNF.from_sets(
+            [
+                {"a": True, "b": False},
+                {"b": True, "c": True},
+                {"c": False, "d": True},
+                {"e": True},
+            ]
+        )
+        assert exact_probability_compiled(dnf, registry) == pytest.approx(
+            exact_probability(dnf, registry)
+        )
+
+    def test_false_dnf(self, registry):
+        assert exact_probability_compiled(DNF.false(), registry) == 0.0
+
+    def test_stats_forwarded(self, registry):
+        dnf = DNF.from_sets([{"a": True}, {"b": True}])
+        stats = CompilationStats()
+        exact_probability_compiled(dnf, registry, stats=stats)
+        assert stats.nodes > 0
+
+    def test_node_budget_forwarded(self, registry):
+        dnf = DNF.from_sets(
+            [
+                {"a": True, "b": True},
+                {"b": True, "c": True},
+                {"a": True, "c": True},
+            ]
+        )
+        with pytest.raises(CompilationBudgetExceeded):
+            exact_probability_compiled(dnf, registry, max_nodes=1)
+
+    def test_deep_shannon_chain(self):
+        """An inequality-style chain forces a long ⊕ spine; the compiled
+        path must handle the recursion depth."""
+        count = 60
+        reg = VariableRegistry.from_boolean_probabilities(
+            {f"x{i}": 0.3 for i in range(count)}
+            | {f"y{i}": 0.4 for i in range(count)}
+        )
+        clauses = [
+            {f"x{i}": True, f"y{j}": True}
+            for i in range(count)
+            for j in range(i, count)
+        ]
+        dnf = DNF.from_sets(clauses)
+        compiled = exact_probability_compiled(dnf, reg)
+        incremental = exact_probability(dnf, reg)
+        assert compiled == pytest.approx(incremental)

@@ -1,0 +1,52 @@
+"""Smoke tests: the example scripts must run end to end.
+
+``tpch_confidence.py`` is compile-checked only — it deliberately runs a
+multi-second benchmark sweep that belongs in ``benchmarks/``, not in the
+test suite.
+"""
+
+import pathlib
+import py_compile
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "anytime_bounds.py",
+    "sql_and_topk.py",
+    "social_network_motifs.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip(), "example produced no output"
+
+
+def test_all_examples_compile():
+    scripts = sorted(EXAMPLES_DIR.glob("*.py"))
+    assert len(scripts) >= 5
+    for script in scripts:
+        py_compile.compile(str(script), doraise=True)
+
+
+def test_quickstart_reproduces_example_5_2():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert "0.845600" in result.stdout  # the exact probability
+    assert "complete d-tree" in result.stdout

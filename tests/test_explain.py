@@ -1,0 +1,136 @@
+"""Tests for the query explanation / algorithm advisor."""
+
+import pytest
+
+from repro.core.variables import VariableRegistry
+from repro.db.cq import ConjunctiveQuery, Const, Inequality, SubGoal, Var
+from repro.db.database import Database
+from repro.db.explain import explain
+from repro.db.relation import Relation
+from repro.datasets.tpch_queries import (
+    HARD_QUERIES,
+    HIERARCHICAL_QUERIES,
+    IQ_QUERIES,
+    make_query,
+)
+
+
+def hard_pattern_db(s_pairs, probabilistic=True):
+    reg = VariableRegistry()
+    db = Database(reg)
+    xs = sorted({x for x, _y in s_pairs})
+    ys = sorted({y for _x, y in s_pairs})
+    db.add(Relation.tuple_independent("R", ["x"], [((x,), 0.3) for x in xs],
+                                      reg))
+    if probabilistic:
+        db.add(
+            Relation.tuple_independent(
+                "S", ["x", "y"], [((x, y), 0.4) for x, y in s_pairs], reg
+            )
+        )
+    else:
+        db.add(Relation.certain("S", ["x", "y"], s_pairs))
+    db.add(Relation.tuple_independent("T", ["y"], [((y,), 0.6) for y in ys],
+                                      reg))
+    return db
+
+
+def hard_pattern_query():
+    x, y = Var("X"), Var("Y")
+    return ConjunctiveQuery(
+        [],
+        [SubGoal("R", [x]), SubGoal("S", [x, y]), SubGoal("T", [y])],
+    )
+
+
+class TestClassification:
+    def test_hierarchical_queries(self):
+        for name in HIERARCHICAL_QUERIES:
+            report = explain(make_query(name))
+            assert report.tractable, name
+            assert report.hierarchical, name
+            assert "SPROUT" in report.recommendation, name
+
+    def test_iq_queries(self):
+        for name in IQ_QUERIES:
+            query = make_query(name)
+            if not query.inequalities:
+                continue
+            report = explain(query)
+            assert report.tractable, name
+
+    def test_hard_queries(self):
+        for name in HARD_QUERIES:
+            report = explain(make_query(name))
+            assert not report.tractable, name
+            assert "approximation" in report.recommendation, name
+
+    def test_self_join_reported(self):
+        x, y = Var("X"), Var("Y")
+        query = ConjunctiveQuery(
+            [], [SubGoal("E", [x, y]), SubGoal("E", [y, x])]
+        )
+        report = explain(query)
+        assert report.self_join
+        assert not report.tractable
+
+
+class TestTheorem64Integration:
+    def test_functional_instance_tractable(self):
+        db = hard_pattern_db([(1, 10), (2, 10), (3, 20)])
+        report = explain(hard_pattern_query(), db)
+        assert report.hard_pattern
+        assert report.theorem_6_4 is True
+        assert report.tractable
+
+    def test_path_instance_hard(self):
+        db = hard_pattern_db([(1, 10), (1, 20), (2, 20)])
+        report = explain(hard_pattern_query(), db)
+        assert report.hard_pattern
+        assert report.theorem_6_4 is False
+        assert not report.tractable
+
+    def test_complete_deterministic_tractable(self):
+        db = hard_pattern_db(
+            [(1, 10), (1, 20), (2, 10), (2, 20)], probabilistic=False
+        )
+        report = explain(hard_pattern_query(), db)
+        assert report.theorem_6_4 is True
+        assert report.tractable
+
+    def test_without_database_undecided(self):
+        report = explain(hard_pattern_query())
+        assert report.hard_pattern
+        assert report.theorem_6_4 is None
+        assert not report.tractable
+
+    def test_notes_populated(self):
+        db = hard_pattern_db([(1, 10)])
+        report = explain(hard_pattern_query(), db)
+        assert report.notes
+        assert "QueryExplanation" in repr(report)
+
+
+class TestIQEdgeCases:
+    def test_iq_without_inequalities_is_hierarchical_case(self):
+        # q3 of Example 6.7: R(A), T(D) — IQ by definition, but without
+        # inequalities the hierarchical recommendation wins.
+        a, d = Var("A"), Var("D")
+        query = ConjunctiveQuery(
+            [], [SubGoal("R", [a]), SubGoal("T", [d])]
+        )
+        report = explain(query)
+        assert report.tractable
+        assert "SPROUT" in report.recommendation
+
+    def test_cross_inequality_on_non_iq_shape(self):
+        # Equality join + cross inequality: not IQ, not plain hierarchical.
+        a, b, c, d = Var("A"), Var("B"), Var("C"), Var("D")
+        query = ConjunctiveQuery(
+            [],
+            [SubGoal("R", [a, b]), SubGoal("S", [a, c]),
+             SubGoal("T", [d])],
+            [Inequality(b, "<", d), Inequality(c, "<", d)],
+        )
+        report = explain(query)
+        assert not report.tractable

@@ -1,0 +1,143 @@
+"""Unit tests for the lineage formula AST (repro.core.formulas)."""
+
+import pytest
+
+from repro.core.dnf import DNF
+from repro.core.formulas import (
+    FALSE,
+    TRUE,
+    AndNode,
+    AtomNode,
+    OrNode,
+    atom,
+    conj,
+    disj,
+)
+from repro.core.semantics import brute_force_formula_probability
+from repro.core.variables import VariableRegistry
+
+
+@pytest.fixture
+def registry():
+    return VariableRegistry.from_boolean_probabilities(
+        {"x": 0.3, "y": 0.2, "z": 0.7, "u": 0.5, "v": 0.8}
+    )
+
+
+class TestConstants:
+    def test_true_dnf(self):
+        assert TRUE.to_dnf().is_true()
+        assert TRUE.evaluate({})
+
+    def test_false_dnf(self):
+        assert FALSE.to_dnf().is_false()
+        assert not FALSE.evaluate({})
+
+    def test_constant_folding(self):
+        assert conj(atom("x"), FALSE) is FALSE
+        assert disj(atom("x"), TRUE) is TRUE
+        assert conj(TRUE, TRUE) is TRUE
+        assert disj(FALSE, FALSE) is FALSE
+
+    def test_true_dropped_in_conj(self):
+        result = conj(TRUE, atom("x"))
+        assert result == atom("x")
+
+    def test_false_dropped_in_disj(self):
+        result = disj(FALSE, atom("x"))
+        assert result == atom("x")
+
+
+class TestSmartConstructors:
+    def test_flattening_conj(self):
+        nested = conj(conj(atom("x"), atom("y")), atom("z"))
+        assert isinstance(nested, AndNode)
+        assert len(nested.children) == 3
+
+    def test_flattening_disj(self):
+        nested = disj(disj(atom("x"), atom("y")), atom("z"))
+        assert isinstance(nested, OrNode)
+        assert len(nested.children) == 3
+
+    def test_single_child_unwrapped(self):
+        assert conj(atom("x")) == atom("x")
+        assert disj(atom("x")) == atom("x")
+
+    def test_operator_overloads(self):
+        combined = atom("x") & atom("y") | atom("z")
+        assert isinstance(combined, OrNode)
+
+    def test_atom_shorthand(self):
+        node = atom("u", 3)
+        assert node.atom.variable == "u"
+        assert node.atom.value == 3
+
+
+class TestToDNF:
+    def test_atom(self):
+        assert atom("x").to_dnf() == DNF.from_sets([{"x": True}])
+
+    def test_and_distributes_over_or(self):
+        # (x ∨ y) ∧ z  →  xz ∨ yz
+        formula = conj(disj(atom("x"), atom("y")), atom("z"))
+        assert formula.to_dnf() == DNF.from_sets(
+            [{"x": True, "z": True}, {"y": True, "z": True}]
+        )
+
+    def test_inconsistent_branches_dropped(self):
+        formula = conj(atom("x", True), atom("x", False))
+        assert formula.to_dnf().is_false()
+
+    def test_example_4_1_structure(self, registry):
+        # (x ∨ y) ∧ ((z ∧ u) ∨ (¬z ∧ v)) from Example 4.1
+        formula = conj(
+            disj(atom("x"), atom("y")),
+            disj(
+                conj(atom("z", True), atom("u")),
+                conj(atom("z", False), atom("v")),
+            ),
+        )
+        dnf = formula.to_dnf()
+        assert len(dnf) == 4
+        p = brute_force_formula_probability(formula, registry)
+        # P = (1-(1-P(x))(1-P(y))) * (P(z)P(u) + P(¬z)P(v))
+        expected = (1 - 0.7 * 0.8) * (0.7 * 0.5 + 0.3 * 0.8)
+        assert p == pytest.approx(expected)
+
+
+class TestEvaluation:
+    def test_evaluate_matches_dnf(self, registry):
+        formula = disj(
+            conj(atom("x"), atom("y")),
+            conj(atom("z", False), atom("v")),
+        )
+        dnf = formula.to_dnf()
+        for world, _prob in __import__(
+            "repro.core.semantics", fromlist=["enumerate_worlds"]
+        ).enumerate_worlds(registry, sorted(formula.variables(), key=repr)):
+            assert formula.evaluate(world) == dnf.evaluate(world)
+
+    def test_variables_collects_all(self):
+        formula = conj(atom("x"), disj(atom("y"), atom("z")))
+        assert formula.variables() == frozenset({"x", "y", "z"})
+
+    def test_probability_exact_convenience(self, registry):
+        formula = disj(atom("x"), atom("y"))
+        expected = 1 - 0.7 * 0.8
+        assert formula.probability_exact(registry) == pytest.approx(expected)
+
+
+class TestEqualityHash:
+    def test_atom_nodes(self):
+        assert atom("x") == atom("x")
+        assert hash(atom("x")) == hash(atom("x"))
+        assert atom("x") != atom("y")
+
+    def test_nary_nodes(self):
+        assert conj(atom("x"), atom("y")) == conj(atom("x"), atom("y"))
+        assert conj(atom("x"), atom("y")) != disj(atom("x"), atom("y"))
+
+    def test_immutability(self):
+        node = atom("x")
+        with pytest.raises(AttributeError):
+            node.atom = None

@@ -1,0 +1,206 @@
+"""Tests for probabilistic graphs and motif queries."""
+
+import itertools
+
+import networkx as nx
+import pytest
+
+from repro.core.exact import exact_probability
+from repro.core.semantics import brute_force_probability
+from repro.datasets.graphs import (
+    GRAPH_QUERIES,
+    ProbabilisticGraph,
+    graph_from_edges,
+    path2_dnf,
+    path3_dnf,
+    random_graph,
+    separation2_dnf,
+    triangle_dnf,
+)
+
+
+@pytest.fixture
+def small_graph():
+    # 4-clique with p = 0.5 on every edge.
+    return random_graph(4, 0.5)
+
+
+class TestConstruction:
+    def test_random_graph_is_clique(self):
+        graph = random_graph(5, 0.3)
+        assert graph.edge_count() == 10
+        assert all(p == 0.3 for p in graph.edges.values())
+
+    def test_edge_variables_registered(self, small_graph):
+        for edge in small_graph.edges:
+            assert ("E", edge) in small_graph.registry
+
+    def test_from_edges(self):
+        graph = graph_from_edges([(0, 1, 0.5), (2, 1, 0.7)])
+        assert graph.edge_count() == 2
+        assert graph.has_edge(1, 2)  # normalised
+
+    def test_duplicate_edge_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            graph_from_edges([(0, 1, 0.5), (1, 0, 0.7)])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            graph_from_edges([(1, 1, 0.5)])
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            random_graph(3, 0.0)
+        with pytest.raises(ValueError):
+            random_graph(1, 0.5)
+
+    def test_neighbours(self):
+        graph = graph_from_edges([(0, 1, 0.5), (1, 2, 0.5)])
+        assert graph.neighbours(1) == [0, 2]
+
+    def test_to_database(self, small_graph):
+        db = small_graph.to_database()
+        assert len(db["E"]) == 6
+        assert db.variable_origins()
+
+
+def world_graphs(graph):
+    """Enumerate (deterministic subgraph, probability)."""
+    edges = sorted(graph.edges)
+    for present in itertools.product([False, True], repeat=len(edges)):
+        chosen = [e for e, keep in zip(edges, present) if keep]
+        probability = 1.0
+        for edge, keep in zip(edges, present):
+            p = graph.edges[edge]
+            probability *= p if keep else (1 - p)
+        g = nx.Graph()
+        g.add_nodes_from(graph.nodes)
+        g.add_edges_from(chosen)
+        yield g, probability
+
+
+def nx_motif_probability(graph, predicate):
+    """Ground-truth probability that a world satisfies `predicate`."""
+    return sum(
+        probability
+        for g, probability in world_graphs(graph)
+        if predicate(g)
+    )
+
+
+class TestMotifsAgainstNetworkx:
+    def test_triangle(self, small_graph):
+        dnf = triangle_dnf(small_graph)
+        truth = nx_motif_probability(
+            small_graph,
+            lambda g: any(nx.triangles(g).values()),
+        )
+        assert brute_force_probability(
+            dnf, small_graph.registry
+        ) == pytest.approx(truth)
+
+    def test_path2(self, small_graph):
+        def has_path2(g):
+            return any(d >= 2 for _n, d in g.degree())
+
+        dnf = path2_dnf(small_graph)
+        truth = nx_motif_probability(small_graph, has_path2)
+        assert brute_force_probability(
+            dnf, small_graph.registry
+        ) == pytest.approx(truth)
+
+    def test_path3(self, small_graph):
+        def has_path3(g):
+            # A simple path on 4 distinct vertices.
+            for u, v in g.edges():
+                for a in g.neighbors(u):
+                    if a in (u, v):
+                        continue
+                    for d in g.neighbors(v):
+                        if d in (a, u, v):
+                            continue
+                        return True
+            return False
+
+        dnf = path3_dnf(small_graph)
+        truth = nx_motif_probability(small_graph, has_path3)
+        assert brute_force_probability(
+            dnf, small_graph.registry
+        ) == pytest.approx(truth)
+
+    def test_separation2(self, small_graph):
+        source, target = 0, 3
+
+        def within_two(g):
+            try:
+                return nx.shortest_path_length(g, source, target) <= 2
+            except nx.NetworkXNoPath:
+                return False
+
+        dnf = separation2_dnf(small_graph, source, target)
+        truth = nx_motif_probability(small_graph, within_two)
+        assert brute_force_probability(
+            dnf, small_graph.registry
+        ) == pytest.approx(truth)
+
+
+class TestMotifsOnSparseGraphs:
+    def test_triangle_only_over_existing_edges(self):
+        # Path graph has no triangle: the DNF must be empty (false).
+        graph = graph_from_edges(
+            [(0, 1, 0.5), (1, 2, 0.5), (2, 3, 0.5)]
+        )
+        assert triangle_dnf(graph).is_false()
+
+    def test_separation_needs_distinct_nodes(self):
+        graph = graph_from_edges([(0, 1, 0.5)])
+        with pytest.raises(ValueError):
+            separation2_dnf(graph, 1, 1)
+
+    def test_clause_counts_on_clique(self):
+        # The paper: a triangle query on an n-clique yields C(n,3) clauses.
+        n = 7
+        graph = random_graph(n, 0.5)
+        assert len(triangle_dnf(graph)) == (
+            n * (n - 1) * (n - 2) // 6
+        )
+        # path2: 3 * C(n,3) middles-choices... each unordered triple gives
+        # 3 paths (choice of middle).
+        assert len(path2_dnf(graph)) == 3 * (n * (n - 1) * (n - 2) // 6)
+
+    def test_exact_probability_via_dtree(self):
+        graph = random_graph(5, 0.3)
+        dnf = triangle_dnf(graph)
+        assert exact_probability(dnf, graph.registry) == pytest.approx(
+            brute_force_probability(dnf, graph.registry)
+        )
+
+    def test_graph_queries_registry(self):
+        graph = random_graph(5, 0.4)
+        for name, generator in GRAPH_QUERIES.items():
+            dnf = generator(graph)
+            assert not dnf.is_false(), name
+
+
+class TestEngineConsistency:
+    def test_triangle_via_self_join_matches_enumerator(self):
+        from repro.db.cq import ConjunctiveQuery, Inequality, SubGoal, Var
+
+        graph = random_graph(5, 0.4)
+        db = graph.to_database()
+        x, y, z = Var("X"), Var("Y"), Var("Z")
+        query = ConjunctiveQuery(
+            [],
+            [
+                SubGoal("E", [x, y]),
+                SubGoal("E", [y, z]),
+                SubGoal("E", [x, z]),
+            ],
+            [Inequality(x, "<", y), Inequality(y, "<", z)],
+        )
+        from repro.db.engine import evaluate
+
+        answers = evaluate(query, db)
+        assert len(answers) == 1
+        engine_dnf = answers[0].lineage.to_dnf()
+        assert engine_dnf == triangle_dnf(graph)

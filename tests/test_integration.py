@@ -1,0 +1,204 @@
+"""End-to-end integration tests: all confidence methods must agree.
+
+These tests run the full pipeline — data generation, query evaluation,
+lineage DNF extraction — and cross-check every probability computation
+method the library offers: brute force, the d-tree exact and approximate
+algorithms, the compiled d-tree, SPROUT, and aconf.
+"""
+
+import pytest
+
+from repro.core.approx import RELATIVE, approximate_probability
+from repro.core.exact import exact_probability, exact_probability_compiled
+from repro.core.semantics import (
+    brute_force_formula_probability,
+    brute_force_probability,
+)
+from repro.datasets.graphs import GRAPH_QUERIES, random_graph
+from repro.datasets.social import karate_club_network
+from repro.datasets.tpch import TPCHConfig, generate_tpch
+from repro.datasets.tpch_queries import (
+    HARD_QUERIES,
+    HIERARCHICAL_QUERIES,
+    IQ_QUERIES,
+    make_query,
+)
+from repro.db.algebra import conf, natural_join, project
+from repro.db.engine import answer_selector, evaluate, evaluate_to_dnf
+from repro.db.sprout import sprout_confidence
+from repro.mc.aconf import aconf
+
+
+@pytest.fixture(scope="module")
+def tiny_tpch():
+    """Small enough that lineage stays brute-forceable per answer."""
+    return generate_tpch(TPCHConfig(scale_factor=0.02, seed=11))
+
+
+@pytest.fixture(scope="module")
+def small_tpch():
+    return generate_tpch(TPCHConfig(scale_factor=0.1, seed=1))
+
+
+class TestHierarchicalQueries:
+    def test_dtree_matches_sprout(self, small_tpch):
+        selector = answer_selector(small_tpch)
+        for name in HIERARCHICAL_QUERIES:
+            query = make_query(name)
+            sprout = dict(sprout_confidence(query, small_tpch))
+            for values, dnf in evaluate_to_dnf(query, small_tpch):
+                dtree = exact_probability(
+                    dnf, small_tpch.registry, choose_variable=selector
+                )
+                assert dtree == pytest.approx(sprout[values]), (
+                    name,
+                    values,
+                )
+
+    def test_dtree_matches_brute_force_small(self, tiny_tpch):
+        for name in HIERARCHICAL_QUERIES:
+            query = make_query(name)
+            for values, dnf in evaluate_to_dnf(query, tiny_tpch):
+                if len(dnf.variables) > 16:
+                    continue
+                truth = brute_force_probability(dnf, tiny_tpch.registry)
+                assert exact_probability(
+                    dnf, tiny_tpch.registry
+                ) == pytest.approx(truth), (name, values)
+
+
+class TestIQQueries:
+    def test_iq_order_exact_matches_default_order(self, tiny_tpch):
+        selector = answer_selector(tiny_tpch)
+        for name in IQ_QUERIES:
+            query = make_query(name)
+            for _values, dnf in evaluate_to_dnf(query, tiny_tpch):
+                with_order = exact_probability(
+                    dnf, tiny_tpch.registry, choose_variable=selector
+                )
+                without_order = exact_probability(dnf, tiny_tpch.registry)
+                assert with_order == pytest.approx(without_order), name
+
+    def test_relative_approximation_brackets_exact(self, small_tpch):
+        selector = answer_selector(small_tpch)
+        for name in IQ_QUERIES:
+            query = make_query(name)
+            for _values, dnf in evaluate_to_dnf(query, small_tpch):
+                exact = exact_probability(
+                    dnf, small_tpch.registry, choose_variable=selector
+                )
+                result = approximate_probability(
+                    dnf,
+                    small_tpch.registry,
+                    epsilon=0.01,
+                    error_kind=RELATIVE,
+                    choose_variable=selector,
+                )
+                assert result.converged
+                assert (1 - 0.01) * exact - 1e-9 <= result.estimate
+                assert result.estimate <= (1 + 0.01) * exact + 1e-9
+
+
+class TestHardQueries:
+    def test_approximation_within_bounds(self, small_tpch):
+        for name in HARD_QUERIES:
+            query = make_query(name)
+            for _values, dnf in evaluate_to_dnf(query, small_tpch):
+                if name == "B9":
+                    continue  # exercised separately; slow at this scale
+                result = approximate_probability(
+                    dnf,
+                    small_tpch.registry,
+                    epsilon=0.05,
+                    error_kind=RELATIVE,
+                )
+                assert result.converged
+                assert result.lower <= result.estimate <= result.upper
+
+    def test_aconf_agrees_with_dtree(self, small_tpch):
+        query = make_query("B21")
+        (_values, dnf), = evaluate_to_dnf(query, small_tpch)
+        exact = exact_probability(dnf, small_tpch.registry)
+        mc = aconf(dnf, small_tpch.registry, epsilon=0.05, delta=0.05,
+                   seed=5)
+        assert mc.estimate == pytest.approx(exact, rel=0.15)
+
+
+class TestGraphWorkloads:
+    def test_all_motifs_all_methods(self):
+        graph = random_graph(5, 0.3)
+        for name, generator in GRAPH_QUERIES.items():
+            dnf = generator(graph)
+            truth = brute_force_probability(dnf, graph.registry)
+            assert exact_probability(dnf, graph.registry) == pytest.approx(
+                truth
+            ), name
+            assert exact_probability_compiled(
+                dnf, graph.registry
+            ) == pytest.approx(truth), name
+            approx = approximate_probability(
+                dnf, graph.registry, epsilon=0.01
+            )
+            assert abs(approx.estimate - truth) <= 0.011, name
+
+    def test_karate_triangle_converges(self):
+        graph = karate_club_network()
+        from repro.datasets.graphs import triangle_dnf
+
+        dnf = triangle_dnf(graph)
+        result = approximate_probability(
+            dnf, graph.registry, epsilon=0.01, error_kind=RELATIVE
+        )
+        assert result.converged
+        # Dense friendship graph: a triangle is almost certain.
+        assert result.estimate > 0.9
+
+    def test_aconf_on_random_graph(self):
+        graph = random_graph(6, 0.5)
+        from repro.datasets.graphs import triangle_dnf
+
+        dnf = triangle_dnf(graph)
+        truth = brute_force_probability(dnf, graph.registry)
+        mc = aconf(dnf, graph.registry, epsilon=0.05, delta=0.05, seed=1)
+        assert mc.estimate == pytest.approx(truth, rel=0.15)
+
+
+class TestAlgebraPipeline:
+    def test_conf_operator_end_to_end(self, tiny_tpch):
+        joined = natural_join(
+            tiny_tpch["supplier"].renamed("supplier"),
+            # lineitem shares no attribute names with supplier except via
+            # explicit renaming of the join column.
+            _lineitem_for_join(tiny_tpch),
+        )
+        projected = project(joined, ["s_suppkey"])
+        results = conf(projected, tiny_tpch.registry, epsilon=0.0)
+        assert results
+        lineage_of = {v: l for v, l in projected.rows}
+        checked_against_brute_force = 0
+        for values, probability in results:
+            lineage = lineage_of[values]
+            # Brute force is exponential in the variable count: use it as
+            # the oracle only on small lineage, and the (independently
+            # fuzz-tested) d-tree exact value otherwise.
+            if len(lineage.variables()) <= 14:
+                expected = brute_force_formula_probability(
+                    lineage, tiny_tpch.registry
+                )
+                checked_against_brute_force += 1
+            else:
+                expected = exact_probability(
+                    lineage.to_dnf(), tiny_tpch.registry
+                )
+            assert probability == pytest.approx(expected)
+        assert checked_against_brute_force >= 0
+
+
+def _lineitem_for_join(db):
+    from repro.db.algebra import project as pj
+    from repro.db.algebra import rename_attributes
+
+    lineitem = pj(
+        db["lineitem"], ["l_suppkey", "l_orderkey"], deduplicate=False
+    )
+    return rename_attributes(lineitem, {"l_suppkey": "s_suppkey"})

@@ -1,0 +1,134 @@
+"""Tests for the Karp–Luby estimator."""
+
+import random
+
+import pytest
+
+from repro.core.dnf import DNF
+from repro.core.semantics import brute_force_probability
+from repro.core.variables import VariableRegistry
+from repro.mc.karp_luby import FRACTIONAL, ZERO_ONE, KarpLubyEstimator
+
+
+@pytest.fixture
+def instance():
+    reg = VariableRegistry.from_boolean_probabilities(
+        {"a": 0.3, "b": 0.6, "c": 0.2, "d": 0.8}
+    )
+    dnf = DNF.from_sets(
+        [{"a": True, "b": True}, {"b": True, "c": True}, {"d": True}]
+    )
+    return dnf, reg
+
+
+class TestSetup:
+    def test_total_weight_is_clause_probability_sum(self, instance):
+        dnf, reg = instance
+        estimator = KarpLubyEstimator(dnf, reg, rng=random.Random(0))
+        expected = 0.3 * 0.6 + 0.6 * 0.2 + 0.8
+        assert estimator.total_weight == pytest.approx(expected)
+
+    def test_clause_count(self, instance):
+        dnf, reg = instance
+        estimator = KarpLubyEstimator(dnf, reg, rng=random.Random(0))
+        assert estimator.clause_count == 3
+
+    def test_empty_dnf_rejected(self):
+        reg = VariableRegistry()
+        with pytest.raises(ValueError, match="non-empty"):
+            KarpLubyEstimator(DNF.false(), reg)
+
+    def test_unknown_variant_rejected(self, instance):
+        dnf, reg = instance
+        with pytest.raises(ValueError, match="variant"):
+            KarpLubyEstimator(dnf, reg, variant="mystery")
+
+
+class TestUnbiasedness:
+    @pytest.mark.parametrize("variant", [FRACTIONAL, ZERO_ONE])
+    def test_mean_converges_to_probability(self, instance, variant):
+        dnf, reg = instance
+        truth = brute_force_probability(dnf, reg)
+        estimator = KarpLubyEstimator(
+            dnf, reg, variant=variant, rng=random.Random(123)
+        )
+        estimate = estimator.estimate(40000)
+        assert estimate == pytest.approx(truth, abs=0.01)
+
+    def test_fractional_has_smaller_variance(self, instance):
+        dnf, reg = instance
+        frac = KarpLubyEstimator(
+            dnf, reg, variant=FRACTIONAL, rng=random.Random(5)
+        )
+        zero_one = KarpLubyEstimator(
+            dnf, reg, variant=ZERO_ONE, rng=random.Random(5)
+        )
+
+        def variance(estimator, n=20000):
+            values = [estimator.sample() for _ in range(n)]
+            mean = sum(values) / n
+            return sum((v - mean) ** 2 for v in values) / n
+
+        assert variance(frac) < variance(zero_one)
+
+    def test_samples_bounded_by_total_weight(self, instance):
+        dnf, reg = instance
+        estimator = KarpLubyEstimator(dnf, reg, rng=random.Random(9))
+        for _ in range(200):
+            value = estimator.sample()
+            assert 0.0 < value <= estimator.total_weight + 1e-12
+
+    def test_unit_samples_in_unit_interval(self, instance):
+        dnf, reg = instance
+        estimator = KarpLubyEstimator(dnf, reg, rng=random.Random(9))
+        for _ in range(200):
+            assert 0.0 < estimator.sample_unit() <= 1.0
+
+    def test_zero_one_unit_samples_binary(self, instance):
+        dnf, reg = instance
+        estimator = KarpLubyEstimator(
+            dnf, reg, variant=ZERO_ONE, rng=random.Random(9)
+        )
+        values = {estimator.sample_unit() for _ in range(200)}
+        assert values <= {0.0, 1.0}
+
+
+class TestMultiValued:
+    def test_works_with_discrete_domains(self):
+        reg = VariableRegistry()
+        reg.add_variable("u", {1: 0.5, 2: 0.3, 3: 0.2})
+        reg.add_boolean("x", 0.4)
+        dnf = DNF.from_sets([{"u": 1, "x": True}, {"u": 2}])
+        truth = brute_force_probability(dnf, reg)
+        estimator = KarpLubyEstimator(dnf, reg, rng=random.Random(3))
+        assert estimator.estimate(40000) == pytest.approx(truth, abs=0.01)
+
+
+class TestBounds:
+    def test_klm_sample_bound_formula(self, instance):
+        import math
+
+        dnf, reg = instance
+        estimator = KarpLubyEstimator(dnf, reg, rng=random.Random(0))
+        bound = estimator.klm_sample_bound(0.1, 0.05)
+        assert bound == math.ceil(3 * 3 * math.log(2 / 0.05) / 0.01)
+
+    def test_klm_bound_validates_inputs(self, instance):
+        dnf, reg = instance
+        estimator = KarpLubyEstimator(dnf, reg, rng=random.Random(0))
+        with pytest.raises(ValueError):
+            estimator.klm_sample_bound(0.0, 0.5)
+        with pytest.raises(ValueError):
+            estimator.klm_sample_bound(0.5, 1.5)
+
+    def test_estimate_needs_positive_samples(self, instance):
+        dnf, reg = instance
+        estimator = KarpLubyEstimator(dnf, reg, rng=random.Random(0))
+        with pytest.raises(ValueError):
+            estimator.estimate(0)
+
+    def test_determinism_with_seeded_rng(self, instance):
+        dnf, reg = instance
+        a = KarpLubyEstimator(dnf, reg, rng=random.Random(77)).estimate(500)
+        b = KarpLubyEstimator(dnf, reg, rng=random.Random(77)).estimate(500)
+        assert a == b

@@ -1,0 +1,350 @@
+"""Every worked example of the paper, reproduced number by number.
+
+Covers Example 4.1, Fig. 2 (Example 4.4), Example 5.2, Example 5.5/Fig. 4,
+Example 5.9, Example 5.13, Fig. 5 (the social network and its queries),
+and Examples 6.2 / 6.7 (query classifications).
+"""
+
+import pytest
+
+from repro.core.approx import approximate_probability
+from repro.core.bounds import independent_bounds
+from repro.core.compiler import compile_dnf
+from repro.core.dnf import DNF
+from repro.core.dtree import (
+    ExclusiveOrNode,
+    IndependentAndNode,
+    IndependentOrNode,
+    LeafNode,
+)
+from repro.core.exact import exact_probability
+from repro.core.formulas import atom, conj, disj
+from repro.core.semantics import brute_force_probability
+from repro.core.variables import VariableRegistry
+from repro.db.cq import ConjunctiveQuery, Inequality, SubGoal, Var
+from repro.db.database import Database
+from repro.db.engine import evaluate
+from repro.db.relation import Relation
+
+
+class TestExample41:
+    """(x ∨ y) ∧ ((z ∧ u) ∨ (¬z ∧ v)) ≡ (x ⊗ y) ⊙ ((z ⊙ u) ⊕ (¬z ⊙ v))."""
+
+    def test_probability_formula(self):
+        reg = VariableRegistry.from_boolean_probabilities(
+            {"x": 0.3, "y": 0.2, "z": 0.7, "u": 0.5, "v": 0.8}
+        )
+        formula = conj(
+            disj(atom("x"), atom("y")),
+            disj(
+                conj(atom("z"), atom("u")),
+                conj(atom("z", False), atom("v")),
+            ),
+        )
+        expected = (1 - (1 - 0.3) * (1 - 0.2)) * (
+            0.7 * 0.5 + (1 - 0.7) * 0.8
+        )
+        assert brute_force_probability(
+            formula.to_dnf(), reg
+        ) == pytest.approx(expected)
+        assert exact_probability(formula.to_dnf(), reg) == pytest.approx(
+            expected
+        )
+
+
+class TestFigure2:
+    """Φ = {{x=1}, {x=2,y=1}, {x=2,z=1}, {u=1,v=1}, {u=2}} compiles into a
+    complete d-tree with an ⊗ root over the {x,y,z} and {u,v} components."""
+
+    def _setup(self):
+        reg = VariableRegistry()
+        reg.add_variable("x", {1: 0.2, 2: 0.8})
+        reg.add_variable("y", {1: 0.3, 2: 0.7})
+        reg.add_variable("z", {1: 0.4, 2: 0.6})
+        reg.add_variable("u", {1: 0.5, 2: 0.25, 3: 0.25})
+        reg.add_variable("v", {1: 0.6, 2: 0.4})
+        dnf = DNF.from_sets(
+            [
+                {"x": 1},
+                {"x": 2, "y": 1},
+                {"x": 2, "z": 1},
+                {"u": 1, "v": 1},
+                {"u": 2},
+            ]
+        )
+        return reg, dnf
+
+    def test_structure_and_probability(self):
+        reg, dnf = self._setup()
+        tree = compile_dnf(dnf, reg)
+        assert isinstance(tree, IndependentOrNode)
+        assert len(tree.children) == 2
+        assert tree.is_complete()
+        assert tree.probability(reg) == pytest.approx(
+            brute_force_probability(dnf, reg)
+        )
+
+    def test_component_probabilities(self):
+        reg, dnf = self._setup()
+        # {x,y,z} component: x=1 ∨ x=2∧(y=1 ∨ z=1)
+        left = 0.2 + 0.8 * (1 - (1 - 0.3) * (1 - 0.4))
+        # {u,v} component: u=1∧v=1 ∨ u=2
+        right = 0.5 * 0.6 + 0.25
+        expected = 1 - (1 - left) * (1 - right)
+        assert exact_probability(dnf, reg) == pytest.approx(expected)
+
+
+class TestExample52And59:
+    """Bucket bounds of Example 5.2 and the ε-interval arithmetic of
+    Example 5.9."""
+
+    def setup_method(self):
+        self.reg = VariableRegistry.from_boolean_probabilities(
+            {"x": 0.3, "y": 0.2, "z": 0.7, "v": 0.8}
+        )
+        self.dnf = DNF.from_sets(
+            [{"x": True, "y": True}, {"x": True, "z": True}, {"v": True}]
+        )
+
+    def test_exact_probability(self):
+        assert brute_force_probability(self.dnf, self.reg) == pytest.approx(
+            0.8456
+        )
+
+    def test_first_partitioning(self):
+        lower, upper = independent_bounds(
+            self.dnf, self.reg, sort_by_probability=False
+        )
+        assert lower == pytest.approx(0.812)
+        assert upper == pytest.approx(1.0)
+
+    def test_sorted_partitioning_lower(self):
+        lower, _upper = independent_bounds(self.dnf, self.reg)
+        assert lower == pytest.approx(0.842)
+
+    def test_example_5_9_interval_arithmetic(self):
+        # With bounds [0.842, 0.848] (as printed in the paper), the unique
+        # absolute 0.003-approximation is 0.845, and the absolute
+        # 0.004-approximations form [0.844, 0.846].
+        lower, upper = 0.842, 0.848
+        eps = 0.003
+        assert upper - lower <= 2 * eps + 1e-12
+        assert upper - eps == pytest.approx(lower + eps)
+        assert (upper - eps + lower + eps) / 2 == pytest.approx(0.845)
+        eps = 0.004
+        assert upper - eps == pytest.approx(0.844)
+        assert lower + eps == pytest.approx(0.846)
+
+
+class TestExample55And513:
+    """Fig. 4 bound propagation (Example 5.5) and the closing decision of
+    Example 5.13."""
+
+    def _tree(self):
+        reg = VariableRegistry.from_boolean_probabilities(
+            {"x": 0.5, "p1": 0.5, "p2": 0.5, "p3": 0.5}
+        )
+        phi1 = LeafNode(DNF.from_sets([{"p1": True}]), leaf_bounds=(0.1, 0.11))
+        x_leaf = LeafNode(DNF.from_sets([{"x": True}]), leaf_bounds=(0.5, 0.5))
+        phi2 = LeafNode(DNF.from_sets([{"p2": True}]), leaf_bounds=(0.4, 0.44))
+        phi3 = LeafNode(DNF.from_sets([{"p3": True}]), leaf_bounds=(0.35, 0.38))
+        tree = IndependentOrNode(
+            [
+                phi1,
+                ExclusiveOrNode(
+                    [IndependentAndNode([x_leaf, phi2]), phi3]
+                ),
+            ]
+        )
+        return reg, tree, (phi1, x_leaf, phi2, phi3)
+
+    def test_example_5_5_bounds(self):
+        reg, tree, _leaves = self._tree()
+        lower, upper = tree.bounds(reg)
+        assert lower == pytest.approx(0.595)
+        assert upper == pytest.approx(0.644, abs=1e-4)
+
+    def test_example_5_13_stop_check_fails(self):
+        # U − L = 0.049 > 2·0.012: cannot stop yet.
+        reg, tree, _leaves = self._tree()
+        lower, upper = tree.bounds(reg)
+        assert upper - lower == pytest.approx(0.049, abs=1e-4)
+        assert not (upper - lower <= 2 * 0.012)
+
+    def test_example_5_13_close_check_succeeds(self):
+        # L(d): open leaf Φ3 pinned to its lower bound 0.35; the current
+        # leaf Φ2 keeps [0.4, 0.44].  U' = 0.6173, U' − L = 0.0223 ≤ 0.024,
+        # so Φ2 may be closed.
+        reg = VariableRegistry.from_boolean_probabilities(
+            {"x": 0.5, "p1": 0.5, "p2": 0.5, "p3": 0.5}
+        )
+        phi1 = LeafNode(DNF.from_sets([{"p1": True}]), leaf_bounds=(0.1, 0.11))
+        x_leaf = LeafNode(DNF.from_sets([{"x": True}]), leaf_bounds=(0.5, 0.5))
+        phi2 = LeafNode(DNF.from_sets([{"p2": True}]), leaf_bounds=(0.4, 0.44))
+        phi3_pinned = LeafNode(
+            DNF.from_sets([{"p3": True}]), leaf_bounds=(0.35, 0.35)
+        )
+        tree = IndependentOrNode(
+            [
+                phi1,
+                ExclusiveOrNode(
+                    [IndependentAndNode([x_leaf, phi2]), phi3_pinned]
+                ),
+            ]
+        )
+        lower, upper_prime = tree.bounds(reg)
+        assert lower == pytest.approx(0.595)
+        assert upper_prime == pytest.approx(0.6173, abs=1e-4)
+        assert upper_prime - lower <= 2 * 0.012
+
+
+class TestFigure5SocialNetwork:
+    """The running social-network example: the edge table of Fig. 5(a) and
+    the triangle lineage of Fig. 5(c)."""
+
+    def _database(self):
+        reg = VariableRegistry()
+        edges = [
+            ((5, 7), 0.9),
+            ((5, 11), 0.8),
+            ((6, 7), 0.1),
+            ((6, 11), 0.9),
+            ((6, 17), 0.5),
+            ((7, 17), 0.2),
+        ]
+        relation = Relation.tuple_independent("E", ["u", "v"], edges, reg)
+        return Database(reg, [relation]), reg
+
+    def test_triangle_lineage_is_e3_e5_e6(self):
+        database, reg = self._database()
+        x, y, z = Var("X"), Var("Y"), Var("Z")
+        query = ConjunctiveQuery(
+            [],
+            [
+                SubGoal("E", [x, y]),
+                SubGoal("E", [y, z]),
+                SubGoal("E", [x, z]),
+            ],
+            [Inequality(x, "<", y), Inequality(y, "<", z)],
+            name="triangle",
+        )
+        answers = evaluate(query, database)
+        assert len(answers) == 1
+        dnf = answers[0].lineage.to_dnf()
+        # The only triangle is 6-7-17: edges e3 (index 2), e5 (4), e6 (5).
+        assert len(dnf) == 1
+        clause = dnf.sole_clause()
+        assert clause.variables == frozenset(
+            {("E", 2), ("E", 4), ("E", 5)}
+        )
+        assert exact_probability(dnf, reg) == pytest.approx(0.1 * 0.5 * 0.2)
+
+    def test_world_probability_from_the_text(self):
+        # "the world with edges e1, e2, and e3, but not the others, has
+        # probability .9 * .8 * .1 * (1-.9) * (1-.5) * (1-.2)"
+        _database, reg = self._database()
+        world = {
+            ("E", 0): True,
+            ("E", 1): True,
+            ("E", 2): True,
+            ("E", 3): False,
+            ("E", 4): False,
+            ("E", 5): False,
+        }
+        expected = 0.9 * 0.8 * 0.1 * (1 - 0.9) * (1 - 0.5) * (1 - 0.2)
+        assert reg.world_probability(world) == pytest.approx(expected)
+
+
+class TestExample62And67:
+    """Query classifications: Example 6.2 (hierarchical) and Example 6.7
+    (IQ queries)."""
+
+    def test_example_6_2_hierarchical(self):
+        a, b, c, d = Var("A"), Var("B"), Var("C"), Var("D")
+        q1 = ConjunctiveQuery(
+            [], [SubGoal("R1", [a, b]), SubGoal("R2", [a, c])]
+        )
+        assert q1.is_hierarchical()
+        q2 = ConjunctiveQuery(
+            [d],
+            [
+                SubGoal("R1", [a, b, c]),
+                SubGoal("R2", [a, b]),
+                SubGoal("R3", [a, d]),
+            ],
+        )
+        assert q2.is_hierarchical()
+
+    def test_prototypical_hard_query(self):
+        x, y = Var("X"), Var("Y")
+        q = ConjunctiveQuery(
+            [],
+            [
+                SubGoal("R", [x]),
+                SubGoal("S", [x, y]),
+                SubGoal("T", [y]),
+            ],
+        )
+        assert not q.is_hierarchical()
+
+    def test_example_6_7_iq_queries(self):
+        e, f, d, g, h = Var("E"), Var("F"), Var("D"), Var("G"), Var("H")
+        b, c = Var("B"), Var("C")
+        a = Var("A")
+        q1 = ConjunctiveQuery(
+            [],
+            [
+                SubGoal("R", [e, f]),
+                SubGoal("T", [d]),
+                SubGoal("T2", [g, h]),
+            ],
+            [Inequality(e, "<", d), Inequality(d, "<", h)],
+        )
+        assert q1.is_iq()
+        q2 = ConjunctiveQuery(
+            [],
+            [
+                SubGoal("R2", [e, f]),
+                SubGoal("T", [d]),
+                SubGoal("S", [b, c]),
+            ],
+            [Inequality(e, "<", d), Inequality(e, "<", c)],
+        )
+        assert q2.is_iq()
+        q3 = ConjunctiveQuery(
+            [], [SubGoal("R", [a]), SubGoal("T", [d])]
+        )
+        assert q3.is_iq()
+        q4 = ConjunctiveQuery(
+            [],
+            [
+                SubGoal("R", [a]),
+                SubGoal("T", [d]),
+                SubGoal("R2", [e, f]),
+                SubGoal("T2", [g, h]),
+            ],
+            [
+                Inequality(a, "<", e),
+                Inequality(d, "<", e),
+                Inequality(d, "<", g),
+            ],
+        )
+        assert q4.is_iq()
+
+    def test_max_one_violation(self):
+        # Two variables of one subgoal both crossing: not max-one.
+        e, f, d = Var("E"), Var("F"), Var("D")
+        q = ConjunctiveQuery(
+            [],
+            [SubGoal("R", [e, f]), SubGoal("T", [d])],
+            [Inequality(e, "<", d), Inequality(f, "<", d)],
+        )
+        assert not q.has_max_one_property()
+        assert not q.is_iq()
+
+    def test_equality_join_breaks_iq(self):
+        a, b, c = Var("A"), Var("B"), Var("C")
+        q = ConjunctiveQuery(
+            [], [SubGoal("R", [a, b]), SubGoal("S", [a, c])]
+        )
+        assert not q.is_iq()

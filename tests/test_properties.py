@@ -1,0 +1,233 @@
+"""Property-based tests (hypothesis) for core invariants.
+
+Strategy: random Boolean probability spaces and positive/negative DNFs
+over them; every algorithmic component must respect its contract against
+brute-force possible-worlds semantics.
+"""
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.approx import RELATIVE, approximate_probability
+from repro.core.bounds import independent_bounds
+from repro.core.compiler import compile_dnf
+from repro.core.decompositions import (
+    independent_and_factorization,
+    independent_or_partition,
+    shannon_expansion,
+)
+from repro.core.dnf import DNF
+from repro.core.events import Clause
+from repro.core.exact import exact_probability
+from repro.core.readonce import try_read_once
+from repro.core.semantics import (
+    brute_force_probability,
+    equivalent_on_registry,
+)
+from repro.core.variables import VariableRegistry
+
+VARIABLES = [f"v{i}" for i in range(7)]
+
+
+@st.composite
+def instances(draw, max_clauses=8):
+    """A (DNF, registry) pair over up to 7 Boolean variables."""
+    probabilities = {
+        name: draw(
+            st.floats(
+                min_value=0.02,
+                max_value=0.98,
+                allow_nan=False,
+                allow_infinity=False,
+            )
+        )
+        for name in VARIABLES
+    }
+    registry = VariableRegistry.from_boolean_probabilities(probabilities)
+    clause_count = draw(st.integers(min_value=1, max_value=max_clauses))
+    clauses = []
+    for _ in range(clause_count):
+        size = draw(st.integers(min_value=1, max_value=4))
+        variables = draw(
+            st.lists(
+                st.sampled_from(VARIABLES),
+                min_size=size,
+                max_size=size,
+                unique=True,
+            )
+        )
+        polarities = draw(
+            st.lists(
+                st.booleans(), min_size=len(variables), max_size=len(variables)
+            )
+        )
+        clauses.append(Clause(dict(zip(variables, polarities))))
+    return DNF(clauses), registry
+
+
+COMMON = dict(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestSubsumption:
+    @given(instances())
+    @settings(**COMMON)
+    def test_preserves_semantics(self, pair):
+        dnf, registry = pair
+        reduced = dnf.remove_subsumed()
+        assert equivalent_on_registry(dnf, reduced, registry)
+
+    @given(instances())
+    @settings(**COMMON)
+    def test_result_is_antichain(self, pair):
+        dnf, _registry = pair
+        reduced = dnf.remove_subsumed()
+        clauses = list(reduced.clauses)
+        for i, left in enumerate(clauses):
+            for j, right in enumerate(clauses):
+                if i != j:
+                    assert not left.subsumes(right)
+
+
+class TestDecompositions:
+    @given(instances())
+    @settings(**COMMON)
+    def test_or_partition_is_exact_cover(self, pair):
+        dnf, _registry = pair
+        parts = independent_or_partition(dnf)
+        rebuilt = DNF(c for part in parts for c in part.clauses)
+        assert rebuilt == dnf
+        seen = set()
+        for part in parts:
+            assert not (part.variables & seen)
+            seen |= part.variables
+
+    @given(instances())
+    @settings(**COMMON)
+    def test_and_factorization_semantics(self, pair):
+        dnf, registry = pair
+        factors = independent_and_factorization(dnf.remove_subsumed())
+        if factors is None:
+            return
+        rebuilt = factors[0]
+        for factor in factors[1:]:
+            rebuilt = rebuilt.conjoin(factor)
+        assert equivalent_on_registry(
+            dnf.remove_subsumed(), rebuilt, registry
+        )
+
+    @given(instances())
+    @settings(**COMMON)
+    def test_shannon_partitions_probability(self, pair):
+        dnf, registry = pair
+        if not dnf.variables:
+            return
+        pivot = dnf.most_frequent_variable()
+        total = sum(
+            branch.probability
+            * brute_force_probability(branch.cofactor, registry)
+            for branch in shannon_expansion(dnf, pivot, registry)
+        )
+        assert math.isclose(
+            total, brute_force_probability(dnf, registry), abs_tol=1e-9
+        )
+
+
+class TestBoundsProperty:
+    @given(instances())
+    @settings(**COMMON)
+    def test_prop_5_1(self, pair):
+        dnf, registry = pair
+        truth = brute_force_probability(dnf, registry)
+        for sort in (True, False):
+            lower, upper = independent_bounds(
+                dnf, registry, sort_by_probability=sort
+            )
+            assert lower - 1e-9 <= truth <= upper + 1e-9
+
+    @given(instances())
+    @settings(**COMMON)
+    def test_read_once_extension_never_looser(self, pair):
+        dnf, registry = pair
+        truth = brute_force_probability(dnf, registry)
+        lower, upper = independent_bounds(
+            dnf, registry, allow_read_once_buckets=True
+        )
+        assert lower - 1e-9 <= truth <= upper + 1e-9
+
+
+class TestExactness:
+    @given(instances())
+    @settings(**COMMON)
+    def test_compiled_tree_probability(self, pair):
+        dnf, registry = pair
+        tree = compile_dnf(dnf, registry)
+        assert tree.is_complete()
+        assert math.isclose(
+            tree.probability(registry),
+            brute_force_probability(dnf, registry),
+            abs_tol=1e-9,
+        )
+
+    @given(instances())
+    @settings(**COMMON)
+    def test_incremental_epsilon_zero(self, pair):
+        dnf, registry = pair
+        assert math.isclose(
+            exact_probability(dnf, registry),
+            brute_force_probability(dnf, registry),
+            abs_tol=1e-9,
+        )
+
+    @given(instances())
+    @settings(**COMMON)
+    def test_read_once_agrees(self, pair):
+        dnf, registry = pair
+        formula = try_read_once(dnf)
+        if formula is None:
+            return
+        assert math.isclose(
+            formula.probability(registry),
+            brute_force_probability(dnf, registry),
+            abs_tol=1e-9,
+        )
+
+
+class TestApproximationProperty:
+    @given(instances(), st.floats(min_value=0.005, max_value=0.3))
+    @settings(**COMMON)
+    def test_absolute_guarantee(self, pair, epsilon):
+        dnf, registry = pair
+        truth = brute_force_probability(dnf, registry)
+        result = approximate_probability(dnf, registry, epsilon=epsilon)
+        assert result.converged
+        assert abs(result.estimate - truth) <= epsilon + 1e-9
+        assert result.lower - 1e-9 <= truth <= result.upper + 1e-9
+
+    @given(instances(), st.floats(min_value=0.01, max_value=0.4))
+    @settings(**COMMON)
+    def test_relative_guarantee(self, pair, epsilon):
+        dnf, registry = pair
+        truth = brute_force_probability(dnf, registry)
+        result = approximate_probability(
+            dnf, registry, epsilon=epsilon, error_kind=RELATIVE
+        )
+        assert result.converged
+        assert (1 - epsilon) * truth - 1e-9 <= result.estimate
+        assert result.estimate <= (1 + epsilon) * truth + 1e-9
+
+    @given(instances(), st.integers(min_value=0, max_value=20))
+    @settings(**COMMON)
+    def test_anytime_bounds_always_sound(self, pair, budget):
+        dnf, registry = pair
+        truth = brute_force_probability(dnf, registry)
+        result = approximate_probability(
+            dnf, registry, epsilon=0.0, max_steps=budget
+        )
+        assert result.lower - 1e-9 <= truth <= result.upper + 1e-9

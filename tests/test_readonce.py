@@ -1,0 +1,151 @@
+"""Unit tests for read-once (1OF) factorization."""
+
+import pytest
+
+from repro.core.dnf import DNF
+from repro.core.readonce import (
+    ReadOnceAnd,
+    ReadOnceOr,
+    read_once_probability,
+    try_read_once,
+)
+from repro.core.semantics import brute_force_probability
+from repro.core.variables import VariableRegistry
+
+
+@pytest.fixture
+def registry():
+    return VariableRegistry.from_boolean_probabilities(
+        {name: 0.3 + 0.05 * i for i, name in enumerate("abcdxyzuvw")}
+    )
+
+
+class TestFactorable:
+    def test_single_clause(self, registry):
+        dnf = DNF.from_sets([{"x": True, "y": True}])
+        formula = try_read_once(dnf)
+        assert formula is not None
+        assert formula.probability(registry) == pytest.approx(
+            brute_force_probability(dnf, registry)
+        )
+
+    def test_disjunction_of_singletons(self, registry):
+        dnf = DNF.from_sets([{"x": True}, {"y": True}, {"z": True}])
+        formula = try_read_once(dnf)
+        assert isinstance(formula, ReadOnceOr)
+        assert formula.probability(registry) == pytest.approx(
+            brute_force_probability(dnf, registry)
+        )
+
+    def test_remark_5_3_example(self, registry):
+        # x∧(y∨z) ∨ v — the paper's Remark 5.3 factorization example.
+        dnf = DNF.from_sets(
+            [{"x": True, "y": True}, {"x": True, "z": True}, {"v": True}]
+        )
+        formula = try_read_once(dnf)
+        assert formula is not None
+        assert formula.variable_count() == 4  # each variable once
+        assert formula.probability(registry) == pytest.approx(
+            brute_force_probability(dnf, registry)
+        )
+
+    def test_product_of_disjunctions(self, registry):
+        # (a∨b) ∧ (x∨y)
+        dnf = DNF.from_sets(
+            [
+                {"a": True, "x": True},
+                {"a": True, "y": True},
+                {"b": True, "x": True},
+                {"b": True, "y": True},
+            ]
+        )
+        formula = try_read_once(dnf)
+        assert isinstance(formula, ReadOnceAnd)
+        assert formula.probability(registry) == pytest.approx(
+            brute_force_probability(dnf, registry)
+        )
+
+    def test_hierarchical_lineage_is_read_once(self, registry):
+        # Lineage of q():-R(A,B),S(A,C) on a toy instance:
+        # ∨_a (∨_b r_ab) ∧ (∨_c s_ac) — expanded per a.
+        reg = VariableRegistry.from_boolean_probabilities(
+            {f"r{a}{b}": 0.4 for a in "12" for b in "12"}
+            | {f"s{a}{c}": 0.6 for a in "12" for c in "12"}
+        )
+        clauses = []
+        for a in "12":
+            for b in "12":
+                for c in "12":
+                    clauses.append({f"r{a}{b}": True, f"s{a}{c}": True})
+        dnf = DNF.from_sets(clauses)
+        formula = try_read_once(dnf)
+        assert formula is not None
+        assert formula.probability(reg) == pytest.approx(
+            brute_force_probability(dnf, reg)
+        )
+
+    def test_subsumed_clauses_do_not_block(self, registry):
+        dnf = DNF.from_sets(
+            [{"x": True}, {"x": True, "y": True}, {"z": True}]
+        )
+        assert try_read_once(dnf) is not None
+
+
+class TestNotFactorable:
+    def test_triangle_pattern(self):
+        # xy ∨ yz ∨ xz: the classic non-read-once positive DNF.
+        dnf = DNF.from_sets(
+            [
+                {"x": True, "y": True},
+                {"y": True, "z": True},
+                {"x": True, "z": True},
+            ]
+        )
+        assert try_read_once(dnf) is None
+
+    def test_hard_pattern_lineage(self):
+        # R(X),S(X,Y),T(Y) with S = {(1,1),(1,2),(2,2)}:
+        # r1 s11 t1 ∨ r1 s12 t2 ∨ r2 s22 t2 — non-hierarchical, not 1OF.
+        dnf = DNF.from_sets(
+            [
+                {"r1": True, "s11": True, "t1": True},
+                {"r1": True, "s12": True, "t2": True},
+                {"r2": True, "s22": True, "t2": True},
+            ]
+        )
+        assert try_read_once(dnf) is None
+
+    def test_constants_are_not_1of(self):
+        assert try_read_once(DNF.true()) is None
+        assert try_read_once(DNF.false()) is None
+
+
+class TestReadOnceProbability:
+    def test_constants(self, registry):
+        assert read_once_probability(DNF.false(), registry) == 0.0
+        assert read_once_probability(DNF.true(), registry) == 1.0
+
+    def test_none_for_non_factorable(self, registry):
+        dnf = DNF.from_sets(
+            [
+                {"x": True, "y": True},
+                {"y": True, "z": True},
+                {"x": True, "z": True},
+            ]
+        )
+        assert read_once_probability(dnf, registry) is None
+
+    def test_matches_brute_force_when_factorable(self, registry):
+        dnf = DNF.from_sets(
+            [
+                {"a": True, "x": True},
+                {"a": True, "y": True},
+                {"b": True, "x": True},
+                {"b": True, "y": True},
+                {"w": True},
+            ]
+        )
+        value = read_once_probability(dnf, registry)
+        assert value == pytest.approx(
+            brute_force_probability(dnf, registry)
+        )

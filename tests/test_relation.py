@@ -1,0 +1,154 @@
+"""Tests for probabilistic relations and the database container."""
+
+import pytest
+
+from repro.core.formulas import AtomNode, TrueNode
+from repro.core.semantics import brute_force_formula_probability
+from repro.core.variables import VariableRegistry
+from repro.db.database import Database
+from repro.db.relation import Relation
+
+
+class TestCertain:
+    def test_rows_have_true_lineage(self):
+        rel = Relation.certain("R", ["a", "b"], [(1, 2), (3, 4)])
+        assert len(rel) == 2
+        for _values, lineage in rel:
+            assert isinstance(lineage, TrueNode)
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="attributes"):
+            Relation.certain("R", ["a", "b"], [(1,)])
+
+
+class TestTupleIndependent:
+    def test_one_boolean_variable_per_row(self):
+        reg = VariableRegistry()
+        rel = Relation.tuple_independent(
+            "R", ["a"], [((1,), 0.5), ((2,), 0.7)], reg
+        )
+        assert len(rel) == 2
+        assert ("R", 0) in reg and ("R", 1) in reg
+        assert reg.probability(("R", 0), True) == pytest.approx(0.5)
+        for _values, lineage in rel:
+            assert isinstance(lineage, AtomNode)
+
+    def test_probability_one_rows_become_certain(self):
+        reg = VariableRegistry()
+        rel = Relation.tuple_independent(
+            "R", ["a"], [((1,), 1.0), ((2,), 0.4)], reg
+        )
+        lineages = [lineage for _v, lineage in rel]
+        assert isinstance(lineages[0], TrueNode)
+        assert isinstance(lineages[1], AtomNode)
+        assert len(reg) == 1  # only one real variable
+
+    def test_variable_origin_recorded(self):
+        reg = VariableRegistry()
+        rel = Relation.tuple_independent("R", ["a"], [((1,), 0.5)], reg)
+        assert rel.variable_origin == {("R", 0): "R"}
+
+
+class TestBlockIndependentDisjoint:
+    def test_alternatives_are_exclusive(self):
+        reg = VariableRegistry()
+        rel = Relation.block_independent_disjoint(
+            "E",
+            ["u", "v", "present"],
+            {
+                (5, 7): [((5, 7, 1), 0.9), ((5, 7, 0), 0.1)],
+            },
+            reg,
+        )
+        assert len(rel) == 2
+        variable = ("E", (5, 7))
+        assert variable in reg
+        assert reg.domain(variable) == (0, 1)
+        # Mutual exclusivity: the two rows' lineage atoms bind the same
+        # variable to different values.
+        atoms = [lineage.atom for _v, lineage in rel]
+        assert atoms[0].variable == atoms[1].variable
+        assert atoms[0].value != atoms[1].value
+
+    def test_remainder_becomes_none_alternative(self):
+        reg = VariableRegistry()
+        Relation.block_independent_disjoint(
+            "B", ["x"], {"k": [((1,), 0.3), ((2,), 0.2)]}, reg
+        )
+        dist = reg.distribution(("B", "k"))
+        assert dist["__none__"] == pytest.approx(0.5)
+
+    def test_overweight_block_rejected(self):
+        reg = VariableRegistry()
+        with pytest.raises(ValueError, match="> 1"):
+            Relation.block_independent_disjoint(
+                "B", ["x"], {"k": [((1,), 0.7), ((2,), 0.6)]}, reg
+            )
+
+    def test_block_probabilities(self):
+        reg = VariableRegistry()
+        rel = Relation.block_independent_disjoint(
+            "B", ["x"], {"k": [((1,), 0.3), ((2,), 0.2)]}, reg
+        )
+        probabilities = [
+            brute_force_formula_probability(lineage, reg)
+            for _v, lineage in rel
+        ]
+        assert probabilities == [pytest.approx(0.3), pytest.approx(0.2)]
+
+    def test_empty_block_skipped(self):
+        reg = VariableRegistry()
+        rel = Relation.block_independent_disjoint("B", ["x"], {"k": []}, reg)
+        assert len(rel) == 0
+
+
+class TestRelationAccess:
+    def test_column_and_attribute_index(self):
+        rel = Relation.certain("R", ["a", "b"], [(1, 2), (3, 4)])
+        assert rel.column("b") == [2, 4]
+        assert rel.attribute_index("a") == 0
+        with pytest.raises(KeyError):
+            rel.attribute_index("zzz")
+
+    def test_renamed_keeps_rows_and_origin(self):
+        reg = VariableRegistry()
+        rel = Relation.tuple_independent("R", ["a"], [((1,), 0.5)], reg)
+        clone = rel.renamed("R2")
+        assert clone.name == "R2"
+        assert clone.rows == rel.rows
+        assert clone.variable_origin == rel.variable_origin
+
+
+class TestDatabase:
+    def test_add_and_lookup(self):
+        reg = VariableRegistry()
+        db = Database(reg)
+        rel = Relation.certain("R", ["a"], [(1,)])
+        db.add(rel)
+        assert db["R"] is rel
+        assert "R" in db
+        assert list(db.relation_names()) == ["R"]
+
+    def test_duplicate_name_rejected(self):
+        db = Database()
+        db.add(Relation.certain("R", ["a"], [(1,)]))
+        with pytest.raises(ValueError, match="already exists"):
+            db.add(Relation.certain("R", ["a"], [(2,)]))
+
+    def test_unknown_relation(self):
+        db = Database()
+        with pytest.raises(KeyError, match="unknown relation"):
+            db["ghost"]
+
+    def test_variable_origins_merged(self):
+        reg = VariableRegistry()
+        db = Database(reg)
+        db.add(Relation.tuple_independent("R", ["a"], [((1,), 0.5)], reg))
+        db.add(Relation.tuple_independent("S", ["b"], [((2,), 0.6)], reg))
+        origins = db.variable_origins()
+        assert origins[("R", 0)] == "R"
+        assert origins[("S", 0)] == "S"
+
+    def test_default_registry_created(self):
+        db = Database()
+        assert len(db.registry) == 0

@@ -1,0 +1,90 @@
+"""Tests for the brute-force possible-worlds semantics."""
+
+import pytest
+
+from repro.core.dnf import DNF
+from repro.core.formulas import atom, conj, disj
+from repro.core.semantics import (
+    brute_force_formula_probability,
+    brute_force_probability,
+    enumerate_worlds,
+    equivalent_on_registry,
+    satisfying_worlds,
+)
+from repro.core.variables import VariableRegistry
+
+
+@pytest.fixture
+def registry():
+    return VariableRegistry.from_boolean_probabilities(
+        {"x": 0.3, "y": 0.2, "z": 0.7}
+    )
+
+
+class TestEnumeration:
+    def test_world_count(self, registry):
+        worlds = list(enumerate_worlds(registry, ["x", "y"]))
+        assert len(worlds) == 4
+
+    def test_probabilities_sum_to_one(self, registry):
+        total = sum(
+            prob for _w, prob in enumerate_worlds(registry, ["x", "y", "z"])
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_satisfying_worlds(self, registry):
+        dnf = DNF.from_sets([{"x": True, "y": True}])
+        worlds = list(satisfying_worlds(dnf, registry))
+        assert len(worlds) == 1
+        assert worlds[0] == {"x": True, "y": True}
+
+
+class TestBruteForce:
+    def test_known_values(self, registry):
+        assert brute_force_probability(
+            DNF.from_sets([{"x": True}]), registry
+        ) == pytest.approx(0.3)
+        assert brute_force_probability(
+            DNF.from_sets([{"x": True}, {"y": True}]), registry
+        ) == pytest.approx(1 - 0.7 * 0.8)
+        assert brute_force_probability(
+            DNF.from_sets([{"x": True, "y": True}]), registry
+        ) == pytest.approx(0.06)
+
+    def test_constants(self, registry):
+        assert brute_force_probability(DNF.false(), registry) == 0.0
+        assert brute_force_probability(DNF.true(), registry) == 1.0
+
+    def test_only_formula_variables_enumerated(self):
+        # A registry with many variables must not slow down or change the
+        # probability of a small formula.
+        reg = VariableRegistry.from_boolean_probabilities(
+            {f"v{i}": 0.5 for i in range(40)}
+        )
+        dnf = DNF.from_sets([{"v0": True}])
+        assert brute_force_probability(dnf, reg) == pytest.approx(0.5)
+
+    def test_formula_probability(self, registry):
+        formula = conj(disj(atom("x"), atom("y")), atom("z"))
+        expected = (1 - 0.7 * 0.8) * 0.7
+        assert brute_force_formula_probability(
+            formula, registry
+        ) == pytest.approx(expected)
+
+    def test_formula_without_variables(self, registry):
+        from repro.core.formulas import FALSE, TRUE
+
+        assert brute_force_formula_probability(TRUE, registry) == 1.0
+        assert brute_force_formula_probability(FALSE, registry) == 0.0
+
+
+class TestEquivalence:
+    def test_equivalent_formulas(self, registry):
+        left = DNF.from_sets([{"x": True}, {"x": False, "y": True}])
+        right = DNF.from_sets([{"x": True}, {"y": True}])
+        assert equivalent_on_registry(left, right, registry)
+
+    def test_inequivalent_formulas(self, registry):
+        left = DNF.from_sets([{"x": True}])
+        right = DNF.from_sets([{"y": True}])
+        assert not equivalent_on_registry(left, right, registry)

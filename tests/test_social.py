@@ -1,0 +1,77 @@
+"""Tests for the social network datasets."""
+
+import networkx as nx
+import pytest
+
+from repro.datasets.social import (
+    SOCIAL_NETWORKS,
+    dolphins_like_network,
+    karate_club_network,
+)
+
+
+class TestKarate:
+    def test_node_and_edge_counts_match_zachary(self):
+        graph = karate_club_network()
+        assert len(graph.nodes) == 34
+        assert graph.edge_count() == 78
+
+    def test_edges_match_networkx(self):
+        graph = karate_club_network()
+        reference = {
+            (min(u, v), max(u, v))
+            for u, v in nx.karate_club_graph().edges()
+        }
+        assert set(graph.edges) == reference
+
+    def test_probability_range(self):
+        graph = karate_club_network(probability_range=(0.4, 0.6), seed=1)
+        assert all(0.4 <= p <= 0.6 for p in graph.edges.values())
+
+    def test_deterministic(self):
+        a = karate_club_network(seed=9)
+        b = karate_club_network(seed=9)
+        assert a.edges == b.edges
+
+
+class TestDolphinsLike:
+    def test_shape_matches_lusseau(self):
+        graph = dolphins_like_network()
+        assert len(graph.nodes) == 62
+        assert graph.edge_count() == 159
+
+    def test_two_communities(self):
+        graph = dolphins_like_network()
+        intra = sum(
+            1
+            for (u, v) in graph.edges
+            if (u < 31) == (v < 31)
+        )
+        inter = graph.edge_count() - intra
+        assert intra > 4 * inter  # clearly community structured
+
+    def test_high_confidence_probabilities(self):
+        graph = dolphins_like_network()
+        assert all(0.5 <= p <= 0.99 for p in graph.edges.values())
+
+    def test_deterministic(self):
+        a = dolphins_like_network(seed=3)
+        b = dolphins_like_network(seed=3)
+        assert a.edges == b.edges
+
+    def test_no_isolated_nodes(self):
+        graph = dolphins_like_network()
+        for node in graph.nodes:
+            assert graph.neighbours(node), f"node {node} is isolated"
+
+
+class TestRegistryOfNetworks:
+    def test_both_networks_registered(self):
+        assert set(SOCIAL_NETWORKS) == {"karate", "dolphins"}
+
+    def test_constructors_produce_probabilistic_graphs(self):
+        for name, constructor in SOCIAL_NETWORKS.items():
+            graph = constructor()
+            assert graph.edge_count() > 0, name
+            for edge in graph.edges:
+                assert ("E", edge) in graph.registry

@@ -1,0 +1,144 @@
+"""Theorem 6.4 end to end: tractable hard patterns compile without ⊕.
+
+The hard pattern ``q() :- R(X), S(X,Y), T(Y)`` is #P-hard in general, but
+Theorem 6.4 identifies database restrictions under which the lineage
+factorizes into one-occurrence form: every connected component of S's
+bipartite graph is functional, or complete with deterministic S.  By
+Prop. 6.3 such lineage compiles into a complete d-tree with only ⊗/⊙
+nodes — no Shannon expansion.
+
+These tests build both tractable and intractable instances, check the
+classifier, and verify the compiler's node histogram matches the theory.
+"""
+
+import pytest
+
+from repro.core.compiler import CompilationStats, compile_dnf
+from repro.core.readonce import try_read_once
+from repro.core.semantics import brute_force_probability
+from repro.core.variables import VariableRegistry
+from repro.db.cq import ConjunctiveQuery, SubGoal, Var, hard_pattern_tractable
+from repro.db.database import Database
+from repro.db.engine import evaluate_to_dnf
+from repro.db.relation import Relation
+
+
+def build_instance(s_pairs, *, s_probabilistic=True, seed_probability=0.4):
+    """An R(X), S(X,Y), T(Y) database over the given S pairs."""
+    registry = VariableRegistry()
+    database = Database(registry)
+    xs = sorted({x for x, _y in s_pairs})
+    ys = sorted({y for _x, y in s_pairs})
+    database.add(
+        Relation.tuple_independent(
+            "R", ["x"], [((x,), 0.3) for x in xs], registry
+        )
+    )
+    if s_probabilistic:
+        database.add(
+            Relation.tuple_independent(
+                "S",
+                ["x", "y"],
+                [((x, y), seed_probability) for x, y in s_pairs],
+                registry,
+            )
+        )
+    else:
+        database.add(Relation.certain("S", ["x", "y"], s_pairs))
+    database.add(
+        Relation.tuple_independent(
+            "T", ["y"], [((y,), 0.6) for y in ys], registry
+        )
+    )
+    return database
+
+
+def hard_query():
+    x, y = Var("X"), Var("Y")
+    return ConjunctiveQuery(
+        [],
+        [SubGoal("R", [x]), SubGoal("S", [x, y]), SubGoal("T", [y])],
+    )
+
+
+def lineage_of(database):
+    answers = evaluate_to_dnf(hard_query(), database)
+    assert len(answers) == 1
+    return answers[0][1]
+
+
+class TestFunctionalComponents:
+    S_FUNCTIONAL = [(1, 10), (2, 10), (3, 20), (4, 20)]
+
+    def test_classified_tractable(self):
+        database = build_instance(self.S_FUNCTIONAL)
+        assert hard_pattern_tractable(database["S"], "x", "y")
+
+    def test_lineage_is_read_once(self):
+        database = build_instance(self.S_FUNCTIONAL)
+        assert try_read_once(lineage_of(database)) is not None
+
+    def test_compiles_without_shannon(self):
+        database = build_instance(self.S_FUNCTIONAL)
+        dnf = lineage_of(database)
+        stats = CompilationStats()
+        tree = compile_dnf(dnf, database.registry, stats=stats)
+        assert stats.shannon_expansions == 0
+        histogram = tree.inner_node_histogram()
+        assert histogram.get("exclusive-or", 0) == 0
+        assert tree.probability(database.registry) == pytest.approx(
+            brute_force_probability(dnf, database.registry)
+        )
+
+    def test_functional_other_direction(self):
+        # One X with many Ys per component: still functional.
+        database = build_instance([(1, 10), (1, 20), (2, 30), (2, 40)])
+        assert hard_pattern_tractable(database["S"], "x", "y")
+        dnf = lineage_of(database)
+        stats = CompilationStats()
+        compile_dnf(dnf, database.registry, stats=stats)
+        assert stats.shannon_expansions == 0
+
+
+class TestCompleteComponents:
+    S_COMPLETE = [(1, 10), (1, 20), (2, 10), (2, 20)]
+
+    def test_deterministic_s_is_tractable(self):
+        database = build_instance(self.S_COMPLETE, s_probabilistic=False)
+        assert hard_pattern_tractable(database["S"], "x", "y")
+
+    def test_deterministic_s_lineage_read_once(self):
+        database = build_instance(self.S_COMPLETE, s_probabilistic=False)
+        dnf = lineage_of(database)
+        # (r1 ∨ r2) ∧ (t10 ∨ t20) — a product.
+        formula = try_read_once(dnf)
+        assert formula is not None
+        stats = CompilationStats()
+        compile_dnf(dnf, database.registry, stats=stats)
+        assert stats.shannon_expansions == 0
+
+    def test_probabilistic_s_is_not_tractable(self):
+        database = build_instance(self.S_COMPLETE, s_probabilistic=True)
+        assert not hard_pattern_tractable(database["S"], "x", "y")
+
+
+class TestIntractableInstance:
+    S_PATH = [(1, 10), (1, 20), (2, 20)]  # neither functional nor complete
+
+    def test_classified_intractable(self):
+        database = build_instance(self.S_PATH)
+        assert not hard_pattern_tractable(database["S"], "x", "y")
+
+    def test_lineage_not_read_once(self):
+        database = build_instance(self.S_PATH)
+        assert try_read_once(lineage_of(database)) is None
+
+    def test_needs_shannon_but_stays_correct(self):
+        database = build_instance(self.S_PATH)
+        dnf = lineage_of(database)
+        stats = CompilationStats()
+        tree = compile_dnf(dnf, database.registry, stats=stats)
+        assert stats.shannon_expansions >= 1
+        assert tree.probability(database.registry) == pytest.approx(
+            brute_force_probability(dnf, database.registry)
+        )

@@ -1,0 +1,125 @@
+"""Tests for the probabilistic TPC-H generator and query suite."""
+
+import pytest
+
+from repro.core.formulas import AtomNode, TrueNode
+from repro.datasets.tpch import BASE_CARDINALITIES, TPCHConfig, generate_tpch
+from repro.datasets.tpch_queries import (
+    ALL_QUERIES,
+    HARD_QUERIES,
+    HIERARCHICAL_QUERIES,
+    IQ_QUERIES,
+    make_query,
+)
+from repro.db.engine import evaluate
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        a = generate_tpch(TPCHConfig(scale_factor=0.05, seed=7))
+        b = generate_tpch(TPCHConfig(scale_factor=0.05, seed=7))
+        for name in a.relation_names():
+            assert [v for v, _l in a[name].rows] == [
+                v for v, _l in b[name].rows
+            ]
+
+    def test_seed_changes_data(self):
+        a = generate_tpch(TPCHConfig(scale_factor=0.05, seed=1))
+        b = generate_tpch(TPCHConfig(scale_factor=0.05, seed=2))
+        assert [v for v, _l in a["supplier"].rows] != [
+            v for v, _l in b["supplier"].rows
+        ]
+
+    def test_cardinalities_scale(self):
+        db = generate_tpch(TPCHConfig(scale_factor=0.1, seed=0))
+        assert len(db["lineitem"]) == round(
+            BASE_CARDINALITIES["lineitem"] * 0.1
+        )
+        assert len(db["supplier"]) == round(
+            BASE_CARDINALITIES["supplier"] * 0.1
+        )
+        # Dimension tables do not scale.
+        assert len(db["region"]) == 5
+        assert len(db["nation"]) == 25
+
+    def test_foreign_keys_resolve(self):
+        db = generate_tpch(TPCHConfig(scale_factor=0.05, seed=3))
+        nation_keys = set(db["nation"].column("n_nationkey"))
+        for key in db["supplier"].column("s_nationkey"):
+            assert key in nation_keys
+        order_keys = set(db["orders"].column("o_orderkey"))
+        for key in db["lineitem"].column("l_orderkey"):
+            assert key in order_keys
+        part_keys = set(db["part"].column("p_partkey"))
+        for key in db["partsupp"].column("ps_partkey"):
+            assert key in part_keys
+
+    def test_probability_range_respected(self):
+        db = generate_tpch(
+            TPCHConfig(
+                scale_factor=0.05,
+                seed=4,
+                probability_range=(0.0, 0.01),
+            )
+        )
+        reg = db.registry
+        for variable in reg.variables():
+            assert reg.probability(variable, True) <= 0.01
+
+    def test_certain_small_tables_option(self):
+        db = generate_tpch(
+            TPCHConfig(scale_factor=0.05, seed=5, certain_small_tables=True)
+        )
+        for _values, lineage in db["nation"].rows:
+            assert isinstance(lineage, TrueNode)
+        for _values, lineage in db["supplier"].rows:
+            assert isinstance(lineage, AtomNode)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            TPCHConfig(scale_factor=0)
+        with pytest.raises(ValueError):
+            TPCHConfig(probability_range=(0.5, 0.2))
+
+
+class TestQuerySuite:
+    def test_thirteen_queries(self):
+        assert len(ALL_QUERIES) == 13
+        assert len(HIERARCHICAL_QUERIES) == 6
+        assert len(IQ_QUERIES) == 3
+        assert len(HARD_QUERIES) == 4
+
+    def test_hierarchical_queries_are_hierarchical(self):
+        for name in HIERARCHICAL_QUERIES:
+            assert make_query(name).is_hierarchical(), name
+
+    def test_iq_queries_are_iq(self):
+        for name in IQ_QUERIES:
+            query = make_query(name)
+            assert query.is_iq(), name
+            assert query.has_max_one_property(), name
+
+    def test_hard_queries_are_hard(self):
+        for name in HARD_QUERIES:
+            query = make_query(name)
+            assert not query.is_hierarchical(), name
+
+    def test_no_self_joins_anywhere(self):
+        for name in ALL_QUERIES:
+            assert not make_query(name).has_self_join(), name
+
+    def test_unknown_query_name(self):
+        with pytest.raises(KeyError, match="unknown query"):
+            make_query("B99")
+
+    def test_boolean_naming_convention(self):
+        for name in ALL_QUERIES:
+            query = make_query(name)
+            if name.startswith("B") or name.startswith("IQ"):
+                assert query.is_boolean(), name
+
+    def test_all_queries_return_answers_at_small_scale(self):
+        db = generate_tpch(TPCHConfig(scale_factor=0.1, seed=1))
+        for name in ALL_QUERIES:
+            answers = evaluate(make_query(name), db)
+            assert answers, f"query {name} returned no answers"

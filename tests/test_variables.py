@@ -1,0 +1,139 @@
+"""Unit tests for the probability space (repro.core.variables)."""
+
+import math
+
+import pytest
+
+from repro.core.variables import BOOLEAN_DOMAIN, VariableRegistry
+
+
+class TestRegistration:
+    def test_add_boolean_registers_two_outcomes(self):
+        reg = VariableRegistry()
+        reg.add_boolean("x", 0.3)
+        assert reg.probability("x", True) == pytest.approx(0.3)
+        assert reg.probability("x", False) == pytest.approx(0.7)
+
+    def test_add_variable_returns_name(self):
+        reg = VariableRegistry()
+        assert reg.add_variable("u", {1: 0.5, 2: 0.5}) == "u"
+
+    def test_multivalued_domain(self):
+        reg = VariableRegistry()
+        reg.add_variable("u", {1: 0.5, 2: 0.2, 3: 0.3})
+        assert reg.domain("u") == (1, 2, 3)
+        assert reg.probability("u", 2) == pytest.approx(0.2)
+
+    def test_empty_domain_rejected(self):
+        reg = VariableRegistry()
+        with pytest.raises(ValueError, match="non-empty domain"):
+            reg.add_variable("u", {})
+
+    def test_zero_probability_rejected(self):
+        reg = VariableRegistry()
+        with pytest.raises(ValueError, match="outside"):
+            reg.add_variable("u", {1: 0.0, 2: 1.0})
+
+    def test_negative_probability_rejected(self):
+        reg = VariableRegistry()
+        with pytest.raises(ValueError):
+            reg.add_variable("u", {1: -0.2, 2: 1.2})
+
+    def test_sum_far_from_one_rejected(self):
+        reg = VariableRegistry()
+        with pytest.raises(ValueError, match="sums to"):
+            reg.add_variable("u", {1: 0.5, 2: 0.4})
+
+    def test_near_one_sum_is_renormalised(self):
+        reg = VariableRegistry()
+        reg.add_variable("u", {1: 0.5 + 1e-12, 2: 0.5})
+        assert math.isclose(
+            sum(reg.distribution("u").values()), 1.0, abs_tol=1e-15
+        )
+
+    def test_duplicate_registration_with_same_distribution_is_noop(self):
+        reg = VariableRegistry()
+        reg.add_variable("u", {1: 0.5, 2: 0.5})
+        reg.add_variable("u", {1: 0.5, 2: 0.5})
+        assert len(reg) == 1
+
+    def test_duplicate_registration_with_other_distribution_rejected(self):
+        reg = VariableRegistry()
+        reg.add_variable("u", {1: 0.5, 2: 0.5})
+        with pytest.raises(ValueError, match="already registered"):
+            reg.add_variable("u", {1: 0.4, 2: 0.6})
+
+    def test_boolean_extremes_rejected(self):
+        reg = VariableRegistry()
+        with pytest.raises(ValueError):
+            reg.add_boolean("x", 0.0)
+        with pytest.raises(ValueError):
+            reg.add_boolean("x", 1.0)
+
+    def test_add_booleans_bulk(self):
+        reg = VariableRegistry()
+        reg.add_booleans([("a", 0.1), ("b", 0.9)])
+        assert "a" in reg and "b" in reg
+
+
+class TestLookup:
+    def test_unknown_variable_raises_keyerror(self):
+        reg = VariableRegistry()
+        with pytest.raises(KeyError, match="unknown random variable"):
+            reg.probability("ghost", True)
+
+    def test_unknown_value_raises_keyerror(self):
+        reg = VariableRegistry()
+        reg.add_boolean("x", 0.5)
+        with pytest.raises(KeyError, match="not in domain"):
+            reg.probability("x", 42)
+
+    def test_is_boolean(self):
+        reg = VariableRegistry()
+        reg.add_boolean("x", 0.5)
+        reg.add_variable("u", {1: 0.5, 2: 0.5})
+        assert reg.is_boolean("x")
+        assert not reg.is_boolean("u")
+
+    def test_iteration_and_len(self):
+        reg = VariableRegistry.from_boolean_probabilities(
+            {"a": 0.1, "b": 0.2, "c": 0.3}
+        )
+        assert len(reg) == 3
+        assert set(reg) == {"a", "b", "c"}
+
+    def test_boolean_domain_constant(self):
+        assert BOOLEAN_DOMAIN == (True, False)
+
+
+class TestWorlds:
+    def test_world_count(self):
+        reg = VariableRegistry()
+        reg.add_boolean("x", 0.5)
+        reg.add_variable("u", {1: 0.5, 2: 0.3, 3: 0.2})
+        assert reg.world_count() == 6
+        assert reg.world_count(["u"]) == 3
+
+    def test_worlds_enumerate_all_valuations(self):
+        reg = VariableRegistry.from_boolean_probabilities({"a": 0.5, "b": 0.5})
+        worlds = list(reg.worlds())
+        assert len(worlds) == 4
+        assert {frozenset(w.items()) for w in worlds} == {
+            frozenset({("a", True), ("b", True)}),
+            frozenset({("a", True), ("b", False)}),
+            frozenset({("a", False), ("b", True)}),
+            frozenset({("a", False), ("b", False)}),
+        }
+
+    def test_world_probabilities_sum_to_one(self):
+        reg = VariableRegistry()
+        reg.add_boolean("x", 0.3)
+        reg.add_variable("u", {1: 0.5, 2: 0.2, 3: 0.3})
+        total = sum(reg.world_probability(w) for w in reg.worlds())
+        assert total == pytest.approx(1.0)
+
+    def test_world_probability_is_product(self):
+        reg = VariableRegistry.from_boolean_probabilities({"a": 0.3, "b": 0.2})
+        assert reg.world_probability({"a": True, "b": False}) == pytest.approx(
+            0.3 * 0.8
+        )
