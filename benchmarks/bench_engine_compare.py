@@ -1,0 +1,154 @@
+"""Record decomposition-heavy timings for the seed-vs-interned comparison.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_engine_compare.py seed
+    PYTHONPATH=src python benchmarks/bench_engine_compare.py interned
+
+Each invocation times the Fig. 7 hard-query workload (the paper's
+decomposition-heavy case) plus the Fig. 6a tractable workload, and merges
+its timings under the given label into ``BENCH_engine.json`` at the repo
+root.  Running it once on the seed tree and once after the interned-core
+refactor yields the speedup table the engine PR reports.
+
+When the unified planner is available (post-refactor), the chosen strategy
+per answer is recorded alongside the timing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+from repro.core.approx import approximate_probability
+from repro.datasets.tpch_queries import HARD_QUERIES, HIERARCHICAL_QUERIES
+from repro.datasets.tpch import TPCHConfig, generate_tpch
+from repro.db.engine import answer_selector, evaluate_to_dnf
+from repro.datasets.tpch_queries import make_query
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+OUTPUT = os.path.join(REPO_ROOT, "BENCH_engine.json")
+
+#: (query, scale factor, epsilon) — ε = 0 is the exact d-tree mode.
+WORKLOADS = [
+    ("B9", 0.15, 0.005),
+    ("B9", 0.2, 0.01),
+    ("B2", 0.3, 0.01),
+    ("B21", 1.0, 0.01),
+    ("1", 0.3, 0.0),
+    ("15", 1.0, 0.0),
+]
+DEADLINE = 120.0
+REPEATS = 3
+
+
+def _strategies_of(results) -> list:
+    return sorted({getattr(r, "strategy", "d-tree") for r in results})
+
+
+def run_workloads(label: str) -> dict:
+    timings: dict = {}
+    try:
+        from repro.engine import ConfidenceEngine
+    except ImportError:  # seed tree: no planner yet
+        ConfidenceEngine = None
+
+    databases: dict = {}
+    for query_name, scale, epsilon in WORKLOADS:
+        if scale not in databases:
+            databases[scale] = generate_tpch(
+                TPCHConfig(scale_factor=scale,
+                           probability_range=(0.0, 1.0), seed=1)
+            )
+        database = databases[scale]
+        query = make_query(query_name)
+        answers = evaluate_to_dnf(query, database)
+        selector = answer_selector(database)
+
+        def once():
+            if ConfidenceEngine is not None:
+                # MC fallback off: the comparison is against the seed's
+                # raw d-tree runs, so sampling time must not leak in.
+                engine = ConfidenceEngine(
+                    database.registry,
+                    epsilon=epsilon,
+                    error_kind="relative",
+                    choose_variable=selector,
+                    deadline_seconds=DEADLINE,
+                    mc_fallback=False,
+                )
+                return [engine.compute(dnf) for _v, dnf in answers]
+            return [
+                approximate_probability(
+                    dnf,
+                    database.registry,
+                    epsilon=epsilon,
+                    error_kind="relative",
+                    choose_variable=selector,
+                    deadline_seconds=DEADLINE,
+                )
+                for _v, dnf in answers
+            ]
+
+        best = float("inf")
+        results = []
+        for _ in range(REPEATS):
+            started = time.perf_counter()
+            results = once()
+            best = min(best, time.perf_counter() - started)
+        key = f"{query_name} sf={scale} eps={epsilon}"
+        timings[key] = {
+            "seconds": best,
+            "answers": len(answers),
+            "strategies": _strategies_of(results),
+        }
+        print(f"[{label}] {key}: {best:.3f}s "
+              f"({len(answers)} answers, {_strategies_of(results)})")
+    return timings
+
+
+def main() -> None:
+    label = sys.argv[1] if len(sys.argv) > 1 else "interned"
+    data = {}
+    if os.path.exists(OUTPUT):
+        with open(OUTPUT) as handle:
+            data = json.load(handle)
+    data.setdefault("config", {
+        "workloads": [
+            {"query": q, "scale_factor": s, "epsilon": e}
+            for q, s, e in WORKLOADS
+        ],
+        "error_kind": "relative",
+        "deadline_seconds": DEADLINE,
+        "repeats": REPEATS,
+        "workload": "fig7 hard + fig6a tractable TPC-H queries",
+    })
+    data[label] = run_workloads(label)
+    if "seed" in data and "interned" in data:
+        speedups = {}
+        for name, seed_point in data["seed"].items():
+            interned_point = data["interned"].get(name)
+            if interned_point and interned_point["seconds"] > 0:
+                speedups[name] = round(
+                    seed_point["seconds"] / interned_point["seconds"], 2
+                )
+        total_seed = sum(p["seconds"] for p in data["seed"].values())
+        total_interned = sum(
+            p["seconds"] for p in data["interned"].values()
+        )
+        data["speedup"] = {
+            "per_query": speedups,
+            "overall": round(total_seed / total_interned, 2)
+            if total_interned
+            else None,
+        }
+    with open(OUTPUT, "w") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {OUTPUT}")
+
+
+if __name__ == "__main__":
+    main()

@@ -12,12 +12,18 @@ magnitude slower and hits the work cap on most queries.
 
 import pytest
 
-from conftest import aconf_status, dtree_status, tpch_answers
+from conftest import (
+    aconf_status,
+    dtree_status,
+    engine_strategies,
+    tpch_answers,
+)
 from repro.bench import Harness
 from repro.core.approx import approximate_probability
 from repro.core.exact import exact_probability
 from repro.datasets.tpch_queries import HIERARCHICAL_QUERIES, make_query
 from repro.db.sprout import sprout_confidence
+from repro.engine import ConfidenceEngine
 from repro.mc.aconf import aconf
 
 HARNESS = Harness("Fig 6a tractable TPC-H probs (0,1)")
@@ -96,6 +102,29 @@ def test_dtree_exact(benchmark, query_name):
                 )
                 for _v, dnf in answers
             ],
+        )
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+@pytest.mark.parametrize("query_name", QUERIES)
+def test_engine(benchmark, query_name):
+    """The unified planner: read-once resolves these queries exactly."""
+    answers, database, selector = tpch_answers(query_name, SCALE, *PROBS)
+    engine = ConfidenceEngine(
+        database.registry,
+        epsilon=0.01,
+        error_kind="relative",
+        choose_variable=selector,
+    )
+
+    def run():
+        return HARNESS.run(
+            query_name,
+            "engine(0.01)",
+            lambda: [engine.compute(dnf) for _v, dnf in answers],
+            status_of=dtree_status,
+            strategy_of=engine_strategies,
         )
 
     benchmark.pedantic(run, rounds=1, iterations=1)

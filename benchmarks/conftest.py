@@ -53,8 +53,13 @@ def aconf_status(results):
 
 
 def dtree_status(results):
-    """Status string for a list of ApproximationResult."""
+    """Status string for a list of ApproximationResult/EngineResult."""
     return "ok" if all(r.converged for r in results) else "capped"
+
+
+def engine_strategies(results):
+    """Comma-joined strategy rungs a list of EngineResults used."""
+    return ",".join(sorted({r.strategy for r in results}))
 
 
 def pytest_terminal_summary(terminalreporter):

@@ -8,9 +8,14 @@ A faithful, self-contained reproduction of
 
 The library provides:
 
-* :mod:`repro.core` — DNFs over discrete random variables, d-tree
-  compilation, the Fig. 3 bounds heuristic, and the incremental
-  ε-approximation algorithm with leaf closing (the paper's contribution);
+* :mod:`repro.core` — DNFs over discrete random variables (interned to
+  dense integer ids for hardware-speed set algebra), d-tree compilation,
+  the Fig. 3 bounds heuristic, and the incremental ε-approximation
+  algorithm with leaf closing (the paper's contribution);
+* :mod:`repro.engine` — the :class:`ConfidenceEngine` planner: one
+  ``compute()`` entry point that auto-selects read-once → SPROUT →
+  d-tree ε-approximation → Monte-Carlo per query/lineage, with budgets
+  and a shared decomposition memo cache;
 * :mod:`repro.mc` — the Karp–Luby / Dagum–Karp–Luby–Ross ``aconf``
   baseline used by MystiQ and MayBMS;
 * :mod:`repro.db` — a probabilistic database substrate: tuple-independent,
@@ -49,8 +54,9 @@ from .core import (
     make_variable_selector,
     read_once_probability,
 )
+from .engine import ConfidenceEngine, EngineResult, STRATEGY_LADDER
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ABSOLUTE",
@@ -64,6 +70,9 @@ __all__ = [
     "approximate_probability",
     "brute_force_probability",
     "compile_dnf",
+    "ConfidenceEngine",
+    "EngineResult",
+    "STRATEGY_LADDER",
     "exact_probability",
     "exact_probability_compiled",
     "independent_bounds",

@@ -32,7 +32,12 @@ ALL_HARNESSES: List["Harness"] = []
 
 
 class SeriesPoint:
-    """One measurement: a method on a workload configuration."""
+    """One measurement: a method on a workload configuration.
+
+    ``strategy`` records which :class:`repro.engine.ConfidenceEngine`
+    ladder rung(s) answered the run (empty for methods that bypass the
+    planner).
+    """
 
     __slots__ = (
         "experiment",
@@ -42,6 +47,7 @@ class SeriesPoint:
         "value",
         "status",
         "detail",
+        "strategy",
     )
 
     def __init__(
@@ -53,6 +59,7 @@ class SeriesPoint:
         value: Optional[float],
         status: str = "ok",
         detail: str = "",
+        strategy: str = "",
     ) -> None:
         self.experiment = experiment
         self.workload = workload
@@ -61,6 +68,7 @@ class SeriesPoint:
         self.value = value
         self.status = status
         self.detail = detail
+        self.strategy = strategy
 
     def row(self) -> List[str]:
         value = "" if self.value is None else f"{self.value:.6g}"
@@ -72,6 +80,7 @@ class SeriesPoint:
             value,
             self.status,
             self.detail,
+            self.strategy,
         ]
 
 
@@ -100,6 +109,7 @@ class Harness:
         value_of: Optional[Callable[[object], float]] = None,
         status_of: Optional[Callable[[object], str]] = None,
         detail_of: Optional[Callable[[object], str]] = None,
+        strategy_of: Optional[Callable[[object], str]] = None,
     ) -> SeriesPoint:
         """Time one call and record the outcome."""
         started = time.perf_counter()
@@ -113,6 +123,7 @@ class Harness:
             value_of(outcome) if value_of else None,
             status_of(outcome) if status_of else "ok",
             detail_of(outcome) if detail_of else "",
+            strategy_of(outcome) if strategy_of else "",
         )
         self.points.append(point)
         return point
@@ -141,10 +152,13 @@ class Harness:
                 point = groups[key].get(method)
                 if point is None:
                     row.append("-")
-                elif point.status == "ok":
-                    row.append(f"{point.seconds:.3f}")
                 else:
-                    row.append(f"{point.seconds:.3f} ({point.status})")
+                    cell = f"{point.seconds:.3f}"
+                    if point.status != "ok":
+                        cell += f" ({point.status})"
+                    if point.strategy:
+                        cell += f" [{point.strategy}]"
+                    row.append(cell)
             rows.append(row)
         return (
             f"\n=== {self.experiment} ===\n"
@@ -174,6 +188,7 @@ class Harness:
                     "value",
                     "status",
                     "detail",
+                    "strategy",
                 ]
             )
             for point in self.points:

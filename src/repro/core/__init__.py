@@ -60,6 +60,7 @@ from .formulas import (
     conj,
     disj,
 )
+from .memo import DecompositionCache
 from .orders import (
     iq_variable_choice,
     make_variable_selector,
@@ -87,6 +88,7 @@ __all__ = [
     "conditional_probability",
     "model_count",
     "weighted_model_count",
+    "DecompositionCache",
     "ShannonBranch",
     "independent_and_factorization",
     "independent_or_partition",

@@ -51,6 +51,7 @@ from .decompositions import (
     shannon_expansion,
 )
 from .dnf import DNF
+from .memo import DecompositionCache
 from .orders import VariableSelector, max_frequency_choice
 from .variables import VariableRegistry
 
@@ -70,6 +71,9 @@ _OR = "or"
 _AND = "and"
 _XOR = "xor"
 _ROOT = "root"
+
+#: Sentinel distinguishing "not memoised" from a memoised ``None``.
+_UNCOMPUTED = object()
 
 
 class ApproximationResult:
@@ -166,17 +170,28 @@ class _PendingChild:
     ``weight`` carries the exact probability of the clause sibling of a
     Shannon branch, folding ``{x=a} ⊙ Φ|_{x=a}`` into a single weighted
     child of the ``⊕`` frame.
+
+    ``reduced`` marks DNFs that are already subsumption-free: ⊗-components
+    and ⊙-factors of a reduced DNF stay reduced (a subsuming pair inside
+    one would lift to a subsuming pair in the parent), so only Shannon
+    cofactors need another subsumption pass on refinement.
     """
 
-    __slots__ = ("dnf", "lower", "upper", "weight")
+    __slots__ = ("dnf", "lower", "upper", "weight", "reduced")
 
     def __init__(
-        self, dnf: DNF, lower: float, upper: float, weight: float = 1.0
+        self,
+        dnf: DNF,
+        lower: float,
+        upper: float,
+        weight: float = 1.0,
+        reduced: bool = False,
     ) -> None:
         self.dnf = dnf
         self.lower = lower
         self.upper = upper
         self.weight = weight
+        self.reduced = reduced
 
     def effective_bounds(self) -> Bounds:
         return self.weight * self.lower, self.weight * self.upper
@@ -205,10 +220,14 @@ class _Frame:
     """
 
     __slots__ = ("kind", "acc_lower", "acc_upper", "pending", "weight",
-                 "closed_incomplete", "_rest_cache")
+                 "closed_incomplete", "_rest_cache", "source")
 
     def __init__(
-        self, kind: str, pending: List[_PendingChild], weight: float = 1.0
+        self,
+        kind: str,
+        pending: List[_PendingChild],
+        weight: float = 1.0,
+        source: Optional[DNF] = None,
     ) -> None:
         self.kind = kind
         if kind == _XOR or kind == _ROOT:
@@ -219,6 +238,9 @@ class _Frame:
         self.weight = weight
         self.closed_incomplete = False
         self._rest_cache: Optional[Bounds] = None
+        # The (reduced) DNF this frame decomposes; when the frame finishes
+        # with point bounds, that DNF's exact probability is memoised.
+        self.source = source
 
     def pop_head(self) -> None:
         """Drop the current (head) pending child; invalidates the cached
@@ -367,17 +389,17 @@ class _Frame:
             )
         return h_low, h_up, w_low, w_up
 
-    def finished_bounds(self) -> Bounds:
-        """Bounds of the node once no children remain pending."""
+    def raw_finished_bounds(self) -> Bounds:
+        """Unweighted bounds of the node once no children remain pending.
+
+        The caller applies ``weight`` (after memoising the raw point, if
+        any, as the source DNF's exact probability).
+        """
         if self.kind == _OR:
-            low, high = 1.0 - self.acc_lower, 1.0 - self.acc_upper
-        elif self.kind == _XOR:
-            low, high = min(1.0, self.acc_lower), min(1.0, self.acc_upper)
-        else:
-            low, high = self.acc_lower, self.acc_upper
-        if self.weight != 1.0:
-            return self.weight * low, self.weight * high
-        return low, high
+            return 1.0 - self.acc_lower, 1.0 - self.acc_upper
+        if self.kind == _XOR:
+            return min(1.0, self.acc_lower), min(1.0, self.acc_upper)
+        return self.acc_lower, self.acc_upper
 
 
 # ----------------------------------------------------------------------
@@ -395,6 +417,7 @@ def approximate_probability(
     read_once_buckets: bool = False,
     max_steps: Optional[int] = None,
     deadline_seconds: Optional[float] = None,
+    cache: Optional[DecompositionCache] = None,
 ) -> ApproximationResult:
     """Compute an ε-approximation of ``P(Φ)`` with certified bounds.
 
@@ -418,6 +441,13 @@ def approximate_probability(
     max_steps, deadline_seconds:
         Work budgets.  On exhaustion the result carries the best bounds
         found so far with ``converged=False`` (the algorithm is anytime).
+    cache:
+        A :class:`~repro.core.memo.DecompositionCache` shared across
+        calls (pass the engine's cache for top-k refinement rounds and
+        repeated queries); a private per-call cache is created when
+        omitted.  Shannon expansion revisits identical residual DNFs
+        constantly, so even the per-call cache collapses most repeat
+        subtrees into single folds.
 
     Returns
     -------
@@ -478,13 +508,32 @@ def approximate_probability(
 
     selector = choose_variable or max_frequency_choice
 
+    if cache is None:
+        cache = DecompositionCache()
+    # The config tuple holds the objects themselves (compared by
+    # identity, and kept alive by the cache) — id()-based keys could be
+    # silently reused after garbage collection.
+    cache.bind((registry, selector, sort_buckets, read_once_buckets))
+    # Enforce the entry cap across calls too: a long-lived engine issuing
+    # many small computes would otherwise never hit the in-loop trim.
+    cache.trim()
+    exact_cache = cache.exact
+    bounds_cache = cache.bounds
+
     def leaf_bounds(leaf: DNF) -> Bounds:
-        return independent_bounds(
-            leaf,
-            registry,
-            sort_by_probability=sort_buckets,
-            allow_read_once_buckets=read_once_buckets,
-        )
+        value = exact_cache.get(leaf)
+        if value is not None:
+            return value, value
+        bounds = bounds_cache.get(leaf)
+        if bounds is None:
+            bounds = independent_bounds(
+                leaf,
+                registry,
+                sort_by_probability=sort_buckets,
+                allow_read_once_buckets=read_once_buckets,
+            )
+            bounds_cache[leaf] = bounds
+        return bounds
 
     def satisfies(bounds: Bounds) -> bool:
         lower, upper = bounds
@@ -497,7 +546,10 @@ def approximate_probability(
         return make_result(1.0, 1.0, True)
     root_lower, root_upper = leaf_bounds(root_dnf)
     stack: List[_Frame] = [
-        _Frame(_ROOT, [_PendingChild(root_dnf, root_lower, root_upper)])
+        _Frame(
+            _ROOT,
+            [_PendingChild(root_dnf, root_lower, root_upper, reduced=True)],
+        )
     ]
 
     def global_bounds(current: Bounds, at_lower: bool) -> Bounds:
@@ -536,7 +588,15 @@ def approximate_probability(
 
         # A frame with no pending children is finished: fold it upward.
         if not frame.pending:
-            bounds = frame.finished_bounds()
+            raw_low, raw_high = frame.raw_finished_bounds()
+            if raw_low == raw_high and frame.source is not None:
+                # The subtree collapsed to its exact probability; any
+                # later re-occurrence of this DNF folds in one step.
+                exact_cache[frame.source] = raw_low
+            if frame.weight != 1.0:
+                bounds = (frame.weight * raw_low, frame.weight * raw_high)
+            else:
+                bounds = (raw_low, raw_high)
             stack.pop()
             if not stack:
                 lower, upper = bounds
@@ -587,7 +647,13 @@ def approximate_probability(
         # it, and when the new frame finishes its bounds are absorbed and
         # the head is popped.
         steps += 1
-        child_dnf = current.dnf.remove_subsumed()
+        if current.reduced:
+            child_dnf = current.dnf
+        else:
+            child_dnf = cache.reduced.get(current.dnf)
+            if child_dnf is None:
+                child_dnf = current.dnf.remove_subsumed()
+                cache.reduced[current.dnf] = child_dnf
         if child_dnf.is_true():
             frame.absorb((current.weight, current.weight))
             frame.pop_head()
@@ -600,27 +666,52 @@ def approximate_probability(
             frame.pop_head()
             continue
 
-        components = independent_or_partition(child_dnf)
+        # A previously completed subtree over the same DNF folds at once.
+        known = exact_cache.get(child_dnf)
+        if known is not None:
+            cache.hits += 1
+            value = current.weight * known
+            frame.absorb((value, value))
+            frame.pop_head()
+            continue
+        cache.misses += 1
+
+        components = cache.components.get(child_dnf)
+        if components is None:
+            components = independent_or_partition(child_dnf)
+            cache.components[child_dnf] = components
         if len(components) > 1:
             histogram["independent-or"] += 1
             pending = [
-                _PendingChild(component, *leaf_bounds(component))
+                _PendingChild(
+                    component, *leaf_bounds(component), reduced=True
+                )
                 for component in components
             ]
-            new_frame = _Frame(_OR, pending, weight=current.weight)
+            new_frame = _Frame(
+                _OR, pending, weight=current.weight, source=child_dnf
+            )
         else:
-            factors = independent_and_factorization(child_dnf)
+            factors = cache.factors.get(child_dnf, _UNCOMPUTED)
+            if factors is _UNCOMPUTED:
+                factors = independent_and_factorization(child_dnf)
+                cache.factors[child_dnf] = factors
             if factors is not None:
                 histogram["independent-and"] += 1
                 pending = [
-                    _PendingChild(factor, *leaf_bounds(factor))
+                    _PendingChild(factor, *leaf_bounds(factor), reduced=True)
                     for factor in factors
                 ]
-                new_frame = _Frame(_AND, pending, weight=current.weight)
+                new_frame = _Frame(
+                    _AND, pending, weight=current.weight, source=child_dnf
+                )
             else:
                 histogram["exclusive-or"] += 1
-                pivot = selector(child_dnf)
-                branches = shannon_expansion(child_dnf, pivot, registry)
+                branches = cache.branches.get(child_dnf)
+                if branches is None:
+                    pivot = selector(child_dnf)
+                    branches = shannon_expansion(child_dnf, pivot, registry)
+                    cache.branches[child_dnf] = branches
                 pending = []
                 for branch in branches:
                     if branch.cofactor.is_true():
@@ -635,9 +726,13 @@ def approximate_probability(
                             weight=branch.probability,
                         )
                     )
-                new_frame = _Frame(_XOR, pending, weight=current.weight)
+                new_frame = _Frame(
+                    _XOR, pending, weight=current.weight, source=child_dnf
+                )
 
         stack.append(new_frame)
         max_depth = max(max_depth, len(stack))
+        if not steps & 0x3FF:
+            cache.trim()
 
     raise AssertionError("unreachable: stack drained without returning")

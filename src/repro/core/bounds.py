@@ -69,21 +69,24 @@ def bucket_partition(
     evaluated on the factored form.
     """
     clauses = dnf.sorted_clauses()
+    probabilities = {
+        clause: clause.probability(registry) for clause in clauses
+    }
     if sort_by_probability:
         clauses.sort(
-            key=lambda clause: (-clause.probability(registry), repr(clause))
+            key=lambda clause: (-probabilities[clause], clause.atom_ids)
         )
 
     bucket_clauses: List[List[Clause]] = []
-    bucket_variables: List[Set[Hashable]] = []
+    bucket_variables: List[Set[int]] = []
     # For non-read-once buckets the probability is maintained incrementally
     # with the independent-or formula; read-once buckets are re-evaluated on
     # their factored form whenever a correlated clause joins.
     bucket_probabilities: List[float] = []
 
     for clause in clauses:
-        clause_vars = clause.variables
-        clause_prob = clause.probability(registry)
+        clause_vars = clause.variable_ids
+        clause_prob = probabilities[clause]
         placed = False
         for index, used_vars in enumerate(bucket_variables):
             if clause_vars.isdisjoint(used_vars):
@@ -131,6 +134,9 @@ def independent_bounds(
         return 0.0, 0.0
     if dnf.is_true():
         return 1.0, 1.0
+    if dnf.is_single_clause():
+        prob = dnf.sole_clause().probability(registry)
+        return prob, prob
     partition = bucket_partition(
         dnf,
         registry,

@@ -33,7 +33,7 @@ from typing import (
 
 from .dnf import DNF
 from .events import Clause
-from .variables import VariableRegistry
+from .variables import VariableRegistry, variable_repr
 
 __all__ = [
     "independent_or_partition",
@@ -47,15 +47,15 @@ __all__ = [
 # Independent-or: connected components via union-find
 # ----------------------------------------------------------------------
 class _UnionFind:
-    """Union-find over hashable items with path compression."""
+    """Union-find over interned integer ids with path compression."""
 
     __slots__ = ("_parent", "_rank")
 
     def __init__(self) -> None:
-        self._parent: Dict[Hashable, Hashable] = {}
-        self._rank: Dict[Hashable, int] = {}
+        self._parent: Dict[int, int] = {}
+        self._rank: Dict[int, int] = {}
 
-    def find(self, item: Hashable) -> Hashable:
+    def find(self, item: int) -> int:
         parent = self._parent
         if item not in parent:
             parent[item] = item
@@ -68,7 +68,7 @@ class _UnionFind:
             parent[item], item = root, parent[item]
         return root
 
-    def union(self, left: Hashable, right: Hashable) -> None:
+    def union(self, left: int, right: int) -> None:
         left_root, right_root = self.find(left), self.find(right)
         if left_root == right_root:
             return
@@ -87,25 +87,34 @@ def independent_or_partition(dnf: DNF) -> List[DNF]:
     variables (the constant-true clause) should have been handled by the
     caller; they are grouped into their own component here for safety.
 
-    Runs in near-linear time in ``size(Φ)``.
+    Runs in near-linear time in ``size(Φ)``, on interned variable ids.
     """
     uf = _UnionFind()
+    find = uf.find
+    union = uf.union
     for clause in dnf:
-        variables = list(clause.variables)
-        for index in range(len(variables) - 1):
-            uf.union(variables[index], variables[index + 1])
-    groups: Dict[Hashable, List[Clause]] = {}
+        vids = clause.variable_ids
+        if len(vids) < 2:
+            continue
+        vid_iter = iter(vids)
+        first = next(vid_iter)
+        for vid in vid_iter:
+            union(first, vid)
+    groups: Dict[int, List[Clause]] = {}
     empties: List[Clause] = []
     for clause in dnf.sorted_clauses():
-        variables = clause.variables
-        if not variables:
+        vids = clause.variable_ids
+        if not vids:
             empties.append(clause)
             continue
-        root = uf.find(next(iter(variables)))
+        root = find(next(iter(vids)))
         groups.setdefault(root, []).append(clause)
-    components = [DNF(clauses) for _root, clauses in sorted(
-        groups.items(), key=lambda item: repr(item[0])
-    )]
+    components = [
+        DNF(clauses)
+        for _root, clauses in sorted(
+            groups.items(), key=lambda item: variable_repr(item[0])
+        )
+    ]
     if empties:
         components.append(DNF(empties))
     return components
@@ -135,23 +144,35 @@ def independent_and_factorization(dnf: DNF) -> Optional[List[DNF]]:
     clauses = dnf.sorted_clauses()
     if len(clauses) < 2:
         return None
-    variables = sorted(dnf.variables, key=repr)
+    variables = sorted(dnf.variable_ids)
     if len(variables) < 2:
         return None
 
-    # Column of each variable: tuple over clauses, `None` when absent.
-    columns: Dict[Hashable, Tuple[object, ...]] = {}
-    for variable in variables:
-        columns[variable] = tuple(
-            clause.value_of(variable) if clause.binds(variable) else None
-            for clause in clauses
-        )
+    # Column of each variable: atom id per clause, ``None`` when absent.
+    # Distinctness of atom ids equals distinctness of bound values, and
+    # integer columns hash far faster than arbitrary user values.  Built in
+    # one pass over the clause atoms, O(size(Φ)).
+    clause_count = len(clauses)
+    raw_columns: Dict[int, List[object]] = {
+        vid: [None] * clause_count for vid in variables
+    }
+    for index, clause in enumerate(clauses):
+        for vid, (atom_id, _value) in clause._byvar.items():
+            raw_columns[vid][index] = atom_id
+    columns: Dict[int, Tuple[object, ...]] = {
+        vid: tuple(column) for vid, column in raw_columns.items()
+    }
 
-    unassigned: List[Hashable] = list(variables)
-    partition: List[Set[Hashable]] = []
+    # Distinct value count per column, computed once.
+    col_distinct: Dict[int, int] = {
+        vid: len(set(column)) for vid, column in columns.items()
+    }
+
+    unassigned: List[int] = list(variables)
+    partition: List[Set[int]] = []
     while unassigned:
         pivot = unassigned.pop(0)
-        factor: Set[Hashable] = {pivot}
+        factor: Set[int] = {pivot}
         factor_key: List[Tuple[object, ...]] = [columns[pivot]]
         changed = True
         while changed:
@@ -159,12 +180,11 @@ def independent_and_factorization(dnf: DNF) -> Optional[List[DNF]]:
             # Projection signature of the factor per clause.
             proj = tuple(zip(*factor_key))
             proj_distinct = len(set(proj))
-            still_unassigned: List[Hashable] = []
+            still_unassigned: List[int] = []
             for candidate in unassigned:
                 col = columns[candidate]
-                col_distinct = len(set(col))
                 pairs = len(set(zip(proj, col)))
-                if pairs != proj_distinct * col_distinct:
+                if pairs != proj_distinct * col_distinct[candidate]:
                     factor.add(candidate)
                     factor_key.append(col)
                     changed = True
@@ -181,7 +201,7 @@ def independent_and_factorization(dnf: DNF) -> Optional[List[DNF]]:
     product = 1
     for var_group in partition:
         group = frozenset(var_group)
-        projections = {clause.project(group) for clause in clauses}
+        projections = {clause.project_ids(group) for clause in clauses}
         product *= len(projections)
         factors.append(DNF(projections))
     if product != len(clauses):

@@ -7,7 +7,12 @@ the compiler of Fig. 1 needs — subsumption removal, Shannon restriction,
 and bookkeeping over the variable set.
 
 Inconsistent clauses are dropped at construction (they have probability
-zero and the paper assumes every clause has non-null probability).
+zero and the paper assumes every clause of a DNF has non-null probability).
+
+Clauses are interned integer structures (see :mod:`repro.core.events`):
+subsumption is frozenset containment over atom ids, restriction compares
+atom ids, and the deterministic clause order is the lexicographic order of
+sorted atom-id tuples — no ``repr`` strings on any hot path.
 """
 
 from __future__ import annotations
@@ -26,7 +31,12 @@ from typing import (
 )
 
 from .events import Atom, Clause, InconsistentClauseError
-from .variables import VariableRegistry
+from .variables import (
+    VariableRegistry,
+    lookup_atom,
+    variable_name,
+    variable_repr,
+)
 
 __all__ = ["DNF"]
 
@@ -39,15 +49,16 @@ class DNF:
     ``{∅}``).
     """
 
-    __slots__ = ("_clauses", "_variables", "_hash", "_sorted")
+    __slots__ = ("_clauses", "_vids", "_names", "_hash", "_sorted")
 
     def __init__(self, clauses: Iterable[Clause] = ()) -> None:
         clause_set = frozenset(clauses)
-        variables: Set[Hashable] = set()
+        vids: Set[int] = set()
         for clause in clause_set:
-            variables.update(clause.variables)
+            vids.update(clause._vids)
         object.__setattr__(self, "_clauses", clause_set)
-        object.__setattr__(self, "_variables", frozenset(variables))
+        object.__setattr__(self, "_vids", frozenset(vids))
+        object.__setattr__(self, "_names", None)
         object.__setattr__(self, "_hash", hash(clause_set))
         object.__setattr__(self, "_sorted", None)
 
@@ -101,7 +112,17 @@ class DNF:
 
     @property
     def variables(self) -> FrozenSet[Hashable]:
-        return self._variables
+        """The variable *names* occurring in the DNF (lazily computed)."""
+        names = self._names
+        if names is None:
+            names = frozenset(variable_name(vid) for vid in self._vids)
+            object.__setattr__(self, "_names", names)
+        return names
+
+    @property
+    def variable_ids(self) -> FrozenSet[int]:
+        """Occurring variables as interned ids (hot-loop currency)."""
+        return self._vids
 
     def __len__(self) -> int:
         return len(self._clauses)
@@ -133,14 +154,14 @@ class DNF:
         return sum(len(clause) for clause in self._clauses)
 
     def sorted_clauses(self) -> List[Clause]:
-        """Clauses in a deterministic order (by repr), for reproducibility.
+        """Clauses in a deterministic order (by atom-id tuples).
 
         The order is computed once per (immutable) DNF; callers receive a
         fresh copy they may reorder freely.
         """
         cached = self._sorted
         if cached is None:
-            cached = sorted(self._clauses, key=repr)
+            cached = sorted(self._clauses, key=_clause_sort_key)
             object.__setattr__(self, "_sorted", cached)
         return list(cached)
 
@@ -152,8 +173,9 @@ class DNF:
 
         This is step 1 of the compiler in Fig. 1 of the paper: if
         ``s ⊂ t`` then ``t`` is redundant.  Quadratic in the number of
-        clauses, with a grouping-by-variable pre-filter that makes the
-        common relational-lineage case close to linear.
+        clauses, with a grouping-by-atom pre-filter that makes the common
+        relational-lineage case close to linear; all set algebra runs on
+        interned atom ids.
         """
         clauses = list(self._clauses)
         if len(clauses) <= 1:
@@ -163,30 +185,33 @@ class DNF:
         # subsume longer ones.
         clauses.sort(key=len)
         kept: List[Clause] = []
-        # Index kept clauses by one of their variables to prune comparisons:
-        # a kept clause can only subsume `candidate` if all its variables
-        # appear in `candidate`.
-        by_variable: Dict[Hashable, List[Clause]] = {}
+        # Index kept clauses by one of their atoms to prune comparisons: a
+        # kept clause subsumes `candidate` only if all its atoms appear in
+        # `candidate`, so it suffices to scan the buckets of the
+        # candidate's own atoms.
+        by_atom: Dict[int, List[Clause]] = {}
         for candidate in clauses:
             if candidate.is_empty():
                 # The empty clause subsumes everything.
                 return DNF.true()
             subsumed = False
+            candidate_idset = candidate._idset
             seen: Set[int] = set()
-            for variable in candidate.variables:
-                for keeper in by_variable.get(variable, ()):
-                    if id(keeper) in seen:
+            for atom_id in candidate._ids:
+                for keeper in by_atom.get(atom_id, ()):
+                    keeper_key = id(keeper)
+                    if keeper_key in seen:
                         continue
-                    seen.add(id(keeper))
-                    if keeper.subsumes(candidate):
+                    seen.add(keeper_key)
+                    if keeper._idset <= candidate_idset:
                         subsumed = True
                         break
                 if subsumed:
                     break
             if not subsumed:
                 kept.append(candidate)
-                for variable in candidate.variables:
-                    by_variable.setdefault(variable, []).append(candidate)
+                for atom_id in candidate._ids:
+                    by_atom.setdefault(atom_id, []).append(candidate)
         if len(kept) == len(self._clauses):
             return self
         return DNF(kept)
@@ -197,9 +222,14 @@ class DNF:
         Removes clauses inconsistent with ``variable = value`` and strips
         the atom from the remaining clauses.
         """
+        atom_id, var_id = lookup_atom(variable, value)
+        if var_id is None:
+            return self  # the variable occurs nowhere: identity
+        if atom_id is None:
+            atom_id = -1  # un-interned value: conflicts with any binding
         restricted: List[Clause] = []
         for clause in self._clauses:
-            reduced = clause.restrict(variable, value)
+            reduced = clause.restrict_ids(var_id, atom_id)
             if reduced is not None:
                 restricted.append(reduced)
         return DNF(restricted)
@@ -232,22 +262,34 @@ class DNF:
         return any(clause.evaluate(world) for clause in self._clauses)
 
     def variable_frequencies(self) -> Dict[Hashable, int]:
-        """How many clauses each variable appears in (Shannon heuristic)."""
-        counts: Dict[Hashable, int] = {}
+        """How many clauses each variable name appears in."""
+        return {
+            variable_name(vid): count
+            for vid, count in self.variable_id_frequencies().items()
+        }
+
+    def variable_id_frequencies(self) -> Dict[int, int]:
+        """Clause counts per interned variable id (Shannon heuristic)."""
+        counts: Dict[int, int] = {}
         for clause in self._clauses:
-            for variable in clause.variables:
-                counts[variable] = counts.get(variable, 0) + 1
+            for vid in clause._vids:
+                counts[vid] = counts.get(vid, 0) + 1
         return counts
 
     def most_frequent_variable(self) -> Hashable:
         """The paper's default Shannon pivot: a most frequent variable.
 
-        Ties are broken deterministically by ``repr`` of the variable.
+        Ties are broken deterministically by ``repr`` of the variable
+        (cached per interned id).
         """
-        counts = self.variable_frequencies()
+        counts = self.variable_id_frequencies()
         if not counts:
             raise ValueError("DNF has no variables")
-        return max(counts.items(), key=lambda item: (item[1], repr(item[0])))[0]
+        best = max(
+            counts.items(),
+            key=lambda item: (item[1], variable_repr(item[0])),
+        )[0]
+        return variable_name(best)
 
     def marginal_probabilities(
         self, registry: VariableRegistry
@@ -273,3 +315,7 @@ class DNF:
             return "⊥"
         parts = [f"({clause!r})" for clause in self.sorted_clauses()]
         return " ∨ ".join(parts)
+
+
+def _clause_sort_key(clause: Clause) -> Tuple[int, ...]:
+    return clause._ids

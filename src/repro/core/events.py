@@ -4,9 +4,19 @@ An *atomic event* (paper, Section III) has the form ``x = a`` for a random
 variable ``x`` and a domain value ``a``.  A *clause* is a conjunction of
 atomic events.  A clause is consistent iff it does not bind the same
 variable to two different values; consistent clauses are exactly partial
-valuations, so we represent a clause as an immutable mapping ``var -> value``.
+valuations, so a clause behaves as an immutable mapping ``var -> value``.
 
 Boolean shorthand: ``x`` means ``x = True`` and ``¬x`` means ``x = False``.
+
+Representation
+--------------
+Atoms and clauses are backed by the process-wide intern table of
+:mod:`repro.core.variables`: an atom stores its dense ``atom_id`` /
+``var_id`` pair, and a clause stores a sorted tuple plus frozenset of atom
+ids and a ``var_id -> (atom_id, value)`` map.  Equality, hashing,
+subsumption, independence and restriction therefore operate on small
+integers — the inner-loop currency of the decomposition algorithms —
+while the public API continues to speak in the original variable names.
 """
 
 from __future__ import annotations
@@ -21,7 +31,15 @@ from typing import (
     Tuple,
 )
 
-from .variables import VariableRegistry
+from .variables import (
+    VariableRegistry,
+    atom_entry,
+    intern_atom,
+    intern_variable,
+    lookup_atom,
+    lookup_variable,
+    variable_name,
+)
 
 __all__ = ["Atom", "Clause", "InconsistentClauseError"]
 
@@ -34,15 +52,17 @@ class Atom:
     """The atomic event ``variable = value``.
 
     Atoms are immutable value objects; two atoms are equal iff they name the
-    same variable and value.
+    same variable and value — which, by interning, is an integer comparison.
     """
 
-    __slots__ = ("variable", "value", "_hash")
+    __slots__ = ("variable", "value", "atom_id", "var_id")
 
     def __init__(self, variable: Hashable, value: Hashable = True) -> None:
+        atom_id, var_id = intern_atom(variable, value)
         object.__setattr__(self, "variable", variable)
         object.__setattr__(self, "value", value)
-        object.__setattr__(self, "_hash", hash((variable, value)))
+        object.__setattr__(self, "atom_id", atom_id)
+        object.__setattr__(self, "var_id", var_id)
 
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("Atom is immutable")
@@ -50,14 +70,14 @@ class Atom:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Atom):
             return NotImplemented
-        return self.variable == other.variable and self.value == other.value
+        return self.atom_id == other.atom_id
 
     def __hash__(self) -> int:
-        return self._hash
+        return self.atom_id
 
     def probability(self, registry: VariableRegistry) -> float:
         """``P(variable = value)`` under ``registry``."""
-        return registry.probability(self.variable, self.value)
+        return registry.atom_probability(self.atom_id)
 
     def negated(self) -> "Atom":
         """For Boolean atoms only: ``x`` becomes ``¬x`` and vice versa."""
@@ -80,37 +100,69 @@ class Atom:
 class Clause:
     """A consistent conjunction of atomic events.
 
-    Internally a frozen ``var -> value`` mapping.  The empty clause is the
-    constant *true*.  Construction from atoms that bind the same variable to
-    two different values raises :class:`InconsistentClauseError`, mirroring
-    the paper's convention that every clause of a DNF has non-null
-    probability.
+    The empty clause is the constant *true*.  Construction from atoms that
+    bind the same variable to two different values raises
+    :class:`InconsistentClauseError`, mirroring the paper's convention that
+    every clause of a DNF has non-null probability.
     """
 
-    __slots__ = ("_bindings", "_hash", "_repr")
+    __slots__ = ("_ids", "_idset", "_byvar", "_vids", "_hash", "_names",
+                 "_repr")
 
     def __init__(
         self,
         atoms: Iterable[Atom] | Mapping[Hashable, Hashable] = (),
     ) -> None:
-        bindings: Dict[Hashable, Hashable] = {}
+        byvar: Dict[int, Tuple[int, Hashable]] = {}
         if isinstance(atoms, Mapping):
-            items: Iterable[Tuple[Hashable, Hashable]] = atoms.items()
+            for variable, value in atoms.items():
+                atom_id, var_id = intern_atom(variable, value)
+                existing = byvar.get(var_id)
+                if existing is not None and existing[0] != atom_id:
+                    raise InconsistentClauseError(
+                        f"clause binds {variable!r} to both "
+                        f"{existing[1]!r} and {value!r}"
+                    )
+                byvar[var_id] = (atom_id, value)
         else:
-            items = ((atom.variable, atom.value) for atom in atoms)
-        for variable, value in items:
-            existing = bindings.get(variable, _MISSING)
-            if existing is not _MISSING and existing != value:
-                raise InconsistentClauseError(
-                    f"clause binds {variable!r} to both {existing!r} "
-                    f"and {value!r}"
-                )
-            bindings[variable] = value
-        object.__setattr__(self, "_bindings", bindings)
-        object.__setattr__(
-            self, "_hash", hash(frozenset(bindings.items()))
-        )
+            for atom in atoms:
+                if isinstance(atom, Atom):
+                    atom_id, var_id, value = (
+                        atom.atom_id, atom.var_id, atom.value
+                    )
+                else:  # (variable, value) pair tolerated for flexibility
+                    variable, value = atom
+                    atom_id, var_id = intern_atom(variable, value)
+                existing = byvar.get(var_id)
+                if existing is not None and existing[0] != atom_id:
+                    raise InconsistentClauseError(
+                        f"clause binds {variable_name(var_id)!r} to both "
+                        f"{existing[1]!r} and {value!r}"
+                    )
+                byvar[var_id] = (atom_id, value)
+        self._init_from_byvar(byvar)
+
+    def _init_from_byvar(
+        self, byvar: Dict[int, Tuple[int, Hashable]]
+    ) -> None:
+        ids = tuple(sorted(entry[0] for entry in byvar.values()))
+        idset = frozenset(ids)
+        object.__setattr__(self, "_ids", ids)
+        object.__setattr__(self, "_idset", idset)
+        object.__setattr__(self, "_byvar", byvar)
+        object.__setattr__(self, "_vids", frozenset(byvar))
+        object.__setattr__(self, "_hash", hash(idset))
+        object.__setattr__(self, "_names", None)
         object.__setattr__(self, "_repr", None)
+
+    @classmethod
+    def _from_byvar(
+        cls, byvar: Dict[int, Tuple[int, Hashable]]
+    ) -> "Clause":
+        """Internal constructor from already-interned bindings."""
+        clause = cls.__new__(cls)
+        clause._init_from_byvar(byvar)
+        return clause
 
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("Clause is immutable")
@@ -133,27 +185,47 @@ class Clause:
     # ------------------------------------------------------------------
     @property
     def variables(self) -> FrozenSet[Hashable]:
-        return frozenset(self._bindings)
+        """The bound variable *names* (lazily mapped back from ids)."""
+        names = self._names
+        if names is None:
+            names = frozenset(variable_name(vid) for vid in self._byvar)
+            object.__setattr__(self, "_names", names)
+        return names
+
+    @property
+    def variable_ids(self) -> FrozenSet[int]:
+        """The bound variables as interned ids (hot-loop currency)."""
+        return self._vids
+
+    @property
+    def atom_ids(self) -> Tuple[int, ...]:
+        """Sorted interned atom ids — doubles as a deterministic sort key."""
+        return self._ids
 
     def value_of(self, variable: Hashable) -> Hashable:
         """The value this clause binds ``variable`` to (KeyError if unbound)."""
-        return self._bindings[variable]
+        var_id = lookup_variable(variable)
+        entry = self._byvar.get(var_id) if var_id is not None else None
+        if entry is None:
+            raise KeyError(variable)
+        return entry[1]
 
     def binds(self, variable: Hashable) -> bool:
-        return variable in self._bindings
+        var_id = lookup_variable(variable)
+        return var_id is not None and var_id in self._byvar
 
     def atoms(self) -> Iterator[Atom]:
         """Iterate the atoms of the clause in deterministic order."""
-        for variable, value in sorted(
-            self._bindings.items(), key=lambda item: repr(item[0])
-        ):
+        for atom_id in self._ids:
+            _var_id, variable, value = atom_entry(atom_id)
             yield Atom(variable, value)
 
     def items(self) -> Iterator[Tuple[Hashable, Hashable]]:
-        return iter(self._bindings.items())
+        for var_id, (_atom_id, value) in self._byvar.items():
+            yield variable_name(var_id), value
 
     def __len__(self) -> int:
-        return len(self._bindings)
+        return len(self._byvar)
 
     def __bool__(self) -> bool:
         # Even the empty clause (constant true) is a real object; avoid the
@@ -162,15 +234,16 @@ class Clause:
 
     def is_empty(self) -> bool:
         """True for the empty clause, i.e. the constant *true*."""
-        return not self._bindings
+        return not self._byvar
 
     # ------------------------------------------------------------------
     # Logic
     # ------------------------------------------------------------------
     def is_consistent_with_atom(self, variable: Hashable, value: Hashable) -> bool:
         """False iff this clause binds ``variable`` to a different value."""
-        bound = self._bindings.get(variable, _MISSING)
-        return bound is _MISSING or bound == value
+        var_id = lookup_variable(variable)
+        entry = self._byvar.get(var_id) if var_id is not None else None
+        return entry is None or entry[1] == value
 
     def subsumes(self, other: "Clause") -> bool:
         """True when ``self ⊆ other`` as atom sets (``self`` is more general).
@@ -178,13 +251,7 @@ class Clause:
         In a DNF, a clause that subsumes another makes the other redundant:
         whenever the superset clause is true the subset clause is, too.
         """
-        if len(self._bindings) > len(other._bindings):
-            return False
-        other_bindings = other._bindings
-        for variable, value in self._bindings.items():
-            if other_bindings.get(variable, _MISSING) != value:
-                return False
-        return True
+        return self._idset <= other._idset
 
     def restrict(self, variable: Hashable, value: Hashable) -> "Clause | None":
         """The clause conditioned on ``variable = value``.
@@ -194,43 +261,61 @@ class Clause:
         implied by the condition).  This is the per-clause step of Shannon
         expansion (paper, Section IV).
         """
-        bound = self._bindings.get(variable, _MISSING)
-        if bound is _MISSING:
+        atom_id, var_id = lookup_atom(variable, value)
+        if var_id is None or var_id not in self._byvar:
+            return self  # variable unbound (or never interned): no-op
+        # -1 never equals a real atom id: an un-interned value conflicts
+        # with whatever this clause binds the variable to.
+        return self.restrict_ids(var_id, atom_id if atom_id is not None
+                                 else -1)
+
+    def restrict_ids(self, var_id: int, atom_id: int) -> "Clause | None":
+        """Id-based :meth:`restrict` used by the DNF-level hot path."""
+        entry = self._byvar.get(var_id)
+        if entry is None:
             return self
-        if bound != value:
+        if entry[0] != atom_id:
             return None
         remaining = {
-            var: val for var, val in self._bindings.items() if var != variable
+            vid: binding
+            for vid, binding in self._byvar.items()
+            if vid != var_id
         }
-        return Clause(remaining)
+        return Clause._from_byvar(remaining)
 
     def union(self, other: "Clause") -> "Clause":
         """Conjunction of two clauses (raises if inconsistent)."""
-        merged = dict(self._bindings)
-        for variable, value in other._bindings.items():
-            existing = merged.get(variable, _MISSING)
-            if existing is not _MISSING and existing != value:
+        merged = dict(self._byvar)
+        for var_id, binding in other._byvar.items():
+            existing = merged.get(var_id)
+            if existing is not None and existing[0] != binding[0]:
                 raise InconsistentClauseError(
-                    f"clauses disagree on {variable!r}: "
-                    f"{existing!r} vs {value!r}"
+                    f"clauses disagree on {variable_name(var_id)!r}: "
+                    f"{existing[1]!r} vs {binding[1]!r}"
                 )
-            merged[variable] = value
-        return Clause(merged)
+            merged[var_id] = binding
+        return Clause._from_byvar(merged)
 
     def independent_of(self, other: "Clause") -> bool:
         """True when the clauses share no variable (paper, Section III)."""
-        mine, theirs = self._bindings, other._bindings
-        if len(mine) > len(theirs):
-            mine, theirs = theirs, mine
-        return not any(variable in theirs for variable in mine)
+        return self._vids.isdisjoint(other._vids)
 
     def project(self, variables: FrozenSet[Hashable]) -> "Clause":
         """The sub-clause over ``variables`` (used by ⊙-factorization)."""
-        return Clause(
+        var_ids = set()
+        for variable in variables:
+            var_id = lookup_variable(variable)
+            if var_id is not None:
+                var_ids.add(var_id)
+        return self.project_ids(frozenset(var_ids))
+
+    def project_ids(self, var_ids: FrozenSet[int]) -> "Clause":
+        """Id-based :meth:`project` used by the factorization hot path."""
+        return Clause._from_byvar(
             {
-                var: val
-                for var, val in self._bindings.items()
-                if var in variables
+                vid: binding
+                for vid, binding in self._byvar.items()
+                if vid in var_ids
             }
         )
 
@@ -239,9 +324,17 @@ class Clause:
     # ------------------------------------------------------------------
     def probability(self, registry: VariableRegistry) -> float:
         """Product of atomic-event probabilities (1.0 for the empty clause)."""
+        probs = registry._atom_probs
+        base = registry._atom_base
+        size = len(probs)
         result = 1.0
-        for variable, value in self._bindings.items():
-            result *= registry.probability(variable, value)
+        for atom_id in self._ids:
+            index = atom_id - base
+            prob = probs[index] if 0 <= index < size else None
+            if prob is None:
+                # Overflow entries and unknown atoms take the slow path.
+                prob = registry.atom_probability(atom_id)
+            result *= prob
         return result
 
     def evaluate(self, world: Mapping[Hashable, Hashable]) -> bool:
@@ -250,8 +343,8 @@ class Clause:
         Unbound variables make the clause false only if the clause binds
         them; the caller is expected to pass worlds covering the clause.
         """
-        for variable, value in self._bindings.items():
-            if world.get(variable, _MISSING) != value:
+        for var_id, (_atom_id, value) in self._byvar.items():
+            if world.get(variable_name(var_id), _MISSING) != value:
                 return False
         return True
 
@@ -261,23 +354,21 @@ class Clause:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Clause):
             return NotImplemented
-        return self._bindings == other._bindings
+        return self._idset == other._idset
 
     def __hash__(self) -> int:
         return self._hash
 
     def __repr__(self) -> str:
-        # Cached: clause reprs double as deterministic sort keys on hot
-        # paths (bucket partitioning, component ordering).
         cached = self._repr
         if cached is not None:
             return cached
-        if not self._bindings:
+        if not self._byvar:
             text = "⊤"
         else:
             parts = []
             for variable, value in sorted(
-                self._bindings.items(), key=lambda item: repr(item[0])
+                self.items(), key=lambda item: repr(item[0])
             ):
                 if value is True:
                     parts.append(f"{variable}")

@@ -20,10 +20,11 @@ exactly the strategy described at the end of Section IV.
 
 from __future__ import annotations
 
-from collections import Counter
+import heapq
 from typing import Callable, Dict, Hashable, Mapping, Optional
 
 from .dnf import DNF
+from .variables import variable_name, variable_repr
 
 __all__ = [
     "VariableSelector",
@@ -40,11 +41,16 @@ def max_frequency_choice(dnf: DNF) -> Hashable:
     return dnf.most_frequent_variable()
 
 
+#: Sentinel for "name not in the provenance mapping" cache entries.
+_NO_RELATION = object()
+
+
 def iq_variable_choice(
     dnf: DNF,
     relation_of: Mapping[Hashable, Hashable],
     *,
     max_candidates: Optional[int] = None,
+    _relation_cache: Optional[Dict[int, Hashable]] = None,
 ) -> Optional[Hashable]:
     """The Lemma 6.8 pivot, or ``None`` when no variable qualifies.
 
@@ -63,40 +69,79 @@ def iq_variable_choice(
     cannot establish the lemma's counting condition), and ``None`` is
     returned.
     """
-    variables = dnf.variables
-    if not variables:
-        return None
-    if any(variable not in relation_of for variable in variables):
+    variable_ids = dnf.variable_ids
+    if not variable_ids:
         return None
 
-    total_counts: Counter = Counter(
-        relation_of[variable] for variable in variables
-    )
+    # vid -> relation, resolved through a cache shared across calls (the
+    # selector is invoked once per Shannon step; provenance is fixed).
+    cache = _relation_cache if _relation_cache is not None else {}
+    relation_by_id: Dict[int, Hashable] = {}
+    total_counts: Dict[Hashable, int] = {}
+    for vid in variable_ids:
+        relation = cache.get(vid, _NO_RELATION)
+        if relation is _NO_RELATION:
+            relation = relation_of.get(variable_name(vid), _NO_RELATION)
+            cache[vid] = relation
+        if relation is _NO_RELATION:
+            return None  # unknown provenance: cannot certify the lemma
+        relation_by_id[vid] = relation
+        total_counts[relation] = total_counts.get(relation, 0) + 1
     if len(total_counts) < 2:
         return None  # single relation: the lemma is vacuous
 
-    frequencies = dnf.variable_frequencies()
-    candidates = sorted(
-        variables, key=lambda v: (-frequencies[v], repr(v))
-    )
-    if max_candidates is not None:
-        candidates = candidates[:max_candidates]
+    frequencies = dnf.variable_id_frequencies()
+    sort_key = lambda vid: (-frequencies[vid], variable_repr(vid))  # noqa: E731
+    if max_candidates is not None and max_candidates < len(variable_ids):
+        candidates = heapq.nsmallest(max_candidates, variable_ids,
+                                     key=sort_key)
+    else:
+        candidates = sorted(variable_ids, key=sort_key)
+    if not candidates:
+        return None
 
-    for candidate in candidates:
-        home_relation = relation_of[candidate]
-        co_occurring: set = set()
-        for clause in dnf:
-            if clause.binds(candidate):
-                co_occurring.update(clause.variables)
-        restricted_counts: Counter = Counter(
-            relation_of[variable] for variable in co_occurring
-        )
-        if all(
+    def qualifies(candidate: int, occurring: set) -> bool:
+        home_relation = relation_by_id[candidate]
+        restricted_counts: Dict[Hashable, int] = {}
+        for vid in occurring:
+            relation = relation_by_id[vid]
+            restricted_counts[relation] = (
+                restricted_counts.get(relation, 0) + 1
+            )
+        return all(
             restricted_counts.get(relation, 0) == count
             for relation, count in total_counts.items()
             if relation != home_relation
-        ):
-            return candidate
+        )
+
+    # For IQ lineage the most frequent variable is the minimal one and
+    # qualifies immediately (Lemma 6.8), so try it with a targeted scan
+    # before paying for the remaining candidates.
+    first = candidates[0]
+    first_occurring: set = set()
+    for clause in dnf:
+        clause_vids = clause.variable_ids
+        if first in clause_vids:
+            first_occurring.update(clause_vids)
+    if qualifies(first, first_occurring):
+        return variable_name(first)
+    if len(candidates) == 1:
+        return None
+
+    # Co-occurring variables of the remaining candidates in ONE pass over
+    # the clauses (scanning per candidate would repeat the whole clause
+    # walk up to ``max_candidates`` times on non-IQ inputs).
+    co_occurring: Dict[int, set] = {vid: set() for vid in candidates[1:]}
+    for clause in dnf:
+        clause_vids = clause.variable_ids
+        for vid in clause_vids:
+            acc = co_occurring.get(vid)
+            if acc is not None:
+                acc.update(clause_vids)
+
+    for candidate in candidates[1:]:
+        if qualifies(candidate, co_occurring[candidate]):
+            return variable_name(candidate)
     return None
 
 
@@ -114,9 +159,14 @@ def make_variable_selector(
     if relation_of is None:
         return max_frequency_choice
 
+    relation_cache: Dict[int, Hashable] = {}
+
     def selector(dnf: DNF) -> Hashable:
         choice = iq_variable_choice(
-            dnf, relation_of, max_candidates=max_iq_candidates
+            dnf,
+            relation_of,
+            max_candidates=max_iq_candidates,
+            _relation_cache=relation_cache,
         )
         if choice is not None:
             return choice

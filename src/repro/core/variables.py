@@ -8,21 +8,161 @@ the assigned probabilities sum to one.
 :class:`VariableRegistry` is that probability space.  Everything else in the
 library (DNFs, d-trees, Monte-Carlo estimators, the query engine) computes
 probabilities against a registry.
+
+Interning
+---------
+Variable names and atomic events are *interned*: a process-wide table maps
+every distinct variable name to a dense integer id, and every distinct
+``(variable, value)`` atom to a dense atom id.  The formula layer
+(:mod:`repro.core.events`, :mod:`repro.core.dnf`) stores only these ids, so
+the hot loops of decomposition — subsumption, union-find partitioning,
+Shannon restriction, bucket bounds — run on small integers instead of
+hashing arbitrary user objects.  Public constructors keep accepting
+arbitrary hashable names; interning happens here, at the registry boundary.
+Each registry additionally keeps an array mapping atom ids to
+probabilities, giving ``P(x = a)`` by a single list index in the inner
+loops.
 """
 
 from __future__ import annotations
 
 import itertools
 import math
-from typing import Dict, Hashable, Iterable, Iterator, Mapping, Sequence, Tuple
+import threading
+from typing import (
+    Dict,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
-__all__ = ["VariableRegistry", "BOOLEAN_DOMAIN"]
+__all__ = [
+    "VariableRegistry",
+    "BOOLEAN_DOMAIN",
+    "intern_variable",
+    "intern_atom",
+    "lookup_variable",
+    "lookup_atom",
+    "variable_name",
+    "variable_repr",
+    "atom_entry",
+]
 
 #: Domain of a Boolean random variable; ``x`` abbreviates ``x = True`` and
 #: ``¬x`` abbreviates ``x = False`` (paper, Section III).
 BOOLEAN_DOMAIN: Tuple[bool, bool] = (True, False)
 
 _SUM_TOLERANCE = 1e-9
+
+#: A registration landing further than this past the end of a registry's
+#: probability window goes to the overflow dict instead of extending the
+#: array — bounding per-registry memory by its own contiguous id span.
+_WINDOW_GROWTH_LIMIT = 4096
+
+
+# ----------------------------------------------------------------------
+# Interning
+# ----------------------------------------------------------------------
+# The tables are process-wide and grow monotonically: an id, once
+# assigned, is never reclaimed (formulas hold bare ints, so reclamation
+# would require tracing them).  They store one entry per distinct
+# variable name / atomic event ever constructed — orders of magnitude
+# smaller than the lineage built over them, but a deliberate trade-off a
+# future compaction pass could revisit.
+
+#: name -> dense variable id
+_VARIABLE_IDS: Dict[Hashable, int] = {}
+#: variable id -> name
+_VARIABLE_NAMES: List[Hashable] = []
+#: (variable id, value) -> dense atom id
+_ATOM_IDS: Dict[Tuple[int, Hashable], int] = {}
+#: atom id -> (variable id, name, value)
+_ATOM_ENTRIES: List[Tuple[int, Hashable, Hashable]] = []
+#: Guards id assignment; reads go lock-free (an id published in the
+#: lookup dict always has its entry list slot filled first).
+_INTERN_LOCK = threading.Lock()
+
+
+def intern_variable(name: Hashable) -> int:
+    """Dense integer id of a variable name (assigned on first sight)."""
+    var_id = _VARIABLE_IDS.get(name)
+    if var_id is not None:
+        return var_id
+    with _INTERN_LOCK:
+        var_id = _VARIABLE_IDS.get(name)
+        if var_id is None:
+            var_id = len(_VARIABLE_NAMES)
+            _VARIABLE_NAMES.append(name)
+            _VARIABLE_IDS[name] = var_id  # publish after the slot exists
+        return var_id
+
+
+def intern_atom(name: Hashable, value: Hashable) -> Tuple[int, int]:
+    """``(atom id, variable id)`` of the atomic event ``name = value``."""
+    var_id = intern_variable(name)
+    key = (var_id, value)
+    atom_id = _ATOM_IDS.get(key)
+    if atom_id is not None:
+        return atom_id, var_id
+    with _INTERN_LOCK:
+        atom_id = _ATOM_IDS.get(key)
+        if atom_id is None:
+            atom_id = len(_ATOM_ENTRIES)
+            _ATOM_ENTRIES.append((var_id, name, value))
+            _ATOM_IDS[key] = atom_id  # publish after the slot exists
+    return atom_id, var_id
+
+
+def lookup_variable(name: Hashable) -> Optional[int]:
+    """The id of ``name`` if already interned, else ``None``.
+
+    Read-only probes (``binds``, ``restrict`` on a variable that occurs
+    nowhere) use this so they don't grow the process-wide tables.
+    """
+    return _VARIABLE_IDS.get(name)
+
+
+def lookup_atom(
+    name: Hashable, value: Hashable
+) -> Tuple[Optional[int], Optional[int]]:
+    """``(atom id, variable id)`` if interned, ``None`` components otherwise."""
+    var_id = _VARIABLE_IDS.get(name)
+    if var_id is None:
+        return None, None
+    return _ATOM_IDS.get((var_id, value)), var_id
+
+
+#: variable id -> cached ``repr(name)``; deterministic tie-break currency.
+_VARIABLE_REPRS: Dict[int, str] = {}
+
+
+def variable_name(var_id: int) -> Hashable:
+    """The name a variable id was interned from."""
+    return _VARIABLE_NAMES[var_id]
+
+
+def variable_repr(var_id: int) -> str:
+    """Cached ``repr`` of a variable name.
+
+    Tie-breaks in pivot selection and component ordering follow the repr
+    order of the original names (as the seed implementation did), but the
+    strings are computed once per variable instead of once per comparison.
+    """
+    cached = _VARIABLE_REPRS.get(var_id)
+    if cached is None:
+        cached = repr(_VARIABLE_NAMES[var_id])
+        _VARIABLE_REPRS[var_id] = cached
+    return cached
+
+
+def atom_entry(atom_id: int) -> Tuple[int, Hashable, Hashable]:
+    """``(variable id, variable name, value)`` of an atom id."""
+    return _ATOM_ENTRIES[atom_id]
 
 
 class VariableRegistry:
@@ -46,6 +186,17 @@ class VariableRegistry:
 
     def __init__(self) -> None:
         self._distributions: Dict[Hashable, Dict[Hashable, float]] = {}
+        # Probability per interned atom id, shared with the formula layer
+        # for array-indexed lookup in decomposition inner loops.  The
+        # list is offset by ``_atom_base`` (the first registered atom's
+        # id); registrations landing far outside the current window —
+        # ids reused from much earlier process history, or ids far ahead
+        # after heavy unrelated interning — go to the overflow dict so a
+        # registry never allocates memory proportional to the
+        # process-wide atom count.
+        self._atom_probs: List[Optional[float]] = []
+        self._atom_base: int = 0
+        self._atom_overflow: Dict[int, float] = {}
 
     # ------------------------------------------------------------------
     # Registration
@@ -80,6 +231,18 @@ class VariableRegistry:
                 raise ValueError(f"variable {name!r} already registered")
             return name
         self._distributions[name] = normalised
+        probs = self._atom_probs
+        for value, prob in normalised.items():
+            atom_id, _var_id = intern_atom(name, value)
+            if not probs and not self._atom_overflow:
+                self._atom_base = atom_id
+            index = atom_id - self._atom_base
+            if index < 0 or index >= len(probs) + _WINDOW_GROWTH_LIMIT:
+                self._atom_overflow[atom_id] = prob
+            else:
+                if index >= len(probs):
+                    probs.extend([None] * (index + 1 - len(probs)))
+                probs[index] = prob
         return name
 
     def add_boolean(self, name: Hashable, probability_true: float) -> Hashable:
@@ -133,6 +296,21 @@ class VariableRegistry:
             raise KeyError(
                 f"value {value!r} not in domain of variable {name!r}"
             ) from None
+
+    def atom_probability(self, atom_id: int) -> float:
+        """``P`` of an interned atom id; raises ``KeyError`` when unknown."""
+        probs = self._atom_probs
+        index = atom_id - self._atom_base
+        if 0 <= index < len(probs):
+            prob = probs[index]
+            if prob is not None:
+                return prob
+        prob = self._atom_overflow.get(atom_id)
+        if prob is not None:
+            return prob
+        _var_id, name, value = atom_entry(atom_id)
+        # Re-raises with the precise variable/value diagnostics.
+        return self.probability(name, value)
 
     def is_boolean(self, name: Hashable) -> bool:
         """True when ``name`` has the domain ``{True, False}``."""

@@ -29,7 +29,13 @@ from ..core.orders import VariableSelector, make_variable_selector
 from .cq import Const, ConjunctiveQuery, Inequality, SubGoal, Var
 from .database import Database
 
-__all__ = ["evaluate", "evaluate_to_dnf", "answer_selector", "QueryAnswer"]
+__all__ = [
+    "evaluate",
+    "evaluate_to_dnf",
+    "evaluate_with_confidence",
+    "answer_selector",
+    "QueryAnswer",
+]
 
 
 class QueryAnswer:
@@ -207,3 +213,48 @@ def answer_selector(database: Database) -> VariableSelector:
     composite strategy of Section IV.
     """
     return make_variable_selector(database.variable_origins())
+
+
+def evaluate_with_confidence(
+    query: ConjunctiveQuery,
+    database: Database,
+    *,
+    engine=None,
+    epsilon=None,
+    error_kind=None,
+    max_steps=None,
+    deadline_seconds=None,
+    **engine_kwargs,
+):
+    """Answers with planner-computed confidences.
+
+    Routes every confidence through
+    :class:`repro.engine.ConfidenceEngine` — the single entry point that
+    auto-selects read-once / SPROUT / d-tree / MC per query and answer.
+    Returns ``(answer_values, EngineResult)`` pairs.
+
+    ``epsilon``, ``error_kind``, ``max_steps`` and ``deadline_seconds``
+    are per-call overrides forwarded to the engine (its own defaults
+    apply when omitted).  Pass an existing ``engine`` to share its
+    decomposition cache across queries; otherwise one is built from
+    ``engine_kwargs`` (``choose_variable=...``, ``mc_fallback=...``, …).
+    Constructor ``engine_kwargs`` cannot be combined with an explicit
+    ``engine``.
+    """
+    from ..engine import ConfidenceEngine
+
+    if engine is None:
+        engine = ConfidenceEngine.for_database(database, **engine_kwargs)
+    elif engine_kwargs:
+        raise TypeError(
+            "engine_kwargs configure a new engine and are ignored when "
+            f"one is passed; got {sorted(engine_kwargs)}"
+        )
+    return engine.compute_query(
+        query,
+        database,
+        epsilon=epsilon,
+        error_kind=error_kind,
+        max_steps=max_steps,
+        deadline_seconds=deadline_seconds,
+    )

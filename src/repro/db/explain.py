@@ -42,6 +42,12 @@ class QueryExplanation:
         The bottom line: is exact PTIME computation guaranteed?
     recommendation:
         Human-readable algorithm advice.
+    engine_strategy, engine_reason:
+        The :class:`repro.engine.ConfidenceEngine` ladder rung this query
+        is routed to (``sprout`` or ``dtree`` at query level; DNF-level
+        rungs like ``read-once`` apply per answer) and why — the planner
+        decision ``evaluate_with_confidence`` / ``run_conf_query`` will
+        actually take.
     notes:
         Supporting detail, one line per finding.
     """
@@ -54,6 +60,8 @@ class QueryExplanation:
         "theorem_6_4",
         "tractable",
         "recommendation",
+        "engine_strategy",
+        "engine_reason",
         "notes",
     )
 
@@ -65,6 +73,8 @@ class QueryExplanation:
         self.theorem_6_4: Optional[bool] = None
         self.tractable = False
         self.recommendation = ""
+        self.engine_strategy = ""
+        self.engine_reason = ""
         self.notes: List[str] = []
 
     def __repr__(self) -> str:
@@ -102,10 +112,19 @@ def explain(
     With a ``database``, the data-dependent Theorem 6.4 condition is also
     checked for hard-pattern queries.
     """
+    from ..engine import ConfidenceEngine
+
     report = QueryExplanation()
     report.self_join = query.has_self_join()
     report.hierarchical = query.is_hierarchical()
     report.iq = query.is_iq()
+    report.engine_strategy, report.engine_reason = (
+        ConfidenceEngine.select_query_strategy(query, database)
+    )
+    report.notes.append(
+        f"engine routes this query via {report.engine_strategy!r}: "
+        f"{report.engine_reason}"
+    )
 
     if report.self_join:
         report.notes.append(

@@ -34,7 +34,7 @@ from typing import (
 )
 
 from ..core.events import Atom
-from ..core.formulas import TRUE, AtomNode, Formula
+from ..core.formulas import TRUE, AtomNode, Formula, TrueNode
 from ..core.variables import VariableRegistry
 
 __all__ = ["Relation", "Row"]
@@ -58,7 +58,8 @@ class Relation:
         this relation's constructors.
     """
 
-    __slots__ = ("name", "attributes", "rows", "variable_origin")
+    __slots__ = ("name", "attributes", "rows", "variable_origin",
+                 "_simple_lineage_memo")
 
     def __init__(
         self,
@@ -73,6 +74,7 @@ class Relation:
         self.variable_origin: Dict[Hashable, str] = (
             dict(variable_origin) if variable_origin else {}
         )
+        self._simple_lineage_memo: Optional[Tuple[int, bool]] = None
         for values, lineage in rows:
             self._append(values, lineage)
 
@@ -84,6 +86,29 @@ class Relation:
                 f"{self.name!r} has {len(self.attributes)} attributes"
             )
         self.rows.append((values, lineage))
+
+    def has_simple_lineage(self) -> bool:
+        """True when every row's lineage is a bare atom or ``⊤``.
+
+        This is the tuple-independent/certain row shape SPROUT requires.
+        The verdict is memoised per row count — rows are append-only
+        throughout the library, so a matching count means no new rows —
+        sparing the planner a full relation scan per query.  Should
+        external code ever replace a row in place (same count), a stale
+        "simple" verdict cannot corrupt results: SPROUT itself re-checks
+        every row's lineage and the planner falls back on its
+        ``UnsafeQueryError``.
+        """
+        memo = self._simple_lineage_memo
+        count = len(self.rows)
+        if memo is not None and memo[0] == count:
+            return memo[1]
+        verdict = all(
+            isinstance(lineage, (AtomNode, TrueNode))
+            for _values, lineage in self.rows
+        )
+        self._simple_lineage_memo = (count, verdict)
+        return verdict
 
     # ------------------------------------------------------------------
     # Constructors

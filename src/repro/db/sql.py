@@ -25,10 +25,9 @@ from __future__ import annotations
 import re
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple, Union
 
-from ..core.approx import approximate_probability
 from .cq import ConjunctiveQuery, Const, Inequality, SubGoal, Var
 from .database import Database
-from .engine import answer_selector, evaluate
+from .engine import evaluate
 
 __all__ = ["parse_conf_query", "run_conf_query", "SqlSyntaxError", "ParsedQuery"]
 
@@ -325,29 +324,38 @@ def run_conf_query(
     text: str,
     database: Database,
     *,
-    epsilon: float = 0.0,
-    error_kind: str = "absolute",
+    epsilon: Optional[float] = None,
+    error_kind: Optional[str] = None,
+    engine=None,
 ) -> List[Tuple[Tuple[Hashable, ...], Optional[float]]]:
     """Parse and evaluate a conf() query.
 
     Returns ``(answer_tuple, confidence)`` pairs; the confidence is
-    ``None`` when the query does not request ``conf()``.  Confidence is
-    computed with the d-tree algorithm at the requested error, using the
-    database's variable provenance for the Shannon order.
+    ``None`` when the query does not request ``conf()``.  Confidences
+    route through :class:`repro.engine.ConfidenceEngine` — read-once and
+    SPROUT-safe queries are answered exactly by the cheap strategies, the
+    rest by the d-tree algorithm at the requested error, using the
+    database's variable provenance for the Shannon order.  Pass an
+    ``engine`` to reuse its decomposition cache (and its configured
+    request) across queries; explicit ``epsilon``/``error_kind`` override
+    the engine's defaults, and with neither engine nor overrides the
+    computation is exact (``ε = 0``, absolute).
     """
     parsed = parse_conf_query(text, database)
-    answers = evaluate(parsed.query, database)
     if not parsed.wants_conf:
+        answers = evaluate(parsed.query, database)
         return [(answer.values, None) for answer in answers]
-    selector = answer_selector(database)
-    results = []
-    for answer in answers:
-        outcome = approximate_probability(
-            answer.lineage.to_dnf(),
-            database.registry,
-            epsilon=epsilon,
-            error_kind=error_kind,
-            choose_variable=selector,
+    from ..engine import ConfidenceEngine
+
+    if engine is None:
+        engine = ConfidenceEngine.for_database(
+            database,
+            epsilon=0.0 if epsilon is None else epsilon,
+            error_kind="absolute" if error_kind is None else error_kind,
         )
-        results.append((answer.values, outcome.estimate))
-    return results
+    return [
+        (values, result.probability)
+        for values, result in engine.compute_query(
+            parsed.query, database, epsilon=epsilon, error_kind=error_kind
+        )
+    ]

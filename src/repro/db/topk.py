@@ -9,14 +9,16 @@ dominate the rest — usually long before any probability is computed
 exactly.
 
 :func:`top_k_answers` implements that loop on top of
-:func:`repro.core.approx.approximate_probability` step budgets.
+:class:`repro.engine.ConfidenceEngine` step budgets: every refinement is
+an engine ``compute`` call, so read-once answers resolve exactly in one
+shot and the engine's shared decomposition cache makes each successive
+budget increase resume almost where the previous round stopped.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
-from ..core.approx import approximate_probability
 from ..core.dnf import DNF
 from ..core.orders import VariableSelector
 from ..core.variables import VariableRegistry
@@ -61,6 +63,7 @@ def top_k_answers(
     step_growth: int = 2,
     max_total_steps: int = 200_000,
     separation: float = 0.0,
+    engine=None,
 ) -> List[RankedAnswer]:
     """The k most probable answers, certified by interval separation.
 
@@ -80,6 +83,10 @@ def top_k_answers(
     separation:
         Required gap between the k-th lower bound and the (k+1)-th upper
         bound; zero certifies a weak ordering (ties broken by midpoint).
+    engine:
+        A :class:`repro.engine.ConfidenceEngine` to refine through; one
+        is built from ``registry``/``choose_variable`` when omitted.
+        Every refinement routes through ``engine.compute``.
 
     Returns
     -------
@@ -89,6 +96,13 @@ def top_k_answers(
     if k <= 0:
         raise ValueError("k must be positive")
 
+    if engine is None:
+        from ..engine import ConfidenceEngine
+
+        engine = ConfidenceEngine(
+            registry, epsilon=0.0, choose_variable=choose_variable
+        )
+
     states: List[Dict] = []
     for values, dnf in answers:
         states.append(
@@ -97,12 +111,8 @@ def top_k_answers(
         )
 
     def refine(state: Dict) -> None:
-        result = approximate_probability(
-            state["dnf"],
-            registry,
-            epsilon=0.0,
-            choose_variable=choose_variable,
-            max_steps=state["budget"],
+        result = engine.compute(
+            state["dnf"], epsilon=0.0, max_steps=state["budget"]
         )
         state["result"] = result
         state["spent"] = result.steps

@@ -1,0 +1,528 @@
+"""Unified confidence-computation planner: the :class:`ConfidenceEngine`.
+
+The paper evaluates four ways of computing a tuple's confidence — exact
+d-tree compilation, the incremental ε-approximation (Section V), SPROUT's
+query-aware extensional plans [Olteanu, Huang, Koch; ICDE 2009], and the
+``aconf`` Monte-Carlo baseline — and Section VI maps out exactly when each
+is the right tool.  The seed library exposed them as disconnected entry
+points the caller had to pick by hand; this module is the planner that
+picks for them.
+
+Strategy-selection ladder
+-------------------------
+:meth:`ConfidenceEngine.compute` walks the ladder top to bottom and stops
+at the first strategy that answers the request:
+
+1. ``trivial`` — the DNF is constant false/true: answer immediately.
+2. ``read-once`` — the lineage factors into one-occurrence form
+   (Section VI.B): exact probability in linear time on the factored form.
+   This captures hierarchical-query lineage (Prop. 6.3) without needing
+   the query.
+3. ``sprout`` — *query level only* (:meth:`compute_query`): hierarchical
+   conjunctive queries without self-joins on tuple-independent tables are
+   evaluated extensionally, never materialising lineage.
+4. ``dtree`` — the incremental ε-approximation with certified bounds (the
+   paper's main algorithm; exact when ``ε = 0``), under the engine's
+   time/step budget and shared decomposition memo cache.
+5. ``mc`` — when the d-tree run exhausts its budget without certifying
+   the requested ε and a relative guarantee was asked for, fall back to
+   the Karp–Luby/DKLR ``aconf`` estimator; its estimate is clipped into
+   the (always sound) d-tree bounds.
+
+Every result reports which rung answered and why, and
+:func:`repro.db.explain.explain` surfaces the same decision for a query
+before any computation runs.
+
+The engine also owns a :class:`~repro.core.memo.DecompositionCache`
+shared across all of its calls: repeated sub-DNFs — ubiquitous in top-k
+interval refinement and multi-answer queries over shared tuples — fold
+instantly instead of being recompiled.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Hashable, List, Optional, Tuple, Union
+
+from .core.approx import (
+    ABSOLUTE,
+    RELATIVE,
+    ApproximationResult,
+    approximate_probability,
+)
+from .core.dnf import DNF
+from .core.formulas import Formula
+from .core.memo import DecompositionCache
+from .core.orders import VariableSelector
+from .core.readonce import try_read_once
+from .core.variables import VariableRegistry
+
+__all__ = ["ConfidenceEngine", "EngineResult", "STRATEGY_LADDER"]
+
+#: The ladder, in selection order (``sprout`` applies at query level).
+STRATEGY_LADDER: Tuple[str, ...] = (
+    "trivial",
+    "read-once",
+    "sprout",
+    "dtree",
+    "mc",
+)
+
+
+class EngineResult:
+    """Outcome of one :meth:`ConfidenceEngine.compute` call.
+
+    Attributes
+    ----------
+    probability:
+        The confidence estimate (midpoint of the certified interval for
+        d-tree runs, exact value for read-once/SPROUT, MC estimate for
+        the fallback).
+    lower, upper:
+        Sound probability bounds (point bounds for exact strategies; the
+        best d-tree bounds found for budgeted runs).
+    strategy:
+        The ladder rung that produced the answer.
+    reason:
+        One line explaining why that rung was chosen.
+    converged:
+        Whether the requested guarantee was met.
+    epsilon, error_kind:
+        The request this result answers.
+    steps:
+        Decomposition steps spent (0 for non-d-tree strategies).
+    elapsed_seconds:
+        Wall-clock duration of the call.
+    details:
+        Strategy-specific extras (e.g. the underlying
+        :class:`~repro.core.approx.ApproximationResult`).
+    """
+
+    __slots__ = (
+        "probability",
+        "lower",
+        "upper",
+        "strategy",
+        "reason",
+        "converged",
+        "epsilon",
+        "error_kind",
+        "steps",
+        "elapsed_seconds",
+        "details",
+    )
+
+    def __init__(
+        self,
+        probability: float,
+        lower: float,
+        upper: float,
+        strategy: str,
+        reason: str,
+        converged: bool,
+        epsilon: float,
+        error_kind: str,
+        steps: int = 0,
+        elapsed_seconds: float = 0.0,
+        details: Optional[Dict] = None,
+    ) -> None:
+        self.probability = probability
+        self.lower = lower
+        self.upper = upper
+        self.strategy = strategy
+        self.reason = reason
+        self.converged = converged
+        self.epsilon = epsilon
+        self.error_kind = error_kind
+        self.steps = steps
+        self.elapsed_seconds = elapsed_seconds
+        self.details = details or {}
+
+    # ``estimate`` mirrors ApproximationResult for drop-in compatibility.
+    @property
+    def estimate(self) -> float:
+        return self.probability
+
+    def width(self) -> float:
+        """Bound interval width ``U − L``."""
+        return self.upper - self.lower
+
+    def __repr__(self) -> str:
+        return (
+            f"EngineResult({self.probability:.6g} via {self.strategy}, "
+            f"bounds=[{self.lower:.6g}, {self.upper:.6g}], "
+            f"converged={self.converged})"
+        )
+
+
+class ConfidenceEngine:
+    """One entry point for every confidence computation.
+
+    Parameters
+    ----------
+    registry:
+        The probability space lineage is evaluated against.
+    epsilon, error_kind:
+        Default approximation request (``ε = 0`` asks for exact).
+    choose_variable:
+        Shannon pivot selector (e.g. ``answer_selector(database)`` for
+        the Lemma 6.8 IQ order); max-frequency when omitted.
+    deadline_seconds, max_steps:
+        Per-``compute`` work budget for the d-tree rung.
+    mc_fallback:
+        Enable the ``aconf`` rung for budget-exhausted relative-error
+        requests (on by default).
+    mc_max_samples:
+        Sample cap for the MC rung — its only work bound; ``aconf`` has
+        no wall-clock deadline, so a ``compute`` call that falls through
+        to MC can exceed ``deadline_seconds`` by the sampling time (the
+        rung is skipped entirely when the deadline is already spent).
+    try_read_once:
+        Attempt the linear-time 1OF rung first (on by default; turning
+        it off forces the d-tree path, for ablations).
+    cache:
+        Shared :class:`DecompositionCache`; a fresh one is created when
+        omitted and reused for the engine's lifetime.
+    """
+
+    def __init__(
+        self,
+        registry: VariableRegistry,
+        *,
+        epsilon: float = 0.0,
+        error_kind: str = ABSOLUTE,
+        choose_variable: Optional[VariableSelector] = None,
+        deadline_seconds: Optional[float] = None,
+        max_steps: Optional[int] = None,
+        mc_fallback: bool = True,
+        mc_max_samples: int = 100_000,
+        try_read_once: bool = True,
+        cache: Optional[DecompositionCache] = None,
+    ) -> None:
+        if not (0.0 <= epsilon < 1.0):
+            raise ValueError(f"epsilon must be in [0, 1), got {epsilon}")
+        if error_kind not in (ABSOLUTE, RELATIVE):
+            raise ValueError(f"unknown error kind {error_kind!r}")
+        self.registry = registry
+        self.epsilon = epsilon
+        self.error_kind = error_kind
+        self.choose_variable = choose_variable
+        self.deadline_seconds = deadline_seconds
+        self.max_steps = max_steps
+        self.mc_fallback = mc_fallback
+        self.mc_max_samples = mc_max_samples
+        self.try_read_once = try_read_once
+        self.cache = cache if cache is not None else DecompositionCache()
+        # DNF -> factored form (or None): top-k refinement re-submits the
+        # same lineage with growing budgets; don't re-attempt 1OF each time.
+        self._readonce_memo: Dict[DNF, object] = {}
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_database(cls, database, **kwargs) -> "ConfidenceEngine":
+        """An engine wired with a database's registry and IQ provenance."""
+        from .db.engine import answer_selector
+
+        kwargs.setdefault("choose_variable", answer_selector(database))
+        return cls(database.registry, **kwargs)
+
+    # ------------------------------------------------------------------
+    # DNF-level computation
+    # ------------------------------------------------------------------
+    def compute(
+        self,
+        lineage: Union[DNF, Formula],
+        *,
+        epsilon: Optional[float] = None,
+        error_kind: Optional[str] = None,
+        max_steps: Optional[int] = None,
+        deadline_seconds: Optional[float] = None,
+    ) -> EngineResult:
+        """Confidence of a lineage formula via the strategy ladder.
+
+        Accepts a :class:`DNF` or any lineage :class:`Formula` (converted
+        via ``to_dnf``).  Per-call overrides fall back to the engine
+        defaults.
+        """
+        started = time.monotonic()
+        if isinstance(lineage, Formula):
+            dnf = lineage.to_dnf()
+        else:
+            dnf = lineage
+        epsilon = self.epsilon if epsilon is None else epsilon
+        error_kind = self.error_kind if error_kind is None else error_kind
+        # Validate overrides up front: the trivial/read-once rungs return
+        # before the d-tree rung would have rejected them.
+        if not (0.0 <= epsilon < 1.0):
+            raise ValueError(f"epsilon must be in [0, 1), got {epsilon}")
+        if error_kind not in (ABSOLUTE, RELATIVE):
+            raise ValueError(f"unknown error kind {error_kind!r}")
+        max_steps = self.max_steps if max_steps is None else max_steps
+        deadline_seconds = (
+            self.deadline_seconds
+            if deadline_seconds is None
+            else deadline_seconds
+        )
+
+        def finish(result: EngineResult) -> EngineResult:
+            result.elapsed_seconds = time.monotonic() - started
+            return result
+
+        # Rung 1: constants.
+        if dnf.is_false():
+            return finish(
+                EngineResult(
+                    0.0, 0.0, 0.0, "trivial", "empty DNF is constant false",
+                    True, epsilon, error_kind,
+                )
+            )
+        if dnf.is_true():
+            return finish(
+                EngineResult(
+                    1.0, 1.0, 1.0, "trivial",
+                    "DNF contains the empty clause (constant true)",
+                    True, epsilon, error_kind,
+                )
+            )
+
+        # Rung 2: read-once factorization (linear-time exact).
+        if self.try_read_once:
+            if dnf in self._readonce_memo:
+                formula = self._readonce_memo[dnf]
+            else:
+                formula = try_read_once(dnf)
+                if len(self._readonce_memo) > 10_000:
+                    self._readonce_memo.clear()
+                self._readonce_memo[dnf] = formula
+            if formula is not None:
+                value = formula.probability(self.registry)
+                return finish(
+                    EngineResult(
+                        value, value, value, "read-once",
+                        "lineage factors into one-occurrence form "
+                        "(Section VI.B): exact in linear time",
+                        True, epsilon, error_kind,
+                    )
+                )
+
+        # Rung 4: incremental d-tree ε-approximation.
+        outcome = approximate_probability(
+            dnf,
+            self.registry,
+            epsilon=epsilon,
+            error_kind=error_kind,
+            choose_variable=self.choose_variable,
+            max_steps=max_steps,
+            deadline_seconds=deadline_seconds,
+            cache=self.cache,
+        )
+        if outcome.converged or not self._mc_applicable(epsilon, error_kind):
+            reason = (
+                "incremental d-tree approximation certified the request"
+                if outcome.converged
+                else "d-tree budget exhausted; bounds are best-effort "
+                "(no MC fallback applicable)"
+            )
+            return finish(self._from_dtree(outcome, reason))
+
+        # Rung 5: Monte-Carlo fallback on budget exhaustion.  The MC rung
+        # is bounded by ``mc_max_samples`` (aconf has no wall-clock cap);
+        # it is skipped when the caller's deadline is already spent.
+        remaining = (
+            None
+            if deadline_seconds is None
+            else deadline_seconds - (time.monotonic() - started)
+        )
+        mc_result = self._run_mc(dnf, epsilon, remaining)
+        if mc_result is None:
+            return finish(
+                self._from_dtree(
+                    outcome,
+                    "d-tree budget exhausted; MC fallback unavailable",
+                )
+            )
+        estimate, samples, capped = mc_result
+        # The d-tree bounds stay sound; clip the MC estimate into them.
+        estimate = min(max(estimate, outcome.lower), outcome.upper)
+        return finish(
+            EngineResult(
+                estimate,
+                outcome.lower,
+                outcome.upper,
+                "mc",
+                "d-tree budget exhausted; Karp–Luby/DKLR aconf estimate "
+                "within the partial d-tree bounds",
+                not capped,
+                epsilon,
+                error_kind,
+                steps=outcome.steps,
+                details={"dtree": outcome, "mc_samples": samples,
+                         "mc_capped": capped},
+            )
+        )
+
+    def _mc_applicable(self, epsilon: float, error_kind: str) -> bool:
+        # aconf gives (ε, δ) *relative* guarantees; ε = 0 cannot be met
+        # by sampling and an absolute request would be mislabelled as
+        # converged.
+        return (
+            self.mc_fallback and epsilon > 0.0 and error_kind == RELATIVE
+        )
+
+    def _run_mc(
+        self,
+        dnf: DNF,
+        epsilon: float,
+        remaining_seconds: Optional[float],
+    ) -> Optional[Tuple[float, int, bool]]:
+        if remaining_seconds is not None and remaining_seconds <= 0.0:
+            return None  # deadline already spent by the d-tree rung
+        try:
+            from .mc.aconf import aconf
+        except ImportError:  # pragma: no cover - mc is part of the tree
+            return None
+        outcome = aconf(
+            dnf,
+            self.registry,
+            epsilon=epsilon,
+            max_samples=self.mc_max_samples,
+        )
+        return outcome.estimate, outcome.samples, outcome.capped
+
+    def _from_dtree(
+        self, outcome: ApproximationResult, reason: str
+    ) -> EngineResult:
+        return EngineResult(
+            outcome.estimate,
+            outcome.lower,
+            outcome.upper,
+            "dtree",
+            reason,
+            outcome.converged,
+            outcome.epsilon,
+            outcome.error_kind,
+            steps=outcome.steps,
+            details={"dtree": outcome},
+        )
+
+    # ------------------------------------------------------------------
+    # Query-level computation
+    # ------------------------------------------------------------------
+    @classmethod
+    def select_query_strategy(
+        cls, query, database=None
+    ) -> Tuple[str, str]:
+        """The ladder rung a query will take, with the reason.
+
+        Query-level selection happens *before* lineage is materialised:
+        hierarchical self-join-free queries with at most local
+        inequalities on tuple-independent tables go to SPROUT; everything
+        else materialises lineage and re-enters the ladder per answer.
+        Without a ``database`` the row-lineage condition is assumed to
+        hold (SPROUT itself re-checks and the planner falls back).
+        """
+        if query.has_self_join():
+            return (
+                "dtree",
+                "self-joins are outside every known tractable class",
+            )
+        if not query.is_hierarchical():
+            return (
+                "dtree",
+                "query is not hierarchical (Def. 6.1); lineage enters "
+                "the d-tree ladder per answer",
+            )
+        inequalities_local = all(
+            any(
+                set(inequality.variables()) <= set(subgoal.variables())
+                for subgoal in query.subgoals
+            )
+            for inequality in query.inequalities
+        )
+        if not inequalities_local:
+            return (
+                "dtree",
+                "cross-subgoal inequalities: IQ d-tree order applies, "
+                "not SPROUT",
+            )
+        if database is not None and not cls._rows_tuple_independent(
+            query, database
+        ):
+            return (
+                "dtree",
+                "composite row lineage: SPROUT needs tuple-independent "
+                "(or certain) input rows",
+            )
+        return (
+            "sprout",
+            "hierarchical without self-joins on tuple-independent "
+            "tables: exact extensional plan (Prop. 6.3)",
+        )
+
+    @staticmethod
+    def _rows_tuple_independent(query, database) -> bool:
+        return all(
+            subgoal.relation in database
+            and database[subgoal.relation].has_simple_lineage()
+            for subgoal in query.subgoals
+        )
+
+    def compute_query(
+        self,
+        query,
+        database,
+        *,
+        epsilon: Optional[float] = None,
+        error_kind: Optional[str] = None,
+        max_steps: Optional[int] = None,
+        deadline_seconds: Optional[float] = None,
+    ) -> List[Tuple[Tuple[Hashable, ...], EngineResult]]:
+        """Per-answer confidence for a conjunctive query.
+
+        Routes the whole query through SPROUT when its class allows,
+        otherwise materialises lineage and walks the DNF ladder per
+        answer.
+        """
+        strategy, reason = self.select_query_strategy(query, database)
+        if strategy == "sprout":
+            from .db.sprout import UnsafeQueryError, sprout_confidence
+
+            try:
+                eps = self.epsilon if epsilon is None else epsilon
+                kind = (
+                    self.error_kind if error_kind is None else error_kind
+                )
+                return [
+                    (
+                        values,
+                        EngineResult(
+                            probability, probability, probability,
+                            "sprout", reason, True, eps, kind,
+                        ),
+                    )
+                    for values, probability in sprout_confidence(
+                        query, database
+                    )
+                ]
+            except UnsafeQueryError:
+                # The classifier is conservative but SPROUT's own checks
+                # are authoritative; fall through to the lineage ladder.
+                pass
+
+        from .db.engine import evaluate_to_dnf
+
+        return [
+            (
+                values,
+                self.compute(
+                    dnf,
+                    epsilon=epsilon,
+                    error_kind=error_kind,
+                    max_steps=max_steps,
+                    deadline_seconds=deadline_seconds,
+                ),
+            )
+            for values, dnf in evaluate_to_dnf(query, database)
+        ]

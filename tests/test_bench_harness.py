@@ -12,7 +12,7 @@ class TestSeriesPoint:
     def test_row_rendering(self):
         point = SeriesPoint("exp", "w1", "m1", 0.125, 0.5, "ok", "d")
         assert point.row() == [
-            "exp", "w1", "m1", "0.125000", "0.5", "ok", "d"
+            "exp", "w1", "m1", "0.125000", "0.5", "ok", "d", ""
         ]
 
     def test_row_without_value(self):

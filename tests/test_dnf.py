@@ -177,7 +177,14 @@ class TestIntrospection:
 
     def test_sorted_clauses_deterministic(self):
         dnf = DNF.from_sets([{"b": True}, {"a": True}])
-        assert dnf.sorted_clauses() == sorted(dnf.clauses, key=repr)
+        # Interned representation: the deterministic order is by atom-id
+        # tuple, independent of clause insertion order.
+        other = DNF.from_sets([{"a": True}, {"b": True}])
+        assert dnf.sorted_clauses() == other.sorted_clauses()
+        assert set(dnf.sorted_clauses()) == set(dnf.clauses)
+        assert dnf.sorted_clauses() == sorted(
+            dnf.clauses, key=lambda clause: clause.atom_ids
+        )
 
     def test_marginal_probabilities(self, registry):
         dnf = DNF.from_sets([{"x": True}, {"v": True}])
