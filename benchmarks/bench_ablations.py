@@ -17,11 +17,19 @@ import random
 
 import pytest
 
-from conftest import tpch_answers
+from conftest import pair_status, tpch_answers
+from repro import EngineConfig, ProbDB
 from repro.bench import Harness
-from repro.core.approx import approximate_probability
 from repro.datasets.graphs import random_graph, triangle_dnf
 from repro.mc.karp_luby import FRACTIONAL, ZERO_ONE, KarpLubyEstimator
+
+#: Base config for the d-tree ablations: the read-once and MC rungs are
+#: disabled so each toggle isolates exactly one Section V ingredient.
+ABLATION_BASE = EngineConfig(
+    error_kind="relative",
+    try_read_once=False,
+    mc_fallback=False,
+)
 
 HARNESS = Harness("Ablations")
 DEADLINE = 20.0
@@ -49,22 +57,22 @@ def _graph_instance():
 def test_bucket_sorting(benchmark, sort_buckets):
     dnf, registry = _graph_instance()
     label = "sorted" if sort_buckets else "unsorted"
+    config = ABLATION_BASE.replace(
+        epsilon=ABLATION_EPSILON,
+        sort_buckets=sort_buckets,
+        deadline_seconds=DEADLINE,
+    )
+    session = ProbDB.from_registry(registry, config)
 
     def run():
         return HARNESS.run(
             "bucket construction",
             f"buckets {label}",
-            lambda: approximate_probability(
-                dnf,
-                registry,
-                epsilon=ABLATION_EPSILON,
-                error_kind="relative",
-                sort_buckets=sort_buckets,
-                deadline_seconds=DEADLINE,
-            ),
+            lambda: session.confidence(dnf),
             value_of=lambda r: r.estimate,
             status_of=lambda r: "ok" if r.converged else "capped",
             detail_of=lambda r: f"steps={r.steps}",
+            engine_config=config,
         )
 
     benchmark.pedantic(run, rounds=1, iterations=1)
@@ -74,22 +82,25 @@ def test_bucket_sorting(benchmark, sort_buckets):
 def test_leaf_closing(benchmark, allow_closing):
     dnf, registry = _graph_instance()
     label = "on" if allow_closing else "off"
+    config = ABLATION_BASE.replace(
+        epsilon=ABLATION_EPSILON,
+        allow_closing=allow_closing,
+        deadline_seconds=DEADLINE,
+    )
+    session = ProbDB.from_registry(registry, config)
 
     def run():
         return HARNESS.run(
             "leaf closing",
             f"closing {label}",
-            lambda: approximate_probability(
-                dnf,
-                registry,
-                epsilon=ABLATION_EPSILON,
-                error_kind="relative",
-                allow_closing=allow_closing,
-                deadline_seconds=DEADLINE,
-            ),
+            lambda: session.confidence(dnf),
             value_of=lambda r: r.estimate,
             status_of=lambda r: "ok" if r.converged else "capped",
-            detail_of=lambda r: f"steps={r.steps} closed={r.leaves_closed}",
+            detail_of=lambda r: (
+                f"steps={r.steps} "
+                f"closed={r.details['dtree'].leaves_closed}"
+            ),
+            engine_config=config,
         )
 
     benchmark.pedantic(run, rounds=1, iterations=1)
@@ -99,22 +110,22 @@ def test_leaf_closing(benchmark, allow_closing):
 def test_read_once_buckets(benchmark, read_once):
     dnf, registry = _graph_instance()
     label = "1OF" if read_once else "plain"
+    config = ABLATION_BASE.replace(
+        epsilon=ABLATION_EPSILON,
+        read_once_buckets=read_once,
+        deadline_seconds=DEADLINE,
+    )
+    session = ProbDB.from_registry(registry, config)
 
     def run():
         return HARNESS.run(
             "bucket kind",
             f"buckets {label}",
-            lambda: approximate_probability(
-                dnf,
-                registry,
-                epsilon=ABLATION_EPSILON,
-                error_kind="relative",
-                read_once_buckets=read_once,
-                deadline_seconds=DEADLINE,
-            ),
+            lambda: session.confidence(dnf),
             value_of=lambda r: r.estimate,
             status_of=lambda r: "ok" if r.converged else "capped",
             detail_of=lambda r: f"steps={r.steps}",
+            engine_config=config,
         )
 
     benchmark.pedantic(run, rounds=1, iterations=1)
@@ -148,24 +159,28 @@ def test_iq_variable_order(benchmark, use_iq_order):
     answers, database, selector = tpch_answers("IQ B4", 0.1, 0.0, 1.0)
     chosen = selector if use_iq_order else None
     label = "Lemma 6.8 order" if use_iq_order else "max-frequency"
+    config = EngineConfig(
+        epsilon=0.0,
+        choose_variable=chosen,
+        deadline_seconds=DEADLINE,
+        try_read_once=False,
+        mc_fallback=False,
+    )
+    # A bare engine (not for_database) so max-frequency stays the
+    # fallback when the IQ order is ablated away.
+    from repro.engine import ConfidenceEngine
+
+    session = ProbDB(
+        database, engine=ConfidenceEngine(database.registry, config)
+    )
 
     def run():
         return HARNESS.run(
             "IQ B4 exact",
             label,
-            lambda: [
-                approximate_probability(
-                    dnf,
-                    database.registry,
-                    epsilon=0.0,
-                    choose_variable=chosen,
-                    deadline_seconds=DEADLINE,
-                )
-                for _v, dnf in answers
-            ],
-            status_of=lambda rs: (
-                "ok" if all(r.converged for r in rs) else "capped"
-            ),
+            lambda: session.lineage(answers).confidences(),
+            status_of=pair_status,
+            engine_config=config,
         )
 
     benchmark.pedantic(run, rounds=1, iterations=1)

@@ -1,18 +1,28 @@
-"""Record decomposition-heavy timings for the seed-vs-interned comparison.
+"""Record decomposition-heavy timings across engine generations.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_engine_compare.py seed
     PYTHONPATH=src python benchmarks/bench_engine_compare.py interned
+    PYTHONPATH=src python benchmarks/bench_engine_compare.py session
 
 Each invocation times the Fig. 7 hard-query workload (the paper's
 decomposition-heavy case) plus the Fig. 6a tractable workload, and merges
 its timings under the given label into ``BENCH_engine.json`` at the repo
-root.  Running it once on the seed tree and once after the interned-core
-refactor yields the speedup table the engine PR reports.
+root:
 
-When the unified planner is available (post-refactor), the chosen strategy
-per answer is recorded alongside the timing.
+* ``seed``      — the pre-refactor tree (raw ``approximate_probability``);
+* ``interned``  — the interned-core ``ConfidenceEngine``, one
+  ``compute()`` call per answer (the per-tuple loop);
+* ``session``   — the ``ProbDB`` façade: ``QueryResult.confidences()``
+  batching the whole answer set through ``compute_many`` on one shared
+  cache.
+
+Every labelled run records the exact :class:`repro.engine.EngineConfig`
+it used (``engine_config`` key), so recorded rows are reproducible.  The
+merge step reports per-query speedups seed→interned and the
+session-vs-interned ratio (the PR-2 acceptance check: batching must do
+no worse than the per-tuple loop).
 """
 
 from __future__ import annotations
@@ -23,10 +33,9 @@ import sys
 import time
 
 from repro.core.approx import approximate_probability
-from repro.datasets.tpch_queries import HARD_QUERIES, HIERARCHICAL_QUERIES
 from repro.datasets.tpch import TPCHConfig, generate_tpch
-from repro.db.engine import answer_selector, evaluate_to_dnf
 from repro.datasets.tpch_queries import make_query
+from repro.db.engine import answer_selector, evaluate_to_dnf
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 OUTPUT = os.path.join(REPO_ROOT, "BENCH_engine.json")
@@ -51,9 +60,9 @@ def _strategies_of(results) -> list:
 def run_workloads(label: str) -> dict:
     timings: dict = {}
     try:
-        from repro.engine import ConfidenceEngine
+        from repro.engine import ConfidenceEngine, EngineConfig
     except ImportError:  # seed tree: no planner yet
-        ConfidenceEngine = None
+        ConfidenceEngine = EngineConfig = None
 
     databases: dict = {}
     for query_name, scale, epsilon in WORKLOADS:
@@ -67,18 +76,38 @@ def run_workloads(label: str) -> dict:
         answers = evaluate_to_dnf(query, database)
         selector = answer_selector(database)
 
+        config = None
+        session_config = None
+        if EngineConfig is not None:
+            # MC fallback off: the comparison is against the seed's raw
+            # d-tree runs, so sampling time must not leak in.
+            config = EngineConfig(
+                epsilon=epsilon,
+                error_kind="relative",
+                choose_variable=selector,
+                deadline_seconds=DEADLINE,
+                mc_fallback=False,
+            )
+            # compute_many's deadline bounds the whole batch; the
+            # per-tuple loop gets DEADLINE per answer, so the session
+            # run gets the same aggregate ceiling — otherwise a capped
+            # session run would look fast by doing less work.
+            session_config = config.replace(
+                deadline_seconds=DEADLINE * max(1, len(answers))
+            )
+
         def once():
+            if label == "session" and session_config is not None:
+                from repro.db.session import ProbDB
+
+                session = ProbDB(database, session_config)
+                return [
+                    result
+                    for _v, result in
+                    session.lineage(answers).confidences()
+                ]
             if ConfidenceEngine is not None:
-                # MC fallback off: the comparison is against the seed's
-                # raw d-tree runs, so sampling time must not leak in.
-                engine = ConfidenceEngine(
-                    database.registry,
-                    epsilon=epsilon,
-                    error_kind="relative",
-                    choose_variable=selector,
-                    deadline_seconds=DEADLINE,
-                    mc_fallback=False,
-                )
+                engine = ConfidenceEngine(database.registry, config)
                 return [engine.compute(dnf) for _v, dnf in answers]
             return [
                 approximate_probability(
@@ -104,13 +133,18 @@ def run_workloads(label: str) -> dict:
             "answers": len(answers),
             "strategies": _strategies_of(results),
         }
+        used_config = session_config if label == "session" else config
+        if used_config is not None:
+            timings[key]["engine_config"] = used_config.describe()
         print(f"[{label}] {key}: {best:.3f}s "
               f"({len(answers)} answers, {_strategies_of(results)})")
     return timings
 
 
 def main() -> None:
-    label = sys.argv[1] if len(sys.argv) > 1 else "interned"
+    label = sys.argv[1] if len(sys.argv) > 1 else "session"
+    if label not in ("seed", "interned", "session"):
+        raise SystemExit(f"unknown label {label!r}")
     data = {}
     if os.path.exists(OUTPUT):
         with open(OUTPUT) as handle:
@@ -141,6 +175,29 @@ def main() -> None:
         data["speedup"] = {
             "per_query": speedups,
             "overall": round(total_seed / total_interned, 2)
+            if total_interned
+            else None,
+        }
+    if "interned" in data and "session" in data:
+        # The acceptance ratio: batched session time / per-tuple loop
+        # time; ≤ 1.0 (within noise) means batching does no worse.
+        ratios = {}
+        for name, interned_point in data["interned"].items():
+            session_point = data["session"].get(name)
+            if session_point and interned_point["seconds"] > 0:
+                ratios[name] = round(
+                    session_point["seconds"]
+                    / interned_point["seconds"], 3
+                )
+        total_interned = sum(
+            p["seconds"] for p in data["interned"].values()
+        )
+        total_session = sum(
+            p["seconds"] for p in data["session"].values()
+        )
+        data["session_vs_interned"] = {
+            "per_query_ratio": ratios,
+            "overall_ratio": round(total_session / total_interned, 3)
             if total_interned
             else None,
         }

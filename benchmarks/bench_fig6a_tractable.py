@@ -14,16 +14,15 @@ import pytest
 
 from conftest import (
     aconf_status,
-    dtree_status,
-    engine_strategies,
+    pair_status,
+    pair_strategies,
     tpch_answers,
 )
+from repro import EngineConfig, ProbDB
 from repro.bench import Harness
-from repro.core.approx import approximate_probability
 from repro.core.exact import exact_probability
 from repro.datasets.tpch_queries import HIERARCHICAL_QUERIES, make_query
 from repro.db.sprout import sprout_confidence
-from repro.engine import ConfidenceEngine
 from repro.mc.aconf import aconf
 
 HARNESS = Harness("Fig 6a tractable TPC-H probs (0,1)")
@@ -66,23 +65,25 @@ def test_aconf_rel_001(benchmark, query_name):
 
 @pytest.mark.parametrize("query_name", QUERIES)
 def test_dtree_rel_001(benchmark, query_name):
+    """The raw d-tree algorithm through the façade: read-once and MC
+    rungs disabled so the series keeps measuring Section V."""
     answers, database, selector = tpch_answers(query_name, SCALE, *PROBS)
+    config = EngineConfig(
+        epsilon=0.01,
+        error_kind="relative",
+        choose_variable=selector,
+        try_read_once=False,
+        mc_fallback=False,
+    )
+    session = ProbDB(database, config)
 
     def run():
         return HARNESS.run(
             query_name,
             "d-tree(0.01)",
-            lambda: [
-                approximate_probability(
-                    dnf,
-                    database.registry,
-                    epsilon=0.01,
-                    error_kind="relative",
-                    choose_variable=selector,
-                )
-                for _v, dnf in answers
-            ],
-            status_of=dtree_status,
+            lambda: session.lineage(answers).confidences(),
+            status_of=pair_status,
+            engine_config=config,
         )
 
     benchmark.pedantic(run, rounds=1, iterations=1)
@@ -108,23 +109,23 @@ def test_dtree_exact(benchmark, query_name):
 
 
 @pytest.mark.parametrize("query_name", QUERIES)
-def test_engine(benchmark, query_name):
-    """The unified planner: read-once resolves these queries exactly."""
+def test_session(benchmark, query_name):
+    """The session façade: the planner resolves these queries exactly
+    via read-once, batched over the answer set on one cache."""
     answers, database, selector = tpch_answers(query_name, SCALE, *PROBS)
-    engine = ConfidenceEngine(
-        database.registry,
-        epsilon=0.01,
-        error_kind="relative",
-        choose_variable=selector,
+    config = EngineConfig(
+        epsilon=0.01, error_kind="relative", choose_variable=selector
     )
+    session = ProbDB(database, config)
 
     def run():
         return HARNESS.run(
             query_name,
-            "engine(0.01)",
-            lambda: [engine.compute(dnf) for _v, dnf in answers],
-            status_of=dtree_status,
-            strategy_of=engine_strategies,
+            "session(0.01)",
+            lambda: session.lineage(answers).confidences(),
+            status_of=pair_status,
+            strategy_of=pair_strategies,
+            engine_config=config,
         )
 
     benchmark.pedantic(run, rounds=1, iterations=1)

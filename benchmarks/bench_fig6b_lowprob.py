@@ -8,9 +8,9 @@ because the exact path skips per-leaf bound computation.
 
 import pytest
 
-from conftest import aconf_status, dtree_status, tpch_answers
+from conftest import aconf_status, pair_status, tpch_answers
+from repro import EngineConfig, ProbDB
 from repro.bench import Harness
-from repro.core.approx import approximate_probability
 from repro.core.exact import exact_probability
 from repro.datasets.tpch_queries import HIERARCHICAL_QUERIES, make_query
 from repro.db.sprout import sprout_confidence
@@ -56,23 +56,25 @@ def test_aconf_rel_001(benchmark, query_name):
 
 @pytest.mark.parametrize("query_name", QUERIES)
 def test_dtree_rel_001(benchmark, query_name):
+    """The raw d-tree algorithm through the façade (read-once/MC rungs
+    off): the low-probability regime stresses the relative-error check."""
     answers, database, selector = tpch_answers(query_name, SCALE, *PROBS)
+    config = EngineConfig(
+        epsilon=0.01,
+        error_kind="relative",
+        choose_variable=selector,
+        try_read_once=False,
+        mc_fallback=False,
+    )
+    session = ProbDB(database, config)
 
     def run():
         return HARNESS.run(
             query_name,
             "d-tree(0.01)",
-            lambda: [
-                approximate_probability(
-                    dnf,
-                    database.registry,
-                    epsilon=0.01,
-                    error_kind="relative",
-                    choose_variable=selector,
-                )
-                for _v, dnf in answers
-            ],
-            status_of=dtree_status,
+            lambda: session.lineage(answers).confidences(),
+            status_of=pair_status,
+            engine_config=config,
         )
 
     benchmark.pedantic(run, rounds=1, iterations=1)

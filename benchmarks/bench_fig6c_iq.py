@@ -10,9 +10,9 @@ polynomial exact algorithm for IQ lineage (see DESIGN.md).
 
 import pytest
 
-from conftest import aconf_status, dtree_status, tpch_answers
+from conftest import aconf_status, pair_status, tpch_answers
+from repro import EngineConfig, ProbDB
 from repro.bench import Harness
-from repro.core.approx import approximate_probability
 from repro.core.exact import exact_probability
 from repro.datasets.tpch_queries import IQ_QUERIES
 from repro.mc.aconf import aconf
@@ -57,23 +57,24 @@ def test_aconf_rel_001(benchmark, query_name):
 
 @pytest.mark.parametrize("query_name", QUERIES)
 def test_dtree_rel_001(benchmark, query_name):
+    """The raw d-tree algorithm (Lemma 6.8 order) through the façade."""
     answers, database, selector = tpch_answers(query_name, SCALE, *PROBS)
+    config = EngineConfig(
+        epsilon=0.01,
+        error_kind="relative",
+        choose_variable=selector,
+        try_read_once=False,
+        mc_fallback=False,
+    )
+    session = ProbDB(database, config)
 
     def run():
         return HARNESS.run(
             query_name,
             "d-tree(0.01)",
-            lambda: [
-                approximate_probability(
-                    dnf,
-                    database.registry,
-                    epsilon=0.01,
-                    error_kind="relative",
-                    choose_variable=selector,
-                )
-                for _v, dnf in answers
-            ],
-            status_of=dtree_status,
+            lambda: session.lineage(answers).confidences(),
+            status_of=pair_status,
+            engine_config=config,
         )
 
     benchmark.pedantic(run, rounds=1, iterations=1)

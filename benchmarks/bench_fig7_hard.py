@@ -15,13 +15,13 @@ import pytest
 
 from conftest import (
     aconf_status,
-    dtree_status,
-    engine_strategies,
+    pair_status,
+    pair_strategies,
     tpch_answers,
 )
+from repro import EngineConfig, ProbDB
 from repro.bench import Harness
 from repro.datasets.tpch_queries import HARD_QUERIES
-from repro.engine import ConfidenceEngine
 from repro.mc.aconf import aconf
 
 HARNESS = Harness("Fig 7 hard TPC-H queries")
@@ -49,27 +49,29 @@ def _workload(query_name, scale, epsilon):
 @pytest.mark.parametrize("query_name", QUERIES)
 def test_dtree(benchmark, query_name, scale, epsilon):
     answers, database, selector = tpch_answers(query_name, scale, *PROBS)
-    # A fresh engine per point: sharing the decomposition cache across
+    # A fresh session per point: sharing the decomposition cache across
     # epsilons/scales would make later points unrealistically fast.  MC
     # fallback is off — this series measures the d-tree algorithm, and
     # aconf has its own series; with it on, a deadline-capped point
-    # would silently include sampling time and report "ok".
-    engine = ConfidenceEngine(
-        database.registry,
+    # would silently include sampling time and report "ok".  The batched
+    # confidences() path shares the cache *within* the answer set.
+    config = EngineConfig(
         epsilon=epsilon,
         error_kind="relative",
         choose_variable=selector,
         deadline_seconds=DTREE_DEADLINE,
         mc_fallback=False,
     )
+    session = ProbDB(database, config)
 
     def run():
         return HARNESS.run(
             _workload(query_name, scale, epsilon),
             "d-tree",
-            lambda: [engine.compute(dnf) for _v, dnf in answers],
-            status_of=dtree_status,
-            strategy_of=engine_strategies,
+            lambda: session.lineage(answers).confidences(),
+            status_of=pair_status,
+            strategy_of=pair_strategies,
+            engine_config=config,
         )
 
     benchmark.pedantic(run, rounds=1, iterations=1)

@@ -21,8 +21,8 @@ import functools
 import pytest
 
 from conftest import aconf_status, dtree_status
+from repro import EngineConfig, ProbDB
 from repro.bench import Harness
-from repro.core.approx import approximate_probability
 from repro.datasets.graphs import path2_dnf, random_graph, triangle_dnf
 from repro.mc.aconf import aconf
 
@@ -53,21 +53,22 @@ def _instance(node_count, edge_prob, query):
 @pytest.mark.parametrize("query", list(_QUERIES))
 def test_dtree_rel_001(benchmark, query, node_count, edge_prob):
     dnf, registry = _instance(node_count, edge_prob, query)
+    config = EngineConfig(
+        epsilon=0.01,
+        error_kind="relative",
+        deadline_seconds=DTREE_DEADLINE,
+        try_read_once=False,
+        mc_fallback=False,
+    )
+    session = ProbDB.from_registry(registry, config)
 
     def run():
         return HARNESS.run(
             f"{query} n={node_count} p={edge_prob}",
             "d-tree(0.01)",
-            lambda: [
-                approximate_probability(
-                    dnf,
-                    registry,
-                    epsilon=0.01,
-                    error_kind="relative",
-                    deadline_seconds=DTREE_DEADLINE,
-                )
-            ],
+            lambda: [session.confidence(dnf)],
             status_of=dtree_status,
+            engine_config=config,
         )
 
     benchmark.pedantic(run, rounds=1, iterations=1)
@@ -106,21 +107,22 @@ def test_aconf_rel_001(benchmark, query, node_count, edge_prob):
 @pytest.mark.parametrize("query", list(_QUERIES))
 def test_dtree_absolute_005(benchmark, query, node_count, edge_prob):
     dnf, registry = _instance(node_count, edge_prob, query)
+    config = EngineConfig(
+        epsilon=0.05,
+        error_kind="absolute",
+        deadline_seconds=DTREE_DEADLINE,
+        try_read_once=False,
+        mc_fallback=False,
+    )
+    session = ProbDB.from_registry(registry, config)
 
     def run():
         return HARNESS.run(
             f"{query} n={node_count} p={edge_prob} abs",
             "d-tree(abs 0.05)",
-            lambda: [
-                approximate_probability(
-                    dnf,
-                    registry,
-                    epsilon=0.05,
-                    error_kind="absolute",
-                    deadline_seconds=DTREE_DEADLINE,
-                )
-            ],
+            lambda: [session.confidence(dnf)],
             status_of=dtree_status,
+            engine_config=config,
         )
 
     benchmark.pedantic(run, rounds=1, iterations=1)

@@ -16,8 +16,8 @@ import functools
 import pytest
 
 from conftest import aconf_status, dtree_status
+from repro import EngineConfig, ProbDB
 from repro.bench import Harness
-from repro.core.approx import approximate_probability
 from repro.datasets.graphs import GRAPH_QUERIES
 from repro.datasets.social import SOCIAL_NETWORKS
 from repro.mc.aconf import aconf
@@ -59,21 +59,22 @@ def report():
 @pytest.mark.parametrize("network,query", list(_cases()))
 def test_dtree(benchmark, network, query, epsilon):
     dnf, registry = _instance(network, query)
+    config = EngineConfig(
+        epsilon=epsilon,
+        error_kind="relative",
+        deadline_seconds=DTREE_DEADLINE,
+        try_read_once=False,
+        mc_fallback=False,
+    )
+    session = ProbDB.from_registry(registry, config)
 
     def run():
         return HARNESS.run(
             f"{network}-{query} ε={epsilon}",
             "d-tree",
-            lambda: [
-                approximate_probability(
-                    dnf,
-                    registry,
-                    epsilon=epsilon,
-                    error_kind="relative",
-                    deadline_seconds=DTREE_DEADLINE,
-                )
-            ],
+            lambda: [session.confidence(dnf)],
             status_of=dtree_status,
+            engine_config=config,
         )
 
     benchmark.pedantic(run, rounds=1, iterations=1)

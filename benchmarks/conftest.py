@@ -62,6 +62,17 @@ def engine_strategies(results):
     return ",".join(sorted({r.strategy for r in results}))
 
 
+def pair_status(pairs):
+    """Status for ``QueryResult.confidences()`` output
+    (``(values, EngineResult)`` pairs)."""
+    return dtree_status([result for _values, result in pairs])
+
+
+def pair_strategies(pairs):
+    """Strategy rungs used by ``(values, EngineResult)`` pairs."""
+    return engine_strategies([result for _values, result in pairs])
+
+
 def pytest_terminal_summary(terminalreporter):
     """Print every experiment's series table after the benchmark stats.
 

@@ -2,15 +2,17 @@
 """The d-tree algorithm as an *anytime* algorithm (paper, Section I/V).
 
 "Being incremental, the algorithm is also useful under a given time
-budget."  This example makes that concrete: a hard-query lineage on a
-random graph is approximated under increasing step budgets, and the
-certified probability interval narrows monotonically toward the exact
-value — every intermediate interval is sound.
+budget."  This example makes that concrete through the session façade:
+``QueryResult.bounds()`` is an anytime iterator of certified interval
+snapshots — a hard-query lineage on a random graph is refined step by
+step, and every intermediate interval is sound and narrows monotonically
+toward the exact value.  Stop consuming whenever the answer is good
+enough.
 
 Run:  python examples/anytime_bounds.py
 """
 
-from repro.core.approx import approximate_probability
+from repro import EngineConfig, ProbDB
 from repro.core.semantics import brute_force_probability
 from repro.datasets.graphs import random_graph, triangle_dnf
 
@@ -25,27 +27,37 @@ def main() -> None:
         f"{len(dnf.variables)} edges; exact P = {truth:.6f}\n"
     )
 
-    print(f"{'budget':>7} {'lower':>10} {'upper':>10} {'width':>10} "
-          f"{'converged':>10}")
-    for budget in (0, 1, 2, 4, 8, 16, 32, 64, 128, 256, None):
-        result = approximate_probability(
-            dnf,
-            registry,
-            epsilon=0.0,
-            max_steps=budget,
-        )
-        label = "∞" if budget is None else str(budget)
-        print(
-            f"{label:>7} {result.lower:>10.6f} {result.upper:>10.6f} "
-            f"{result.width():>10.6f} {str(result.converged):>10}"
-        )
-        assert result.lower - 1e-9 <= truth <= result.upper + 1e-9
+    # One session = one planner + one decomposition cache.  The config
+    # forces the d-tree path (no read-once shortcut) and starts the
+    # anytime refinement from a single-step budget.
+    session = ProbDB.from_registry(
+        registry,
+        EngineConfig(epsilon=0.0, try_read_once=False, initial_steps=1),
+    )
+    result = session.lineage([(("triangle",), dnf)])
 
-    final = approximate_probability(dnf, registry, epsilon=0.0)
+    print(f"{'steps':>7} {'lower':>10} {'upper':>10} {'width':>10} "
+          f"{'converged':>10}")
+    shown = 0
+    for snapshot in result.bounds():
+        ((_values, lower, upper),) = snapshot.intervals
+        # The iterator yields after every refinement; print a sample.
+        if shown % 4 == 0 or snapshot.converged:
+            print(
+                f"{snapshot.total_steps:>7} {lower:>10.6f} "
+                f"{upper:>10.6f} {upper - lower:>10.6f} "
+                f"{str(snapshot.converged):>10}"
+            )
+        shown += 1
+        assert lower - 1e-9 <= truth <= upper + 1e-9
+
+    final = session.confidence(dnf)
+    details = final.details["dtree"]
     print(
-        f"\nnode kinds constructed: {final.node_histogram} "
-        f"(leaves closed: {final.leaves_closed}, "
-        f"exact leaves folded: {final.leaves_exact})"
+        f"\nfinal: P = {final.probability:.6f} via {final.strategy} "
+        f"(node kinds: {details.node_histogram}, "
+        f"leaves closed: {details.leaves_closed}, "
+        f"exact leaves folded: {details.leaves_exact})"
     )
 
 

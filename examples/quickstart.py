@@ -8,6 +8,8 @@ Reproduces the running example of the paper (Example 5.2): the DNF
 * approximately with an absolute error guarantee,
 * approximately with a relative error guarantee,
 * with the aconf Monte-Carlo baseline,
+* through the ``ProbDB`` session façade, which picks the cheapest sound
+  strategy automatically (one ``EngineConfig``, one shared cache),
 
 and shows the Fig. 3 bucket bounds and the compiled d-tree itself.
 
@@ -16,6 +18,8 @@ Run:  python examples/quickstart.py
 
 from repro import (
     DNF,
+    EngineConfig,
+    ProbDB,
     VariableRegistry,
     approximate_probability,
     brute_force_probability,
@@ -63,7 +67,14 @@ def main() -> None:
     print(f"aconf(0.01, 0.001):             {mc.estimate:.6f}  "
           f"({mc.samples} Karp-Luby samples)")
 
-    # 7. Peek at the complete d-tree.
+    # 7. The session façade: ProbDB owns one planner + cache and picks
+    #    the cheapest sound strategy itself (read-once here).
+    session = ProbDB.from_registry(registry, EngineConfig(epsilon=0.01))
+    outcome = session.confidence(phi)
+    print(f"ProbDB session planner:         {outcome.probability:.6f}  "
+          f"(strategy: {outcome.strategy})")
+
+    # 8. Peek at the complete d-tree.
     print("\ncomplete d-tree:")
     print(compile_dnf(phi, registry).pretty())
 

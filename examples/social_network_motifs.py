@@ -2,9 +2,11 @@
 """Motif confidence in probabilistic social networks (paper, Sec. VI-A/VII-B).
 
 Loads Zachary's karate club with per-edge belief probabilities, then asks
-the paper's four motif questions — triangle, path-of-length-2,
-path-of-length-3, and two-degrees-of-separation — with the d-tree
-algorithm, comparing against the aconf Monte-Carlo baseline.
+the paper's motif questions — triangle, path-of-length-2, and
+two-degrees-of-separation — through one ``ProbDB`` session: the three
+motif lineages are answered as a *single batched anytime computation*
+(``QueryResult.confidences()`` over shared lineage), compared against the
+aconf Monte-Carlo baseline.
 
 Also demonstrates the relational route: the triangle query expressed as a
 three-way self-join over the edge table, exactly like the conf() SQL query
@@ -15,7 +17,7 @@ Run:  python examples/social_network_motifs.py
 
 import time
 
-from repro.core.approx import approximate_probability
+from repro import EngineConfig, ProbDB
 from repro.datasets.graphs import (
     path2_dnf,
     separation2_dnf,
@@ -23,7 +25,6 @@ from repro.datasets.graphs import (
 )
 from repro.datasets.social import karate_club_network
 from repro.db.cq import ConjunctiveQuery, Inequality, SubGoal, Var
-from repro.db.engine import evaluate
 from repro.mc import aconf
 
 
@@ -35,35 +36,45 @@ def main() -> None:
         f"{network.edge_count()} probabilistic friendships"
     )
 
-    queries = {
-        "triangle": triangle_dnf(network),
-        "path of length 2": path2_dnf(network),
-        "separation ≤ 2 (nodes 0, 33)": separation2_dnf(network, 0, 33),
-    }
+    motifs = [
+        (("triangle",), triangle_dnf(network)),
+        (("path of length 2",), path2_dnf(network)),
+        (("separation ≤ 2 (nodes 0, 33)",), separation2_dnf(network, 0, 33)),
+    ]
 
-    print(f"\n{'query':<30} {'d-tree(rel 0.01)':>18} {'steps':>7} "
-          f"{'time':>8}   {'aconf(0.05)':>12}")
-    for name, dnf in queries.items():
-        started = time.perf_counter()
-        result = approximate_probability(
-            dnf, registry, epsilon=0.01, error_kind="relative"
-        )
-        elapsed = time.perf_counter() - started
+    # One session, one EngineConfig, one shared decomposition cache: the
+    # three motif confidences run as a single batched computation.
+    session = ProbDB.from_registry(
+        registry, EngineConfig(epsilon=0.01, error_kind="relative")
+    )
+    started = time.perf_counter()
+    batched = session.lineage(motifs).confidences()
+    elapsed = time.perf_counter() - started
+
+    print(f"\n{'query':<30} {'engine(rel 0.01)':>18} {'strategy':>10} "
+          f"{'steps':>7}   {'aconf(0.05)':>12}")
+    for (values, result), (_v, dnf) in zip(batched, motifs):
         mc = aconf(
             dnf, registry, epsilon=0.05, delta=0.01, seed=7,
             max_samples=200_000,
         )
         flag = "" if not mc.capped else " (capped)"
         print(
-            f"{name:<30} {result.estimate:>18.6f} {result.steps:>7} "
-            f"{elapsed:>7.3f}s   {mc.estimate:>12.6f}{flag}"
+            f"{values[0]:<30} {result.probability:>18.6f} "
+            f"{result.strategy:>10} {result.steps:>7}   "
+            f"{mc.estimate:>12.6f}{flag}"
         )
+    print(f"(batch wall-clock: {elapsed:.3f}s, "
+          f"cache: {session.cache_stats()})")
 
     # ------------------------------------------------------------------
     # The same triangle question through the query engine (self-join),
     # as in the paper's SQL example.
     # ------------------------------------------------------------------
-    db = network.to_database()
+    db = ProbDB(
+        network.to_database(),
+        EngineConfig(epsilon=0.01, error_kind="relative"),
+    )
     x, y, z = Var("X"), Var("Y"), Var("Z")
     triangle_query = ConjunctiveQuery(
         [],
@@ -75,14 +86,14 @@ def main() -> None:
         [Inequality(x, "<", y), Inequality(y, "<", z)],
         name="triangle",
     )
-    answers = evaluate(triangle_query, db)
-    dnf = answers[0].lineage.to_dnf()
-    result = approximate_probability(
-        dnf, registry, epsilon=0.01, error_kind="relative"
-    )
+    result = db.query(triangle_query)
+    ((_values, outcome),) = result.confidences()
+    ((_same_values, lineage),) = result.lineage()
     print(
-        f"\nvia relational self-join: {len(dnf)} lineage clauses, "
-        f"P(triangle) ≈ {result.estimate:.6f}"
+        f"\nvia relational self-join: {len(lineage)} lineage clauses, "
+        f"P(triangle) ≈ {outcome.probability:.6f} "
+        f"(routed to {db.explain(triangle_query).engine_strategy!r}: "
+        f"self-join)"
     )
 
 

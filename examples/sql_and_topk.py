@@ -1,26 +1,26 @@
 #!/usr/bin/env python3
 """The SQL conf() front-end and bounds-based top-k ranking.
 
-Two downstream-facing features built on the paper's machinery:
+Two downstream-facing features, both reached through the ``ProbDB``
+session façade:
 
 1. the MayBMS-style SQL syntax of Section VI.A, including the verbatim
    triangle query over a probabilistic social network (self-joins via
-   aliases);
+   aliases) — ``db.sql(...)`` returns a lazy ``QueryResult``;
 2. top-k answer ranking that exploits the d-tree algorithm's *certified
-   intervals*: answers are refined only far enough to prove the ranking,
-   usually long before any probability is computed exactly.
+   intervals*: ``QueryResult.top_k(k)`` refines answers only far enough
+   to prove the ranking, usually long before any probability is computed
+   exactly.
 
 Run:  python examples/sql_and_topk.py
 """
 
+from repro import ProbDB
 from repro.core.variables import VariableRegistry
 from repro.datasets.tpch import TPCHConfig, generate_tpch
 from repro.datasets.tpch_queries import make_query
 from repro.db.database import Database
-from repro.db.engine import answer_selector, evaluate_to_dnf
 from repro.db.relation import Relation
-from repro.db.sql import run_conf_query
-from repro.db.topk import top_k_answers
 
 
 def sql_demo() -> None:
@@ -30,9 +30,11 @@ def sql_demo() -> None:
         ((5, 7), 0.9), ((5, 11), 0.8), ((6, 7), 0.1),
         ((6, 11), 0.9), ((6, 17), 0.5), ((7, 17), 0.2),
     ]
-    database = Database(
-        registry,
-        [Relation.tuple_independent("E", ["u", "v"], edges, registry)],
+    db = ProbDB(
+        Database(
+            registry,
+            [Relation.tuple_independent("E", ["u", "v"], edges, registry)],
+        )
     )
 
     triangle_sql = """
@@ -41,30 +43,27 @@ def sql_demo() -> None:
         where n1.v = n2.u and n2.v = n3.v and
               n1.u = n3.u and n1.u < n2.u and n2.u < n3.v;
     """
-    (_answer, probability), = run_conf_query(triangle_sql, database)
+    ((_answer, result),) = db.sql(triangle_sql).confidences()
     print("Section VI.A triangle query")
-    print(f"  P(triangle) = {probability:.4f}   (paper: .1·.5·.2 = 0.0100)")
+    print(f"  P(triangle) = {result.probability:.4f}   "
+          f"(paper: .1·.5·.2 = 0.0100, via {result.strategy})")
 
-    neighbours_sql = """
+    neighbours = db.sql("""
         select n1.u, conf()
         from E n1
         where n1.v = 17
-    """
+    """)
     print("\nwho is (probably) friends with 17?")
-    for answer, confidence in run_conf_query(neighbours_sql, database):
-        print(f"  node {answer[0]}: {confidence:.3f}")
+    for answer, outcome in neighbours.confidences():
+        print(f"  node {answer[0]}: {outcome.probability:.3f}")
 
 
 def topk_demo() -> None:
-    database = generate_tpch(TPCHConfig(scale_factor=0.1, seed=1))
-    query = make_query("15")  # supplier revenue view: head = s_suppkey
-    answers = evaluate_to_dnf(query, database)
-    selector = answer_selector(database)
+    db = ProbDB(generate_tpch(TPCHConfig(scale_factor=0.1, seed=1)))
+    result = db.query(make_query("15"))  # supplier revenue: s_suppkey
 
-    print(f"\ntop-3 suppliers of query 15 ({len(answers)} answers):")
-    ranked = top_k_answers(
-        answers, database.registry, 3, choose_variable=selector
-    )
+    print(f"\ntop-3 suppliers of query 15 ({len(result)} answers):")
+    ranked = result.top_k(3)
     for position, item in enumerate(ranked, start=1):
         print(
             f"  #{position} supplier {item.values[0]}: "

@@ -1,12 +1,14 @@
 #!/usr/bin/env python3
 """Confidence computation on probabilistic TPC-H (paper, Section VII.A).
 
-Generates a tuple-independent TPC-H database, runs the paper's query
-suite, and for each query compares:
+Generates a tuple-independent TPC-H database, opens one ``ProbDB``
+session over it, and for each query of the paper's suite compares:
 
 * SPROUT      — exact, query-aware (hierarchical queries only);
 * d-tree(0)   — exact, generic;
-* d-tree(ε)   — approximate with relative error 0.01;
+* session     — ``ProbDB.query(q).confidences()``: the planner picks
+                read-once / SPROUT / d-tree(rel 0.01) per query and
+                answer, batching the whole answer set on one cache;
 * aconf       — the Monte-Carlo baseline (work-capped).
 
 This is a miniature of Fig. 6 of the paper; the benchmark suite under
@@ -17,7 +19,7 @@ Run:  python examples/tpch_confidence.py
 
 import time
 
-from repro.core.approx import approximate_probability
+from repro import EngineConfig, ProbDB
 from repro.core.exact import exact_probability
 from repro.datasets.tpch import TPCHConfig, generate_tpch
 from repro.datasets.tpch_queries import (
@@ -26,7 +28,7 @@ from repro.datasets.tpch_queries import (
     IQ_QUERIES,
     make_query,
 )
-from repro.db.engine import answer_selector, evaluate_to_dnf
+from repro.db.engine import answer_selector
 from repro.db.sprout import UnsafeQueryError, sprout_confidence
 from repro.mc import aconf
 
@@ -42,6 +44,10 @@ def main() -> None:
     database = generate_tpch(config)
     selector = answer_selector(database)
     registry = database.registry
+    session = ProbDB(
+        database,
+        EngineConfig(epsilon=0.01, error_kind="relative"),
+    )
     print(
         "probabilistic TPC-H at scale factor "
         f"{config.scale_factor}: "
@@ -50,6 +56,7 @@ def main() -> None:
             for name in database.relation_names()
         )
     )
+    print(f"session config: {session.config.describe()}")
 
     suites = [
         ("hierarchical", HIERARCHICAL_QUERIES),
@@ -60,16 +67,17 @@ def main() -> None:
         print(f"\n== {suite_name} queries ==")
         print(
             f"{'query':<7} {'answers':>7} {'clauses':>8} "
-            f"{'sprout':>10} {'d-tree(0)':>10} {'d-tree(.01)':>11} "
-            f"{'aconf':>10}"
+            f"{'sprout':>10} {'d-tree(0)':>10} {'session':>10} "
+            f"{'aconf':>10}  strategies"
         )
         for name in suite:
             query = make_query(name)
-            answers, _t = timed(lambda: evaluate_to_dnf(query, database))
+            result = session.query(query)
+            answers, _t = timed(result.lineage)
             clauses = sum(len(dnf) for _v, dnf in answers)
 
             try:
-                sprout_result, sprout_time = timed(
+                _sprout, sprout_time = timed(
                     lambda: sprout_confidence(query, database)
                 )
                 sprout_cell = f"{sprout_time:>9.3f}s"
@@ -89,17 +97,9 @@ def main() -> None:
                 )
                 exact_cell = f"{exact_time:>9.3f}s"
 
-            _approx, approx_time = timed(
-                lambda: [
-                    approximate_probability(
-                        dnf,
-                        registry,
-                        epsilon=0.01,
-                        error_kind="relative",
-                        choose_variable=selector,
-                    )
-                    for _v, dnf in answers
-                ]
+            confidences, session_time = timed(result.confidences)
+            strategies = ",".join(
+                sorted({r.strategy for _v, r in confidences})
             )
 
             _mc, mc_time = timed(
@@ -118,8 +118,8 @@ def main() -> None:
 
             print(
                 f"{name:<7} {len(answers):>7} {clauses:>8} "
-                f"{sprout_cell} {exact_cell} {approx_time:>10.3f}s "
-                f"{mc_time:>9.3f}s"
+                f"{sprout_cell} {exact_cell} {session_time:>9.3f}s "
+                f"{mc_time:>9.3f}s  [{strategies}]"
             )
 
     print(

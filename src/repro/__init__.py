@@ -14,25 +14,28 @@ The library provides:
   algorithm with leaf closing (the paper's contribution);
 * :mod:`repro.engine` — the :class:`ConfidenceEngine` planner: one
   ``compute()`` entry point that auto-selects read-once → SPROUT →
-  d-tree ε-approximation → Monte-Carlo per query/lineage, with budgets
-  and a shared decomposition memo cache;
+  d-tree ε-approximation → Monte-Carlo per query/lineage, a batched
+  anytime ``compute_many()`` that round-robins refinement across answer
+  sets, and the frozen :class:`EngineConfig` policy bundle every path
+  honours;
+* :mod:`repro.db` — a probabilistic database substrate topped by the
+  :class:`ProbDB` session façade: ``ProbDB(database).sql(...)`` /
+  ``.query(...)`` return lazy :class:`QueryResult` objects exposing
+  ``answers() / confidences() / bounds() / top_k() / explain()``, all
+  sharing one engine, cache, and interned registry per session;
 * :mod:`repro.mc` — the Karp–Luby / Dagum–Karp–Luby–Ross ``aconf``
   baseline used by MystiQ and MayBMS;
-* :mod:`repro.db` — a probabilistic database substrate: tuple-independent,
-  block-independent-disjoint and c-tables, positive relational algebra with
-  lineage, conjunctive queries, and a SPROUT-style exact operator for
-  hierarchical queries;
 * :mod:`repro.datasets` — the paper's workloads: probabilistic TPC-H,
   random graphs, and social networks with the motif queries.
 
 Quickstart
 ----------
->>> from repro import VariableRegistry, DNF, approximate_probability
+>>> from repro import VariableRegistry, DNF, ProbDB, EngineConfig
 >>> reg = VariableRegistry.from_boolean_probabilities(
 ...     {"x": 0.3, "y": 0.2, "z": 0.7, "v": 0.8})
 >>> phi = DNF.from_positive_clauses([["x", "y"], ["x", "z"], ["v"]])
->>> result = approximate_probability(phi, reg, epsilon=0.01)
->>> abs(result.estimate - 0.8456) <= 0.01
+>>> db = ProbDB.from_registry(reg, EngineConfig(epsilon=0.01))
+>>> abs(db.confidence(phi).probability - 0.8456) <= 0.01
 True
 """
 
@@ -54,25 +57,39 @@ from .core import (
     make_variable_selector,
     read_once_probability,
 )
-from .engine import ConfidenceEngine, EngineResult, STRATEGY_LADDER
+from .engine import (
+    BatchComputation,
+    ConfidenceEngine,
+    EngineConfig,
+    EngineResult,
+    STRATEGY_LADDER,
+)
+from .db.session import BoundsSnapshot, ProbDB, QueryResult
+from .db.topk import RankedAnswer
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ABSOLUTE",
     "RELATIVE",
     "ApproximationResult",
     "Atom",
+    "BatchComputation",
+    "BoundsSnapshot",
     "Clause",
+    "ConfidenceEngine",
     "DNF",
     "DTree",
+    "EngineConfig",
+    "EngineResult",
+    "ProbDB",
+    "QueryResult",
+    "RankedAnswer",
+    "STRATEGY_LADDER",
     "VariableRegistry",
     "approximate_probability",
     "brute_force_probability",
     "compile_dnf",
-    "ConfidenceEngine",
-    "EngineResult",
-    "STRATEGY_LADDER",
     "exact_probability",
     "exact_probability_compiled",
     "independent_bounds",

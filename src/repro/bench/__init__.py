@@ -1,5 +1,15 @@
 """Benchmark harness (timing, series tables, CSV output)."""
 
-from .harness import Harness, SeriesPoint, format_table
+from .harness import (
+    Harness,
+    SeriesPoint,
+    format_table,
+    render_engine_config,
+)
 
-__all__ = ["Harness", "SeriesPoint", "format_table"]
+__all__ = [
+    "Harness",
+    "SeriesPoint",
+    "format_table",
+    "render_engine_config",
+]

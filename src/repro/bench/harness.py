@@ -19,11 +19,30 @@ experiment structure.
 from __future__ import annotations
 
 import csv
+import json
 import os
 import time
 from typing import Callable, Dict, List, Optional, Sequence
 
-__all__ = ["SeriesPoint", "Harness", "format_table", "ALL_HARNESSES"]
+__all__ = [
+    "SeriesPoint",
+    "Harness",
+    "format_table",
+    "render_engine_config",
+    "ALL_HARNESSES",
+]
+
+
+def render_engine_config(config: object) -> str:
+    """Render an EngineConfig / dict / string as a compact JSON string."""
+    if config is None:
+        return ""
+    describe = getattr(config, "describe", None)
+    if callable(describe):
+        config = describe()
+    if isinstance(config, str):
+        return config
+    return json.dumps(config, sort_keys=True, separators=(",", ":"))
 
 #: Every Harness registers itself here so a pytest terminal-summary hook
 #: can print all series tables after the run (plain prints from fixtures
@@ -36,7 +55,9 @@ class SeriesPoint:
 
     ``strategy`` records which :class:`repro.engine.ConfidenceEngine`
     ladder rung(s) answered the run (empty for methods that bypass the
-    planner).
+    planner).  ``engine_config`` records the JSON-rendered
+    :class:`repro.engine.EngineConfig` the run used, so recorded rows
+    are reproducible (empty for non-engine methods).
     """
 
     __slots__ = (
@@ -48,6 +69,7 @@ class SeriesPoint:
         "status",
         "detail",
         "strategy",
+        "engine_config",
     )
 
     def __init__(
@@ -60,6 +82,7 @@ class SeriesPoint:
         status: str = "ok",
         detail: str = "",
         strategy: str = "",
+        engine_config: str = "",
     ) -> None:
         self.experiment = experiment
         self.workload = workload
@@ -69,6 +92,7 @@ class SeriesPoint:
         self.status = status
         self.detail = detail
         self.strategy = strategy
+        self.engine_config = engine_config
 
     def row(self) -> List[str]:
         value = "" if self.value is None else f"{self.value:.6g}"
@@ -81,6 +105,7 @@ class SeriesPoint:
             self.status,
             self.detail,
             self.strategy,
+            self.engine_config,
         ]
 
 
@@ -110,8 +135,15 @@ class Harness:
         status_of: Optional[Callable[[object], str]] = None,
         detail_of: Optional[Callable[[object], str]] = None,
         strategy_of: Optional[Callable[[object], str]] = None,
+        engine_config: object = None,
     ) -> SeriesPoint:
-        """Time one call and record the outcome."""
+        """Time one call and record the outcome.
+
+        ``engine_config`` may be an :class:`repro.engine.EngineConfig`
+        (rendered via ``describe()``), a dict, or a pre-rendered string;
+        it is stored on the point (and in the CSV) so the run can be
+        reproduced.
+        """
         started = time.perf_counter()
         outcome = fn()
         elapsed = time.perf_counter() - started
@@ -124,6 +156,7 @@ class Harness:
             status_of(outcome) if status_of else "ok",
             detail_of(outcome) if detail_of else "",
             strategy_of(outcome) if strategy_of else "",
+            render_engine_config(engine_config),
         )
         self.points.append(point)
         return point
@@ -189,6 +222,7 @@ class Harness:
                     "status",
                     "detail",
                     "strategy",
+                    "engine_config",
                 ]
             )
             for point in self.points:

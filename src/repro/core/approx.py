@@ -523,6 +523,10 @@ def approximate_probability(
     def leaf_bounds(leaf: DNF) -> Bounds:
         value = exact_cache.get(leaf)
         if value is not None:
+            # Count exact-subtree reuse here too: cross-tuple sharing in
+            # batched computation mostly surfaces as point *leaf bounds*
+            # (the leaf folds before the in-loop exact lookup runs).
+            cache.hits += 1
             return value, value
         bounds = bounds_cache.get(leaf)
         if bounds is None:

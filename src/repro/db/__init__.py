@@ -11,7 +11,9 @@
 * :mod:`~repro.db.engine` — query evaluation producing per-answer lineage
   DNFs;
 * :mod:`~repro.db.sprout` — the SPROUT-style exact extensional operator
-  for hierarchical queries (the paper's exact baseline).
+  for hierarchical queries (the paper's exact baseline);
+* :mod:`~repro.db.session` — the :class:`ProbDB` session façade with
+  lazy :class:`QueryResult` objects, the library's front door.
 """
 
 from .algebra import (
@@ -36,11 +38,16 @@ from .database import Database
 from .engine import QueryAnswer, answer_selector, evaluate, evaluate_to_dnf
 from .explain import QueryExplanation, explain
 from .relation import Relation
+from .session import BoundsSnapshot, ProbDB, QueryResult
 from .sprout import UnsafeQueryError, sprout_confidence
 from .sql import SqlSyntaxError, parse_conf_query, run_conf_query
-from .topk import RankedAnswer, top_k_answers
+from .topk import RankedAnswer, rank_answers, top_k_answers
 
 __all__ = [
+    "BoundsSnapshot",
+    "ProbDB",
+    "QueryResult",
+    "rank_answers",
     "conf",
     "natural_join",
     "product",

@@ -220,28 +220,30 @@ def evaluate_with_confidence(
     database: Database,
     *,
     engine=None,
-    epsilon=None,
-    error_kind=None,
-    max_steps=None,
-    deadline_seconds=None,
+    epsilon: Optional[float] = None,
+    error_kind: Optional[str] = None,
+    max_steps: Optional[int] = None,
+    deadline_seconds: Optional[float] = None,
     **engine_kwargs,
 ):
-    """Answers with planner-computed confidences.
+    """Deprecated shim: use ``ProbDB(database).query(query).confidences()``.
 
-    Routes every confidence through
-    :class:`repro.engine.ConfidenceEngine` — the single entry point that
-    auto-selects read-once / SPROUT / d-tree / MC per query and answer.
-    Returns ``(answer_values, EngineResult)`` pairs.
-
-    ``epsilon``, ``error_kind``, ``max_steps`` and ``deadline_seconds``
-    are per-call overrides forwarded to the engine (its own defaults
-    apply when omitted).  Pass an existing ``engine`` to share its
-    decomposition cache across queries; otherwise one is built from
-    ``engine_kwargs`` (``choose_variable=...``, ``mc_fallback=...``, …).
-    Constructor ``engine_kwargs`` cannot be combined with an explicit
-    ``engine``.
+    Delegates to the :class:`repro.db.session.ProbDB` session path and
+    returns the same ``(answer_values, EngineResult)`` pairs it always
+    did.  ``engine_kwargs`` are :class:`repro.engine.EngineConfig`
+    fields used to build the session's engine; they cannot be combined
+    with an explicit ``engine``.
     """
+    import warnings
+
+    warnings.warn(
+        "evaluate_with_confidence() is deprecated; use "
+        "ProbDB(database).query(query).confidences(...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     from ..engine import ConfidenceEngine
+    from .session import ProbDB
 
     if engine is None:
         engine = ConfidenceEngine.for_database(database, **engine_kwargs)
@@ -250,10 +252,9 @@ def evaluate_with_confidence(
             "engine_kwargs configure a new engine and are ignored when "
             f"one is passed; got {sorted(engine_kwargs)}"
         )
-    return engine.compute_query(
-        query,
-        database,
-        epsilon=epsilon,
+    session = ProbDB(database, engine=engine)
+    return session.query(query).confidences(
+        epsilon,
         error_kind=error_kind,
         max_steps=max_steps,
         deadline_seconds=deadline_seconds,

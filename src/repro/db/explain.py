@@ -13,7 +13,10 @@ Section VI of the paper maps out the tractability landscape:
 :func:`explain` runs those classifiers against a query (and optionally
 the concrete database, for the data-dependent Theorem 6.4 case) and
 returns a structured report used by tools and tests — the decision
-procedure a query optimiser would embed.
+procedure a query optimiser would embed.  It is a thin consumer of the
+:class:`repro.engine.ConfidenceEngine` planner's query-level strategy
+selection; session users reach it as ``ProbDB.explain(query_or_sql)``
+or ``QueryResult.explain()``.
 """
 
 from __future__ import annotations

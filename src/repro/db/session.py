@@ -1,0 +1,500 @@
+"""The ``ProbDB`` session façade and lazy ``QueryResult`` objects.
+
+The paper's system (SPROUT inside MayBMS) exposes a single surface — SQL
+with ``conf()``.  This module is our equivalent: one session object per
+probabilistic database, one lazy result object per query, and one
+:class:`~repro.engine.EngineConfig` policy honoured everywhere::
+
+    db = ProbDB(database, EngineConfig(epsilon=0.01, error_kind="relative"))
+    result = db.sql("select conf() from E n1, E n2 where n1.v = n2.u")
+    result.answers()               # tuples only, no confidence work
+    result.confidences()           # batched anytime confidence per answer
+    for snapshot in result.bounds():   # certified interval snapshots
+        ...
+    result.top_k(5)                # interval-pruned ranking
+    result.explain()               # the planner's routing decision
+
+Everything a session runs shares one :class:`~repro.engine.ConfidenceEngine`,
+its :class:`~repro.core.memo.DecompositionCache`, and one interned
+variable registry, so repeated sub-DNFs across queries, answers, and
+refinement rounds fold instantly instead of being recompiled.  A
+:class:`QueryResult` is lazy: parsing happens at ``sql()`` time (syntax
+errors surface early), lineage is materialised on first use, and
+confidences are computed — batched through
+:meth:`~repro.engine.ConfidenceEngine.compute_many` — only when asked
+for, then memoised per request.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Dict,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
+
+from ..core.dnf import DNF
+from ..core.formulas import Formula
+from ..core.memo import DecompositionCache
+from ..core.variables import VariableRegistry
+from ..engine import ConfidenceEngine, EngineConfig, EngineResult
+from .cq import ConjunctiveQuery
+from .database import Database
+from .engine import QueryAnswer, evaluate
+from .explain import QueryExplanation, explain
+from .sql import ParsedQuery, parse_conf_query
+from .topk import RankedAnswer, rank_answers
+
+__all__ = ["ProbDB", "QueryResult", "BoundsSnapshot"]
+
+AnswerValues = Tuple[Hashable, ...]
+LineageAnswer = Tuple[AnswerValues, DNF]
+
+
+class BoundsSnapshot:
+    """One certified state of an anytime ``QueryResult.bounds()`` run.
+
+    Attributes
+    ----------
+    intervals:
+        ``(answer_values, lower, upper)`` per answer, in answer order.
+        Every interval is sound: ``lower ≤ P(answer) ≤ upper``.
+    converged:
+        Whether every answer has certified the requested guarantee.
+    total_steps:
+        Decomposition steps charged to the batch so far.
+    """
+
+    __slots__ = ("intervals", "converged", "total_steps")
+
+    def __init__(
+        self,
+        intervals: List[Tuple[AnswerValues, float, float]],
+        converged: bool,
+        total_steps: int,
+    ) -> None:
+        self.intervals = intervals
+        self.converged = converged
+        self.total_steps = total_steps
+
+    def max_width(self) -> float:
+        """The widest interval in this snapshot (0.0 when empty)."""
+        return max(
+            (upper - lower for _values, lower, upper in self.intervals),
+            default=0.0,
+        )
+
+    def __len__(self) -> int:
+        return len(self.intervals)
+
+    def __repr__(self) -> str:
+        return (
+            f"BoundsSnapshot({len(self.intervals)} answers, "
+            f"max_width={self.max_width():.4g}, "
+            f"converged={self.converged}, steps={self.total_steps})"
+        )
+
+
+class QueryResult:
+    """A lazy handle on one query's answers and their confidences.
+
+    Nothing is evaluated at construction time.  Lineage is materialised
+    on first access and cached; ``confidences()`` results are memoised
+    per request, so asking twice is free.  All confidence computation
+    routes through the owning session's shared engine.
+    """
+
+    __slots__ = (
+        "engine",
+        "database",
+        "query",
+        "parsed",
+        "_evaluated",
+        "_lineage",
+        "_confidences",
+    )
+
+    def __init__(
+        self,
+        engine: ConfidenceEngine,
+        database: Optional[Database] = None,
+        *,
+        query: Optional[ConjunctiveQuery] = None,
+        parsed: Optional[ParsedQuery] = None,
+        lineage: Optional[Iterable[LineageAnswer]] = None,
+    ) -> None:
+        if parsed is not None and query is None:
+            query = parsed.query
+        if query is None and lineage is None:
+            raise ValueError(
+                "QueryResult needs a query or precomputed lineage"
+            )
+        self.engine = engine
+        self.database = database
+        self.query = query
+        self.parsed = parsed
+        self._evaluated: Optional[List[QueryAnswer]] = None
+        self._lineage: Optional[List[LineageAnswer]] = (
+            None if lineage is None else list(lineage)
+        )
+        self._confidences: Dict[
+            Tuple[object, ...], List[Tuple[AnswerValues, EngineResult]]
+        ] = {}
+
+    # -- metadata --------------------------------------------------------
+    @property
+    def wants_conf(self) -> bool:
+        """Did the SQL text ask for ``conf()``?  (True for CQ results.)"""
+        return self.parsed.wants_conf if self.parsed is not None else True
+
+    @property
+    def select_columns(self) -> List[str]:
+        """The projected column names (empty for Boolean queries)."""
+        if self.parsed is not None:
+            return list(self.parsed.select_columns)
+        if self.query is not None:
+            return [str(var) for var in self.query.head]
+        return []
+
+    # -- lazy materialisation --------------------------------------------
+    def _evaluate(self) -> List[QueryAnswer]:
+        """Run the query once, caching answers with formula lineage."""
+        if self._evaluated is None:
+            if self.query is None or self.database is None:
+                raise ValueError(
+                    "no lineage available: result was built without a "
+                    "query/database"
+                )
+            self._evaluated = evaluate(self.query, self.database)
+        return self._evaluated
+
+    def lineage(self) -> List[LineageAnswer]:
+        """``(answer_values, lineage_dnf)`` pairs (evaluated on demand)."""
+        if self._lineage is None:
+            self._lineage = [
+                (answer.values, answer.lineage.to_dnf())
+                for answer in self._evaluate()
+            ]
+        return self._lineage
+
+    def answers(self) -> List[AnswerValues]:
+        """Distinct answer tuples, without any confidence computation.
+
+        Stays at the formula level: unlike :meth:`lineage`, no DNF
+        conversion (potentially expensive for disjunctive lineage) is
+        paid just to read the tuples.
+        """
+        if self._lineage is not None:
+            return [values for values, _dnf in self._lineage]
+        return [answer.values for answer in self._evaluate()]
+
+    def __len__(self) -> int:
+        return len(self.answers())
+
+    def __repr__(self) -> str:
+        name = self.query.name if self.query is not None else "lineage"
+        state = (
+            "unevaluated"
+            if self._lineage is None
+            else f"{len(self._lineage)} answers"
+        )
+        return f"QueryResult({name!r}, {state})"
+
+    # -- confidence computation ------------------------------------------
+    def confidences(
+        self,
+        epsilon: Optional[float] = None,
+        *,
+        error_kind: Optional[str] = None,
+        max_steps: Optional[int] = None,
+        deadline_seconds: Optional[float] = None,
+        max_total_steps: Optional[int] = None,
+    ) -> List[Tuple[AnswerValues, EngineResult]]:
+        """Per-answer confidences as one batched anytime computation.
+
+        SPROUT-safe queries are answered extensionally without
+        materialising lineage; everything else goes through
+        :meth:`~repro.engine.ConfidenceEngine.compute_many`, which shares
+        the session's decomposition cache (and any shared step/time
+        budget) across the whole answer set instead of issuing N cold
+        calls.  Defaults come from the session's
+        :class:`~repro.engine.EngineConfig`; results are memoised per
+        request.
+        """
+        key = (
+            epsilon, error_kind, max_steps, deadline_seconds,
+            max_total_steps,
+        )
+        cached = self._confidences.get(key)
+        if cached is not None:
+            return cached
+        if self.query is not None and self.database is not None:
+            answers = self._lineage
+            if answers is None:
+                strategy, _reason = (
+                    ConfidenceEngine.select_query_strategy(
+                        self.query, self.database
+                    )
+                )
+                if strategy != "sprout":
+                    answers = self.lineage()
+            pairs = self.engine.compute_query(
+                self.query,
+                self.database,
+                answers=answers,
+                epsilon=epsilon,
+                error_kind=error_kind,
+                max_steps=max_steps,
+                deadline_seconds=deadline_seconds,
+                max_total_steps=max_total_steps,
+            )
+        else:
+            lineage = self.lineage()
+            results = self.engine.compute_many(
+                [dnf for _values, dnf in lineage],
+                epsilon=epsilon,
+                error_kind=error_kind,
+                max_steps=max_steps,
+                deadline_seconds=deadline_seconds,
+                max_total_steps=max_total_steps,
+            )
+            pairs = [
+                (values, result)
+                for (values, _dnf), result in zip(lineage, results)
+            ]
+        self._confidences[key] = pairs
+        return pairs
+
+    def bounds(
+        self,
+        epsilon: Optional[float] = None,
+        *,
+        error_kind: Optional[str] = None,
+        initial_steps: Optional[int] = None,
+        step_growth: Optional[int] = None,
+        max_total_steps: Optional[int] = None,
+        deadline_seconds: Optional[float] = None,
+    ) -> Iterator[BoundsSnapshot]:
+        """Anytime iterator of certified interval snapshots.
+
+        Yields a :class:`BoundsSnapshot` after the initial bounding pass
+        and after every refinement step; each refinement targets the
+        widest unconverged answer (the batch machinery of
+        :meth:`~repro.engine.ConfidenceEngine.refine_many`).  Every
+        snapshot's intervals are sound, so the caller may stop consuming
+        at any point; left alone, the iterator stops once the requested
+        guarantee is certified for every answer or the step/time budget
+        runs out.
+        """
+        lineage = self.lineage()
+        values = [answer_values for answer_values, _dnf in lineage]
+        batch = self.engine.refine_many(
+            [dnf for _values, dnf in lineage],
+            epsilon=epsilon,
+            error_kind=error_kind,
+            initial_steps=initial_steps,
+            step_growth=step_growth,
+            deadline_seconds=deadline_seconds,
+        )
+        if max_total_steps is None:
+            max_total_steps = self.engine.config.max_total_steps
+
+        def snapshot() -> BoundsSnapshot:
+            return BoundsSnapshot(
+                [
+                    (answer_values, result.lower, result.upper)
+                    for answer_values, result in zip(values, batch.results)
+                ],
+                batch.converged(),
+                batch.total_steps,
+            )
+
+        yield snapshot()
+        while not batch.converged():
+            if (
+                max_total_steps is not None
+                and batch.total_steps >= max_total_steps
+            ):
+                break
+            if batch.out_of_time():
+                break
+            if batch.step() is None:
+                break
+            yield snapshot()
+
+    def top_k(
+        self,
+        k: int,
+        *,
+        separation: float = 0.0,
+        initial_steps: Optional[int] = None,
+        step_growth: Optional[int] = None,
+        max_total_steps: Optional[int] = None,
+    ) -> List[RankedAnswer]:
+        """The k most probable answers, certified by interval pruning."""
+        return rank_answers(
+            self.engine,
+            self.lineage(),
+            k,
+            initial_steps=initial_steps,
+            step_growth=step_growth,
+            max_total_steps=max_total_steps,
+            separation=separation,
+        )
+
+    def explain(self) -> QueryExplanation:
+        """The planner's routing decision for this result's query."""
+        if self.query is None:
+            raise ValueError(
+                "lineage-only results carry no query to explain"
+            )
+        return explain(self.query, self.database)
+
+
+class ProbDB:
+    """A probabilistic-database session: the library's front door.
+
+    One session owns one :class:`~repro.engine.ConfidenceEngine` — and
+    therefore one decomposition cache and one interned registry — for
+    its whole lifetime; every query, ranking, and explanation issued
+    through it shares that state.
+
+    Parameters
+    ----------
+    database:
+        The :class:`~repro.db.database.Database` to query.
+    config:
+        The session's :class:`~repro.engine.EngineConfig`; defaults
+        (exact computation, auto pivot order) when omitted.
+    engine:
+        An existing engine to adopt instead (mutually exclusive with
+        ``config``/``cache``); its config becomes the session's.
+    cache:
+        A :class:`~repro.core.memo.DecompositionCache` to share with
+        other sessions.
+    """
+
+    __slots__ = ("database", "engine")
+
+    def __init__(
+        self,
+        database: Database,
+        config: Optional[EngineConfig] = None,
+        *,
+        engine: Optional[ConfidenceEngine] = None,
+        cache: Optional[DecompositionCache] = None,
+    ) -> None:
+        if engine is not None:
+            if config is not None:
+                raise TypeError(
+                    "pass either config= or engine=, not both "
+                    "(an engine carries its own config)"
+                )
+            if cache is not None:
+                raise TypeError(
+                    "pass either cache= or engine=, not both "
+                    "(an engine carries its own cache)"
+                )
+        else:
+            engine = ConfidenceEngine.for_database(
+                database, config, cache=cache
+            )
+        self.database = database
+        self.engine = engine
+
+    @classmethod
+    def from_registry(
+        cls,
+        registry: VariableRegistry,
+        config: Optional[EngineConfig] = None,
+        *,
+        cache: Optional[DecompositionCache] = None,
+    ) -> "ProbDB":
+        """A session over a bare probability space (no relations yet).
+
+        Useful for lineage-level workloads — motif DNFs, hand-built
+        formulas — that still want the shared planner, cache, and the
+        :meth:`lineage` / :meth:`confidence` entry points.
+        """
+        return cls(Database(registry), config, cache=cache)
+
+    @property
+    def config(self) -> EngineConfig:
+        """The session's frozen :class:`~repro.engine.EngineConfig`."""
+        return self.engine.config
+
+    @property
+    def registry(self) -> VariableRegistry:
+        return self.database.registry
+
+    # -- query entry points ----------------------------------------------
+    def sql(self, text: str) -> QueryResult:
+        """Parse a MayBMS-style ``conf()`` query into a lazy result.
+
+        Parsing (and therefore syntax/schema errors) happens now;
+        evaluation and confidence computation happen on demand.
+        """
+        parsed = parse_conf_query(text, self.database)
+        return QueryResult(self.engine, self.database, parsed=parsed)
+
+    def query(self, query: ConjunctiveQuery) -> QueryResult:
+        """A lazy result for a :class:`ConjunctiveQuery`."""
+        return QueryResult(self.engine, self.database, query=query)
+
+    def lineage(
+        self, answers: Iterable[LineageAnswer]
+    ) -> QueryResult:
+        """A result over precomputed ``(values, lineage_dnf)`` pairs.
+
+        The batched confidence, bounds, and top-k machinery applies to
+        hand-built lineage exactly as to query answers.
+        """
+        return QueryResult(self.engine, self.database, lineage=answers)
+
+    def confidence(
+        self,
+        lineage: Union[DNF, Formula],
+        *,
+        epsilon: Optional[float] = None,
+        error_kind: Optional[str] = None,
+        max_steps: Optional[int] = None,
+        deadline_seconds: Optional[float] = None,
+    ) -> EngineResult:
+        """One lineage formula's confidence via the session engine.
+
+        Keyword overrides are forwarded to
+        :meth:`~repro.engine.ConfidenceEngine.compute`; the session's
+        :class:`~repro.engine.EngineConfig` fills the rest.
+        """
+        return self.engine.compute(
+            lineage,
+            epsilon=epsilon,
+            error_kind=error_kind,
+            max_steps=max_steps,
+            deadline_seconds=deadline_seconds,
+        )
+
+    def explain(
+        self, query: Union[str, ConjunctiveQuery]
+    ) -> QueryExplanation:
+        """Classify a query (SQL text or CQ) and report the planner's
+        routing decision, without running it."""
+        if isinstance(query, str):
+            query = parse_conf_query(query, self.database).query
+        return explain(query, self.database)
+
+    def cache_stats(self) -> Dict[str, int]:
+        """Hit/miss/entry counters of the shared decomposition cache."""
+        return self.engine.cache.stats()
+
+    def __repr__(self) -> str:
+        names = ", ".join(sorted(self.database.relation_names()))
+        return (
+            f"ProbDB([{names}], epsilon={self.config.epsilon}, "
+            f"error_kind={self.config.error_kind!r})"
+        )

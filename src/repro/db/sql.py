@@ -27,7 +27,6 @@ from typing import Dict, Hashable, List, Optional, Sequence, Tuple, Union
 
 from .cq import ConjunctiveQuery, Const, Inequality, SubGoal, Var
 from .database import Database
-from .engine import evaluate
 
 __all__ = ["parse_conf_query", "run_conf_query", "SqlSyntaxError", "ParsedQuery"]
 
@@ -328,34 +327,43 @@ def run_conf_query(
     error_kind: Optional[str] = None,
     engine=None,
 ) -> List[Tuple[Tuple[Hashable, ...], Optional[float]]]:
-    """Parse and evaluate a conf() query.
+    """Deprecated shim: use ``ProbDB(database).sql(text).confidences()``.
 
-    Returns ``(answer_tuple, confidence)`` pairs; the confidence is
-    ``None`` when the query does not request ``conf()``.  Confidences
-    route through :class:`repro.engine.ConfidenceEngine` — read-once and
-    SPROUT-safe queries are answered exactly by the cheap strategies, the
-    rest by the d-tree algorithm at the requested error, using the
-    database's variable provenance for the Shannon order.  Pass an
-    ``engine`` to reuse its decomposition cache (and its configured
-    request) across queries; explicit ``epsilon``/``error_kind`` override
-    the engine's defaults, and with neither engine nor overrides the
-    computation is exact (``ε = 0``, absolute).
+    Delegates to the :class:`repro.db.session.ProbDB` session path.
+    Returns ``(answer_tuple, confidence)`` pairs as before; the
+    confidence is ``None`` when the query does not request ``conf()``.
+    With neither ``engine`` nor overrides the computation is exact
+    (``ε = 0``, absolute).
     """
-    parsed = parse_conf_query(text, database)
-    if not parsed.wants_conf:
-        answers = evaluate(parsed.query, database)
-        return [(answer.values, None) for answer in answers]
-    from ..engine import ConfidenceEngine
+    import warnings
 
-    if engine is None:
-        engine = ConfidenceEngine.for_database(
+    warnings.warn(
+        "run_conf_query() is deprecated; use "
+        "ProbDB(database).sql(text).confidences(...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from ..engine import EngineConfig
+    from .session import ProbDB
+
+    if engine is not None:
+        session = ProbDB(database, engine=engine)
+    else:
+        session = ProbDB(
             database,
-            epsilon=0.0 if epsilon is None else epsilon,
-            error_kind="absolute" if error_kind is None else error_kind,
+            EngineConfig(
+                epsilon=0.0 if epsilon is None else epsilon,
+                error_kind=(
+                    "absolute" if error_kind is None else error_kind
+                ),
+            ),
         )
+    result = session.sql(text)
+    if not result.wants_conf:
+        return [(values, None) for values in result.answers()]
     return [
-        (values, result.probability)
-        for values, result in engine.compute_query(
-            parsed.query, database, epsilon=epsilon, error_kind=error_kind
+        (values, outcome.probability)
+        for values, outcome in result.confidences(
+            epsilon, error_kind=error_kind
         )
     ]

@@ -8,22 +8,32 @@ ambiguous answer, and stop as soon as the k best answers provably
 dominate the rest — usually long before any probability is computed
 exactly.
 
-:func:`top_k_answers` implements that loop on top of
-:class:`repro.engine.ConfidenceEngine` step budgets: every refinement is
-an engine ``compute`` call, so read-once answers resolve exactly in one
-shot and the engine's shared decomposition cache makes each successive
-budget increase resume almost where the previous round stopped.
+:func:`rank_answers` implements that stopping rule as a thin consumer of
+:class:`repro.engine.BatchComputation` — the same batched anytime
+machinery behind ``ConfidenceEngine.compute_many`` and the session
+façade's ``QueryResult.bounds()``; the refinement loop itself lives
+there.  The preferred entry point is
+``ProbDB(database).query(cq).top_k(k)``
+(:class:`repro.db.session.ProbDB`); :func:`top_k_answers` remains as a
+deprecated free-function shim.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+import warnings
+from typing import Hashable, List, Optional, Sequence, Tuple
 
 from ..core.dnf import DNF
 from ..core.orders import VariableSelector
 from ..core.variables import VariableRegistry
 
-__all__ = ["top_k_answers", "RankedAnswer"]
+__all__ = ["rank_answers", "top_k_answers", "RankedAnswer"]
+
+#: Default global work ceiling when neither the call nor the engine's
+#: :class:`~repro.engine.EngineConfig` bounds the ranking.
+DEFAULT_MAX_TOTAL_STEPS = 200_000
+
+Answer = Tuple[Tuple[Hashable, ...], DNF]
 
 
 class RankedAnswer:
@@ -53,8 +63,114 @@ class RankedAnswer:
         )
 
 
+def rank_answers(
+    engine,
+    answers: Sequence[Answer],
+    k: int,
+    *,
+    initial_steps: Optional[int] = None,
+    step_growth: Optional[int] = None,
+    max_total_steps: Optional[int] = None,
+    separation: float = 0.0,
+) -> List[RankedAnswer]:
+    """The k most probable answers, certified by interval separation.
+
+    Parameters
+    ----------
+    engine:
+        The :class:`repro.engine.ConfidenceEngine` every refinement
+        routes through (sharing its decomposition cache).
+    answers:
+        ``(answer_values, lineage_dnf)`` pairs, e.g. from
+        :func:`repro.db.engine.evaluate_to_dnf`.
+    k:
+        How many answers to return (all answers when ``k`` ≥ input size).
+    initial_steps / step_growth:
+        Refinement schedule (engine-config defaults when omitted): each
+        round, the answer whose interval blocks the ranking gets its
+        budget multiplied by ``step_growth``.
+    max_total_steps:
+        Global work ceiling (engine config, then 200 000, when omitted);
+        on exhaustion the current best-effort ranking is returned
+        (intervals still sound, separation not certified).
+    separation:
+        Required gap between the k-th lower bound and the (k+1)-th upper
+        bound; zero certifies a weak ordering (ties broken by midpoint).
+
+    Returns
+    -------
+    list[RankedAnswer]
+        The top-k answers in descending (certified) order of probability.
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    answers = list(answers)
+    if max_total_steps is None:
+        max_total_steps = engine.config.max_total_steps
+    if max_total_steps is None:
+        max_total_steps = DEFAULT_MAX_TOTAL_STEPS
+
+    # ε = 0: refinement drives every interval toward the exact value;
+    # the separation check below stops as soon as the ranking is proven.
+    batch = engine.refine_many(
+        [dnf for _values, dnf in answers],
+        epsilon=0.0,
+        initial_steps=initial_steps,
+        step_growth=step_growth,
+    )
+    values = [answer_values for answer_values, _dnf in answers]
+    results = batch.results
+
+    def sort_key(index: int) -> Tuple[float, float]:
+        # Optimistic value first; the ranking is certified when the k-th
+        # pessimistic value dominates every excluded optimistic one.
+        return (-results[index].upper, -results[index].lower)
+
+    def ranked(index: int) -> RankedAnswer:
+        result = results[index]
+        return RankedAnswer(
+            values[index], result.lower, result.upper, result.steps
+        )
+
+    order = list(range(len(answers)))
+    if k >= len(order):
+        order.sort(key=sort_key)
+        return [ranked(index) for index in order]
+
+    while True:
+        order.sort(key=sort_key)
+        kth_lower = min(results[index].lower for index in order[:k])
+        best_excluded_upper = max(
+            results[index].upper for index in order[k:]
+        )
+        if kth_lower >= best_excluded_upper + separation:
+            break
+
+        # Refine the widest interval among the answers straddling the
+        # boundary (both sides can be at fault).
+        boundary = [
+            index
+            for index in order
+            if results[index].upper > kth_lower - separation
+            and results[index].lower < best_excluded_upper + separation
+            and not results[index].converged
+        ]
+        if (
+            not boundary
+            or batch.total_steps >= max_total_steps
+            or batch.out_of_time()
+        ):
+            break  # fully converged ties or out of budget: best effort
+        batch.refine(
+            max(boundary, key=lambda index: results[index].width())
+        )
+
+    order.sort(key=sort_key)
+    return [ranked(index) for index in order[:k]]
+
+
 def top_k_answers(
-    answers: Sequence[Tuple[Tuple[Hashable, ...], DNF]],
+    answers: Sequence[Answer],
     registry: VariableRegistry,
     k: int,
     *,
@@ -65,109 +181,31 @@ def top_k_answers(
     separation: float = 0.0,
     engine=None,
 ) -> List[RankedAnswer]:
-    """The k most probable answers, certified by interval separation.
+    """Deprecated shim: use ``ProbDB(...).query(cq).top_k(k)`` instead.
 
-    Parameters
-    ----------
-    answers:
-        ``(answer_values, lineage_dnf)`` pairs, e.g. from
-        :func:`repro.db.engine.evaluate_to_dnf`.
-    k:
-        How many answers to return (all answers when ``k`` ≥ input size).
-    initial_steps / step_growth:
-        Refinement schedule: each round, the answer whose interval blocks
-        the ranking gets its budget multiplied by ``step_growth``.
-    max_total_steps:
-        Global work ceiling; on exhaustion the current best-effort ranking
-        is returned (intervals still sound, separation not certified).
-    separation:
-        Required gap between the k-th lower bound and the (k+1)-th upper
-        bound; zero certifies a weak ordering (ties broken by midpoint).
-    engine:
-        A :class:`repro.engine.ConfidenceEngine` to refine through; one
-        is built from ``registry``/``choose_variable`` when omitted.
-        Every refinement routes through ``engine.compute``.
-
-    Returns
-    -------
-    list[RankedAnswer]
-        The top-k answers in descending (certified) order of probability.
+    Delegates to :func:`rank_answers` — the session path behind
+    ``QueryResult.top_k`` — preserving the historical signature and
+    results exactly.
     """
-    if k <= 0:
-        raise ValueError("k must be positive")
-
+    warnings.warn(
+        "top_k_answers() is deprecated; use "
+        "ProbDB(database).query(query).top_k(k) or "
+        "repro.db.topk.rank_answers(engine, answers, k)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     if engine is None:
         from ..engine import ConfidenceEngine
 
         engine = ConfidenceEngine(
             registry, epsilon=0.0, choose_variable=choose_variable
         )
-
-    states: List[Dict] = []
-    for values, dnf in answers:
-        states.append(
-            {"values": values, "dnf": dnf, "budget": initial_steps,
-             "result": None, "spent": 0}
-        )
-
-    def refine(state: Dict) -> None:
-        result = engine.compute(
-            state["dnf"], epsilon=0.0, max_steps=state["budget"]
-        )
-        state["result"] = result
-        state["spent"] = result.steps
-
-    total_spent = 0
-    for state in states:
-        refine(state)
-        total_spent += state["spent"]
-
-    if k >= len(states):
-        ranked = sorted(
-            states,
-            key=lambda s: (-s["result"].upper, -s["result"].lower),
-        )
-        return [
-            RankedAnswer(
-                s["values"], s["result"].lower, s["result"].upper, s["spent"]
-            )
-            for s in ranked
-        ]
-
-    while True:
-        # Order by optimistic value; the ranking is certified when the
-        # k-th pessimistic value dominates every excluded optimistic one.
-        states.sort(
-            key=lambda s: (-s["result"].upper, -s["result"].lower)
-        )
-        kth_lower = min(s["result"].lower for s in states[:k])
-        best_excluded_upper = max(
-            s["result"].upper for s in states[k:]
-        )
-        if kth_lower >= best_excluded_upper + separation:
-            break
-
-        # Refine the widest interval among the answers straddling the
-        # boundary (both sides can be at fault).
-        boundary = [
-            s
-            for s in states
-            if s["result"].upper > kth_lower - separation
-            and s["result"].lower < best_excluded_upper + separation
-            and not s["result"].converged
-        ]
-        if not boundary or total_spent >= max_total_steps:
-            break  # fully converged ties or out of budget: best effort
-        candidate = max(boundary, key=lambda s: s["result"].width())
-        candidate["budget"] *= step_growth
-        total_spent -= candidate["spent"]
-        refine(candidate)
-        total_spent += candidate["spent"]
-
-    states.sort(key=lambda s: (-s["result"].upper, -s["result"].lower))
-    return [
-        RankedAnswer(
-            s["values"], s["result"].lower, s["result"].upper, s["spent"]
-        )
-        for s in states[:k]
-    ]
+    return rank_answers(
+        engine,
+        answers,
+        k,
+        initial_steps=initial_steps,
+        step_growth=step_growth,
+        max_total_steps=max_total_steps,
+        separation=separation,
+    )

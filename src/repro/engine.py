@@ -33,6 +33,23 @@ Every result reports which rung answered and why, and
 :func:`repro.db.explain.explain` surfaces the same decision for a query
 before any computation runs.
 
+Configuration is one frozen :class:`EngineConfig` value — the same
+dataclass every public path (:class:`~repro.db.session.ProbDB`, the SQL
+front-end, top-k, explain, the benchmark harness) accepts, replacing the
+per-function kwarg plumbing of earlier revisions.
+
+Batched computation
+-------------------
+:meth:`ConfidenceEngine.compute_many` answers a *set* of lineage formulas
+as one prioritized anytime computation (the MystiQ view of multi-answer
+queries): under a shared step/time budget it round-robins refinement
+across tuples by certified interval width via :class:`BatchComputation`,
+so the widest — most ambiguous — answer is always the one refined next,
+and every tuple's refinement reuses the cache entries its siblings just
+populated.  Top-k ranking (:func:`repro.db.topk.rank_answers`) and the
+session façade's ``QueryResult.bounds()`` iterator are thin consumers of
+the same machinery.
+
 The engine also owns a :class:`~repro.core.memo.DecompositionCache`
 shared across all of its calls: repeated sub-DNFs — ubiquitous in top-k
 interval refinement and multi-answer queries over shared tuples — fold
@@ -41,8 +58,18 @@ instantly instead of being recompiled.
 
 from __future__ import annotations
 
+import dataclasses
 import time
-from typing import Dict, Hashable, List, Optional, Tuple, Union
+from typing import (
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from .core.approx import (
     ABSOLUTE,
@@ -57,7 +84,13 @@ from .core.orders import VariableSelector
 from .core.readonce import try_read_once
 from .core.variables import VariableRegistry
 
-__all__ = ["ConfidenceEngine", "EngineResult", "STRATEGY_LADDER"]
+__all__ = [
+    "BatchComputation",
+    "ConfidenceEngine",
+    "EngineConfig",
+    "EngineResult",
+    "STRATEGY_LADDER",
+]
 
 #: The ladder, in selection order (``sprout`` applies at query level).
 STRATEGY_LADDER: Tuple[str, ...] = (
@@ -67,6 +100,112 @@ STRATEGY_LADDER: Tuple[str, ...] = (
     "dtree",
     "mc",
 )
+
+Lineage = Union[DNF, Formula]
+
+
+@dataclasses.dataclass(frozen=True)
+class EngineConfig:
+    """One frozen bundle of confidence-computation policy.
+
+    Every public confidence path — :class:`ConfidenceEngine` itself, the
+    :class:`~repro.db.session.ProbDB` façade, SQL ``conf()``, top-k, and
+    the benchmark harness — honours the same config object; there are no
+    other knobs.
+
+    Attributes
+    ----------
+    epsilon, error_kind:
+        Default approximation request (``ε = 0`` asks for exact;
+        ``"absolute"`` or ``"relative"``, Definition 5.7).
+    choose_variable:
+        Shannon pivot selector (e.g. the Lemma 6.8 IQ order).  ``None``
+        means *auto*: database-backed constructors wire the database's
+        provenance order, bare registries fall back to max-frequency.
+    deadline_seconds, max_steps:
+        Per-call work budget for the d-tree rung.
+    mc_fallback, mc_max_samples:
+        Enable the ``aconf`` rung for budget-exhausted relative-error
+        requests, and its only work bound (sampling has no wall-clock
+        deadline of its own).
+    try_read_once:
+        Attempt the linear-time 1OF rung first (off forces the d-tree
+        path, for ablations).
+    allow_closing, sort_buckets, read_once_buckets:
+        The Section V heuristic toggles, forwarded to
+        :func:`~repro.core.approx.approximate_probability` (ablation
+        knobs; the defaults match the paper's configuration).
+    initial_steps, step_growth:
+        Refinement schedule for batched anytime computation: each round
+        the most ambiguous tuple's step budget is multiplied by
+        ``step_growth``.
+    max_total_steps:
+        Shared step budget across a whole :meth:`ConfidenceEngine.compute_many`
+        batch.  ``None`` (the default) means every tuple runs to its own
+        guarantee; top-k defaults to 200 000 when unset.
+    """
+
+    epsilon: float = 0.0
+    error_kind: str = ABSOLUTE
+    choose_variable: Optional[VariableSelector] = None
+    deadline_seconds: Optional[float] = None
+    max_steps: Optional[int] = None
+    mc_fallback: bool = True
+    mc_max_samples: int = 100_000
+    try_read_once: bool = True
+    allow_closing: bool = True
+    sort_buckets: bool = True
+    read_once_buckets: bool = False
+    initial_steps: int = 4
+    step_growth: int = 2
+    max_total_steps: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.epsilon < 1.0):
+            raise ValueError(
+                f"epsilon must be in [0, 1), got {self.epsilon}"
+            )
+        if self.error_kind not in (ABSOLUTE, RELATIVE):
+            raise ValueError(f"unknown error kind {self.error_kind!r}")
+        if self.initial_steps < 1:
+            raise ValueError(
+                f"initial_steps must be >= 1, got {self.initial_steps}"
+            )
+        if self.step_growth < 2:
+            raise ValueError(
+                f"step_growth must be >= 2, got {self.step_growth}"
+            )
+        if self.mc_max_samples < 1:
+            raise ValueError(
+                f"mc_max_samples must be >= 1, got {self.mc_max_samples}"
+            )
+        for name in ("max_steps", "max_total_steps"):
+            value = getattr(self, name)
+            if value is not None and value < 0:
+                raise ValueError(f"{name} must be >= 0, got {value}")
+
+    def replace(self, **changes: object) -> "EngineConfig":
+        """A copy with ``changes`` applied (and re-validated)."""
+        return dataclasses.replace(self, **changes)
+
+    def describe(self) -> Dict[str, object]:
+        """A JSON-serialisable snapshot, for benchmark result rows.
+
+        The pivot selector is rendered by name (``"auto"`` when unset):
+        callables don't serialise, but the name pins down which order a
+        recorded run used.
+        """
+        description = dataclasses.asdict(self)
+        selector = self.choose_variable
+        if selector is None:
+            description["choose_variable"] = "auto"
+        else:
+            description["choose_variable"] = (
+                getattr(selector, "__qualname__", None)
+                or getattr(selector, "__name__", None)
+                or repr(selector)
+            )
+        return description
 
 
 class EngineResult:
@@ -124,7 +263,7 @@ class EngineResult:
         error_kind: str,
         steps: int = 0,
         elapsed_seconds: float = 0.0,
-        details: Optional[Dict] = None,
+        details: Optional[Dict[str, object]] = None,
     ) -> None:
         self.probability = probability
         self.lower = lower
@@ -155,6 +294,178 @@ class EngineResult:
         )
 
 
+class BatchComputation:
+    """Anytime round-robin refinement of many lineages on one engine.
+
+    This generalizes the interval-refinement loop that used to be private
+    to :mod:`repro.db.topk`: every tuple holds a certified probability
+    interval and a per-tuple step budget; :meth:`step` refines the widest
+    unconverged interval by re-running it with a ``step_growth``-times
+    larger budget.  Because all refinement goes through one engine and
+    its :class:`~repro.core.memo.DecompositionCache`, a re-run resumes
+    almost where the previous round stopped, and tuples with shared
+    lineage fold each other's finished subtrees in one step.
+
+    Consumers drive the loop with their own stopping rule: ε-convergence
+    (:meth:`ConfidenceEngine.compute_many`), ranking separation
+    (:func:`repro.db.topk.rank_answers`), or the caller's patience
+    (``QueryResult.bounds()``).
+    """
+
+    __slots__ = (
+        "engine",
+        "epsilon",
+        "error_kind",
+        "step_growth",
+        "max_steps",
+        "deadline_seconds",
+        "dnfs",
+        "budgets",
+        "results",
+        "total_steps",
+        "_started",
+    )
+
+    def __init__(
+        self,
+        engine: "ConfidenceEngine",
+        lineages: Iterable[Lineage],
+        *,
+        epsilon: Optional[float] = None,
+        error_kind: Optional[str] = None,
+        initial_steps: Optional[int] = None,
+        step_growth: Optional[int] = None,
+        max_steps: Optional[int] = None,
+        deadline_seconds: Optional[float] = None,
+    ) -> None:
+        config = engine.config
+        self.engine = engine
+        self.epsilon = config.epsilon if epsilon is None else epsilon
+        self.error_kind = (
+            config.error_kind if error_kind is None else error_kind
+        )
+        if initial_steps is None:
+            initial_steps = config.initial_steps
+        self.step_growth = (
+            config.step_growth if step_growth is None else step_growth
+        )
+        self.max_steps = max_steps
+        self.deadline_seconds = (
+            config.deadline_seconds
+            if deadline_seconds is None
+            else deadline_seconds
+        )
+        self._started = time.monotonic()
+        self.dnfs: List[DNF] = [
+            lineage.to_dnf() if isinstance(lineage, Formula) else lineage
+            for lineage in lineages
+        ]
+        self.budgets: List[int] = [
+            self._capped(initial_steps) for _ in self.dnfs
+        ]
+        self.total_steps = 0
+        self.results: List[EngineResult] = []
+        for index in range(len(self.dnfs)):
+            result = self._compute(index)
+            self.results.append(result)
+            self.total_steps += result.steps
+
+    def _capped(self, budget: int) -> int:
+        if self.max_steps is not None:
+            return min(budget, self.max_steps)
+        return budget
+
+    def remaining_seconds(self) -> Optional[float]:
+        """Time left on the whole-batch deadline (``None`` = unbounded)."""
+        if self.deadline_seconds is None:
+            return None
+        return self.deadline_seconds - (time.monotonic() - self._started)
+
+    def out_of_time(self) -> bool:
+        remaining = self.remaining_seconds()
+        return remaining is not None and remaining <= 0.0
+
+    def _compute(self, index: int) -> EngineResult:
+        # MC fallback is deferred to the very end of a batch (see
+        # ConfidenceEngine._finalize_batch): sampling inside the
+        # refinement loop would be paid on every round.
+        return self.engine.compute(
+            self.dnfs[index],
+            epsilon=self.epsilon,
+            error_kind=self.error_kind,
+            max_steps=self.budgets[index],
+            deadline_seconds=self.remaining_seconds(),
+            mc_fallback=False,
+        )
+
+    def converged(self) -> bool:
+        """Has every tuple certified the requested guarantee?"""
+        return all(result.converged for result in self.results)
+
+    def refinable(
+        self, indices: Optional[Sequence[int]] = None
+    ) -> List[int]:
+        """Indices that can still make progress (unconverged, budget
+        headroom left)."""
+        if indices is None:
+            indices = range(len(self.dnfs))
+        return [
+            index
+            for index in indices
+            if not self.results[index].converged
+            and (
+                self.max_steps is None
+                or self.budgets[index] < self.max_steps
+            )
+        ]
+
+    def widest(self, indices: Optional[Sequence[int]] = None) -> Optional[int]:
+        """The refinable tuple with the widest certified interval."""
+        candidates = self.refinable(indices)
+        if not candidates:
+            return None
+        return max(candidates, key=lambda index: self.results[index].width())
+
+    def refine(self, index: int) -> EngineResult:
+        """Grow ``index``'s budget and recompute it (cache-resumed).
+
+        ``total_steps`` tracks the *latest* run's step count per tuple —
+        the shared cache makes a re-run resume rather than repeat, so
+        summing across rounds would double-count folded subtrees.
+        """
+        self.budgets[index] = self._capped(
+            self.budgets[index] * self.step_growth
+        )
+        previous = self.results[index]
+        result = self._compute(index)
+        # Certified intervals never regress: a re-run cut short (e.g. by
+        # an expired deadline) may report wider bounds than the previous
+        # round already proved; keep the intersection, which is sound
+        # because both intervals contain the true probability.
+        if previous.lower > result.lower:
+            result.lower = previous.lower
+        if previous.upper < result.upper:
+            result.upper = previous.upper
+        if result.probability < result.lower:
+            result.probability = result.lower
+        elif result.probability > result.upper:
+            result.probability = result.upper
+        self.results[index] = result
+        self.total_steps += result.steps - previous.steps
+        return result
+
+    def step(self, indices: Optional[Sequence[int]] = None) -> Optional[int]:
+        """Refine the widest refinable tuple; its index, or ``None``."""
+        index = self.widest(indices)
+        if index is None:
+            return None
+        self.refine(index)
+        return index
+
+    def __len__(self) -> int:
+        return len(self.dnfs)
+
+
 class ConfidenceEngine:
     """One entry point for every confidence computation.
 
@@ -162,108 +473,136 @@ class ConfidenceEngine:
     ----------
     registry:
         The probability space lineage is evaluated against.
-    epsilon, error_kind:
-        Default approximation request (``ε = 0`` asks for exact).
-    choose_variable:
-        Shannon pivot selector (e.g. ``answer_selector(database)`` for
-        the Lemma 6.8 IQ order); max-frequency when omitted.
-    deadline_seconds, max_steps:
-        Per-``compute`` work budget for the d-tree rung.
-    mc_fallback:
-        Enable the ``aconf`` rung for budget-exhausted relative-error
-        requests (on by default).
-    mc_max_samples:
-        Sample cap for the MC rung — its only work bound; ``aconf`` has
-        no wall-clock deadline, so a ``compute`` call that falls through
-        to MC can exceed ``deadline_seconds`` by the sampling time (the
-        rung is skipped entirely when the deadline is already spent).
-    try_read_once:
-        Attempt the linear-time 1OF rung first (on by default; turning
-        it off forces the d-tree path, for ablations).
+    config:
+        The :class:`EngineConfig` policy bundle; defaults apply when
+        omitted.
     cache:
         Shared :class:`DecompositionCache`; a fresh one is created when
         omitted and reused for the engine's lifetime.
+    **overrides:
+        Individual :class:`EngineConfig` fields, applied on top of
+        ``config`` (``ConfidenceEngine(reg, epsilon=0.01)`` is shorthand
+        for ``ConfidenceEngine(reg, EngineConfig(epsilon=0.01))``).
     """
 
     def __init__(
         self,
         registry: VariableRegistry,
+        config: Optional[EngineConfig] = None,
         *,
-        epsilon: float = 0.0,
-        error_kind: str = ABSOLUTE,
-        choose_variable: Optional[VariableSelector] = None,
-        deadline_seconds: Optional[float] = None,
-        max_steps: Optional[int] = None,
-        mc_fallback: bool = True,
-        mc_max_samples: int = 100_000,
-        try_read_once: bool = True,
         cache: Optional[DecompositionCache] = None,
+        **overrides: object,
     ) -> None:
-        if not (0.0 <= epsilon < 1.0):
-            raise ValueError(f"epsilon must be in [0, 1), got {epsilon}")
-        if error_kind not in (ABSOLUTE, RELATIVE):
-            raise ValueError(f"unknown error kind {error_kind!r}")
+        if config is None:
+            config = EngineConfig()
+        if overrides:
+            config = config.replace(**overrides)
         self.registry = registry
-        self.epsilon = epsilon
-        self.error_kind = error_kind
-        self.choose_variable = choose_variable
-        self.deadline_seconds = deadline_seconds
-        self.max_steps = max_steps
-        self.mc_fallback = mc_fallback
-        self.mc_max_samples = mc_max_samples
-        self.try_read_once = try_read_once
+        self.config = config
         self.cache = cache if cache is not None else DecompositionCache()
         # DNF -> factored form (or None): top-k refinement re-submits the
         # same lineage with growing budgets; don't re-attempt 1OF each time.
-        self._readonce_memo: Dict[DNF, object] = {}
+        self._readonce_memo: Dict[DNF, Optional[Formula]] = {}
+
+    # -- EngineConfig field mirrors (pre-config API compatibility) -------
+    @property
+    def epsilon(self) -> float:
+        return self.config.epsilon
+
+    @property
+    def error_kind(self) -> str:
+        return self.config.error_kind
+
+    @property
+    def choose_variable(self) -> Optional[VariableSelector]:
+        return self.config.choose_variable
+
+    @property
+    def deadline_seconds(self) -> Optional[float]:
+        return self.config.deadline_seconds
+
+    @property
+    def max_steps(self) -> Optional[int]:
+        return self.config.max_steps
+
+    @property
+    def mc_fallback(self) -> bool:
+        return self.config.mc_fallback
+
+    @property
+    def mc_max_samples(self) -> int:
+        return self.config.mc_max_samples
+
+    @property
+    def try_read_once(self) -> bool:
+        return self.config.try_read_once
 
     # ------------------------------------------------------------------
     # Constructors
     # ------------------------------------------------------------------
     @classmethod
-    def for_database(cls, database, **kwargs) -> "ConfidenceEngine":
+    def for_database(
+        cls,
+        database,
+        config: Optional[EngineConfig] = None,
+        *,
+        cache: Optional[DecompositionCache] = None,
+        **overrides: object,
+    ) -> "ConfidenceEngine":
         """An engine wired with a database's registry and IQ provenance."""
         from .db.engine import answer_selector
 
-        kwargs.setdefault("choose_variable", answer_selector(database))
-        return cls(database.registry, **kwargs)
+        if config is None:
+            config = EngineConfig()
+        if overrides:
+            config = config.replace(**overrides)
+        if config.choose_variable is None:
+            config = config.replace(
+                choose_variable=answer_selector(database)
+            )
+        return cls(database.registry, config, cache=cache)
 
     # ------------------------------------------------------------------
     # DNF-level computation
     # ------------------------------------------------------------------
     def compute(
         self,
-        lineage: Union[DNF, Formula],
+        lineage: Lineage,
         *,
         epsilon: Optional[float] = None,
         error_kind: Optional[str] = None,
         max_steps: Optional[int] = None,
         deadline_seconds: Optional[float] = None,
+        mc_fallback: Optional[bool] = None,
     ) -> EngineResult:
         """Confidence of a lineage formula via the strategy ladder.
 
         Accepts a :class:`DNF` or any lineage :class:`Formula` (converted
-        via ``to_dnf``).  Per-call overrides fall back to the engine
-        defaults.
+        via ``to_dnf``).  Per-call overrides fall back to the engine's
+        :class:`EngineConfig`.
         """
         started = time.monotonic()
+        config = self.config
         if isinstance(lineage, Formula):
             dnf = lineage.to_dnf()
         else:
             dnf = lineage
-        epsilon = self.epsilon if epsilon is None else epsilon
-        error_kind = self.error_kind if error_kind is None else error_kind
+        epsilon = config.epsilon if epsilon is None else epsilon
+        error_kind = config.error_kind if error_kind is None else error_kind
         # Validate overrides up front: the trivial/read-once rungs return
         # before the d-tree rung would have rejected them.
         if not (0.0 <= epsilon < 1.0):
             raise ValueError(f"epsilon must be in [0, 1), got {epsilon}")
         if error_kind not in (ABSOLUTE, RELATIVE):
             raise ValueError(f"unknown error kind {error_kind!r}")
-        max_steps = self.max_steps if max_steps is None else max_steps
+        max_steps = config.max_steps if max_steps is None else max_steps
         deadline_seconds = (
-            self.deadline_seconds
+            config.deadline_seconds
             if deadline_seconds is None
             else deadline_seconds
+        )
+        mc_enabled = (
+            config.mc_fallback if mc_fallback is None else mc_fallback
         )
 
         def finish(result: EngineResult) -> EngineResult:
@@ -288,7 +627,7 @@ class ConfidenceEngine:
             )
 
         # Rung 2: read-once factorization (linear-time exact).
-        if self.try_read_once:
+        if config.try_read_once:
             if dnf in self._readonce_memo:
                 formula = self._readonce_memo[dnf]
             else:
@@ -313,12 +652,17 @@ class ConfidenceEngine:
             self.registry,
             epsilon=epsilon,
             error_kind=error_kind,
-            choose_variable=self.choose_variable,
+            choose_variable=config.choose_variable,
+            allow_closing=config.allow_closing,
+            sort_buckets=config.sort_buckets,
+            read_once_buckets=config.read_once_buckets,
             max_steps=max_steps,
             deadline_seconds=deadline_seconds,
             cache=self.cache,
         )
-        if outcome.converged or not self._mc_applicable(epsilon, error_kind):
+        if outcome.converged or not self._mc_applicable(
+            epsilon, error_kind, mc_enabled
+        ):
             reason = (
                 "incremental d-tree approximation certified the request"
                 if outcome.converged
@@ -363,13 +707,156 @@ class ConfidenceEngine:
             )
         )
 
-    def _mc_applicable(self, epsilon: float, error_kind: str) -> bool:
+    # ------------------------------------------------------------------
+    # Batched computation
+    # ------------------------------------------------------------------
+    def refine_many(
+        self,
+        lineages: Iterable[Lineage],
+        *,
+        epsilon: Optional[float] = None,
+        error_kind: Optional[str] = None,
+        initial_steps: Optional[int] = None,
+        step_growth: Optional[int] = None,
+        max_steps: Optional[int] = None,
+        deadline_seconds: Optional[float] = None,
+    ) -> BatchComputation:
+        """An anytime :class:`BatchComputation` over ``lineages``.
+
+        The caller drives refinement (``step()``/``refine()``) under its
+        own stopping rule; :meth:`compute_many` is the run-to-guarantee
+        driver, top-k and ``QueryResult.bounds()`` are the other two.
+        """
+        return BatchComputation(
+            self,
+            lineages,
+            epsilon=epsilon,
+            error_kind=error_kind,
+            initial_steps=initial_steps,
+            step_growth=step_growth,
+            max_steps=max_steps,
+            deadline_seconds=deadline_seconds,
+        )
+
+    def compute_many(
+        self,
+        lineages: Iterable[Lineage],
+        *,
+        epsilon: Optional[float] = None,
+        error_kind: Optional[str] = None,
+        max_steps: Optional[int] = None,
+        deadline_seconds: Optional[float] = None,
+        initial_steps: Optional[int] = None,
+        step_growth: Optional[int] = None,
+        max_total_steps: Optional[int] = None,
+    ) -> List[EngineResult]:
+        """Confidences for a batch of lineages on one shared cache.
+
+        Under a shared budget (``max_total_steps``, from the argument or
+        the engine config) the batch is one prioritized anytime
+        computation: refinement round-robins across tuples by certified
+        interval width, so budget flows to the most ambiguous answers
+        first, and on exhaustion every tuple still carries sound bounds
+        (with the MC rung estimating inside them where applicable).
+
+        Without a shared budget there is nothing to arbitrate and each
+        tuple simply runs to its own guarantee — but still back to back
+        on the engine's shared :class:`DecompositionCache`, so answers
+        with overlapping lineage fold each other's subtrees instead of
+        recompiling them (the cache-sharing win over N cold calls).
+
+        ``deadline_seconds`` bounds the *whole batch*, unlike
+        :meth:`compute`'s per-call deadline.
+        """
+        config = self.config
+        lineages = list(lineages)
+        if not lineages:
+            return []
+        if max_total_steps is None:
+            max_total_steps = config.max_total_steps
+        deadline = (
+            config.deadline_seconds
+            if deadline_seconds is None
+            else deadline_seconds
+        )
+        if max_total_steps is None:
+            started = time.monotonic()
+            results = []
+            for lineage in lineages:
+                remaining = (
+                    None
+                    if deadline is None
+                    else max(deadline - (time.monotonic() - started), 0.0)
+                )
+                results.append(
+                    self.compute(
+                        lineage,
+                        epsilon=epsilon,
+                        error_kind=error_kind,
+                        max_steps=max_steps,
+                        deadline_seconds=remaining,
+                    )
+                )
+            return results
+
+        batch = self.refine_many(
+            lineages,
+            epsilon=epsilon,
+            error_kind=error_kind,
+            initial_steps=initial_steps,
+            step_growth=step_growth,
+            max_steps=max_steps,
+            deadline_seconds=deadline,
+        )
+        while (
+            not batch.converged()
+            and batch.total_steps < max_total_steps
+            and not batch.out_of_time()
+        ):
+            if batch.step() is None:
+                break
+        self._finalize_batch(batch)
+        return list(batch.results)
+
+    def _finalize_batch(self, batch: BatchComputation) -> None:
+        """Apply the MC rung to tuples whose batch budget ran out."""
+        if not self._mc_applicable(
+            batch.epsilon, batch.error_kind, self.config.mc_fallback
+        ):
+            return
+        for index, result in enumerate(batch.results):
+            if result.converged:
+                continue
+            mc_result = self._run_mc(
+                batch.dnfs[index], batch.epsilon, batch.remaining_seconds()
+            )
+            if mc_result is None:
+                continue
+            estimate, samples, capped = mc_result
+            estimate = min(max(estimate, result.lower), result.upper)
+            batch.results[index] = EngineResult(
+                estimate,
+                result.lower,
+                result.upper,
+                "mc",
+                "batch budget exhausted; Karp–Luby/DKLR aconf estimate "
+                "within the partial d-tree bounds",
+                not capped,
+                batch.epsilon,
+                batch.error_kind,
+                steps=result.steps,
+                details=dict(
+                    result.details, mc_samples=samples, mc_capped=capped
+                ),
+            )
+
+    def _mc_applicable(
+        self, epsilon: float, error_kind: str, enabled: bool
+    ) -> bool:
         # aconf gives (ε, δ) *relative* guarantees; ε = 0 cannot be met
         # by sampling and an absolute request would be mislabelled as
         # converged.
-        return (
-            self.mc_fallback and epsilon > 0.0 and error_kind == RELATIVE
-        )
+        return enabled and epsilon > 0.0 and error_kind == RELATIVE
 
     def _run_mc(
         self,
@@ -387,7 +874,7 @@ class ConfidenceEngine:
             dnf,
             self.registry,
             epsilon=epsilon,
-            max_samples=self.mc_max_samples,
+            max_samples=self.config.mc_max_samples,
         )
         return outcome.estimate, outcome.samples, outcome.capped
 
@@ -474,25 +961,32 @@ class ConfidenceEngine:
         query,
         database,
         *,
+        answers: Optional[
+            Sequence[Tuple[Tuple[Hashable, ...], DNF]]
+        ] = None,
         epsilon: Optional[float] = None,
         error_kind: Optional[str] = None,
         max_steps: Optional[int] = None,
         deadline_seconds: Optional[float] = None,
+        max_total_steps: Optional[int] = None,
     ) -> List[Tuple[Tuple[Hashable, ...], EngineResult]]:
         """Per-answer confidence for a conjunctive query.
 
         Routes the whole query through SPROUT when its class allows,
-        otherwise materialises lineage and walks the DNF ladder per
-        answer.
+        otherwise materialises lineage (or reuses precomputed
+        ``answers``) and walks the DNF ladder as one
+        :meth:`compute_many` batch.
         """
         strategy, reason = self.select_query_strategy(query, database)
         if strategy == "sprout":
             from .db.sprout import UnsafeQueryError, sprout_confidence
 
             try:
-                eps = self.epsilon if epsilon is None else epsilon
+                eps = self.config.epsilon if epsilon is None else epsilon
                 kind = (
-                    self.error_kind if error_kind is None else error_kind
+                    self.config.error_kind
+                    if error_kind is None
+                    else error_kind
                 )
                 return [
                     (
@@ -511,18 +1005,19 @@ class ConfidenceEngine:
                 # are authoritative; fall through to the lineage ladder.
                 pass
 
-        from .db.engine import evaluate_to_dnf
+        if answers is None:
+            from .db.engine import evaluate_to_dnf
 
+            answers = evaluate_to_dnf(query, database)
+        results = self.compute_many(
+            [dnf for _values, dnf in answers],
+            epsilon=epsilon,
+            error_kind=error_kind,
+            max_steps=max_steps,
+            deadline_seconds=deadline_seconds,
+            max_total_steps=max_total_steps,
+        )
         return [
-            (
-                values,
-                self.compute(
-                    dnf,
-                    epsilon=epsilon,
-                    error_kind=error_kind,
-                    max_steps=max_steps,
-                    deadline_seconds=deadline_seconds,
-                ),
-            )
-            for values, dnf in evaluate_to_dnf(query, database)
+            (values, result)
+            for (values, _dnf), result in zip(answers, results)
         ]

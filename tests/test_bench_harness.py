@@ -12,7 +12,7 @@ class TestSeriesPoint:
     def test_row_rendering(self):
         point = SeriesPoint("exp", "w1", "m1", 0.125, 0.5, "ok", "d")
         assert point.row() == [
-            "exp", "w1", "m1", "0.125000", "0.5", "ok", "d", ""
+            "exp", "w1", "m1", "0.125000", "0.5", "ok", "d", "", ""
         ]
 
     def test_row_without_value(self):
@@ -67,6 +67,18 @@ class TestHarness:
             rows = list(csv.reader(handle))
         assert rows[0][0] == "experiment"
         assert rows[1][1] == "w"
+
+    def test_engine_config_recorded(self, tmp_path):
+        from repro.bench.harness import render_engine_config
+        from repro.engine import EngineConfig
+
+        harness = Harness("unit cfg", results_dir=str(tmp_path))
+        config = EngineConfig(epsilon=0.25)
+        point = harness.run("w", "m", lambda: None, engine_config=config)
+        assert '"epsilon":0.25' in point.engine_config
+        assert point.row()[-1] == point.engine_config
+        assert render_engine_config(None) == ""
+        assert render_engine_config("preformatted") == "preformatted"
 
     def test_registered_globally(self, tmp_path):
         from repro.bench.harness import ALL_HARNESSES

@@ -15,6 +15,10 @@ import random
 
 import pytest
 
+# The db-path routing tests exercise the deprecated free-function shims
+# on purpose; the session façade equivalents live in test_session.py.
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
 from repro.core.dnf import DNF
 from repro.core.events import Atom, Clause
 from repro.core.memo import DecompositionCache

@@ -1,0 +1,139 @@
+"""Public-API surface tests.
+
+Pins three properties of the package boundary:
+
+* ``repro.__all__`` is complete and accurate — every public (non-module)
+  symbol importable from ``repro`` appears in it and vice versa;
+* the package ships a PEP 561 ``py.typed`` marker;
+* the deprecated free functions (``evaluate_with_confidence``,
+  ``run_conf_query``, ``top_k_answers``) emit ``DeprecationWarning`` and
+  return results identical to the :class:`repro.ProbDB` session path.
+"""
+
+import inspect
+import pathlib
+import warnings
+
+import pytest
+
+import repro
+from repro import EngineConfig, ProbDB
+from repro.core.variables import VariableRegistry
+from repro.db.cq import ConjunctiveQuery, SubGoal, Var
+from repro.db.database import Database
+from repro.db.engine import evaluate_to_dnf, evaluate_with_confidence
+from repro.db.relation import Relation
+from repro.db.sql import run_conf_query
+from repro.db.topk import top_k_answers
+
+
+class TestAllCompleteness:
+    def test_every_public_symbol_is_in_all(self):
+        public = {
+            name
+            for name in dir(repro)
+            if not name.startswith("_")
+            and not inspect.ismodule(getattr(repro, name))
+        }
+        missing = public - set(repro.__all__)
+        assert not missing, f"public symbols missing from __all__: {missing}"
+
+    def test_every_all_entry_exists(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"__all__ names missing {name!r}"
+
+    def test_facade_symbols_exported(self):
+        for name in ("ProbDB", "QueryResult", "BoundsSnapshot",
+                     "EngineConfig", "BatchComputation", "RankedAnswer"):
+            assert name in repro.__all__
+
+    def test_db_package_exports_facade(self):
+        import repro.db as db
+
+        for name in ("ProbDB", "QueryResult", "BoundsSnapshot",
+                     "rank_answers"):
+            assert name in db.__all__
+            assert hasattr(db, name)
+
+    def test_py_typed_marker_ships_with_package(self):
+        package_dir = pathlib.Path(repro.__file__).parent
+        assert (package_dir / "py.typed").exists()
+
+
+@pytest.fixture
+def small_db():
+    reg = VariableRegistry()
+    db = Database(reg)
+    db.add(
+        Relation.tuple_independent(
+            "PR", ["x"],
+            [((x,), 0.3 + 0.1 * i) for i, x in enumerate("abc")], reg
+        )
+    )
+    db.add(
+        Relation.tuple_independent(
+            "PS", ["x", "y"],
+            [((x, y), 0.4) for x in "abc" for y in "de"], reg
+        )
+    )
+    return db
+
+
+def _query():
+    x, y = Var("X"), Var("Y")
+    return ConjunctiveQuery(
+        [x],
+        [SubGoal("PR", [x]), SubGoal("PS", [x, y])],
+        [],
+        name="shim-identity",
+    )
+
+
+class TestDeprecationShims:
+    """Shims warn, and agree with the session path exactly."""
+
+    def test_evaluate_with_confidence_warns_and_matches(self, small_db):
+        with pytest.warns(DeprecationWarning, match="ProbDB"):
+            old = evaluate_with_confidence(_query(), small_db)
+        new = ProbDB(small_db).query(_query()).confidences()
+        assert [(v, r.probability, r.strategy) for v, r in old] == [
+            (v, r.probability, r.strategy) for v, r in new
+        ]
+
+    def test_run_conf_query_warns_and_matches(self, small_db):
+        sql = "select PR.x, conf() from PR, PS where PR.x = PS.x"
+        with pytest.warns(DeprecationWarning, match="ProbDB"):
+            old = run_conf_query(sql, small_db)
+        new = [
+            (values, result.probability)
+            for values, result in ProbDB(small_db).sql(sql).confidences()
+        ]
+        assert old == new
+
+    def test_run_conf_query_without_conf_matches_answers(self, small_db):
+        sql = "select PR.x from PR, PS where PR.x = PS.x"
+        with pytest.warns(DeprecationWarning):
+            old = run_conf_query(sql, small_db)
+        assert old == [
+            (values, None)
+            for values in ProbDB(small_db).sql(sql).answers()
+        ]
+
+    def test_top_k_answers_warns_and_matches(self, small_db):
+        answers = evaluate_to_dnf(_query(), small_db)
+        with pytest.warns(DeprecationWarning, match="top_k"):
+            old = top_k_answers(answers, small_db.registry, 2)
+        new = ProbDB(small_db).lineage(answers).top_k(2)
+        assert [(r.values, r.lower, r.upper) for r in old] == [
+            (r.values, r.lower, r.upper) for r in new
+        ]
+
+    def test_session_path_is_warning_free(self, small_db):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            session = ProbDB(small_db, EngineConfig(epsilon=0.0))
+            result = session.query(_query())
+            result.answers()
+            result.confidences()
+            result.top_k(1)
+            session.explain(_query())

@@ -1,6 +1,13 @@
-"""Tests for the SQL conf() front-end."""
+"""Tests for the SQL conf() front-end.
+
+Exercises the deprecated ``run_conf_query`` free-function shim on
+purpose (the session path is covered by ``tests/test_session.py``), so
+DeprecationWarnings are expected here even under ``-W error``.
+"""
 
 import pytest
+
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
 
 from repro.core.semantics import brute_force_formula_probability
 from repro.core.variables import VariableRegistry

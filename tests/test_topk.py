@@ -1,8 +1,15 @@
-"""Tests for bounds-based top-k answer ranking."""
+"""Tests for bounds-based top-k answer ranking.
+
+Exercises the deprecated ``top_k_answers`` free-function shim on purpose
+(the session path is covered by ``tests/test_session.py``), so
+DeprecationWarnings are expected here even under ``-W error``.
+"""
 
 import random
 
 import pytest
+
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
 
 from repro.core.dnf import DNF
 from repro.core.events import Clause
