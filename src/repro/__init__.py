@@ -18,6 +18,11 @@ The library provides:
   anytime ``compute_many()`` that round-robins refinement across answer
   sets, and the frozen :class:`EngineConfig` policy bundle every path
   honours;
+* :mod:`repro.engine_parallel` — the sharded execution layer:
+  :class:`ShardedBatchComputation` fans batched computation out across
+  a process/thread pool (``EngineConfig(workers=…)``), one engine and
+  decomposition cache per worker, work-stealing refinement, and a
+  deterministic merge;
 * :mod:`repro.db` — a probabilistic database substrate topped by the
   :class:`ProbDB` session façade: ``ProbDB(database).sql(...)`` /
   ``.query(...)`` return lazy :class:`QueryResult` objects exposing
@@ -64,10 +69,11 @@ from .engine import (
     EngineResult,
     STRATEGY_LADDER,
 )
+from .engine_parallel import ShardedBatchComputation
 from .db.session import BoundsSnapshot, ProbDB, QueryResult
 from .db.topk import RankedAnswer
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "ABSOLUTE",
@@ -86,6 +92,7 @@ __all__ = [
     "QueryResult",
     "RankedAnswer",
     "STRATEGY_LADDER",
+    "ShardedBatchComputation",
     "VariableRegistry",
     "approximate_probability",
     "brute_force_probability",

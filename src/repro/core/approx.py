@@ -41,9 +41,9 @@ onto the new frame (its bounds are scaled on the way up).
 
 from __future__ import annotations
 
-import time
 from typing import List, Optional, Tuple
 
+from . import clock
 from .bounds import independent_bounds
 from .decompositions import (
     independent_and_factorization,
@@ -460,7 +460,7 @@ def approximate_probability(
     if error_kind not in (ABSOLUTE, RELATIVE):
         raise ValueError(f"unknown error kind {error_kind!r}")
 
-    started = time.monotonic()
+    started = clock.monotonic()
     histogram = {"independent-or": 0, "independent-and": 0,
                  "exclusive-or": 0}
     steps = 0
@@ -497,7 +497,7 @@ def approximate_probability(
             leaves_exact=exact_leaves,
             max_depth=max_depth,
             node_histogram=dict(histogram),
-            elapsed_seconds=time.monotonic() - started,
+            elapsed_seconds=clock.monotonic() - started,
         )
 
     # Degenerate inputs.
@@ -582,7 +582,7 @@ def approximate_probability(
             return True
         if (
             deadline_seconds is not None
-            and time.monotonic() - started > deadline_seconds
+            and clock.monotonic() - started > deadline_seconds
         ):
             return True
         return False

@@ -1,0 +1,39 @@
+"""Monotonic-clock indirection for deadline budgets.
+
+Every deadline check in the library (the anytime approximation loop, the
+batched refinement drivers, the parallel execution layer) reads time
+through :func:`monotonic` instead of calling :func:`time.monotonic`
+directly.  Production behaviour is identical — the default source *is*
+``time.monotonic`` — but tests can swap in a fake clock and exercise
+"deadline expires mid-run" paths deterministically, without sleeping and
+without flaking under CI load (see the ``fake_clock`` fixture in
+``tests/conftest.py``).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+__all__ = ["monotonic", "set_source", "reset_source"]
+
+#: The active time source.  Swapped wholesale by :func:`set_source`;
+#: reads always go through :func:`monotonic` so callers see the swap.
+_source: Callable[[], float] = time.monotonic
+
+
+def monotonic() -> float:
+    """Seconds from the active monotonic source (default: wall clock)."""
+    return _source()
+
+
+def set_source(source: Callable[[], float]) -> None:
+    """Replace the time source (tests only; pair with :func:`reset_source`)."""
+    global _source
+    _source = source
+
+
+def reset_source() -> None:
+    """Restore the real ``time.monotonic`` source."""
+    global _source
+    _source = time.monotonic

@@ -65,6 +65,14 @@ class DNF:
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("DNF is immutable")
 
+    def __reduce__(self):
+        # Clauses pickle self-contained by (variable, value) pairs (see
+        # :meth:`repro.core.events.Clause.__reduce__`), so a pickled DNF
+        # is valid in any process.  ``sorted_clauses`` keeps the payload
+        # deterministic.  The parallel executor bypasses this with its
+        # interned-id task codec (cheap, snapshot-synchronised pools).
+        return (DNF, (tuple(self.sorted_clauses()),))
+
     # ------------------------------------------------------------------
     # Constructors
     # ------------------------------------------------------------------

@@ -67,6 +67,12 @@ class Atom:
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("Atom is immutable")
 
+    def __reduce__(self):
+        # Self-contained pickling: re-intern by (variable, value) on load,
+        # so an unpickled atom is valid in any process (ids are assigned
+        # by the receiving process's own tables).
+        return (Atom, (self.variable, self.value))
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Atom):
             return NotImplemented
@@ -166,6 +172,32 @@ class Clause:
 
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("Clause is immutable")
+
+    @classmethod
+    def _from_atom_ids(cls, atom_ids: Tuple[int, ...]) -> "Clause":
+        """Rebuild a clause from bare interned atom ids.
+
+        Valid only when the receiving process shares the sender's intern
+        tables — the same process, a forked child, or a worker that ran
+        :func:`~repro.core.variables.install_intern_snapshot` (the
+        parallel executor's pool initializer does, and its task codec is
+        the only caller).  Deliberately *not* the pickle encoding: bare
+        ids in an unsynchronised process would silently rebind to
+        unrelated atoms.
+        """
+        byvar: Dict[int, Tuple[int, Hashable]] = {}
+        for atom_id in atom_ids:
+            var_id, _name, value = atom_entry(atom_id)
+            byvar[var_id] = (atom_id, value)
+        return cls._from_byvar(byvar)
+
+    def __reduce__(self):
+        # Self-contained pickling by (variable, value) pairs: safe in
+        # any process (re-interned on load), like Atom.  The parallel
+        # execution layer ships clauses as cheap interned-id tuples
+        # instead, through its own codec over snapshot-synchronised
+        # pools (see repro.engine_parallel).
+        return (Clause, (dict(self.items()),))
 
     # ------------------------------------------------------------------
     # Convenience constructors

@@ -28,7 +28,7 @@ to the working set without LRU bookkeeping on the hot path.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from .dnf import DNF
 
@@ -110,3 +110,21 @@ class DecompositionCache:
     def stats(self) -> Dict[str, int]:
         return {"hits": self.hits, "misses": self.misses,
                 "entries": len(self)}
+
+    @staticmethod
+    def merge_stats(
+        stats: Iterable[Mapping[str, int]]
+    ) -> Dict[str, int]:
+        """Aggregate per-cache :meth:`stats` dicts (one per shard/worker).
+
+        The sharded execution layer runs one cache per worker; this is
+        the fleet-wide view it reports — counters summed, plus how many
+        caches contributed.
+        """
+        merged = {"hits": 0, "misses": 0, "entries": 0, "caches": 0}
+        for entry in stats:
+            merged["hits"] += entry.get("hits", 0)
+            merged["misses"] += entry.get("misses", 0)
+            merged["entries"] += entry.get("entries", 0)
+            merged["caches"] += 1
+        return merged

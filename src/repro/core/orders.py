@@ -28,6 +28,7 @@ from .variables import variable_name, variable_repr
 
 __all__ = [
     "VariableSelector",
+    "CompositeSelector",
     "max_frequency_choice",
     "iq_variable_choice",
     "make_variable_selector",
@@ -145,6 +146,50 @@ def iq_variable_choice(
     return None
 
 
+class CompositeSelector:
+    """The paper's composite pivot strategy as a picklable callable.
+
+    Tries the Lemma 6.8 IQ order (using ``variable → relation``
+    provenance) and falls back to max frequency — the Section IV
+    strategy.  Being a plain class rather than a closure, it survives
+    :mod:`pickle`, so a database-wired :class:`~repro.engine.EngineConfig`
+    can be shipped to process-pool workers intact.  The per-instance
+    relation cache is transient (rebuilt lazily after unpickling).
+    """
+
+    __slots__ = ("relation_of", "max_iq_candidates", "_relation_cache")
+
+    def __init__(
+        self,
+        relation_of: Mapping[Hashable, Hashable],
+        max_iq_candidates: Optional[int] = 25,
+    ) -> None:
+        self.relation_of = dict(relation_of)
+        self.max_iq_candidates = max_iq_candidates
+        self._relation_cache: Dict[int, Hashable] = {}
+
+    def __call__(self, dnf: DNF) -> Hashable:
+        choice = iq_variable_choice(
+            dnf,
+            self.relation_of,
+            max_candidates=self.max_iq_candidates,
+            _relation_cache=self._relation_cache,
+        )
+        if choice is not None:
+            return choice
+        return max_frequency_choice(dnf)
+
+    def __reduce__(self):
+        return (CompositeSelector, (self.relation_of,
+                                    self.max_iq_candidates))
+
+    def __repr__(self) -> str:
+        return (
+            f"CompositeSelector({len(self.relation_of)} variables, "
+            f"max_iq_candidates={self.max_iq_candidates})"
+        )
+
+
 def make_variable_selector(
     relation_of: Optional[Mapping[Hashable, Hashable]] = None,
     *,
@@ -153,23 +198,10 @@ def make_variable_selector(
     """Build the paper's composite pivot strategy.
 
     With provenance (``relation_of``), the IQ order is attempted first and
-    max-frequency is the fallback; without provenance the selector is plain
+    max-frequency is the fallback (a picklable
+    :class:`CompositeSelector`); without provenance the selector is plain
     max-frequency.
     """
     if relation_of is None:
         return max_frequency_choice
-
-    relation_cache: Dict[int, Hashable] = {}
-
-    def selector(dnf: DNF) -> Hashable:
-        choice = iq_variable_choice(
-            dnf,
-            relation_of,
-            max_candidates=max_iq_candidates,
-            _relation_cache=relation_cache,
-        )
-        if choice is not None:
-            return choice
-        return max_frequency_choice(dnf)
-
-    return selector
+    return CompositeSelector(relation_of, max_iq_candidates)

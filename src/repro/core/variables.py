@@ -46,6 +46,8 @@ __all__ = [
     "BOOLEAN_DOMAIN",
     "intern_variable",
     "intern_atom",
+    "intern_snapshot",
+    "install_intern_snapshot",
     "lookup_variable",
     "lookup_atom",
     "variable_name",
@@ -116,6 +118,53 @@ def intern_atom(name: Hashable, value: Hashable) -> Tuple[int, int]:
             _ATOM_ENTRIES.append((var_id, name, value))
             _ATOM_IDS[key] = atom_id  # publish after the slot exists
     return atom_id, var_id
+
+
+#: One intern-table snapshot: ``(variable names, atom entries)`` in id
+#: order.  Picklable as long as the interned names/values are.
+InternSnapshot = Tuple[
+    Tuple[Hashable, ...], Tuple[Tuple[int, Hashable, Hashable], ...]
+]
+
+
+def intern_snapshot() -> InternSnapshot:
+    """A picklable snapshot of the process-wide intern tables.
+
+    Ship this once per worker process (the parallel execution layer does
+    so in its pool initializer) and replay it with
+    :func:`install_intern_snapshot`; afterwards the worker assigns the
+    exact same dense ids as the snapshotting process, so clauses and DNFs
+    can cross the process boundary as bare integer-id tuples.
+    """
+    with _INTERN_LOCK:
+        return tuple(_VARIABLE_NAMES), tuple(_ATOM_ENTRIES)
+
+
+def install_intern_snapshot(snapshot: InternSnapshot) -> None:
+    """Replay a snapshot so this process assigns identical interned ids.
+
+    Idempotent: entries already interned (e.g. in a forked child, which
+    inherits the parent's tables) are verified rather than re-added.
+    Raises :class:`RuntimeError` if this process has already interned
+    conflicting entries — ids are append-only, so a diverged process can
+    never be reconciled and must not exchange id-encoded formulas.
+    """
+    names, entries = snapshot
+    for expected_id, name in enumerate(names):
+        var_id = intern_variable(name)
+        if var_id != expected_id:
+            raise RuntimeError(
+                f"intern table diverged: variable {name!r} has id "
+                f"{var_id}, snapshot expects {expected_id}"
+            )
+    for expected_id, (var_id, name, value) in enumerate(entries):
+        atom_id, got_var_id = intern_atom(name, value)
+        if atom_id != expected_id or got_var_id != var_id:
+            raise RuntimeError(
+                f"intern table diverged: atom ({name!r}, {value!r}) has "
+                f"id {atom_id}/var {got_var_id}, snapshot expects "
+                f"{expected_id}/var {var_id}"
+            )
 
 
 def lookup_variable(name: Hashable) -> Optional[int]:

@@ -214,6 +214,8 @@ class QueryResult:
         max_steps: Optional[int] = None,
         deadline_seconds: Optional[float] = None,
         max_total_steps: Optional[int] = None,
+        workers: Optional[int] = None,
+        executor_kind: Optional[str] = None,
     ) -> List[Tuple[AnswerValues, EngineResult]]:
         """Per-answer confidences as one batched anytime computation.
 
@@ -222,13 +224,14 @@ class QueryResult:
         :meth:`~repro.engine.ConfidenceEngine.compute_many`, which shares
         the session's decomposition cache (and any shared step/time
         budget) across the whole answer set instead of issuing N cold
-        calls.  Defaults come from the session's
-        :class:`~repro.engine.EngineConfig`; results are memoised per
-        request.
+        calls — or shards the batch across a worker pool when
+        ``workers > 1`` (argument or session config).  Defaults come
+        from the session's :class:`~repro.engine.EngineConfig`; results
+        are memoised per request.
         """
         key = (
             epsilon, error_kind, max_steps, deadline_seconds,
-            max_total_steps,
+            max_total_steps, workers, executor_kind,
         )
         cached = self._confidences.get(key)
         if cached is not None:
@@ -252,6 +255,8 @@ class QueryResult:
                 max_steps=max_steps,
                 deadline_seconds=deadline_seconds,
                 max_total_steps=max_total_steps,
+                workers=workers,
+                executor_kind=executor_kind,
             )
         else:
             lineage = self.lineage()
@@ -262,6 +267,8 @@ class QueryResult:
                 max_steps=max_steps,
                 deadline_seconds=deadline_seconds,
                 max_total_steps=max_total_steps,
+                workers=workers,
+                executor_kind=executor_kind,
             )
             pairs = [
                 (values, result)
@@ -279,13 +286,17 @@ class QueryResult:
         step_growth: Optional[int] = None,
         max_total_steps: Optional[int] = None,
         deadline_seconds: Optional[float] = None,
+        workers: Optional[int] = None,
+        executor_kind: Optional[str] = None,
     ) -> Iterator[BoundsSnapshot]:
         """Anytime iterator of certified interval snapshots.
 
         Yields a :class:`BoundsSnapshot` after the initial bounding pass
         and after every refinement step; each refinement targets the
         widest unconverged answer (the batch machinery of
-        :meth:`~repro.engine.ConfidenceEngine.refine_many`).  Every
+        :meth:`~repro.engine.ConfidenceEngine.refine_many` — sharded
+        across a worker pool when ``workers > 1``, in which case each
+        step refines the widest answer per shard).  Every
         snapshot's intervals are sound, so the caller may stop consuming
         at any point; left alone, the iterator stops once the requested
         guarantee is certified for every answer or the step/time budget
@@ -300,6 +311,8 @@ class QueryResult:
             initial_steps=initial_steps,
             step_growth=step_growth,
             deadline_seconds=deadline_seconds,
+            workers=workers,
+            executor_kind=executor_kind,
         )
         if max_total_steps is None:
             max_total_steps = self.engine.config.max_total_steps
@@ -314,18 +327,25 @@ class QueryResult:
                 batch.total_steps,
             )
 
-        yield snapshot()
-        while not batch.converged():
-            if (
-                max_total_steps is not None
-                and batch.total_steps >= max_total_steps
-            ):
-                break
-            if batch.out_of_time():
-                break
-            if batch.step() is None:
-                break
+        try:
             yield snapshot()
+            while not batch.converged():
+                if (
+                    max_total_steps is not None
+                    and batch.total_steps >= max_total_steps
+                ):
+                    break
+                if batch.out_of_time():
+                    break
+                if batch.step() is None:
+                    break
+                yield snapshot()
+        finally:
+            # Sharded batches own a worker pool; tear it down when the
+            # iterator finishes or is abandoned, not at GC time.
+            close = getattr(batch, "close", None)
+            if close is not None:
+                close()
 
     def top_k(
         self,
@@ -335,6 +355,8 @@ class QueryResult:
         initial_steps: Optional[int] = None,
         step_growth: Optional[int] = None,
         max_total_steps: Optional[int] = None,
+        workers: Optional[int] = None,
+        executor_kind: Optional[str] = None,
     ) -> List[RankedAnswer]:
         """The k most probable answers, certified by interval pruning."""
         return rank_answers(
@@ -345,6 +367,8 @@ class QueryResult:
             step_growth=step_growth,
             max_total_steps=max_total_steps,
             separation=separation,
+            workers=workers,
+            executor_kind=executor_kind,
         )
 
     def explain(self) -> QueryExplanation:

@@ -72,6 +72,8 @@ def rank_answers(
     step_growth: Optional[int] = None,
     max_total_steps: Optional[int] = None,
     separation: float = 0.0,
+    workers: Optional[int] = None,
+    executor_kind: Optional[str] = None,
 ) -> List[RankedAnswer]:
     """The k most probable answers, certified by interval separation.
 
@@ -96,6 +98,11 @@ def rank_answers(
     separation:
         Required gap between the k-th lower bound and the (k+1)-th upper
         bound; zero certifies a weak ordering (ties broken by midpoint).
+    workers / executor_kind:
+        Parallel execution knobs (engine-config defaults when omitted):
+        with ``workers > 1`` refinement runs on a sharded worker pool
+        (:mod:`repro.engine_parallel`), each ranking round refining the
+        widest boundary-straddling intervals concurrently.
 
     Returns
     -------
@@ -117,7 +124,20 @@ def rank_answers(
         epsilon=0.0,
         initial_steps=initial_steps,
         step_growth=step_growth,
+        workers=workers,
+        executor_kind=executor_kind,
     )
+    try:
+        return _rank_batch(batch, answers, k, max_total_steps, separation)
+    finally:
+        # Sharded batches own a worker pool; shut it down
+        # deterministically rather than waiting for the GC finalizer.
+        close = getattr(batch, "close", None)
+        if close is not None:
+            close()
+
+
+def _rank_batch(batch, answers, k, max_total_steps, separation):
     values = [answer_values for answer_values, _dnf in answers]
     results = batch.results
 
@@ -147,7 +167,10 @@ def rank_answers(
             break
 
         # Refine the widest interval among the answers straddling the
-        # boundary (both sides can be at fault).
+        # boundary (both sides can be at fault).  ``step(boundary)``
+        # refines exactly the widest one on a serial batch and the
+        # widest-per-shard on a sharded batch — same prioritized
+        # schedule either way.
         boundary = [
             index
             for index in order
@@ -161,9 +184,8 @@ def rank_answers(
             or batch.out_of_time()
         ):
             break  # fully converged ties or out of budget: best effort
-        batch.refine(
-            max(boundary, key=lambda index: results[index].width())
-        )
+        if batch.step(boundary) is None:
+            break  # nothing refinable (budget headroom exhausted)
 
     order.sort(key=sort_key)
     return [ranked(index) for index in order[:k]]

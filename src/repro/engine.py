@@ -59,8 +59,10 @@ instantly instead of being recompiled.
 from __future__ import annotations
 
 import dataclasses
-import time
+import hashlib
+import pickle
 from typing import (
+    TYPE_CHECKING,
     Dict,
     Hashable,
     Iterable,
@@ -71,6 +73,10 @@ from typing import (
     Union,
 )
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine_parallel import ShardedBatchComputation
+
+from .core import clock
 from .core.approx import (
     ABSOLUTE,
     RELATIVE,
@@ -143,6 +149,21 @@ class EngineConfig:
         Shared step budget across a whole :meth:`ConfidenceEngine.compute_many`
         batch.  ``None`` (the default) means every tuple runs to its own
         guarantee; top-k defaults to 200 000 when unset.
+    workers, executor_kind:
+        Parallel execution policy for batched computation.  ``workers=1``
+        (the default) keeps every path single-threaded; ``workers>1``
+        shards :meth:`ConfidenceEngine.compute_many` /
+        :meth:`ConfidenceEngine.refine_many` batches across a pool of
+        ``"process"`` or ``"thread"`` workers, each with its own engine
+        and decomposition cache (see :mod:`repro.engine_parallel`).
+        Processes escape the GIL and are the right default for CPU-bound
+        d-tree work; threads are cheaper to spin up and share one intern
+        table, useful for small batches and differential testing.
+    rng_seed:
+        Seed for the Monte-Carlo fallback rung.  ``None`` keeps sampling
+        nondeterministic; an integer makes every MC estimate a pure
+        function of ``(rng_seed, lineage)`` — stable across runs, tuple
+        order, and shard assignment.
     """
 
     epsilon: float = 0.0
@@ -159,6 +180,9 @@ class EngineConfig:
     initial_steps: int = 4
     step_growth: int = 2
     max_total_steps: Optional[int] = None
+    workers: int = 1
+    executor_kind: str = "process"
+    rng_seed: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not (0.0 <= self.epsilon < 1.0):
@@ -183,6 +207,15 @@ class EngineConfig:
             value = getattr(self, name)
             if value is not None and value < 0:
                 raise ValueError(f"{name} must be >= 0, got {value}")
+        if self.workers < 1:
+            raise ValueError(
+                f"workers must be >= 1, got {self.workers}"
+            )
+        if self.executor_kind not in ("process", "thread"):
+            raise ValueError(
+                "executor_kind must be 'process' or 'thread', got "
+                f"{self.executor_kind!r}"
+            )
 
     def replace(self, **changes: object) -> "EngineConfig":
         """A copy with ``changes`` applied (and re-validated)."""
@@ -206,6 +239,44 @@ class EngineConfig:
                 or repr(selector)
             )
         return description
+
+
+def _atom_fingerprint(variable: Hashable, value: Hashable) -> bytes:
+    """Run-stable bytes identifying one atomic event.
+
+    Pickle first (deterministic for the common name types — strings,
+    ints, tuples — and free of memory addresses even for plain objects,
+    unlike default ``repr``); fall back to ``repr`` for unpicklable
+    names, which at least covers anything with a custom stable repr.
+    ``hash()`` is never used: string hashing varies with
+    ``PYTHONHASHSEED``.
+    """
+    try:
+        return pickle.dumps((variable, value), protocol=4)
+    except Exception:
+        return repr((variable, value)).encode("utf-8", "backslashreplace")
+
+
+def _lineage_seed(base: int, dnf: DNF) -> int:
+    """A per-lineage MC seed stable across runs and processes.
+
+    Derived by hashing the *canonical structure* of the DNF — sorted
+    atom fingerprints per clause, clauses sorted — through blake2b,
+    never interned ids (which depend on interning order within a run).
+    """
+    clauses = sorted(
+        b"\x00".join(
+            sorted(
+                _atom_fingerprint(variable, value)
+                for variable, value in clause.items()
+            )
+        )
+        for clause in dnf
+    )
+    digest = hashlib.blake2b(
+        b"\x01".join(clauses), digest_size=8
+    ).digest()
+    return (base ^ int.from_bytes(digest, "big")) & 0x7FFFFFFFFFFFFFFF
 
 
 class EngineResult:
@@ -294,6 +365,30 @@ class EngineResult:
         )
 
 
+def _merge_refined(
+    previous: "EngineResult", result: "EngineResult"
+) -> "EngineResult":
+    """Monotone merge of a re-run into the previous certified interval.
+
+    Certified intervals never regress: a re-run cut short (e.g. by an
+    expired deadline) may report wider bounds than the previous round
+    already proved; keep the intersection, which is sound because both
+    intervals contain the true probability.  Shared by the serial
+    (:meth:`BatchComputation.refine`) and sharded
+    (:mod:`repro.engine_parallel`) refinement paths — the bit-identity
+    contract between them depends on this being one piece of code.
+    """
+    if previous.lower > result.lower:
+        result.lower = previous.lower
+    if previous.upper < result.upper:
+        result.upper = previous.upper
+    if result.probability < result.lower:
+        result.probability = result.lower
+    elif result.probability > result.upper:
+        result.probability = result.upper
+    return result
+
+
 class BatchComputation:
     """Anytime round-robin refinement of many lineages on one engine.
 
@@ -355,7 +450,7 @@ class BatchComputation:
             if deadline_seconds is None
             else deadline_seconds
         )
-        self._started = time.monotonic()
+        self._started = clock.monotonic()
         self.dnfs: List[DNF] = [
             lineage.to_dnf() if isinstance(lineage, Formula) else lineage
             for lineage in lineages
@@ -379,7 +474,7 @@ class BatchComputation:
         """Time left on the whole-batch deadline (``None`` = unbounded)."""
         if self.deadline_seconds is None:
             return None
-        return self.deadline_seconds - (time.monotonic() - self._started)
+        return self.deadline_seconds - (clock.monotonic() - self._started)
 
     def out_of_time(self) -> bool:
         remaining = self.remaining_seconds()
@@ -437,19 +532,7 @@ class BatchComputation:
             self.budgets[index] * self.step_growth
         )
         previous = self.results[index]
-        result = self._compute(index)
-        # Certified intervals never regress: a re-run cut short (e.g. by
-        # an expired deadline) may report wider bounds than the previous
-        # round already proved; keep the intersection, which is sound
-        # because both intervals contain the true probability.
-        if previous.lower > result.lower:
-            result.lower = previous.lower
-        if previous.upper < result.upper:
-            result.upper = previous.upper
-        if result.probability < result.lower:
-            result.probability = result.lower
-        elif result.probability > result.upper:
-            result.probability = result.upper
+        result = _merge_refined(previous, self._compute(index))
         self.results[index] = result
         self.total_steps += result.steps - previous.steps
         return result
@@ -581,7 +664,7 @@ class ConfidenceEngine:
         via ``to_dnf``).  Per-call overrides fall back to the engine's
         :class:`EngineConfig`.
         """
-        started = time.monotonic()
+        started = clock.monotonic()
         config = self.config
         if isinstance(lineage, Formula):
             dnf = lineage.to_dnf()
@@ -606,7 +689,7 @@ class ConfidenceEngine:
         )
 
         def finish(result: EngineResult) -> EngineResult:
-            result.elapsed_seconds = time.monotonic() - started
+            result.elapsed_seconds = clock.monotonic() - started
             return result
 
         # Rung 1: constants.
@@ -677,7 +760,7 @@ class ConfidenceEngine:
         remaining = (
             None
             if deadline_seconds is None
-            else deadline_seconds - (time.monotonic() - started)
+            else deadline_seconds - (clock.monotonic() - started)
         )
         mc_result = self._run_mc(dnf, epsilon, remaining)
         if mc_result is None:
@@ -720,13 +803,37 @@ class ConfidenceEngine:
         step_growth: Optional[int] = None,
         max_steps: Optional[int] = None,
         deadline_seconds: Optional[float] = None,
-    ) -> BatchComputation:
+        workers: Optional[int] = None,
+        executor_kind: Optional[str] = None,
+    ) -> "Union[BatchComputation, ShardedBatchComputation]":
         """An anytime :class:`BatchComputation` over ``lineages``.
 
         The caller drives refinement (``step()``/``refine()``) under its
         own stopping rule; :meth:`compute_many` is the run-to-guarantee
         driver, top-k and ``QueryResult.bounds()`` are the other two.
+
+        With ``workers > 1`` (argument or engine config) the returned
+        batch is a :class:`~repro.engine_parallel.ShardedBatchComputation`
+        — the same interface, refinement fanned out across a worker pool.
         """
+        lineages = list(lineages)
+        if workers is None:
+            workers = self.config.workers
+        if workers > 1 and len(lineages) > 1:
+            from .engine_parallel import ShardedBatchComputation
+
+            return ShardedBatchComputation(
+                self,
+                lineages,
+                workers=workers,
+                executor_kind=executor_kind,
+                epsilon=epsilon,
+                error_kind=error_kind,
+                initial_steps=initial_steps,
+                step_growth=step_growth,
+                max_steps=max_steps,
+                deadline_seconds=deadline_seconds,
+            )
         return BatchComputation(
             self,
             lineages,
@@ -749,6 +856,8 @@ class ConfidenceEngine:
         initial_steps: Optional[int] = None,
         step_growth: Optional[int] = None,
         max_total_steps: Optional[int] = None,
+        workers: Optional[int] = None,
+        executor_kind: Optional[str] = None,
     ) -> List[EngineResult]:
         """Confidences for a batch of lineages on one shared cache.
 
@@ -767,6 +876,13 @@ class ConfidenceEngine:
 
         ``deadline_seconds`` bounds the *whole batch*, unlike
         :meth:`compute`'s per-call deadline.
+
+        With ``workers > 1`` (argument or engine config) the batch is
+        sharded across a worker pool (:mod:`repro.engine_parallel`): each
+        worker runs its shard on its own engine and cache, refinement
+        rebalances the widest intervals across shards between rounds,
+        and the merged results are exactly as sound as the serial path's
+        (bit-identical for exact strategies).
         """
         config = self.config
         lineages = list(lineages)
@@ -779,14 +895,38 @@ class ConfidenceEngine:
             if deadline_seconds is None
             else deadline_seconds
         )
+        if workers is None:
+            workers = config.workers
+        if workers > 1 and len(lineages) > 1:
+            from .engine_parallel import ShardedBatchComputation
+
+            batch = ShardedBatchComputation(
+                self,
+                lineages,
+                workers=workers,
+                executor_kind=executor_kind,
+                epsilon=epsilon,
+                error_kind=error_kind,
+                initial_steps=initial_steps,
+                step_growth=step_growth,
+                max_steps=max_steps,
+                deadline_seconds=deadline,
+                run_to_guarantee=max_total_steps is None,
+            )
+            try:
+                batch.run(max_total_steps=max_total_steps)
+                self._finalize_batch(batch)
+                return list(batch.results)
+            finally:
+                batch.close()
         if max_total_steps is None:
-            started = time.monotonic()
+            started = clock.monotonic()
             results = []
             for lineage in lineages:
                 remaining = (
                     None
                     if deadline is None
-                    else max(deadline - (time.monotonic() - started), 0.0)
+                    else max(deadline - (clock.monotonic() - started), 0.0)
                 )
                 results.append(
                     self.compute(
@@ -818,8 +958,14 @@ class ConfidenceEngine:
         self._finalize_batch(batch)
         return list(batch.results)
 
-    def _finalize_batch(self, batch: BatchComputation) -> None:
-        """Apply the MC rung to tuples whose batch budget ran out."""
+    def _finalize_batch(self, batch) -> None:
+        """Apply the MC rung to tuples whose batch budget ran out.
+
+        ``batch`` is a :class:`BatchComputation` or any object with its
+        interface (the sharded batches of :mod:`repro.engine_parallel`
+        qualify); MC always runs here, on the coordinating engine, so a
+        seeded run is deterministic regardless of shard assignment.
+        """
         if not self._mc_applicable(
             batch.epsilon, batch.error_kind, self.config.mc_fallback
         ):
@@ -870,10 +1016,17 @@ class ConfidenceEngine:
             from .mc.aconf import aconf
         except ImportError:  # pragma: no cover - mc is part of the tree
             return None
+        seed = self.config.rng_seed
+        if seed is not None:
+            # Derive a per-lineage seed so the estimate is a pure
+            # function of (rng_seed, lineage): identical across runs,
+            # tuple orderings, and shard assignments.
+            seed = _lineage_seed(seed, dnf)
         outcome = aconf(
             dnf,
             self.registry,
             epsilon=epsilon,
+            seed=seed,
             max_samples=self.config.mc_max_samples,
         )
         return outcome.estimate, outcome.samples, outcome.capped
@@ -969,6 +1122,8 @@ class ConfidenceEngine:
         max_steps: Optional[int] = None,
         deadline_seconds: Optional[float] = None,
         max_total_steps: Optional[int] = None,
+        workers: Optional[int] = None,
+        executor_kind: Optional[str] = None,
     ) -> List[Tuple[Tuple[Hashable, ...], EngineResult]]:
         """Per-answer confidence for a conjunctive query.
 
@@ -1016,6 +1171,8 @@ class ConfidenceEngine:
             max_steps=max_steps,
             deadline_seconds=deadline_seconds,
             max_total_steps=max_total_steps,
+            workers=workers,
+            executor_kind=executor_kind,
         )
         return [
             (values, result)

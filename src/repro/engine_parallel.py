@@ -1,0 +1,602 @@
+"""Sharded parallel execution of batched confidence computation.
+
+The paper's anytime d-tree decomposition is embarrassingly parallel
+across answer tuples: each lineage DNF is an independent computation
+against a shared, read-only probability space.  This module is the
+execution layer that exploits it — :class:`ShardedBatchComputation`
+partitions a batch of interned lineages across a pool of workers, runs a
+full :class:`~repro.engine.ConfidenceEngine` (with its own
+:class:`~repro.core.memo.DecompositionCache`) in every worker, and
+merges the per-shard results deterministically.
+
+It is a drop-in sibling of :class:`~repro.engine.BatchComputation`: the
+same attributes and methods, so :meth:`ConfidenceEngine.compute_many`,
+top-k ranking, and the session façade's ``bounds()`` iterator drive it
+unchanged.  ``workers``/``executor_kind`` on
+:class:`~repro.engine.EngineConfig` (or the per-call overrides) select
+it; the default ``workers=1`` keeps every path serial.
+
+Executor kinds
+--------------
+``"process"``
+    A :class:`~concurrent.futures.ProcessPoolExecutor`.  Escapes the
+    GIL — the only way CPU-bound d-tree work actually scales — at the
+    cost of pool start-up and per-task pickling.  The pool initializer
+    ships three things **once per worker**, not per task: the
+    process-wide intern-table snapshot
+    (:func:`~repro.core.variables.intern_snapshot`), the registry, and
+    the engine config.  After the snapshot is installed, clauses and
+    DNFs cross the boundary as bare integer-id tuples (see
+    ``Clause.__reduce__``), which keeps task payloads tiny.
+``"thread"``
+    A :class:`~concurrent.futures.ThreadPoolExecutor` over per-shard
+    engines in the current process.  No pickling, no start-up cost, one
+    shared intern table — but GIL-bound, so it parallelises nothing
+    CPU-heavy.  It exists for cheap differential testing of the sharded
+    machinery and for workloads dominated by waiting (deadlines).
+
+Work-stealing refinement schedule
+---------------------------------
+Refinement proceeds in rounds.  Each round the coordinator collects the
+refinable tuples (unconverged, budget headroom left), orders them by
+certified interval width — widest, i.e. most ambiguous, first — and
+deals the top ``shards`` of them round-robin across the shards.  A tuple
+is *not* pinned to the shard that previously refined it: the widest
+intervals are rebalanced across the whole pool every round, so one shard
+stuck with all the hard tuples sheds them to idle siblings (at the price
+of re-warming a different worker's cache, which the decomposition memo
+makes cheap).  Within a shard, the dealt tuples are processed in that
+same width order.
+
+Determinism
+-----------
+Shard assignment, round scheduling, and merge order are pure functions
+of the input batch — no reliance on pool completion order.  Exact
+strategies (trivial / read-once / converged ``ε = 0`` d-tree) therefore
+return bit-identical probabilities to the serial path; anytime runs
+return certified bounds that are sound by the same argument as the
+serial path's (and are intersected monotonically across rounds).  The
+differential suite in ``tests/test_parallel_differential.py`` enforces
+both properties.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import weakref
+from concurrent.futures import (
+    Executor,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .core import clock
+from .core.dnf import DNF
+from .core.events import Clause
+from .core.formulas import Formula
+from .core.memo import DecompositionCache
+from .core.variables import (
+    InternSnapshot,
+    VariableRegistry,
+    install_intern_snapshot,
+    intern_snapshot,
+)
+from .engine import (
+    ConfidenceEngine,
+    EngineConfig,
+    EngineResult,
+    Lineage,
+    _merge_refined,
+)
+
+__all__ = ["ShardedBatchComputation"]
+
+#: ``(index, dnf, step budget)`` — one unit of shard work.  The process
+#: path ships the DNF through the interned-id codec below instead of
+#: the (safe but heavier) name-based pickle encoding.
+_WorkItem = Tuple[int, object, Optional[int]]
+
+#: A DNF as nested interned-id tuples — one tuple of small ints per
+#: clause.  Valid only between snapshot-synchronised processes.
+_EncodedDNF = Tuple[Tuple[int, ...], ...]
+
+
+def _encode_dnf(dnf: DNF) -> _EncodedDNF:
+    """Cheap wire form for pool tasks: bare atom-id tuples.
+
+    Public ``pickle`` of a DNF re-interns by variable/value names so it
+    is safe anywhere; this codec skips that for the pool's hot path,
+    which is sound because every pool worker replayed the coordinator's
+    intern snapshot in its initializer.
+    """
+    return tuple(clause.atom_ids for clause in dnf.sorted_clauses())
+
+
+def _decode_dnf(encoded: _EncodedDNF) -> DNF:
+    return DNF(Clause._from_atom_ids(ids) for ids in encoded)
+#: ``(per-item results, cache stats, worker key)`` — one task's report.
+_ShardReport = Tuple[List[Tuple[int, EngineResult]], Dict[str, int], object]
+
+# ----------------------------------------------------------------------
+# Worker-side execution
+# ----------------------------------------------------------------------
+#: The per-process engine built by :func:`_process_worker_init`.  One per
+#: pool worker, owning its own DecompositionCache for the pool's
+#: lifetime, so repeated refinement rounds resume instead of restarting.
+_WORKER_ENGINE: Optional[ConfidenceEngine] = None
+
+
+def _process_worker_init(
+    snapshot: InternSnapshot,
+    registry: VariableRegistry,
+    config: EngineConfig,
+) -> None:
+    """Process-pool initializer: runs once per worker process.
+
+    Installs the coordinator's intern-table snapshot (so id-encoded
+    clauses deserialise correctly and ids stay stable both ways) and
+    builds the worker's private engine + cache.
+    """
+    install_intern_snapshot(snapshot)
+    global _WORKER_ENGINE
+    _WORKER_ENGINE = ConfidenceEngine(registry, config)
+
+
+def _run_items(
+    engine: ConfidenceEngine,
+    items: Sequence[_WorkItem],
+    epsilon: float,
+    error_kind: str,
+    deadline_remaining: Optional[float],
+    worker_key: object,
+) -> _ShardReport:
+    """Compute every item of one shard task, in order, on one engine.
+
+    The MC rung is always disabled here: sampling fallback runs exactly
+    once, on the coordinator, after all refinement (so seeded runs don't
+    depend on shard assignment).
+    """
+    started = clock.monotonic()
+    out: List[Tuple[int, EngineResult]] = []
+    for index, dnf, budget in items:
+        remaining = (
+            None
+            if deadline_remaining is None
+            else max(
+                deadline_remaining - (clock.monotonic() - started), 0.0
+            )
+        )
+        result = engine.compute(
+            dnf,
+            epsilon=epsilon,
+            error_kind=error_kind,
+            max_steps=budget,
+            deadline_seconds=remaining,
+            mc_fallback=False,
+        )
+        out.append((index, result))
+    return out, engine.cache.stats(), worker_key
+
+
+def _process_run_items(
+    items: Sequence[_WorkItem],
+    epsilon: float,
+    error_kind: str,
+    deadline_remaining: Optional[float],
+) -> _ShardReport:
+    """Process-pool task body: decode the id-encoded DNFs and run them
+    on the per-process engine."""
+    engine = _WORKER_ENGINE
+    if engine is None:  # pragma: no cover - initializer always ran
+        raise RuntimeError("worker engine missing: initializer did not run")
+    decoded = [
+        (index, _decode_dnf(encoded), budget)
+        for index, encoded, budget in items
+    ]
+    return _run_items(
+        engine, decoded, epsilon, error_kind, deadline_remaining,
+        os.getpid(),
+    )
+
+
+def _worker_probe(encoded: _EncodedDNF):
+    """Decode an id-encoded DNF and report structure *and* ids.
+
+    Test hook for the pickle/snapshot property suite: a spawn-started
+    worker (fresh, empty intern tables until the initializer replayed
+    the snapshot) decodes bare atom ids and reports what it sees —
+    the parent asserts the ids mapped back to the very same variables
+    and values, and that re-interning them yields the same ids.
+    """
+    dnf = _decode_dnf(encoded)
+    return [
+        (
+            clause.atom_ids,
+            sorted(clause.items(), key=lambda item: repr(item)),
+        )
+        for clause in dnf.sorted_clauses()
+    ]
+
+
+# ----------------------------------------------------------------------
+# The coordinator
+# ----------------------------------------------------------------------
+class ShardedBatchComputation:
+    """Anytime batched refinement fanned out across a worker pool.
+
+    Drop-in interface twin of :class:`~repro.engine.BatchComputation`
+    (``results`` / ``budgets`` / ``total_steps`` / ``converged`` /
+    ``refinable`` / ``widest`` / ``refine`` / ``step`` …), so every
+    consumer of the serial batch drives a sharded one unchanged.
+
+    Parameters mirror :meth:`ConfidenceEngine.refine_many`, plus:
+
+    workers:
+        Pool size; shards = ``min(workers, len(batch))``.
+    executor_kind:
+        ``"process"`` or ``"thread"`` (engine-config default when
+        ``None``); see the module docstring for the trade-off.
+    run_to_guarantee:
+        When true, the initial pass gives every tuple its *full*
+        per-call budget (``max_steps``, possibly unbounded) instead of
+        ``initial_steps`` — the parallel analogue of the serial
+        unbudgeted ``compute_many`` path, one task per shard.
+
+    The pool is created lazily on first execution and torn down by
+    :meth:`close` (also a context manager, and a GC finalizer as a
+    backstop).  The coordinating engine is *never* called for d-tree
+    work here — every decomposition runs on a worker engine with its own
+    cache; per-worker cache statistics are aggregated in
+    :meth:`cache_stats`.
+    """
+
+    def __init__(
+        self,
+        engine: ConfidenceEngine,
+        lineages: Iterable[Lineage],
+        *,
+        workers: int,
+        executor_kind: Optional[str] = None,
+        epsilon: Optional[float] = None,
+        error_kind: Optional[str] = None,
+        initial_steps: Optional[int] = None,
+        step_growth: Optional[int] = None,
+        max_steps: Optional[int] = None,
+        deadline_seconds: Optional[float] = None,
+        run_to_guarantee: bool = False,
+    ) -> None:
+        config = engine.config
+        self.engine = engine
+        self.epsilon = config.epsilon if epsilon is None else epsilon
+        self.error_kind = (
+            config.error_kind if error_kind is None else error_kind
+        )
+        if initial_steps is None:
+            initial_steps = config.initial_steps
+        self.step_growth = (
+            config.step_growth if step_growth is None else step_growth
+        )
+        # Mirror BatchComputation: the refinement cap is the *argument*
+        # (engine-config max_steps applies per compute call, not here).
+        self.max_steps = max_steps
+        self.deadline_seconds = (
+            config.deadline_seconds
+            if deadline_seconds is None
+            else deadline_seconds
+        )
+        self.dnfs: List[DNF] = [
+            lineage.to_dnf() if isinstance(lineage, Formula) else lineage
+            for lineage in lineages
+        ]
+        if not self.dnfs:
+            raise ValueError("sharded batch needs at least one lineage")
+        self.workers = max(1, int(workers))
+        self.executor_kind = (
+            config.executor_kind if executor_kind is None else executor_kind
+        )
+        if self.executor_kind not in ("process", "thread"):
+            raise ValueError(
+                "executor_kind must be 'process' or 'thread', got "
+                f"{self.executor_kind!r}"
+            )
+        self.shards = min(self.workers, len(self.dnfs))
+        # Workers never recurse into sharding and never sample; MC is
+        # finalized on the coordinator (deterministic under rng_seed).
+        self._shard_config = config.replace(
+            workers=1, mc_fallback=False, max_total_steps=None
+        )
+        self._started = clock.monotonic()
+        self._executor: Optional[Executor] = None
+        self._finalizer = None
+        self._thread_engines: Optional[List[ConfidenceEngine]] = None
+        #: Latest cache stats per worker (shard id for threads, pid for
+        #: processes) — the ingredients of :meth:`cache_stats`.
+        self.worker_stats: Dict[object, Dict[str, int]] = {}
+
+        self._single_pass = run_to_guarantee
+        self.budgets: List[Optional[int]]
+        if run_to_guarantee:
+            # Full per-call budget, resolved the way compute() would:
+            # the explicit argument, else the engine config's cap.
+            full = (
+                config.max_steps if max_steps is None else max_steps
+            )
+            self.budgets = [full] * len(self.dnfs)
+        else:
+            self.budgets = [
+                self._capped(initial_steps) for _ in self.dnfs
+            ]
+        self.total_steps = 0
+        self.results: List[EngineResult] = [None] * len(self.dnfs)  # type: ignore[list-item]
+        # Initial pass: every tuple once, dealt round-robin by index.
+        self._execute_round(list(range(len(self.dnfs))), initial=True)
+
+    # -- budget / deadline bookkeeping (serial-batch semantics) ----------
+    def _capped(self, budget: int) -> int:
+        if self.max_steps is not None:
+            return min(budget, self.max_steps)
+        return budget
+
+    def remaining_seconds(self) -> Optional[float]:
+        """Time left on the whole-batch deadline (``None`` = unbounded)."""
+        if self.deadline_seconds is None:
+            return None
+        return self.deadline_seconds - (clock.monotonic() - self._started)
+
+    def out_of_time(self) -> bool:
+        remaining = self.remaining_seconds()
+        return remaining is not None and remaining <= 0.0
+
+    def converged(self) -> bool:
+        """Has every tuple certified the requested guarantee?"""
+        return all(result.converged for result in self.results)
+
+    def refinable(
+        self, indices: Optional[Sequence[int]] = None
+    ) -> List[int]:
+        """Indices that can still make progress (unconverged, headroom)."""
+        if indices is None:
+            indices = range(len(self.dnfs))
+        out = []
+        for index in indices:
+            if self.results[index].converged:
+                continue
+            budget = self.budgets[index]
+            if budget is None:
+                continue  # already ran unbounded: nothing left to grow
+            if self.max_steps is not None and budget >= self.max_steps:
+                continue
+            out.append(index)
+        return out
+
+    def widest(
+        self, indices: Optional[Sequence[int]] = None
+    ) -> Optional[int]:
+        """The refinable tuple with the widest certified interval."""
+        candidates = self.refinable(indices)
+        if not candidates:
+            return None
+        return max(
+            candidates, key=lambda index: self.results[index].width()
+        )
+
+    def __len__(self) -> int:
+        return len(self.dnfs)
+
+    # -- executor plumbing ----------------------------------------------
+    def _ensure_executor(self) -> Executor:
+        if self._executor is not None:
+            return self._executor
+        if self.executor_kind == "thread":
+            self._thread_engines = [
+                ConfidenceEngine(self.engine.registry, self._shard_config)
+                for _ in range(self.shards)
+            ]
+            executor = ThreadPoolExecutor(
+                max_workers=self.shards,
+                thread_name_prefix="repro-shard",
+            )
+        else:
+            registry = self.engine.registry
+            try:
+                payload = pickle.dumps((registry, self._shard_config))
+            except Exception as exc:
+                raise ValueError(
+                    "process-pool execution needs a picklable registry "
+                    "and EngineConfig; choose_variable closures are the "
+                    "usual culprit — use a picklable selector (e.g. "
+                    "repro.core.orders.CompositeSelector) or "
+                    "executor_kind='thread'"
+                ) from exc
+            del payload
+            mp_context = None
+            import multiprocessing
+
+            # fork (where available) shares the parent's pages — intern
+            # tables included — making the snapshot install a cheap
+            # verification replay; spawn pays a fresh-interpreter start
+            # but replays the snapshot for real.
+            if "fork" in multiprocessing.get_all_start_methods():
+                mp_context = multiprocessing.get_context("fork")
+            executor = ProcessPoolExecutor(
+                max_workers=self.shards,
+                mp_context=mp_context,
+                initializer=_process_worker_init,
+                initargs=(intern_snapshot(), registry, self._shard_config),
+            )
+        self._executor = executor
+        # GC backstop: must capture the executor, never ``self``.
+        self._finalizer = weakref.finalize(
+            self, _shutdown_executor, executor
+        )
+        return executor
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._finalizer is not None:
+            self._finalizer()  # runs _shutdown_executor exactly once
+            self._finalizer = None
+        self._executor = None
+        self._thread_engines = None
+
+    def __enter__(self) -> "ShardedBatchComputation":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def cache_stats(self) -> Dict[str, int]:
+        """Cache counters aggregated across every worker seen so far."""
+        return DecompositionCache.merge_stats(self.worker_stats.values())
+
+    # -- execution -------------------------------------------------------
+    def _submit_shard(
+        self,
+        executor: Executor,
+        shard: int,
+        items: List[_WorkItem],
+        deadline_remaining: Optional[float],
+    ) -> Future:
+        if self.executor_kind == "thread":
+            assert self._thread_engines is not None
+            return executor.submit(
+                _run_items,
+                self._thread_engines[shard],
+                items,
+                self.epsilon,
+                self.error_kind,
+                deadline_remaining,
+                shard,
+            )
+        return executor.submit(
+            _process_run_items,
+            items,
+            self.epsilon,
+            self.error_kind,
+            deadline_remaining,
+        )
+
+    def _execute_round(
+        self, indices: List[int], *, initial: bool = False
+    ) -> None:
+        """Run one parallel round over ``indices`` and merge the results.
+
+        ``indices`` arrive pre-ordered (by index for the initial pass,
+        widest-first for refinement rounds) and are dealt round-robin
+        across the shards; merge order is by tuple index, independent of
+        pool completion order, so the whole round is deterministic.
+        """
+        executor = self._ensure_executor()
+        encode = (
+            _encode_dnf
+            if self.executor_kind == "process"
+            else (lambda dnf: dnf)
+        )
+        assignments: List[List[_WorkItem]] = [
+            [] for _ in range(self.shards)
+        ]
+        for position, index in enumerate(indices):
+            assignments[position % self.shards].append(
+                (index, encode(self.dnfs[index]), self.budgets[index])
+            )
+        deadline_remaining = self.remaining_seconds()
+        futures = [
+            self._submit_shard(executor, shard, items, deadline_remaining)
+            for shard, items in enumerate(assignments)
+            if items
+        ]
+        merged: List[Tuple[int, EngineResult]] = []
+        for future in futures:
+            shard_results, stats, worker_key = future.result()
+            self.worker_stats[worker_key] = stats
+            merged.extend(shard_results)
+        merged.sort(key=lambda pair: pair[0])
+        for index, result in merged:
+            if initial:
+                self.results[index] = result
+                self.total_steps += result.steps
+                continue
+            previous = self.results[index]
+            result = _merge_refined(previous, result)
+            self.results[index] = result
+            self.total_steps += result.steps - previous.steps
+
+    def refine(self, index: int) -> EngineResult:
+        """Grow ``index``'s budget and recompute it on a worker."""
+        budget = self.budgets[index]
+        if budget is not None:
+            self.budgets[index] = self._capped(budget * self.step_growth)
+        self._execute_round([index])
+        return self.results[index]
+
+    def step(
+        self, indices: Optional[Sequence[int]] = None
+    ) -> Optional[int]:
+        """One work-stealing refinement round; the widest index, or
+        ``None`` when nothing is refinable.
+
+        Takes the (up to) ``shards`` widest refinable tuples — from
+        ``indices`` when given — grows each one's budget, and deals them
+        widest-first round-robin across the shards.  The serial batch
+        refines exactly one tuple per step; a sharded round refines one
+        per shard, which is the same prioritized schedule saturating the
+        pool instead of a single core.
+        """
+        candidates = self.refinable(indices)
+        if not candidates:
+            return None
+        candidates.sort(
+            key=lambda index: (-self.results[index].width(), index)
+        )
+        chosen = candidates[: self.shards]
+        for index in chosen:
+            budget = self.budgets[index]
+            if budget is not None:
+                self.budgets[index] = self._capped(
+                    budget * self.step_growth
+                )
+        self._execute_round(chosen)
+        return chosen[0]
+
+    def run(
+        self, max_total_steps: Optional[int] = None
+    ) -> List[EngineResult]:
+        """Refine until convergence, budget exhaustion, or deadline.
+
+        The initial pass already ran in the constructor; this is the
+        round loop :meth:`ConfidenceEngine.compute_many` drives (MC
+        finalization stays with the engine).  A ``run_to_guarantee``
+        batch is single-pass by construction — every tuple already got
+        its full budget, exactly like the serial unbudgeted path — so
+        there is nothing left to arbitrate.
+        """
+        if self._single_pass:
+            return self.results
+        while (
+            not self.converged()
+            and (
+                max_total_steps is None
+                or self.total_steps < max_total_steps
+            )
+            and not self.out_of_time()
+        ):
+            if self.step() is None:
+                break
+        return self.results
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedBatchComputation({len(self.dnfs)} lineages, "
+            f"{self.shards} {self.executor_kind} shards, "
+            f"steps={self.total_steps})"
+        )
+
+
+def _shutdown_executor(executor: Executor) -> None:
+    # wait=True: rounds are synchronous, so nothing is ever in flight
+    # here, and draining the pool's threads deterministically matters —
+    # a stray worker thread would make a later fork() warn on 3.12+.
+    executor.shutdown(wait=True, cancel_futures=True)

@@ -1,0 +1,50 @@
+"""Shared test fixtures.
+
+``fake_clock`` removes wall-clock dependence from deadline/budget tests:
+every deadline check in the library reads time through
+:mod:`repro.core.clock`, and the fixture swaps that source for a
+manually-advanced counter.  Tests can then assert "the deadline expired
+mid-run after exactly N checks" deterministically — no sleeps, no
+flaking when CI machines are loaded.
+"""
+
+import pytest
+
+from repro.core import clock
+
+
+class FakeClock:
+    """A monotonic clock advanced by the test, not the wall.
+
+    ``auto_advance`` seconds are added on *every read*, which is how a
+    test simulates work taking time: a deadline of ``d`` seconds expires
+    after about ``d / auto_advance`` clock checks, regardless of how
+    fast the machine actually is.
+    """
+
+    def __init__(self, start: float = 0.0, auto_advance: float = 0.0):
+        self.now = start
+        self.auto_advance = auto_advance
+
+    def __call__(self) -> float:
+        current = self.now
+        self.now += self.auto_advance
+        return current
+
+    def advance(self, seconds: float) -> None:
+        """Jump the clock forward explicitly."""
+        self.now += seconds
+
+
+@pytest.fixture
+def fake_clock():
+    """Install a :class:`FakeClock` as the library's time source.
+
+    The real ``time.monotonic`` is restored afterwards no matter what.
+    """
+    fake = FakeClock()
+    clock.set_source(fake)
+    try:
+        yield fake
+    finally:
+        clock.reset_source()

@@ -174,6 +174,36 @@ class TestAnytimeBehaviour:
         )
         assert result.lower - 1e-9 <= truth <= result.upper + 1e-9
 
+    def test_deadline_expiry_mid_run_is_deterministic(self, fake_clock):
+        # The deadline is checked against the fake clock, which advances
+        # one second per read: a 5-second deadline expires after a fixed
+        # number of checks on any machine, under any CI load.
+        fake_clock.auto_advance = 1.0
+        # Seed 9 needs ~20 exact steps: plenty of run left to cut short.
+        dnf, reg = random_instance(9, variables=12, max_clauses=16)
+        truth = brute_force_probability(dnf, reg)
+        result = approximate_probability(
+            dnf, reg, epsilon=0.0, deadline_seconds=5.0
+        )
+        assert not result.converged
+        # Each loop iteration reads the clock at most twice (budget check
+        # + elapsed bookkeeping), so a 5s budget at 1s/read caps the
+        # decomposition strictly below any full run.
+        assert result.steps <= 5
+        assert result.lower - 1e-9 <= truth <= result.upper + 1e-9
+
+    def test_deadline_not_reached_converges(self, fake_clock):
+        # Same instance, same fake clock, roomy deadline: the run must
+        # ignore the deadline entirely and certify the request.
+        fake_clock.auto_advance = 0.001
+        dnf, reg = random_instance(9, variables=12, max_clauses=16)
+        truth = brute_force_probability(dnf, reg)
+        result = approximate_probability(
+            dnf, reg, epsilon=0.0, deadline_seconds=10_000.0
+        )
+        assert result.converged
+        assert abs(result.estimate - truth) <= 1e-9
+
 
 class TestInstrumentation:
     def test_histogram_counts_decompositions(self):

@@ -1,0 +1,256 @@
+"""Picklability and intern-snapshot properties of the core types.
+
+The parallel execution layer ships lineage to worker processes as bare
+interned-id tuples, valid only because the pool initializer replays the
+coordinator's intern-table snapshot first.  These tests pin down the
+contract:
+
+* every core type — :class:`Atom`, :class:`Clause`, :class:`DNF`,
+  :class:`VariableRegistry` — survives a pickle round-trip with
+  identical semantics and (in-process) identical interned ids;
+* :func:`intern_snapshot` / :func:`install_intern_snapshot` are
+  idempotent and reject divergence;
+* a **spawn**-started worker (fresh interpreter, empty intern tables)
+  that installs the snapshot decodes id-encoded DNFs back to the exact
+  variables and values the parent encoded — the strongest "ids are
+  stable across worker boundaries" statement available.
+"""
+
+import multiprocessing
+import pickle
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.dnf import DNF
+from repro.core.events import Atom, Clause
+from repro.core.semantics import brute_force_probability
+from repro.core.variables import (
+    VariableRegistry,
+    install_intern_snapshot,
+    intern_snapshot,
+)
+
+VARIABLES = [f"pk{i}" for i in range(6)]
+
+COMMON = dict(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def clause_specs(draw):
+    size = draw(st.integers(min_value=0, max_value=4))
+    variables = draw(
+        st.lists(
+            st.sampled_from(VARIABLES),
+            min_size=size,
+            max_size=size,
+            unique=True,
+        )
+    )
+    polarities = draw(
+        st.lists(
+            st.booleans(), min_size=len(variables),
+            max_size=len(variables),
+        )
+    )
+    return dict(zip(variables, polarities))
+
+
+class TestPickleRoundTrips:
+    @given(
+        st.sampled_from(VARIABLES),
+        st.one_of(st.booleans(), st.integers(), st.text(max_size=5)),
+    )
+    @settings(**COMMON)
+    def test_atom_round_trip(self, variable, value):
+        atom = Atom(variable, value)
+        loaded = pickle.loads(pickle.dumps(atom))
+        assert loaded == atom
+        assert loaded.atom_id == atom.atom_id
+        assert loaded.var_id == atom.var_id
+        assert loaded.variable == atom.variable
+        assert loaded.value == atom.value
+
+    @given(clause_specs())
+    @settings(**COMMON)
+    def test_clause_round_trip(self, spec):
+        clause = Clause(spec)
+        loaded = pickle.loads(pickle.dumps(clause))
+        assert loaded == clause
+        assert loaded.atom_ids == clause.atom_ids
+        assert dict(loaded.items()) == dict(clause.items())
+        assert hash(loaded) == hash(clause)
+
+    @given(st.lists(clause_specs(), min_size=0, max_size=6))
+    @settings(**COMMON)
+    def test_dnf_round_trip(self, specs):
+        dnf = DNF(Clause(spec) for spec in specs)
+        loaded = pickle.loads(pickle.dumps(dnf))
+        assert loaded == dnf
+        assert hash(loaded) == hash(dnf)
+        assert loaded.variable_ids == dnf.variable_ids
+        assert [c.atom_ids for c in loaded.sorted_clauses()] == [
+            c.atom_ids for c in dnf.sorted_clauses()
+        ]
+
+    def test_registry_round_trip_preserves_semantics(self):
+        rng = random.Random(5)
+        registry = VariableRegistry.from_boolean_probabilities(
+            {name: rng.uniform(0.1, 0.9) for name in VARIABLES}
+        )
+        registry.add_variable(
+            "pk_multi", {1: 0.25, 2: 0.25, 3: 0.5}
+        )
+        loaded = pickle.loads(pickle.dumps(registry))
+        assert set(loaded.variables()) == set(registry.variables())
+        for name in registry.variables():
+            assert loaded.distribution(name) == registry.distribution(
+                name
+            )
+        dnf = DNF.from_positive_clauses(
+            [VARIABLES[:2], VARIABLES[2:4]]
+        )
+        assert brute_force_probability(
+            dnf, loaded
+        ) == brute_force_probability(dnf, registry)
+
+    def test_engine_result_round_trip(self):
+        # Worker → coordinator traffic: results must survive pickling.
+        from repro.engine import ConfidenceEngine
+
+        rng = random.Random(6)
+        registry = VariableRegistry.from_boolean_probabilities(
+            {name: rng.uniform(0.1, 0.9) for name in VARIABLES}
+        )
+        dnf = DNF(
+            [
+                Clause({VARIABLES[0]: True, VARIABLES[1]: False}),
+                Clause({VARIABLES[2]: True}),
+            ]
+        )
+        result = ConfidenceEngine(registry).compute(dnf)
+        loaded = pickle.loads(pickle.dumps(result))
+        assert loaded.probability == result.probability
+        assert (loaded.lower, loaded.upper) == (
+            result.lower, result.upper,
+        )
+        assert loaded.strategy == result.strategy
+        assert loaded.converged == result.converged
+
+
+class TestInternSnapshot:
+    def test_snapshot_is_picklable_and_replayable(self):
+        Atom("pk_snap_a", True)  # ensure at least one fresh entry
+        snapshot = intern_snapshot()
+        loaded = pickle.loads(pickle.dumps(snapshot))
+        assert loaded == snapshot
+        # Replaying into the same process verifies every id (idempotent).
+        install_intern_snapshot(loaded)
+
+    def test_install_is_idempotent(self):
+        snapshot = intern_snapshot()
+        install_intern_snapshot(snapshot)
+        install_intern_snapshot(snapshot)
+        assert intern_snapshot()[0][: len(snapshot[0])] == snapshot[0]
+
+    def test_install_rejects_divergence(self):
+        names, entries = intern_snapshot()
+        # A snapshot claiming a different id-0 variable can never be
+        # reconciled with this process's append-only tables.
+        bogus = (("pk_wrong_name_for_id0",) + names[1:], entries)
+        with pytest.raises(RuntimeError, match="diverged"):
+            install_intern_snapshot(bogus)
+
+
+class TestAcrossWorkerBoundary:
+    """Real process boundary: ids must decode to the same atoms."""
+
+    @pytest.fixture(scope="class")
+    def spawn_pool(self):
+        # spawn, not fork: the child starts with EMPTY intern tables, so
+        # the snapshot replay is load-bearing, not a verification no-op.
+        from concurrent.futures import ProcessPoolExecutor
+
+        from repro.engine import ConfidenceEngine, EngineConfig
+        from repro.engine_parallel import _process_worker_init
+
+        rng = random.Random(7)
+        registry = VariableRegistry.from_boolean_probabilities(
+            {name: rng.uniform(0.1, 0.9) for name in VARIABLES}
+        )
+        pool = ProcessPoolExecutor(
+            max_workers=1,
+            mp_context=multiprocessing.get_context("spawn"),
+            initializer=_process_worker_init,
+            initargs=(intern_snapshot(), registry, EngineConfig()),
+        )
+        try:
+            yield registry, pool
+        finally:
+            pool.shutdown()
+
+    def test_ids_decode_identically_in_spawned_worker(self, spawn_pool):
+        # Ship bare interned ids (the pool codec, not public pickle):
+        # the spawned worker must decode them to the very same variables
+        # and values, proving the snapshot made its id space identical.
+        from repro.engine_parallel import _encode_dnf, _worker_probe
+
+        _registry, pool = spawn_pool
+        rng = random.Random(8)
+        for _ in range(10):
+            dnf = DNF(
+                Clause(
+                    {
+                        rng.choice(VARIABLES): rng.random() < 0.5
+                        for _ in range(rng.randint(1, 3))
+                    }
+                )
+                for _ in range(rng.randint(1, 5))
+            )
+            expected = [
+                (
+                    clause.atom_ids,
+                    sorted(clause.items(), key=lambda item: repr(item)),
+                )
+                for clause in dnf.sorted_clauses()
+            ]
+            probe = pool.submit(_worker_probe, _encode_dnf(dnf)).result()
+            assert probe == expected
+
+    def test_spawned_worker_computes_identical_probability(
+        self, spawn_pool
+    ):
+        from repro.engine_parallel import _encode_dnf, _process_run_items
+
+        registry, pool = spawn_pool
+        from repro.engine import ConfidenceEngine
+
+        rng = random.Random(9)
+        dnfs = [
+            DNF(
+                Clause(
+                    {
+                        rng.choice(VARIABLES): rng.random() < 0.5
+                        for _ in range(rng.randint(1, 3))
+                    }
+                )
+                for _ in range(rng.randint(1, 6))
+            )
+            for _ in range(8)
+        ]
+        serial = ConfidenceEngine(registry).compute_many(dnfs)
+        items = [(i, _encode_dnf(dnf), None) for i, dnf in enumerate(dnfs)]
+        remote, _stats, _key = pool.submit(
+            _process_run_items, items, 0.0, "absolute", None
+        ).result()
+        for (index, result), expected in zip(remote, serial):
+            assert result.probability == expected.probability
+            assert (result.lower, result.upper) == (
+                expected.lower, expected.upper,
+            )

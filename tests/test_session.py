@@ -427,10 +427,15 @@ class TestTopKViaSession:
             (r.values, r.lower, r.upper) for r in old
         ]
 
-    def test_top_k_terminates_when_deadline_expired(self):
-        # Regression: with the whole-batch deadline already spent, every
-        # refine returns immediately with 0 steps, so the ranking loop
-        # used to spin forever (total_steps never reached the cap).
+    def test_top_k_terminates_when_deadline_expired(self, fake_clock):
+        # Regression: with the whole-batch deadline spent, every refine
+        # returns immediately with 0 steps, so the ranking loop used to
+        # spin forever (total_steps never reached the cap).  The fake
+        # clock expires a *positive* deadline at a machine-independent
+        # point mid-ranking: one second passes per clock read, so the
+        # 3-second budget is gone after three checks no matter how
+        # loaded CI is.
+        fake_clock.auto_advance = 1.0
         rng = random.Random(9)
         reg = VariableRegistry.from_boolean_probabilities(
             {f"dl{i}": rng.uniform(0.2, 0.8) for i in range(12)}
@@ -456,7 +461,7 @@ class TestTopKViaSession:
         session = ProbDB.from_registry(
             reg,
             EngineConfig(
-                deadline_seconds=0.0,
+                deadline_seconds=3.0,
                 try_read_once=False,
                 initial_steps=1,
             ),
