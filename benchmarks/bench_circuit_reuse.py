@@ -1,0 +1,214 @@
+"""Circuit reuse: recompute vs. re-evaluate under shifted probabilities.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_circuit_reuse.py
+    CIRCUIT_BENCH_SMOKE=1 PYTHONPATH=src python benchmarks/bench_circuit_reuse.py
+
+The workload the circuits subsystem exists for: the Fig. 7 hard TPC-H
+batch (B2, B9, B20, B21) asked repeatedly while the tuple probabilities
+drift — sensor recalibration, feedback re-weighting, what-if probing.
+Without circuits every round pays full d-tree decomposition from
+scratch (a fresh engine and cache per probability map, which is exactly
+what a cache keyed by lineage+probabilities amounts to); with circuits
+the lineage is compiled **once** and every round is an O(|circuit|)
+sweep under a probability override map.
+
+Per round the bench:
+
+* builds a shifted probability map for every tuple variable (seeded);
+* **cold** — registers a fresh registry carrying the shifted
+  probabilities and recomputes the whole batch exactly on a fresh
+  engine;
+* **warm** — evaluates each answer's compiled circuit under the
+  override map;
+* asserts the two agree to 1e-9 (both are exact), and times both.
+
+Results (plus a per-answer sensitivity sweep timing) are written to
+``BENCH_circuits.json`` at the repo root.  The acceptance bar —
+``speedup >= 10×`` for warm re-evaluation vs cold recompute — is
+asserted unless ``CIRCUIT_BENCH_NO_ASSERT=1``.
+
+Smoke mode (``CIRCUIT_BENCH_SMOKE=1``, used by CI): smallest scale,
+two rounds.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import sys
+import time
+
+from repro import ConfidenceEngine, EngineConfig
+from repro.core.variables import VariableRegistry
+from repro.datasets.tpch import TPCHConfig, generate_tpch
+from repro.datasets.tpch_queries import HARD_QUERIES, make_query
+from repro.db.engine import answer_selector, evaluate_to_dnf
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+OUTPUT = os.path.join(REPO_ROOT, "BENCH_circuits.json")
+
+SMOKE = os.environ.get("CIRCUIT_BENCH_SMOKE") == "1"
+ASSERT_SPEEDUP = os.environ.get("CIRCUIT_BENCH_NO_ASSERT") != "1"
+SCALE = 0.05 if SMOKE else 0.1
+ROUNDS = 2 if SMOKE else 5
+SPEEDUP_TARGET = 10.0
+
+
+def build_workload():
+    database = generate_tpch(
+        TPCHConfig(
+            scale_factor=SCALE, probability_range=(0.0, 1.0), seed=1
+        )
+    )
+    selector = answer_selector(database)
+    batch = []
+    for query_name in HARD_QUERIES:
+        for values, dnf in evaluate_to_dnf(
+            make_query(query_name), database
+        ):
+            batch.append((f"{query_name}{values!r}", dnf))
+    return database, selector, batch
+
+
+def shifted_probabilities(registry, seed):
+    """A full probability map for round ``seed``, nudged off the base."""
+    rng = random.Random(10_000 + seed)
+    overrides = {}
+    for name in registry.variables():
+        if not registry.is_boolean(name):
+            continue
+        base = registry.probability(name, True)
+        overrides[name] = min(0.99, max(0.01, base * rng.uniform(0.5, 1.5)))
+    return overrides
+
+
+def main() -> int:
+    database, selector, batch = build_workload()
+    registry = database.registry
+    dnfs = [dnf for _label, dnf in batch]
+    config = EngineConfig(choose_variable=selector, mc_fallback=False)
+
+    # Compile once, on a session-style engine with a shared cache.
+    compiler_engine = ConfidenceEngine(registry, config)
+    started = time.perf_counter()
+    circuits = [compiler_engine.compile_circuit(dnf) for dnf in dnfs]
+    compile_seconds = time.perf_counter() - started
+    assert all(circuit.is_exact for circuit in circuits)
+
+    cold_seconds = []
+    warm_seconds = []
+    per_round = []
+    for round_index in range(ROUNDS):
+        overrides = shifted_probabilities(registry, round_index)
+
+        # Cold: the no-circuits world — a fresh registry carrying the
+        # shifted probabilities, a fresh engine and cache, full
+        # decomposition for every answer.
+        started = time.perf_counter()
+        shifted = VariableRegistry()
+        for name in registry.variables():
+            if name in overrides:
+                shifted.add_boolean(name, overrides[name])
+            else:  # pragma: no cover - TPC-H tuples are Boolean
+                shifted.add_variable(name, registry.distribution(name))
+        cold_engine = ConfidenceEngine(shifted, config)
+        cold_results = cold_engine.compute_many(dnfs)
+        cold = time.perf_counter() - started
+
+        # Warm: one sweep per compiled circuit, same probability map.
+        started = time.perf_counter()
+        warm_values = [
+            circuit.evaluate(overrides) for circuit in circuits
+        ]
+        warm = time.perf_counter() - started
+
+        for (label, _dnf), cold_result, warm_value in zip(
+            batch, cold_results, warm_values
+        ):
+            drift = abs(cold_result.probability - warm_value)
+            assert drift <= 1e-9, (
+                f"warm/cold disagreement on {label} round {round_index}:"
+                f" {warm_value!r} vs {cold_result.probability!r}"
+            )
+        cold_seconds.append(cold)
+        warm_seconds.append(warm)
+        per_round.append(
+            {
+                "round": round_index,
+                "cold_recompute_seconds": round(cold, 6),
+                "warm_evaluate_seconds": round(warm, 6),
+                "speedup": round(cold / warm, 1) if warm > 0 else None,
+            }
+        )
+        print(
+            f"round {round_index}: cold {cold:.3f}s  warm {warm:.6f}s  "
+            f"speedup {cold / warm:,.0f}x"
+        )
+
+    # Sensitivity sweep: every tuple's gradient for every answer.
+    started = time.perf_counter()
+    gradient_counts = [
+        len(circuit.gradients()) for circuit in circuits
+    ]
+    gradients_seconds = time.perf_counter() - started
+
+    total_cold = sum(cold_seconds)
+    total_warm = sum(warm_seconds)
+    speedup = total_cold / total_warm if total_warm > 0 else float("inf")
+    report = {
+        "experiment": (
+            "Circuit reuse on the Fig. 7 hard batch "
+            "(benchmarks/bench_circuit_reuse.py)"
+        ),
+        "workload": (
+            f"{','.join(HARD_QUERIES)} sf={SCALE}: {len(batch)} answer "
+            f"lineages, {ROUNDS} shifted probability maps; exact "
+            "(epsilon=0) on both paths"
+        ),
+        "environment": {
+            "python": sys.version.split()[0],
+            "cpu_count": os.cpu_count(),
+            "smoke": SMOKE,
+        },
+        "engine_config": config.describe(),
+        "compile_once_seconds": round(compile_seconds, 6),
+        "circuit_nodes": [len(circuit) for circuit in circuits],
+        "rounds": per_round,
+        "totals": {
+            "cold_recompute_seconds": round(total_cold, 6),
+            "warm_evaluate_seconds": round(total_warm, 6),
+            "speedup_warm_vs_cold": round(speedup, 1),
+            "speedup_including_compile": round(
+                total_cold / (total_warm + compile_seconds), 1
+            ),
+        },
+        "sensitivities": {
+            "seconds_all_answers": round(gradients_seconds, 6),
+            "tuples_ranked": gradient_counts,
+        },
+        "differential": (
+            "warm circuit evaluation agreed with cold exact recompute "
+            "to 1e-9 on every answer and round"
+        ),
+    }
+    with open(OUTPUT, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"\ncompile once: {compile_seconds:.3f}s")
+    print(
+        f"total: cold {total_cold:.3f}s  warm {total_warm:.6f}s  "
+        f"speedup {speedup:,.0f}x  -> {OUTPUT}"
+    )
+    if ASSERT_SPEEDUP:
+        assert speedup >= SPEEDUP_TARGET, (
+            f"warm re-evaluation speedup {speedup:.1f}x is below the "
+            f"{SPEEDUP_TARGET}x acceptance bar"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

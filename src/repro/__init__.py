@@ -62,6 +62,7 @@ from .core import (
     make_variable_selector,
     read_once_probability,
 )
+from .circuits import Circuit, CircuitCache, CompiledResult, compile_circuit
 from .engine import (
     BatchComputation,
     ConfidenceEngine,
@@ -69,11 +70,12 @@ from .engine import (
     EngineResult,
     STRATEGY_LADDER,
 )
-from .engine_parallel import ShardedBatchComputation
+from .engine_parallel import ShardedBatchComputation, WorkerPool
+from .db.explain import InfluenceReport, rank_influence
 from .db.session import BoundsSnapshot, ProbDB, QueryResult
 from .db.topk import RankedAnswer
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "ABSOLUTE",
@@ -82,25 +84,32 @@ __all__ = [
     "Atom",
     "BatchComputation",
     "BoundsSnapshot",
+    "Circuit",
+    "CircuitCache",
     "Clause",
+    "CompiledResult",
     "ConfidenceEngine",
     "DNF",
     "DTree",
     "EngineConfig",
     "EngineResult",
+    "InfluenceReport",
     "ProbDB",
     "QueryResult",
     "RankedAnswer",
     "STRATEGY_LADDER",
     "ShardedBatchComputation",
     "VariableRegistry",
+    "WorkerPool",
     "approximate_probability",
     "brute_force_probability",
+    "compile_circuit",
     "compile_dnf",
     "exact_probability",
     "exact_probability_compiled",
     "independent_bounds",
     "make_variable_selector",
+    "rank_influence",
     "read_once_probability",
     "__version__",
 ]

@@ -1,0 +1,48 @@
+"""Lineage compilation: d-tree traces as reusable arithmetic circuits.
+
+The decomposition structure the paper's algorithms discover — ``⊗``,
+``⊙``, ``⊕``, clause products — is valid for *any* assignment of tuple
+probabilities, yet a confidence computation normally folds it into one
+number and throws it away.  This package keeps it:
+
+* :func:`compile_circuit` replays a lineage's decomposition (through
+  the shared :class:`~repro.core.memo.DecompositionCache`) into a flat,
+  array-backed :class:`Circuit`;
+* :class:`Circuit` re-evaluates under new probability maps in
+  O(|circuit|), yields every tuple's sensitivity in one backward sweep,
+  and conditions on variable assignments for what-if queries; partial
+  circuits (node-budgeted compiles) carry residual-interval leaves and
+  evaluate to sound bounds;
+* :class:`CircuitCache` is the session-level store keyed by interned
+  lineage (``ProbDB`` uses it to skip the engine on warm queries);
+* :class:`CompiledResult` packages a whole answer set for
+  compile-once/evaluate-many workloads
+  (``QueryResult.compile()``).
+"""
+
+from .cache import CircuitCache
+from .circuit import (
+    KIND_ATOM,
+    KIND_CONST,
+    KIND_OR,
+    KIND_PROD,
+    KIND_RESIDUAL,
+    KIND_SUM,
+    Circuit,
+)
+from .compiled import CompiledResult
+from .compiler import CircuitCompilationStats, compile_circuit
+
+__all__ = [
+    "Circuit",
+    "CircuitCache",
+    "CircuitCompilationStats",
+    "CompiledResult",
+    "compile_circuit",
+    "KIND_ATOM",
+    "KIND_CONST",
+    "KIND_OR",
+    "KIND_PROD",
+    "KIND_RESIDUAL",
+    "KIND_SUM",
+]

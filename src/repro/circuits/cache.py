@@ -1,0 +1,82 @@
+"""Session-level cache of compiled circuits, keyed by interned lineage.
+
+One :class:`CircuitCache` lives on each :class:`~repro.db.session.ProbDB`
+session: a warm query — same lineage DNF, possibly different tuple
+probabilities — skips the :class:`~repro.engine.ConfidenceEngine`
+entirely and answers with an O(|circuit|) evaluation.  Keys are the
+(immutable, interned, cheaply hashable) DNFs themselves, so two queries
+producing identical lineage share one compiled circuit no matter how
+they were phrased.
+
+Only *exact* circuits are cached by default: a partial circuit's value
+is an interval whose width depends on the compile-time budget, which is
+the engine's job to arbitrate, not the cache's.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..core.dnf import DNF
+from .circuit import Circuit
+
+__all__ = ["CircuitCache"]
+
+
+class CircuitCache:
+    """Bounded ``lineage DNF -> Circuit`` store with hit/miss counters.
+
+    Like :class:`~repro.core.memo.DecompositionCache`, the cache clears
+    wholesale when the entry cap is exceeded — circuits are rebuildable
+    from the decomposition memo, so eviction is cheap and LRU
+    bookkeeping stays off the lookup path.
+    """
+
+    __slots__ = ("entries", "max_entries", "hits", "misses")
+
+    def __init__(self, max_entries: int = 4096) -> None:
+        self.entries: Dict[DNF, Circuit] = {}
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, lineage: DNF) -> Optional[Circuit]:
+        circuit = self.entries.get(lineage)
+        if circuit is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return circuit
+
+    def put(
+        self, lineage: DNF, circuit: Circuit, *, exact_only: bool = True
+    ) -> bool:
+        """Insert; returns whether the circuit was stored."""
+        if exact_only and not circuit.is_exact:
+            return False
+        if len(self.entries) >= self.max_entries:
+            self.entries.clear()
+        self.entries[lineage] = circuit
+        return True
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __contains__(self, lineage: DNF) -> bool:
+        return lineage in self.entries
+
+    def clear(self) -> None:
+        self.entries.clear()
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self.entries),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitCache({len(self.entries)} circuits, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

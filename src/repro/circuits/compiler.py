@@ -1,0 +1,308 @@
+"""Compilation of DNF lineage into arithmetic circuits.
+
+:func:`compile_circuit` replays the d-tree decomposition of Fig. 1 —
+subsumption removal, ``⊗`` partitioning, ``⊙`` factorization, Shannon
+expansion — and records it as a flat :class:`~repro.circuits.Circuit`
+instead of folding probabilities on the fly.  Two properties matter:
+
+* **Trace sharing.**  Given the engine's
+  :class:`~repro.core.memo.DecompositionCache`, every decomposition
+  step is looked up in the same memo the exact/ε-approximation paths
+  populate, so compiling right after a confidence run replays the
+  recorded trace instead of re-searching for decompositions.  Repeated
+  sub-DNFs (ubiquitous under Shannon expansion) become *shared
+  subcircuits* — the circuit is a DAG, the d-DNNF view of the d-tree.
+
+* **Bit-compatible arithmetic.**  Node emission order and per-node
+  arithmetic mirror :func:`repro.core.compiler.compile_dnf` /
+  ``DTree.probability`` exactly, so an exact circuit evaluated at the
+  base probabilities reproduces ``exact_probability_compiled`` (and the
+  read-once rung, whose ⊗/⊙ recursion is the same structure)
+  bit-for-bit.
+
+``max_nodes`` caps compilation for hard lineage: once the budget is
+spent, unexpanded sub-DNFs become residual leaves carrying their Fig. 3
+heuristic bounds and variable set — the partial-circuit analogue of a
+truncated ε-run, still sound and still re-evaluable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from array import array
+
+from ..core.bounds import independent_bounds
+from ..core.compiler import raised_recursion_limit
+from ..core.decompositions import (
+    independent_and_factorization,
+    independent_or_partition,
+    shannon_expansion,
+)
+from ..core.dnf import DNF
+from ..core.events import Clause
+from ..core.memo import DecompositionCache
+from ..core.orders import VariableSelector, max_frequency_choice
+from ..core.variables import VariableRegistry, atom_entry
+from .circuit import (
+    KIND_ATOM,
+    KIND_CONST,
+    KIND_OR,
+    KIND_PROD,
+    KIND_RESIDUAL,
+    KIND_SUM,
+    Circuit,
+)
+
+__all__ = ["compile_circuit", "CircuitCompilationStats"]
+
+
+class CircuitCompilationStats:
+    """Counters collected while compiling a circuit."""
+
+    __slots__ = ("nodes", "shared", "residuals", "shannon_expansions")
+
+    def __init__(self) -> None:
+        self.nodes = 0
+        self.shared = 0
+        self.residuals = 0
+        self.shannon_expansions = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CircuitCompilationStats(nodes={self.nodes}, "
+            f"shared={self.shared}, residuals={self.residuals}, "
+            f"shannon={self.shannon_expansions})"
+        )
+
+
+class _Builder:
+    """Accumulates flat node arrays in topological emission order."""
+
+    __slots__ = (
+        "kinds",
+        "arg0",
+        "arg1",
+        "children",
+        "consts",
+        "residuals",
+        "atom_nodes",
+        "var_atoms",
+        "stats",
+    )
+
+    def __init__(self, stats: CircuitCompilationStats) -> None:
+        self.kinds = array("B")
+        self.arg0 = array("q")
+        self.arg1 = array("q")
+        self.children = array("q")
+        self.consts: List[float] = []
+        self.residuals: List[Tuple[float, float, FrozenSet[int]]] = []
+        self.atom_nodes: Dict[int, int] = {}
+        self.var_atoms: Dict[int, List[int]] = {}
+        self.stats = stats
+
+    def _emit(self, kind: int, a: int, b: int) -> int:
+        index = len(self.kinds)
+        self.kinds.append(kind)
+        self.arg0.append(a)
+        self.arg1.append(b)
+        self.stats.nodes += 1
+        return index
+
+    def const(self, value: float) -> int:
+        for index, existing in enumerate(self.consts):
+            if existing == value:
+                break
+        else:
+            index = len(self.consts)
+            self.consts.append(value)
+        return self._emit(KIND_CONST, index, 0)
+
+    def atom(self, atom_id: int, var_id: int) -> int:
+        node = self.atom_nodes.get(atom_id)
+        if node is not None:
+            return node
+        node = self._emit(KIND_ATOM, atom_id, 0)
+        self.atom_nodes[atom_id] = node
+        self.var_atoms.setdefault(var_id, []).append(atom_id)
+        return node
+
+    def inner(self, kind: int, child_ids: List[int]) -> int:
+        start = len(self.children)
+        self.children.extend(child_ids)
+        return self._emit(kind, start, len(self.children))
+
+    def residual(
+        self, bounds: Tuple[float, float], vids: FrozenSet[int]
+    ) -> int:
+        index = len(self.residuals)
+        self.residuals.append((bounds[0], bounds[1], vids))
+        self.stats.residuals += 1
+        return self._emit(KIND_RESIDUAL, index, 0)
+
+
+def compile_circuit(
+    dnf: DNF,
+    registry: VariableRegistry,
+    *,
+    choose_variable: Optional[VariableSelector] = None,
+    cache: Optional[DecompositionCache] = None,
+    max_nodes: Optional[int] = None,
+    sort_buckets: bool = True,
+    read_once_buckets: bool = False,
+    stats: Optional[CircuitCompilationStats] = None,
+) -> Circuit:
+    """Compile lineage into an arithmetic :class:`Circuit`.
+
+    Parameters
+    ----------
+    choose_variable:
+        Shannon pivot selector; pass the engine's configured selector so
+        the shared ``cache`` entries (keyed per configuration) apply.
+    cache:
+        A :class:`~repro.core.memo.DecompositionCache` shared with the
+        confidence paths; compiling after a run replays its recorded
+        decompositions.  A private cache is created when omitted.
+    max_nodes:
+        Node budget.  ``None`` compiles exactly; otherwise sub-DNFs
+        beyond the budget become residual-interval leaves (the circuit
+        then evaluates to sound bounds rather than a point).
+    sort_buckets, read_once_buckets:
+        Fig. 3 heuristic flags for residual-leaf bounds — pass the
+        engine's values so bounds (and the cache binding) agree with
+        the confidence paths.
+    """
+    selector = choose_variable or max_frequency_choice
+    if cache is None:
+        cache = DecompositionCache()
+    cache.bind((registry, selector, sort_buckets, read_once_buckets))
+    cache.trim()
+    if stats is None:
+        stats = CircuitCompilationStats()
+    builder = _Builder(stats)
+    #: reduced DNF -> node index (subcircuit sharing).
+    memo: Dict[DNF, int] = {}
+
+    bounds_cache = cache.bounds
+
+    def leaf_bounds(leaf: DNF) -> Tuple[float, float]:
+        bounds = bounds_cache.get(leaf)
+        if bounds is None:
+            bounds = independent_bounds(
+                leaf,
+                registry,
+                sort_by_probability=sort_buckets,
+                allow_read_once_buckets=read_once_buckets,
+            )
+            bounds_cache[leaf] = bounds
+        return bounds
+
+    def clause_node(clause) -> int:
+        atom_ids = clause.atom_ids
+        if len(atom_ids) == 1:
+            atom_id = atom_ids[0]
+            var_id = next(iter(clause.variable_ids))
+            return builder.atom(atom_id, var_id)
+        children = []
+        for atom_id in atom_ids:
+            var_id, _name, _value = atom_entry(atom_id)
+            children.append(builder.atom(atom_id, var_id))
+        return builder.inner(KIND_PROD, children)
+
+    def build(dnf_in: DNF, reduced: bool) -> int:
+        if reduced:
+            current = dnf_in
+        else:
+            current = cache.reduced.get(dnf_in)
+            if current is None:
+                current = dnf_in.remove_subsumed()
+                cache.reduced[dnf_in] = current
+        if current.is_false():
+            return builder.const(0.0)
+        if current.is_true():
+            return builder.const(1.0)
+        if current.is_single_clause():
+            return clause_node(current.sole_clause())
+
+        node = memo.get(current)
+        if node is not None:
+            stats.shared += 1
+            return node
+
+        if max_nodes is not None and stats.nodes >= max_nodes:
+            node = builder.residual(
+                leaf_bounds(current), current.variable_ids
+            )
+            memo[current] = node
+            return node
+
+        components = cache.components.get(current)
+        if components is None:
+            components = independent_or_partition(current)
+            cache.components[current] = components
+        if len(components) > 1:
+            children = [
+                build(component, True) for component in components
+            ]
+            node = builder.inner(KIND_OR, children)
+            memo[current] = node
+            return node
+
+        if current in cache.factors:
+            factors = cache.factors[current]
+        else:
+            factors = independent_and_factorization(current)
+            cache.factors[current] = factors
+        if factors is not None:
+            children = [build(factor, True) for factor in factors]
+            node = builder.inner(KIND_PROD, children)
+            memo[current] = node
+            return node
+
+        branches = cache.branches.get(current)
+        if branches is None:
+            pivot = selector(current)
+            branches = shannon_expansion(current, pivot, registry)
+            cache.branches[current] = branches
+        stats.shannon_expansions += 1
+        children = []
+        for branch in branches:
+            atom_node = clause_node(
+                Clause({branch.variable: branch.value})
+            )
+            if branch.cofactor.is_true():
+                children.append(atom_node)
+                continue
+            cofactor_node = build(branch.cofactor, False)
+            children.append(
+                builder.inner(KIND_PROD, [atom_node, cofactor_node])
+            )
+        if len(children) == 1:
+            node = children[0]
+        else:
+            node = builder.inner(KIND_SUM, children)
+        memo[current] = node
+        return node
+
+    # Shannon chains can be as deep as the variable count (IQ lineage,
+    # Thm. 6.9); same headroom as exact_probability_compiled.
+    with raised_recursion_limit(
+        dnf.size() + len(dnf.variable_ids) + 100
+    ):
+        root = build(dnf, False)
+    # The root must be the last node for the linear sweeps; shared
+    # subcircuit roots can predate later nodes, so alias when needed.
+    if root != len(builder.kinds) - 1:
+        builder.inner(KIND_SUM, [root])
+    return Circuit(
+        registry,
+        builder.kinds,
+        builder.arg0,
+        builder.arg1,
+        builder.children,
+        builder.consts,
+        builder.residuals,
+        builder.atom_nodes,
+        builder.var_atoms,
+    )

@@ -13,7 +13,9 @@ as the building block the incremental approximation algorithm of
 
 from __future__ import annotations
 
-from typing import Hashable, List, Optional
+import sys
+from contextlib import contextmanager
+from typing import Hashable, Iterator, List, Optional
 
 from .decompositions import (
     independent_and_factorization,
@@ -32,7 +34,32 @@ from .events import Clause
 from .orders import VariableSelector, max_frequency_choice
 from .variables import VariableRegistry
 
-__all__ = ["compile_dnf", "CompilationBudgetExceeded", "CompilationStats"]
+__all__ = [
+    "compile_dnf",
+    "raised_recursion_limit",
+    "CompilationBudgetExceeded",
+    "CompilationStats",
+]
+
+
+@contextmanager
+def raised_recursion_limit(needed: int) -> Iterator[None]:
+    """Temporarily raise the interpreter recursion limit to ``needed``.
+
+    Compiler recursion depth is proportional to d-tree depth, and IQ
+    lineage produces ``⊕`` chains one node per literal (Thm. 6.9), so
+    deep tractable instances need headroom.  No-op when the current
+    limit already suffices; always restored on exit.  Shared by the
+    exact d-tree path and the circuit compiler.
+    """
+    old_limit = sys.getrecursionlimit()
+    if needed > old_limit:
+        sys.setrecursionlimit(needed)
+    try:
+        yield
+    finally:
+        if needed > old_limit:
+            sys.setrecursionlimit(old_limit)
 
 
 class CompilationBudgetExceeded(RuntimeError):

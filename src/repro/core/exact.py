@@ -16,11 +16,14 @@ Two paths are offered (paper, Section VII reports both: "d-tree(error 0)"):
 
 from __future__ import annotations
 
-import sys
 from typing import Optional
 
 from .approx import ABSOLUTE, approximate_probability
-from .compiler import CompilationStats, compile_dnf
+from .compiler import (
+    CompilationStats,
+    compile_dnf,
+    raised_recursion_limit,
+)
 from .dnf import DNF
 from .dtree import DTree
 from .orders import VariableSelector
@@ -74,11 +77,7 @@ def exact_probability_compiled(
     """
     if dnf.is_false():
         return 0.0
-    needed = dnf.size() + len(dnf.variables) + 100
-    old_limit = sys.getrecursionlimit()
-    if needed > old_limit:
-        sys.setrecursionlimit(needed)
-    try:
+    with raised_recursion_limit(dnf.size() + len(dnf.variables) + 100):
         tree: DTree = compile_dnf(
             dnf,
             registry,
@@ -87,6 +86,3 @@ def exact_probability_compiled(
             stats=stats,
         )
         return tree.probability(registry)
-    finally:
-        if needed > old_limit:
-            sys.setrecursionlimit(old_limit)

@@ -47,6 +47,7 @@ __all__ = [
     "intern_variable",
     "intern_atom",
     "intern_snapshot",
+    "intern_version",
     "install_intern_snapshot",
     "lookup_variable",
     "lookup_atom",
@@ -138,6 +139,19 @@ def intern_snapshot() -> InternSnapshot:
     """
     with _INTERN_LOCK:
         return tuple(_VARIABLE_NAMES), tuple(_ATOM_ENTRIES)
+
+
+def intern_version() -> Tuple[int, int]:
+    """Monotone version of the intern tables: ``(variables, atoms)``.
+
+    The tables are append-only, so two equal versions imply identical
+    table contents.  The parallel execution layer compares a pool's
+    snapshot version against the current one to decide whether an
+    engine-lifetime worker pool must re-ship its snapshot (new atoms
+    interned since pool start) before encoding tasks as bare ids.
+    """
+    with _INTERN_LOCK:
+        return len(_VARIABLE_NAMES), len(_ATOM_ENTRIES)
 
 
 def install_intern_snapshot(snapshot: InternSnapshot) -> None:

@@ -36,7 +36,7 @@ from .cq import (
 )
 from .database import Database
 from .engine import QueryAnswer, answer_selector, evaluate, evaluate_to_dnf
-from .explain import QueryExplanation, explain
+from .explain import InfluenceReport, QueryExplanation, explain, rank_influence
 from .relation import Relation
 from .session import BoundsSnapshot, ProbDB, QueryResult
 from .sprout import UnsafeQueryError, sprout_confidence
@@ -73,8 +73,10 @@ __all__ = [
     "SqlSyntaxError",
     "parse_conf_query",
     "run_conf_query",
+    "InfluenceReport",
     "QueryExplanation",
     "explain",
+    "rank_influence",
     "RankedAnswer",
     "top_k_answers",
 ]

@@ -21,12 +21,22 @@ or ``QueryResult.explain()``.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import TYPE_CHECKING, Hashable, List, Optional, Tuple
 
+from ..core.dnf import DNF
+from ..core.variables import VariableRegistry
 from .cq import ConjunctiveQuery, SubGoal, Var, hard_pattern_tractable
 from .database import Database
 
-__all__ = ["explain", "QueryExplanation"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..circuits import Circuit
+
+__all__ = [
+    "explain",
+    "rank_influence",
+    "QueryExplanation",
+    "InfluenceReport",
+]
 
 
 class QueryExplanation:
@@ -51,6 +61,11 @@ class QueryExplanation:
         rungs like ``read-once`` apply per answer) and why — the planner
         decision ``evaluate_with_confidence`` / ``run_conf_query`` will
         actually take.
+    influence:
+        ``(answer_values, InfluenceReport)`` per answer when influence
+        ranking was requested (``QueryResult.explain``), ``None``
+        otherwise.  Each report says whether it ranked by true circuit
+        gradients or by the frequency heuristic.
     notes:
         Supporting detail, one line per finding.
     """
@@ -65,6 +80,7 @@ class QueryExplanation:
         "recommendation",
         "engine_strategy",
         "engine_reason",
+        "influence",
         "notes",
     )
 
@@ -78,11 +94,132 @@ class QueryExplanation:
         self.recommendation = ""
         self.engine_strategy = ""
         self.engine_reason = ""
+        self.influence: Optional[
+            List[Tuple[Tuple[Hashable, ...], "InfluenceReport"]]
+        ] = None
         self.notes: List[str] = []
 
     def __repr__(self) -> str:
         status = "tractable" if self.tractable else "hard"
         return f"QueryExplanation({status}: {self.recommendation})"
+
+
+class InfluenceReport:
+    """Tuples of one answer's lineage ranked by influence on its
+    confidence.
+
+    Attributes
+    ----------
+    method:
+        ``"circuit-gradient"`` — true sensitivities
+        ``∂confidence/∂p(tuple)`` from one backward sweep of the
+        answer's compiled circuit — or ``"frequency-heuristic"`` — the
+        fallback ranking by probability-weighted clause occurrence,
+        used when no circuit is available.
+    entries:
+        ``(variable, score)`` in descending ``|score|`` order.  For the
+        gradient method the score *is* the derivative (signed:
+        positive means raising the tuple's probability raises the
+        confidence); heuristic scores are only a ranking currency.
+    note:
+        One line describing how the ranking was obtained.
+    """
+
+    __slots__ = ("method", "entries", "note")
+
+    def __init__(
+        self,
+        method: str,
+        entries: List[Tuple[Hashable, float]],
+        note: str,
+    ) -> None:
+        self.method = method
+        self.entries = entries
+        self.note = note
+
+    def top(self, count: int) -> List[Tuple[Hashable, float]]:
+        return self.entries[:count]
+
+    def __repr__(self) -> str:
+        head = ", ".join(
+            f"{variable!r}: {score:+.4g}"
+            for variable, score in self.entries[:3]
+        )
+        return f"InfluenceReport({self.method}; {head}, ...)"
+
+
+def rank_influence(
+    dnf: DNF,
+    registry: VariableRegistry,
+    *,
+    circuit: Optional["Circuit"] = None,
+    top: Optional[int] = None,
+) -> InfluenceReport:
+    """Rank the tuples (variables) of a lineage DNF by influence.
+
+    With a compiled ``circuit`` the ranking uses the true gradient
+    ``∂P/∂p(tuple)`` — one backward sweep yields every tuple's
+    sensitivity at once.  Without one it falls back to the
+    probability-weighted occurrence heuristic (how much clause mass a
+    variable participates in), which orders reasonably but carries no
+    quantitative meaning.  The report names the method used.
+    """
+    if circuit is not None:
+        # One forward+backward sweep yields every atom's adjoint; both
+        # rankings derive from it.  Boolean variables get the true
+        # d/dp (adj(x=True) − adj(x=False), as Circuit.gradients
+        # computes); non-Boolean (e.g. block-independent-disjoint)
+        # variables have no single d/dp and are ranked by their
+        # strongest per-value derivative so they are not dropped.
+        per_variable: dict = {}
+        for (name, value), gradient in circuit.atom_gradients().items():
+            per_variable.setdefault(name, {})[value] = gradient
+        conditioned = set(circuit.conditioned)
+        scores: dict = {}
+        for name, by_value in per_variable.items():
+            if name in conditioned:
+                continue
+            if name in registry and registry.is_boolean(name):
+                scores[name] = by_value.get(True, 0.0) - by_value.get(
+                    False, 0.0
+                )
+            else:
+                scores[name] = max(by_value.values(), key=abs)
+        entries = sorted(
+            scores.items(),
+            key=lambda item: (-abs(item[1]), repr(item[0])),
+        )
+        note = (
+            "true sensitivities from one backward circuit sweep "
+            "(non-Boolean variables ranked by their strongest "
+            "per-value derivative)"
+            if circuit.is_exact
+            else "sensitivities from a partial circuit (residual leaves "
+            "held at their interval midpoint): approximate"
+        )
+        if top is not None:
+            entries = entries[:top]
+        return InfluenceReport("circuit-gradient", entries, note)
+
+    scores: dict = {}
+    for clause in dnf:
+        clause_probability = clause.probability(registry)
+        for variable in clause.variables:
+            scores[variable] = scores.get(variable, 0.0) + (
+                clause_probability
+            )
+    entries = sorted(
+        scores.items(), key=lambda item: (-abs(item[1]), repr(item[0]))
+    )
+    if top is not None:
+        entries = entries[:top]
+    return InfluenceReport(
+        "frequency-heuristic",
+        entries,
+        "probability-weighted clause occurrence (no compiled circuit "
+        "available; enable EngineConfig.compile_circuits or call "
+        "QueryResult.compile() for true gradients)",
+    )
 
 
 def _match_hard_pattern(query: ConjunctiveQuery):

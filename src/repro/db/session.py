@@ -38,6 +38,7 @@ from typing import (
     Union,
 )
 
+from ..circuits import Circuit, CircuitCache, CompiledResult
 from ..core.dnf import DNF
 from ..core.formulas import Formula
 from ..core.memo import DecompositionCache
@@ -46,7 +47,7 @@ from ..engine import ConfidenceEngine, EngineConfig, EngineResult
 from .cq import ConjunctiveQuery
 from .database import Database
 from .engine import QueryAnswer, evaluate
-from .explain import QueryExplanation, explain
+from .explain import QueryExplanation, explain, rank_influence
 from .sql import ParsedQuery, parse_conf_query
 from .topk import RankedAnswer, rank_answers
 
@@ -54,6 +55,29 @@ __all__ = ["ProbDB", "QueryResult", "BoundsSnapshot"]
 
 AnswerValues = Tuple[Hashable, ...]
 LineageAnswer = Tuple[AnswerValues, DNF]
+
+
+def _circuit_hit_result(
+    circuit: Circuit,
+    config: EngineConfig,
+    epsilon: Optional[float],
+    error_kind: Optional[str],
+) -> EngineResult:
+    """The session-cache warm hit as an :class:`EngineResult`.
+
+    One definition for both warm paths (``QueryResult.confidences``
+    and ``ProbDB.confidence``), so they cannot drift apart.
+    """
+    value = circuit.evaluate()
+    return EngineResult(
+        value, value, value, "circuit",
+        "session circuit cache hit: O(|circuit|) re-evaluation, "
+        "engine skipped",
+        True,
+        config.epsilon if epsilon is None else epsilon,
+        config.error_kind if error_kind is None else error_kind,
+        circuit=circuit,
+    )
 
 
 class BoundsSnapshot:
@@ -117,6 +141,7 @@ class QueryResult:
         "_evaluated",
         "_lineage",
         "_confidences",
+        "_circuit_cache",
     )
 
     def __init__(
@@ -127,6 +152,7 @@ class QueryResult:
         query: Optional[ConjunctiveQuery] = None,
         parsed: Optional[ParsedQuery] = None,
         lineage: Optional[Iterable[LineageAnswer]] = None,
+        circuit_cache: Optional[CircuitCache] = None,
     ) -> None:
         if parsed is not None and query is None:
             query = parsed.query
@@ -145,6 +171,9 @@ class QueryResult:
         self._confidences: Dict[
             Tuple[object, ...], List[Tuple[AnswerValues, EngineResult]]
         ] = {}
+        #: The owning session's compiled-circuit store (None for
+        #: results constructed outside a session).
+        self._circuit_cache = circuit_cache
 
     # -- metadata --------------------------------------------------------
     @property
@@ -228,6 +257,14 @@ class QueryResult:
         ``workers > 1`` (argument or session config).  Defaults come
         from the session's :class:`~repro.engine.EngineConfig`; results
         are memoised per request.
+
+        **Warm queries skip the engine.**  Answers whose lineage has an
+        exact compiled circuit in the session's
+        :class:`~repro.circuits.CircuitCache` (populated under
+        ``EngineConfig(compile_circuits=True)`` or by
+        :meth:`compile`) are evaluated by an O(|circuit|) sweep — no
+        decomposition, no batching, strategy reported as
+        ``"circuit"``.
         """
         key = (
             epsilon, error_kind, max_steps, deadline_seconds,
@@ -236,45 +273,96 @@ class QueryResult:
         cached = self._confidences.get(key)
         if cached is not None:
             return cached
+        answers = self._lineage
         if self.query is not None and self.database is not None:
-            answers = self._lineage
-            if answers is None:
-                strategy, _reason = (
-                    ConfidenceEngine.select_query_strategy(
-                        self.query, self.database
-                    )
+            strategy, _reason = ConfidenceEngine.select_query_strategy(
+                self.query, self.database
+            )
+            if strategy == "sprout":
+                # Extensional route: no lineage, nothing to compile.
+                pairs = self.engine.compute_query(
+                    self.query,
+                    self.database,
+                    answers=answers,
+                    epsilon=epsilon,
+                    error_kind=error_kind,
+                    max_steps=max_steps,
+                    deadline_seconds=deadline_seconds,
+                    max_total_steps=max_total_steps,
+                    workers=workers,
+                    executor_kind=executor_kind,
                 )
-                if strategy != "sprout":
-                    answers = self.lineage()
-            pairs = self.engine.compute_query(
-                self.query,
-                self.database,
-                answers=answers,
-                epsilon=epsilon,
-                error_kind=error_kind,
-                max_steps=max_steps,
-                deadline_seconds=deadline_seconds,
-                max_total_steps=max_total_steps,
-                workers=workers,
-                executor_kind=executor_kind,
-            )
-        else:
-            lineage = self.lineage()
-            results = self.engine.compute_many(
-                [dnf for _values, dnf in lineage],
-                epsilon=epsilon,
-                error_kind=error_kind,
-                max_steps=max_steps,
-                deadline_seconds=deadline_seconds,
-                max_total_steps=max_total_steps,
-                workers=workers,
-                executor_kind=executor_kind,
-            )
-            pairs = [
-                (values, result)
-                for (values, _dnf), result in zip(lineage, results)
-            ]
+                self._confidences[key] = pairs
+                return pairs
+        if answers is None:
+            answers = self.lineage()
+        pairs = self._lineage_confidences(
+            answers,
+            epsilon=epsilon,
+            error_kind=error_kind,
+            max_steps=max_steps,
+            deadline_seconds=deadline_seconds,
+            max_total_steps=max_total_steps,
+            workers=workers,
+            executor_kind=executor_kind,
+        )
         self._confidences[key] = pairs
+        return pairs
+
+    def _lineage_confidences(
+        self,
+        answers: List[LineageAnswer],
+        *,
+        epsilon: Optional[float],
+        error_kind: Optional[str],
+        max_steps: Optional[int],
+        deadline_seconds: Optional[float],
+        max_total_steps: Optional[int],
+        workers: Optional[int],
+        executor_kind: Optional[str],
+    ) -> List[Tuple[AnswerValues, EngineResult]]:
+        """Batched confidences with the session circuit cache in front.
+
+        Warm answers (exact circuit cached for their lineage) are
+        answered by circuit evaluation; only the cold remainder enters
+        the engine, and any exact circuits the engine compiles on the
+        way are stored for the next query.
+        """
+        config = self.engine.config
+        cache = self._circuit_cache
+        results: List[Optional[EngineResult]] = [None] * len(answers)
+        cold: List[int] = []
+        for index, (_values, dnf) in enumerate(answers):
+            circuit = cache.get(dnf) if cache is not None else None
+            if circuit is not None and circuit.is_exact:
+                results[index] = _circuit_hit_result(
+                    circuit, config, epsilon, error_kind
+                )
+            else:
+                cold.append(index)
+        if cold:
+            computed = self.engine.compute_many(
+                [answers[index][1] for index in cold],
+                epsilon=epsilon,
+                error_kind=error_kind,
+                max_steps=max_steps,
+                deadline_seconds=deadline_seconds,
+                max_total_steps=max_total_steps,
+                workers=workers,
+                executor_kind=executor_kind,
+            )
+            for index, result in zip(cold, computed):
+                results[index] = result
+                if cache is not None and result.circuit is not None:
+                    cache.put(answers[index][1], result.circuit)
+        pairs: List[Tuple[AnswerValues, EngineResult]] = []
+        for (values, _dnf), result in zip(answers, results):
+            if result is None:  # pragma: no cover - batch invariant
+                raise RuntimeError(
+                    "confidence batch returned fewer results than "
+                    "answers — refusing to drop answers silently"
+                )
+            pairs.append((values, result))
         return pairs
 
     def bounds(
@@ -341,8 +429,10 @@ class QueryResult:
                     break
                 yield snapshot()
         finally:
-            # Sharded batches own a worker pool; tear it down when the
-            # iterator finishes or is abandoned, not at GC time.
+            # Release a sharded batch's reference to the session
+            # engine's worker pool when the iterator finishes or is
+            # abandoned; the pool stays warm on the engine until
+            # ``ProbDB.close()`` (or GC) retires it.
             close = getattr(batch, "close", None)
             if close is not None:
                 close()
@@ -371,13 +461,81 @@ class QueryResult:
             executor_kind=executor_kind,
         )
 
-    def explain(self) -> QueryExplanation:
-        """The planner's routing decision for this result's query."""
+    # -- circuit compilation ---------------------------------------------
+    def compile(
+        self, *, max_nodes: Optional[int] = None
+    ) -> CompiledResult:
+        """Compile every answer's lineage into an arithmetic circuit.
+
+        The compile-once/evaluate-many entry point: the returned
+        :class:`~repro.circuits.CompiledResult` re-evaluates all answer
+        confidences under new probability maps in O(|circuits|),
+        yields per-tuple sensitivities in one backward sweep per
+        answer, conditions on variable assignments, and re-ranks
+        answers under hypothetical probabilities
+        (``what_if_top_k``) — all without touching the engine again.
+
+        Exact circuits (the default, ``max_nodes=None``) are also
+        stored in the session's circuit cache, so later
+        :meth:`confidences` calls on the same lineage skip the engine.
+        """
+        cache = self._circuit_cache if max_nodes is None else None
+        pairs: List[Tuple[AnswerValues, Circuit]] = []
+        for values, dnf in self.lineage():
+            circuit = cache.get(dnf) if cache is not None else None
+            if circuit is None:
+                circuit = self.engine.compile_circuit(
+                    dnf, max_nodes=max_nodes
+                )
+                if cache is not None:
+                    cache.put(dnf, circuit)
+            pairs.append((values, circuit))
+        return CompiledResult(pairs)
+
+    def explain(
+        self, include_influence: Optional[bool] = None, *, top: int = 5
+    ) -> QueryExplanation:
+        """The planner's routing decision, plus tuple influence.
+
+        ``include_influence`` adds a per-answer ranking of the most
+        influential tuples to the report: by **true circuit gradients**
+        when a compiled circuit is available in the session cache, by
+        the frequency heuristic otherwise — each
+        :class:`~repro.db.explain.InfluenceReport` says which method it
+        used.  The default (``None``) includes influence only when
+        lineage is already materialised, so a fresh ``explain()`` stays
+        a pure planning call; pass ``True`` to force lineage
+        materialisation, ``top`` bounds entries per answer.
+        """
         if self.query is None:
             raise ValueError(
                 "lineage-only results carry no query to explain"
             )
-        return explain(self.query, self.database)
+        report = explain(self.query, self.database)
+        if include_influence is None:
+            include_influence = self._lineage is not None
+        if include_influence:
+            cache = self._circuit_cache
+            influence = []
+            gradient_ranked = 0
+            for values, dnf in self.lineage():
+                circuit = cache.get(dnf) if cache is not None else None
+                entry = rank_influence(
+                    dnf,
+                    self.engine.registry,
+                    circuit=circuit,
+                    top=top,
+                )
+                if entry.method == "circuit-gradient":
+                    gradient_ranked += 1
+                influence.append((values, entry))
+            report.influence = influence
+            report.notes.append(
+                f"influence: {gradient_ranked}/{len(influence)} answers "
+                "ranked by true circuit gradients, the rest by the "
+                "frequency heuristic"
+            )
+        return report
 
 
 class ProbDB:
@@ -403,7 +561,7 @@ class ProbDB:
         other sessions.
     """
 
-    __slots__ = ("database", "engine")
+    __slots__ = ("database", "engine", "circuits")
 
     def __init__(
         self,
@@ -430,6 +588,9 @@ class ProbDB:
             )
         self.database = database
         self.engine = engine
+        #: Compiled circuits keyed by interned lineage DNF; a warm
+        #: query's confidences are O(|circuit|) sweeps, engine skipped.
+        self.circuits = CircuitCache()
 
     @classmethod
     def from_registry(
@@ -464,11 +625,17 @@ class ProbDB:
         evaluation and confidence computation happen on demand.
         """
         parsed = parse_conf_query(text, self.database)
-        return QueryResult(self.engine, self.database, parsed=parsed)
+        return QueryResult(
+            self.engine, self.database, parsed=parsed,
+            circuit_cache=self.circuits,
+        )
 
     def query(self, query: ConjunctiveQuery) -> QueryResult:
         """A lazy result for a :class:`ConjunctiveQuery`."""
-        return QueryResult(self.engine, self.database, query=query)
+        return QueryResult(
+            self.engine, self.database, query=query,
+            circuit_cache=self.circuits,
+        )
 
     def lineage(
         self, answers: Iterable[LineageAnswer]
@@ -478,7 +645,10 @@ class ProbDB:
         The batched confidence, bounds, and top-k machinery applies to
         hand-built lineage exactly as to query answers.
         """
-        return QueryResult(self.engine, self.database, lineage=answers)
+        return QueryResult(
+            self.engine, self.database, lineage=answers,
+            circuit_cache=self.circuits,
+        )
 
     def confidence(
         self,
@@ -493,15 +663,29 @@ class ProbDB:
 
         Keyword overrides are forwarded to
         :meth:`~repro.engine.ConfidenceEngine.compute`; the session's
-        :class:`~repro.engine.EngineConfig` fills the rest.
+        :class:`~repro.engine.EngineConfig` fills the rest.  Like
+        ``QueryResult.confidences()``, a lineage with an exact circuit
+        in the session cache is answered by an O(|circuit|) sweep —
+        strategy ``"circuit"``, engine skipped — and a freshly
+        compiled circuit (``EngineConfig.compile_circuits``) is stored
+        for the next call.
         """
-        return self.engine.compute(
-            lineage,
+        dnf = lineage.to_dnf() if isinstance(lineage, Formula) else lineage
+        circuit = self.circuits.get(dnf)
+        if circuit is not None and circuit.is_exact:
+            return _circuit_hit_result(
+                circuit, self.engine.config, epsilon, error_kind
+            )
+        result = self.engine.compute(
+            dnf,
             epsilon=epsilon,
             error_kind=error_kind,
             max_steps=max_steps,
             deadline_seconds=deadline_seconds,
         )
+        if result.circuit is not None:
+            self.circuits.put(dnf, result.circuit)
+        return result
 
     def explain(
         self, query: Union[str, ConjunctiveQuery]
@@ -512,9 +696,46 @@ class ProbDB:
             query = parse_conf_query(query, self.database).query
         return explain(query, self.database)
 
+    def circuit(
+        self,
+        lineage: Union[DNF, Formula],
+        *,
+        max_nodes: Optional[int] = None,
+    ) -> Circuit:
+        """A compiled circuit for one lineage formula, session-cached.
+
+        Exact compiles (``max_nodes=None``) hit and populate the
+        session's :class:`~repro.circuits.CircuitCache`, so repeated
+        requests — and subsequent warm ``confidences()`` calls on the
+        same lineage — are free.
+        """
+        dnf = lineage.to_dnf() if isinstance(lineage, Formula) else lineage
+        if max_nodes is None:
+            cached = self.circuits.get(dnf)
+            if cached is not None:
+                return cached
+        circuit = self.engine.compile_circuit(dnf, max_nodes=max_nodes)
+        if max_nodes is None:
+            self.circuits.put(dnf, circuit)
+        return circuit
+
+    def close(self) -> None:
+        """Retire the session's engine-lifetime worker pool (if any)."""
+        self.engine.close()
+
+    def __enter__(self) -> "ProbDB":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
     def cache_stats(self) -> Dict[str, int]:
         """Hit/miss/entry counters of the shared decomposition cache."""
         return self.engine.cache.stats()
+
+    def circuit_cache_stats(self) -> Dict[str, int]:
+        """Hit/miss/entry counters of the session circuit cache."""
+        return self.circuits.stats()
 
     def __repr__(self) -> str:
         names = ", ".join(sorted(self.database.relation_names()))

@@ -130,8 +130,10 @@ def rank_answers(
     try:
         return _rank_batch(batch, answers, k, max_total_steps, separation)
     finally:
-        # Sharded batches own a worker pool; shut it down
-        # deterministically rather than waiting for the GC finalizer.
+        # Release a sharded batch's reference to the engine-lifetime
+        # worker pool.  The pool itself survives on the engine (warm
+        # for the next ranking); ``engine.close()`` retires it, with a
+        # GC finalizer as the backstop for throwaway engines.
         close = getattr(batch, "close", None)
         if close is not None:
             close()

@@ -61,6 +61,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import pickle
+import threading
 from typing import (
     TYPE_CHECKING,
     Dict,
@@ -74,8 +75,11 @@ from typing import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from .engine_parallel import ShardedBatchComputation
+    from .engine_parallel import ShardedBatchComputation, WorkerPool
 
+from .circuits.circuit import Circuit
+from .circuits.compiler import CircuitCompilationStats
+from .circuits.compiler import compile_circuit as _compile_circuit
 from .core import clock
 from .core.approx import (
     ABSOLUTE,
@@ -164,6 +168,23 @@ class EngineConfig:
         nondeterministic; an integer makes every MC estimate a pure
         function of ``(rng_seed, lineage)`` — stable across runs, tuple
         order, and shard assignment.
+    compile_circuits:
+        Record the d-tree trace of every answer as an arithmetic
+        circuit (:mod:`repro.circuits`) on ``EngineResult.circuit``:
+        exact rungs compile fully, budgeted ε-runs compile *partial*
+        circuits with residual-interval leaves.  Circuits make repeat
+        evaluation under changed tuple probabilities an O(|circuit|)
+        sweep and power sensitivity / what-if analysis; the session
+        layer additionally caches them so warm queries skip the
+        engine.  Batched refinement and sharded workers skip per-round
+        compilation (intermediate results are replaced, and worker
+        payloads stay small); the batch compiles its *final* answers
+        once on the coordinator — a cheap cache replay on the serial
+        path, but a serial re-decomposition when ``workers > 1``
+        (worker caches are not shipped back), so leave the knob off
+        for parallel throughput runs that don't need circuits.  Off by
+        default: compilation costs roughly one extra decomposition
+        replay per answer.
     """
 
     epsilon: float = 0.0
@@ -183,6 +204,7 @@ class EngineConfig:
     workers: int = 1
     executor_kind: str = "process"
     rng_seed: Optional[int] = None
+    compile_circuits: bool = False
 
     def __post_init__(self) -> None:
         if not (0.0 <= self.epsilon < 1.0):
@@ -306,6 +328,12 @@ class EngineResult:
     details:
         Strategy-specific extras (e.g. the underlying
         :class:`~repro.core.approx.ApproximationResult`).
+    circuit:
+        The compiled :class:`~repro.circuits.Circuit` of this lineage
+        when ``EngineConfig.compile_circuits`` is on (``None``
+        otherwise, and on sharded workers): exact for exact rungs,
+        partial — residual-interval leaves, sound bounds — for
+        budgeted ε-runs.
     """
 
     __slots__ = (
@@ -320,6 +348,7 @@ class EngineResult:
         "steps",
         "elapsed_seconds",
         "details",
+        "circuit",
     )
 
     def __init__(
@@ -335,6 +364,7 @@ class EngineResult:
         steps: int = 0,
         elapsed_seconds: float = 0.0,
         details: Optional[Dict[str, object]] = None,
+        circuit: Optional[Circuit] = None,
     ) -> None:
         self.probability = probability
         self.lower = lower
@@ -347,6 +377,7 @@ class EngineResult:
         self.steps = steps
         self.elapsed_seconds = elapsed_seconds
         self.details = details or {}
+        self.circuit = circuit
 
     # ``estimate`` mirrors ApproximationResult for drop-in compatibility.
     @property
@@ -483,7 +514,10 @@ class BatchComputation:
     def _compute(self, index: int) -> EngineResult:
         # MC fallback is deferred to the very end of a batch (see
         # ConfidenceEngine._finalize_batch): sampling inside the
-        # refinement loop would be paid on every round.
+        # refinement loop would be paid on every round.  Circuit
+        # compilation likewise: a refinement round's result is replaced
+        # next round, so its circuit would be thrown away — consumers
+        # that want circuits compile once, from the final results.
         return self.engine.compute(
             self.dnfs[index],
             epsilon=self.epsilon,
@@ -491,6 +525,7 @@ class BatchComputation:
             max_steps=self.budgets[index],
             deadline_seconds=self.remaining_seconds(),
             mc_fallback=False,
+            compile_circuits=False,
         )
 
     def converged(self) -> bool:
@@ -586,6 +621,16 @@ class ConfidenceEngine:
         # DNF -> factored form (or None): top-k refinement re-submits the
         # same lineage with growing budgets; don't re-attempt 1OF each time.
         self._readonce_memo: Dict[DNF, Optional[Formula]] = {}
+        # Engine-lifetime worker pools, amortized across sharded
+        # batches; one slot per executor kind so interleaved thread-
+        # and process-pool batches don't evict each other.  Empty
+        # until the first parallel batch.  _pool_starts counts
+        # (re)builds — the amortization measure tests and benchmarks
+        # observe.  The lock guards the registry dict; each pool's own
+        # round_lock serializes execution rounds.
+        self._worker_pools: Dict[str, "WorkerPool"] = {}
+        self._pool_lock = threading.Lock()
+        self._pool_starts = 0
 
     # -- EngineConfig field mirrors (pre-config API compatibility) -------
     @property
@@ -657,12 +702,16 @@ class ConfidenceEngine:
         max_steps: Optional[int] = None,
         deadline_seconds: Optional[float] = None,
         mc_fallback: Optional[bool] = None,
+        compile_circuits: Optional[bool] = None,
     ) -> EngineResult:
         """Confidence of a lineage formula via the strategy ladder.
 
         Accepts a :class:`DNF` or any lineage :class:`Formula` (converted
         via ``to_dnf``).  Per-call overrides fall back to the engine's
-        :class:`EngineConfig`.
+        :class:`EngineConfig`.  ``compile_circuits=False`` suppresses
+        circuit attachment for this call even when the config enables it
+        (batched refinement uses this: intermediate rounds' circuits
+        would be thrown away, so the batch compiles once at the end).
         """
         started = clock.monotonic()
         config = self.config
@@ -687,25 +736,42 @@ class ConfidenceEngine:
         mc_enabled = (
             config.mc_fallback if mc_fallback is None else mc_fallback
         )
+        # Mirrors the mc_fallback override: an explicit True compiles
+        # even when the config default is off.
+        circuits_enabled = (
+            config.compile_circuits
+            if compile_circuits is None
+            else compile_circuits
+        )
 
         def finish(result: EngineResult) -> EngineResult:
             result.elapsed_seconds = clock.monotonic() - started
             return result
 
+        def attach(result: EngineResult) -> EngineResult:
+            if not circuits_enabled:
+                return result
+            return self._attach_circuit(result, dnf)
+
         # Rung 1: constants.
         if dnf.is_false():
             return finish(
-                EngineResult(
-                    0.0, 0.0, 0.0, "trivial", "empty DNF is constant false",
-                    True, epsilon, error_kind,
+                attach(
+                    EngineResult(
+                        0.0, 0.0, 0.0, "trivial",
+                        "empty DNF is constant false",
+                        True, epsilon, error_kind,
+                    )
                 )
             )
         if dnf.is_true():
             return finish(
-                EngineResult(
-                    1.0, 1.0, 1.0, "trivial",
-                    "DNF contains the empty clause (constant true)",
-                    True, epsilon, error_kind,
+                attach(
+                    EngineResult(
+                        1.0, 1.0, 1.0, "trivial",
+                        "DNF contains the empty clause (constant true)",
+                        True, epsilon, error_kind,
+                    )
                 )
             )
 
@@ -721,11 +787,13 @@ class ConfidenceEngine:
             if formula is not None:
                 value = formula.probability(self.registry)
                 return finish(
-                    EngineResult(
-                        value, value, value, "read-once",
-                        "lineage factors into one-occurrence form "
-                        "(Section VI.B): exact in linear time",
-                        True, epsilon, error_kind,
+                    attach(
+                        EngineResult(
+                            value, value, value, "read-once",
+                            "lineage factors into one-occurrence form "
+                            "(Section VI.B): exact in linear time",
+                            True, epsilon, error_kind,
+                        )
                     )
                 )
 
@@ -752,7 +820,7 @@ class ConfidenceEngine:
                 else "d-tree budget exhausted; bounds are best-effort "
                 "(no MC fallback applicable)"
             )
-            return finish(self._from_dtree(outcome, reason))
+            return finish(attach(self._from_dtree(outcome, reason)))
 
         # Rung 5: Monte-Carlo fallback on budget exhaustion.  The MC rung
         # is bounded by ``mc_max_samples`` (aconf has no wall-clock cap);
@@ -765,30 +833,140 @@ class ConfidenceEngine:
         mc_result = self._run_mc(dnf, epsilon, remaining)
         if mc_result is None:
             return finish(
-                self._from_dtree(
-                    outcome,
-                    "d-tree budget exhausted; MC fallback unavailable",
+                attach(
+                    self._from_dtree(
+                        outcome,
+                        "d-tree budget exhausted; MC fallback unavailable",
+                    )
                 )
             )
         estimate, samples, capped = mc_result
         # The d-tree bounds stay sound; clip the MC estimate into them.
         estimate = min(max(estimate, outcome.lower), outcome.upper)
         return finish(
-            EngineResult(
-                estimate,
-                outcome.lower,
-                outcome.upper,
-                "mc",
-                "d-tree budget exhausted; Karp–Luby/DKLR aconf estimate "
-                "within the partial d-tree bounds",
-                not capped,
-                epsilon,
-                error_kind,
-                steps=outcome.steps,
-                details={"dtree": outcome, "mc_samples": samples,
-                         "mc_capped": capped},
+            attach(
+                EngineResult(
+                    estimate,
+                    outcome.lower,
+                    outcome.upper,
+                    "mc",
+                    "d-tree budget exhausted; Karp–Luby/DKLR aconf "
+                    "estimate within the partial d-tree bounds",
+                    not capped,
+                    epsilon,
+                    error_kind,
+                    steps=outcome.steps,
+                    details={"dtree": outcome, "mc_samples": samples,
+                             "mc_capped": capped},
+                )
             )
         )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut down the engine-lifetime worker pools (idempotent).
+
+        Sharded batches (``workers > 1``) acquire a pool that lives on
+        the engine so repeated batches reuse warm workers; call this
+        when retiring the engine, or rely on the GC finalizer backstop.
+        Engines are also context managers::
+
+            with ConfidenceEngine(registry, workers=4) as engine:
+                engine.compute_many(batch)
+
+        The engine stays usable: a later sharded batch simply builds a
+        fresh pool.  Pools are never shut down mid-round — a round in
+        flight on another thread finishes first (its batch then heals
+        onto a fresh pool on its next round).
+        """
+        with self._pool_lock:
+            pools = list(self._worker_pools.values())
+            self._worker_pools.clear()
+        for pool in pools:
+            # Same discipline as displacement in acquire_worker_pool:
+            # wait out any in-flight round before closing.
+            with pool.round_lock:
+                pool.close()
+
+    def __enter__(self) -> "ConfidenceEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Circuit compilation
+    # ------------------------------------------------------------------
+    def compile_circuit(
+        self,
+        lineage: Lineage,
+        *,
+        max_nodes: Optional[int] = None,
+        stats: Optional[CircuitCompilationStats] = None,
+    ) -> Circuit:
+        """Compile lineage into a reusable arithmetic circuit.
+
+        Uses the engine's configured pivot selector and heuristic flags
+        and — crucially — its shared
+        :class:`~repro.core.memo.DecompositionCache`, so compiling
+        right after a confidence run replays the recorded decomposition
+        trace instead of re-searching it.  ``max_nodes`` caps the
+        circuit; unexpanded sub-DNFs become residual-interval leaves
+        (see :mod:`repro.circuits`).
+        """
+        config = self.config
+        if isinstance(lineage, Formula):
+            dnf = lineage.to_dnf()
+        else:
+            dnf = lineage
+        return _compile_circuit(
+            dnf,
+            self.registry,
+            choose_variable=config.choose_variable,
+            cache=self.cache,
+            max_nodes=max_nodes,
+            sort_buckets=config.sort_buckets,
+            read_once_buckets=config.read_once_buckets,
+            stats=stats,
+        )
+
+    @staticmethod
+    def _circuit_node_budget(steps: int, dnf: DNF) -> int:
+        """Node budget for the partial circuit of a budgeted run.
+
+        Proportional to the decomposition work the run actually spent
+        (each step built at most one inner node plus its children) with
+        a floor covering the input's own atoms, so compilation never
+        dominates a truncated computation.
+        """
+        return 64 + 8 * steps + 2 * dnf.size()
+
+    def _attach_circuit(
+        self, result: EngineResult, dnf: DNF
+    ) -> EngineResult:
+        """Compile ``dnf``'s circuit onto ``result`` (knob checked by
+        callers).
+
+        Exact answers — the trivial/read-once rungs, and an ``ε = 0``
+        converged d-tree run — compile fully; budgeted answers get a
+        node budget proportional to the work the run actually spent,
+        with residual-interval leaves standing in for unexpanded
+        sub-DNFs.
+        """
+        exact = result.strategy in ("trivial", "read-once") or (
+            result.strategy == "dtree"
+            and result.converged
+            and result.epsilon == 0.0
+        )
+        max_nodes = (
+            None
+            if exact
+            else self._circuit_node_budget(result.steps, dnf)
+        )
+        result.circuit = self.compile_circuit(dnf, max_nodes=max_nodes)
+        return result
 
     # ------------------------------------------------------------------
     # Batched computation
@@ -916,6 +1094,10 @@ class ConfidenceEngine:
             try:
                 batch.run(max_total_steps=max_total_steps)
                 self._finalize_batch(batch)
+                # Workers never compile (payloads stay small); the
+                # coordinator compiles the final answers, as the
+                # config knob promises.
+                self._attach_batch_circuits(batch)
                 return list(batch.results)
             finally:
                 batch.close()
@@ -956,7 +1138,29 @@ class ConfidenceEngine:
             if batch.step() is None:
                 break
         self._finalize_batch(batch)
+        self._attach_batch_circuits(batch)
         return list(batch.results)
+
+    def _attach_batch_circuits(self, batch) -> None:
+        """Compile circuits for a finished batch's final answers.
+
+        Refinement rounds (and sharded workers) skip compilation —
+        their results are replaced round over round — so the batch
+        compiles once, here.  On the serial path this replays the
+        decompositions the run just cached (cheap).  On the sharded
+        path the decompositions live in per-worker caches, so this is
+        a *serial re-decomposition on the coordinator*: the price of
+        circuits under ``workers > 1`` until worker caches are shipped
+        back (ROADMAP follow-on) — turn ``compile_circuits`` off for
+        parallel throughput runs that don't need circuits.
+        """
+        if not self.config.compile_circuits:
+            return
+        for index, result in enumerate(batch.results):
+            if result.circuit is None:
+                batch.results[index] = self._attach_circuit(
+                    result, batch.dnfs[index]
+                )
 
     def _finalize_batch(self, batch) -> None:
         """Apply the MC rung to tuples whose batch budget ran out.
@@ -994,6 +1198,7 @@ class ConfidenceEngine:
                 details=dict(
                     result.details, mc_samples=samples, mc_capped=capped
                 ),
+                circuit=result.circuit,
             )
 
     def _mc_applicable(

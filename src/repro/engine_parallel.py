@@ -64,8 +64,10 @@ from __future__ import annotations
 
 import os
 import pickle
+import threading
 import weakref
 from concurrent.futures import (
+    BrokenExecutor,
     Executor,
     Future,
     ProcessPoolExecutor,
@@ -83,6 +85,7 @@ from .core.variables import (
     VariableRegistry,
     install_intern_snapshot,
     intern_snapshot,
+    intern_version,
 )
 from .engine import (
     ConfidenceEngine,
@@ -92,7 +95,7 @@ from .engine import (
     _merge_refined,
 )
 
-__all__ = ["ShardedBatchComputation"]
+__all__ = ["ShardedBatchComputation", "WorkerPool"]
 
 #: ``(index, dnf, step budget)`` — one unit of shard work.  The process
 #: path ships the DNF through the interned-id codec below instead of
@@ -222,6 +225,174 @@ def _worker_probe(encoded: _EncodedDNF):
 
 
 # ----------------------------------------------------------------------
+# Engine-lifetime worker pools
+# ----------------------------------------------------------------------
+class WorkerPool:
+    """An executor (plus per-worker engines) amortized across batches.
+
+    Historically every :class:`ShardedBatchComputation` built and tore
+    down its own pool — correct, but a ``workers=N`` session serving
+    many small queries paid pool start-up per call and every worker's
+    decomposition cache restarted cold.  A :class:`WorkerPool` instead
+    lives on the :class:`~repro.engine.ConfidenceEngine`
+    (``engine._worker_pool``) for the engine's lifetime and is shared
+    by every batch the engine runs.
+
+    Staleness: a process pool ships the intern-table snapshot once per
+    worker at start-up, and tasks cross the boundary as bare interned
+    ids — valid only while the coordinator's tables match the shipped
+    snapshot.  The pool therefore records its snapshot's
+    :func:`~repro.core.variables.intern_version`;
+    :func:`acquire_worker_pool` compares it per round and rebuilds the
+    pool (re-shipping a fresh snapshot) only when new atoms were
+    interned since pool start.  Thread pools share the process's
+    tables and never go stale; their per-shard engines (and caches)
+    persist warm across batches.
+
+    Concurrency: a shared pool serializes *rounds* via
+    :attr:`round_lock` — two batches driving one engine from different
+    threads interleave whole rounds instead of racing the per-shard
+    worker engines (which are single-threaded by design), and a stale
+    pool is only ever closed between rounds, never under one.
+    """
+
+    __slots__ = (
+        "kind",
+        "size",
+        "registry",
+        "config",
+        "executor",
+        "thread_engines",
+        "snapshot_version",
+        "round_lock",
+        "_finalizer",
+        "__weakref__",
+    )
+
+    def __init__(
+        self,
+        registry: VariableRegistry,
+        config: EngineConfig,
+        kind: str,
+        size: int,
+    ) -> None:
+        self.kind = kind
+        self.size = size
+        self.registry = registry
+        self.config = config
+        self.thread_engines: Optional[List[ConfidenceEngine]] = None
+        self.snapshot_version: Optional[Tuple[int, int]] = None
+        self.round_lock = threading.Lock()
+        if kind == "thread":
+            self.thread_engines = [
+                ConfidenceEngine(registry, config) for _ in range(size)
+            ]
+            executor: Executor = ThreadPoolExecutor(
+                max_workers=size,
+                thread_name_prefix="repro-shard",
+            )
+        else:
+            try:
+                payload = pickle.dumps((registry, config))
+            except Exception as exc:
+                raise ValueError(
+                    "process-pool execution needs a picklable registry "
+                    "and EngineConfig; choose_variable closures are the "
+                    "usual culprit — use a picklable selector (e.g. "
+                    "repro.core.orders.CompositeSelector) or "
+                    "executor_kind='thread'"
+                ) from exc
+            del payload
+            mp_context = None
+            import multiprocessing
+
+            # fork (where available) shares the parent's pages — intern
+            # tables included — making the snapshot install a cheap
+            # verification replay; spawn pays a fresh-interpreter start
+            # but replays the snapshot for real.
+            if "fork" in multiprocessing.get_all_start_methods():
+                mp_context = multiprocessing.get_context("fork")
+            snapshot = intern_snapshot()
+            # Version derived from the snapshot itself, so the staleness
+            # comparison is exact even if another thread interns between
+            # the snapshot and this assignment.
+            self.snapshot_version = (len(snapshot[0]), len(snapshot[1]))
+            executor = ProcessPoolExecutor(
+                max_workers=size,
+                mp_context=mp_context,
+                initializer=_process_worker_init,
+                initargs=(snapshot, registry, config),
+            )
+        self.executor = executor
+        # GC backstop: must capture the executor, never ``self``.
+        self._finalizer = weakref.finalize(
+            self, _shutdown_executor, executor
+        )
+
+    def serves(self, kind: str, shards: int, config: EngineConfig) -> bool:
+        """Can this pool run a round of ``shards`` tasks as configured?"""
+        if self.kind != kind or self.size < shards:
+            return False
+        if self.config != config:
+            return False
+        if self.kind == "process":
+            return self.snapshot_version == intern_version()
+        return True
+
+    def close(self) -> None:
+        """Shut the executor down (idempotent)."""
+        if self._finalizer is not None:
+            self._finalizer()  # runs _shutdown_executor exactly once
+        self.thread_engines = None
+
+    def __repr__(self) -> str:
+        return (
+            f"WorkerPool({self.size} {self.kind} workers, "
+            f"snapshot_version={self.snapshot_version})"
+        )
+
+
+def acquire_worker_pool(
+    engine: ConfidenceEngine,
+    kind: str,
+    shards: int,
+    size: int,
+    config: EngineConfig,
+) -> WorkerPool:
+    """The engine's worker pool for ``kind``, (re)built only when it
+    cannot serve.
+
+    One slot per executor kind (interleaved thread- and process-pool
+    batches don't evict each other); within a kind, reuse requires the
+    same shard config, enough workers, and — for process pools — no
+    atoms interned since the pool's snapshot was shipped.  On a
+    rebuild the old pool is shut down first; ``engine._pool_starts``
+    counts builds (observable by tests and benchmarks as the
+    amortization measure).
+    """
+    with engine._pool_lock:
+        stale = engine._worker_pools.get(kind)
+        if stale is not None and stale.serves(kind, shards, config):
+            return stale
+        if stale is not None:
+            del engine._worker_pools[kind]
+        pool = WorkerPool(
+            engine.registry, config, kind, max(shards, size)
+        )
+        engine._worker_pools[kind] = pool
+        engine._pool_starts += 1
+    if stale is not None:
+        # Shut the displaced pool down outside the engine lock, and
+        # never mid-round: a concurrent batch may be inside one (it
+        # re-acquires per round and heals onto the new pool).  The
+        # only lock nesting anywhere is round_lock -> engine lock
+        # (_evict_pool), so waiting on round_lock here cannot deadlock.
+        with stale.round_lock:
+            stale.close()
+    return pool
+
+
+# ----------------------------------------------------------------------
 # The coordinator
 # ----------------------------------------------------------------------
 class ShardedBatchComputation:
@@ -245,12 +416,16 @@ class ShardedBatchComputation:
         ``initial_steps`` — the parallel analogue of the serial
         unbudgeted ``compute_many`` path, one task per shard.
 
-    The pool is created lazily on first execution and torn down by
-    :meth:`close` (also a context manager, and a GC finalizer as a
-    backstop).  The coordinating engine is *never* called for d-tree
-    work here — every decomposition runs on a worker engine with its own
-    cache; per-worker cache statistics are aggregated in
-    :meth:`cache_stats`.
+    The worker pool is **engine-lifetime** (see :class:`WorkerPool`):
+    acquired from the coordinating engine on first execution, reused
+    across batches with warm worker caches, and rebuilt only when it
+    cannot serve (kind/size mismatch, or — process pools — new atoms
+    interned since its snapshot shipped).  :meth:`close` merely drops
+    this batch's reference; retire the pool with
+    ``ConfidenceEngine.close()`` or let the GC finalizer reap it.  The
+    coordinating engine is *never* called for d-tree work here — every
+    decomposition runs on a worker engine with its own cache;
+    per-worker cache statistics are aggregated in :meth:`cache_stats`.
     """
 
     def __init__(
@@ -303,15 +478,16 @@ class ShardedBatchComputation:
                 f"{self.executor_kind!r}"
             )
         self.shards = min(self.workers, len(self.dnfs))
-        # Workers never recurse into sharding and never sample; MC is
-        # finalized on the coordinator (deterministic under rng_seed).
+        # Workers never recurse into sharding, never sample (MC is
+        # finalized on the coordinator, deterministic under rng_seed),
+        # and never compile circuits (result payloads stay small; the
+        # coordinating session compiles on demand).
         self._shard_config = config.replace(
-            workers=1, mc_fallback=False, max_total_steps=None
+            workers=1, mc_fallback=False, max_total_steps=None,
+            compile_circuits=False,
         )
         self._started = clock.monotonic()
-        self._executor: Optional[Executor] = None
-        self._finalizer = None
-        self._thread_engines: Optional[List[ConfidenceEngine]] = None
+        self._pool: Optional[WorkerPool] = None
         #: Latest cache stats per worker (shard id for threads, pid for
         #: processes) — the ingredients of :meth:`cache_stats`.
         self.worker_stats: Dict[object, Dict[str, int]] = {}
@@ -388,59 +564,54 @@ class ShardedBatchComputation:
 
     # -- executor plumbing ----------------------------------------------
     def _ensure_executor(self) -> Executor:
-        if self._executor is not None:
-            return self._executor
-        if self.executor_kind == "thread":
-            self._thread_engines = [
-                ConfidenceEngine(self.engine.registry, self._shard_config)
-                for _ in range(self.shards)
-            ]
-            executor = ThreadPoolExecutor(
-                max_workers=self.shards,
-                thread_name_prefix="repro-shard",
-            )
-        else:
-            registry = self.engine.registry
-            try:
-                payload = pickle.dumps((registry, self._shard_config))
-            except Exception as exc:
-                raise ValueError(
-                    "process-pool execution needs a picklable registry "
-                    "and EngineConfig; choose_variable closures are the "
-                    "usual culprit — use a picklable selector (e.g. "
-                    "repro.core.orders.CompositeSelector) or "
-                    "executor_kind='thread'"
-                ) from exc
-            del payload
-            mp_context = None
-            import multiprocessing
+        """The engine's pool, re-validated every round.
 
-            # fork (where available) shares the parent's pages — intern
-            # tables included — making the snapshot install a cheap
-            # verification replay; spawn pays a fresh-interpreter start
-            # but replays the snapshot for real.
-            if "fork" in multiprocessing.get_all_start_methods():
-                mp_context = multiprocessing.get_context("fork")
-            executor = ProcessPoolExecutor(
-                max_workers=self.shards,
-                mp_context=mp_context,
-                initializer=_process_worker_init,
-                initargs=(intern_snapshot(), registry, self._shard_config),
-            )
-        self._executor = executor
-        # GC backstop: must capture the executor, never ``self``.
-        self._finalizer = weakref.finalize(
-            self, _shutdown_executor, executor
+        Revalidation is two integer comparisons in the warm case; a
+        rebuild only happens when the pool cannot serve this batch —
+        wrong kind, too few workers, or (process pools) new atoms
+        interned since the snapshot was shipped.
+        """
+        pool = acquire_worker_pool(
+            self.engine,
+            self.executor_kind,
+            self.shards,
+            self.workers,
+            self._shard_config,
         )
-        return executor
+        self._pool = pool
+        return pool.executor
 
     def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
-        if self._finalizer is not None:
-            self._finalizer()  # runs _shutdown_executor exactly once
-            self._finalizer = None
-        self._executor = None
-        self._thread_engines = None
+        """Release this batch's reference to the engine's pool.
+
+        The pool itself stays alive on the engine (that amortization is
+        the point); shut it down with ``engine.close()`` when the
+        engine is retired, or rely on the GC finalizer.
+        """
+        self._pool = None
+
+    def _evict_pool(self) -> None:
+        """Drop a broken pool from the engine so the next batch heals.
+
+        A crashed worker (OOM kill, segfault) breaks the executor for
+        good; without eviction every later batch on this engine would
+        inherit the corpse.  The current batch still surfaces the
+        error — matching the historical per-batch-pool behaviour,
+        where the *next* batch simply built a fresh pool.
+        """
+        pool = self._pool
+        self._pool = None
+        if pool is None:
+            return
+        with self.engine._pool_lock:
+            pools = self.engine._worker_pools
+            for kind, candidate in list(pools.items()):
+                if candidate is pool:
+                    del pools[kind]
+        # Called from inside this batch's own round (round_lock held
+        # by us), so closing here cannot yank the pool from under a
+        # concurrent round.
+        pool.close()
 
     def __enter__(self) -> "ShardedBatchComputation":
         return self
@@ -461,10 +632,12 @@ class ShardedBatchComputation:
         deadline_remaining: Optional[float],
     ) -> Future:
         if self.executor_kind == "thread":
-            assert self._thread_engines is not None
+            assert self._pool is not None
+            engines = self._pool.thread_engines
+            assert engines is not None
             return executor.submit(
                 _run_items,
-                self._thread_engines[shard],
+                engines[shard],
                 items,
                 self.epsilon,
                 self.error_kind,
@@ -502,17 +675,65 @@ class ShardedBatchComputation:
             assignments[position % self.shards].append(
                 (index, encode(self.dnfs[index]), self.budgets[index])
             )
-        deadline_remaining = self.remaining_seconds()
-        futures = [
-            self._submit_shard(executor, shard, items, deadline_remaining)
-            for shard, items in enumerate(assignments)
-            if items
-        ]
         merged: List[Tuple[int, EngineResult]] = []
-        for future in futures:
-            shard_results, stats, worker_key = future.result()
-            self.worker_stats[worker_key] = stats
-            merged.extend(shard_results)
+        pool = self._pool
+        assert pool is not None
+        # Whole rounds serialize on the pool: concurrent batches on one
+        # engine interleave rounds instead of racing the single-threaded
+        # per-shard worker engines.  Between acquisition and locking, a
+        # concurrent acquire may have displaced (and closed) our pool —
+        # re-validate under the lock and re-acquire if so, instead of
+        # submitting on a shut-down executor.
+        for _attempt in range(8):
+            pool.round_lock.acquire()
+            if (
+                self.engine._worker_pools.get(self.executor_kind)
+                is pool
+            ):
+                break
+            pool.round_lock.release()
+            self._pool = None
+            executor = self._ensure_executor()
+            pool = self._pool
+            assert pool is not None
+        else:  # pragma: no cover - displacement storm
+            raise RuntimeError(
+                "worker pool kept being displaced by concurrent batches"
+            )
+        try:
+            # Budget measured only after the lock is held: waiting out
+            # another batch's round (or a pool rebuild) must come out
+            # of THIS batch's wall-clock allowance, not be handed to
+            # the workers as compute time.
+            deadline_remaining = self.remaining_seconds()
+            try:
+                futures = [
+                    self._submit_shard(
+                        executor, shard, items, deadline_remaining
+                    )
+                    for shard, items in enumerate(assignments)
+                    if items
+                ]
+            except (BrokenExecutor, RuntimeError):
+                # submit() raises only when the executor itself is
+                # broken or shut down — either way the pool is a
+                # corpse: evict it so the next batch builds fresh.
+                self._evict_pool()
+                raise
+            try:
+                for future in futures:
+                    shard_results, stats, worker_key = future.result()
+                    self.worker_stats[worker_key] = stats
+                    merged.extend(shard_results)
+            except BrokenExecutor:
+                # A worker died mid-task (OOM kill, segfault):
+                # permanent.  Errors raised *by* worker computation
+                # re-raise through result() without this handler — they
+                # must not cost a healthy pool its warm caches.
+                self._evict_pool()
+                raise
+        finally:
+            pool.round_lock.release()
         merged.sort(key=lambda pair: pair[0])
         for index, result in merged:
             if initial:

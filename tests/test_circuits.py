@@ -1,0 +1,713 @@
+"""Property tests for the lineage compilation subsystem.
+
+The contracts, exercised over the seeded generator shared with
+``tests/test_parallel_differential.py``:
+
+* **Evaluation bit-identity** — an exact circuit evaluated at the base
+  probabilities reproduces the engine's exact compiled confidence
+  (``exact_probability_compiled``) bit-for-bit, and the read-once rung
+  bit-for-bit via ``EngineResult.circuit``; every exact path agrees
+  with brute force to 1e-9.
+* **Reusability** — evaluation under a new probability map equals the
+  brute-force probability under a registry carrying those
+  probabilities (no re-decomposition anywhere).
+* **Gradients** — reverse-mode sensitivities match central finite
+  differences at 1e-6 (the probability is multilinear, so central
+  differences are exact up to roundoff) and an independent
+  brute-force differentiation oracle.
+* **Conditioning** — ``condition(x, a)`` equals the engine's
+  confidence of the conditioned lineage ``Φ|_{x=a}``.
+* **Partial circuits** — node-budgeted compiles stay sound at the base
+  probabilities, under overrides (residual leaves touched by an
+  override widen to [0, 1]), and under conditioning.
+* **Session integration** — warm queries answer from the circuit cache
+  with the engine skipped; ``explain()`` ranks influence by true
+  gradients when circuits exist and says so.
+"""
+
+import random
+
+import pytest
+
+from repro import (
+    Circuit,
+    ConfidenceEngine,
+    EngineConfig,
+    ProbDB,
+    compile_circuit,
+)
+from repro.circuits.compiler import CircuitCompilationStats
+from repro.core.dnf import DNF
+from repro.core.events import Clause
+from repro.core.exact import exact_probability_compiled
+from repro.core.semantics import brute_force_probability
+from repro.core.variables import VariableRegistry
+
+from test_parallel_differential import make_group
+
+#: (groups, cases per group) — the generated circuit corpus.
+CIRCUIT_GROUPS = (6, 25)
+
+
+def shifted_registry(tag, seed, registry):
+    """A second registry over the same variable names with fresh
+    probabilities, plus the override map that reproduces it."""
+    rng = random.Random(seed * 7919 + 13)
+    overrides = {}
+    shifted = VariableRegistry()
+    for name in registry.variables():
+        prob = rng.uniform(0.05, 0.95)
+        overrides[name] = prob
+        shifted.add_boolean(name, prob)
+    return shifted, overrides
+
+
+class TestExactCircuitDifferential:
+    @pytest.mark.parametrize("seed", range(CIRCUIT_GROUPS[0]))
+    def test_evaluate_matches_engine_and_truth(self, seed):
+        registry, dnfs = make_group("cxd", seed, CIRCUIT_GROUPS[1])
+        engine = ConfidenceEngine(registry)
+        shifted, overrides = shifted_registry("cxd", seed, registry)
+        for index, dnf in enumerate(dnfs):
+            circuit = compile_circuit(dnf, registry, cache=engine.cache)
+            assert circuit.is_exact
+            value = circuit.evaluate()
+            truth = brute_force_probability(dnf, registry)
+            assert abs(value - truth) <= 1e-9, (seed, index)
+            if not dnf.is_false():
+                # Same decomposition, same arithmetic: bit-identical to
+                # the engine's exact compiled confidence.
+                reference = exact_probability_compiled(dnf, registry)
+                assert value == reference, (seed, index, value, reference)
+            result = engine.compute(dnf)
+            assert abs(value - result.probability) <= 1e-9, (seed, index)
+            # Reuse under a new probability map: no re-decomposition,
+            # same answer as a from-scratch computation over that map.
+            warm = circuit.evaluate(overrides)
+            cold = brute_force_probability(dnf, shifted)
+            assert abs(warm - cold) <= 1e-9, (seed, index)
+
+    def test_subcircuits_are_shared(self):
+        # Shannon on x yields cofactors {ab, bc, d} and {ab, bc}: the
+        # connected component {ab, bc} recurs and must be emitted once,
+        # with the second occurrence folded into a shared reference.
+        registry = VariableRegistry.from_boolean_probabilities(
+            {name: 0.5 for name in ("cxs_x", "cxs_a", "cxs_b",
+                                    "cxs_c", "cxs_d")}
+        )
+        dnf = DNF(
+            (
+                Clause({"cxs_x": True, "cxs_a": True, "cxs_b": True}),
+                Clause({"cxs_x": True, "cxs_b": True, "cxs_c": True}),
+                Clause({"cxs_x": False, "cxs_a": True, "cxs_b": True}),
+                Clause({"cxs_x": False, "cxs_b": True, "cxs_c": True}),
+                Clause({"cxs_x": True, "cxs_d": True}),
+            )
+        )
+        stats = CircuitCompilationStats()
+        circuit = compile_circuit(dnf, registry, stats=stats)
+        assert stats.shared > 0
+        assert abs(
+            circuit.evaluate() - brute_force_probability(dnf, registry)
+        ) <= 1e-9
+
+
+class TestGradients:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_gradients_match_central_finite_differences(self, seed):
+        registry, dnfs = make_group("cgr", seed, 20)
+        step = 1e-5
+        for index, dnf in enumerate(dnfs):
+            if not dnf.variables:
+                continue
+            circuit = compile_circuit(dnf, registry)
+            gradients = circuit.gradients()
+            for name in sorted(dnf.variables, key=repr)[:3]:
+                base = registry.probability(name, True)
+                up = circuit.evaluate({name: base + step})
+                down = circuit.evaluate({name: base - step})
+                finite = (up - down) / (2.0 * step)
+                # A variable dropped by subsumption removal has no
+                # input node: its gradient is 0 and absent from the map.
+                gradient = gradients.get(name, 0.0)
+                assert abs(finite - gradient) <= 1e-6, (
+                    seed, index, name, finite, gradient,
+                )
+
+    def test_gradients_match_brute_force_oracle(self):
+        registry, dnfs = make_group("cgo", 11, 8)
+        step = 1e-5
+        for dnf in dnfs:
+            if not dnf.variables:
+                continue
+            circuit = compile_circuit(dnf, registry)
+            gradients = circuit.gradients()
+            name = sorted(dnf.variables, key=repr)[0]
+            if name not in circuit.variables():
+                continue  # dropped by subsumption: gradient is 0
+            base = registry.probability(name, True)
+
+            def oracle(prob):
+                registry_shift = VariableRegistry()
+                for other in registry.variables():
+                    registry_shift.add_boolean(
+                        other,
+                        prob
+                        if other == name
+                        else registry.probability(other, True),
+                    )
+                return brute_force_probability(dnf, registry_shift)
+
+            finite = (oracle(base + step) - oracle(base - step)) / (
+                2.0 * step
+            )
+            assert abs(finite - gradients[name]) <= 1e-6
+
+    def test_gradient_signs_make_sense(self):
+        # P = x ∨ (¬x ∧ y): raising p(x) or p(y) raises P.
+        registry = VariableRegistry.from_boolean_probabilities(
+            {"cgs_x": 0.4, "cgs_y": 0.3}
+        )
+        dnf = DNF(
+            (
+                Clause({"cgs_x": True}),
+                Clause({"cgs_x": False, "cgs_y": True}),
+            )
+        )
+        gradients = compile_circuit(dnf, registry).gradients()
+        assert gradients["cgs_x"] > 0
+        assert gradients["cgs_y"] > 0
+
+
+class TestConditioning:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_condition_matches_engine_on_restricted_lineage(self, seed):
+        registry, dnfs = make_group("ccd", seed, 20)
+        engine = ConfidenceEngine(registry)
+        for index, dnf in enumerate(dnfs):
+            if not dnf.variables:
+                continue
+            circuit = compile_circuit(dnf, registry, cache=engine.cache)
+            for value in (True, False):
+                name = sorted(dnf.variables, key=repr)[0]
+                conditioned = circuit.condition(name, value)
+                restricted = dnf.restrict(name, value)
+                expected = engine.compute(restricted).probability
+                assert (
+                    abs(conditioned.evaluate() - expected) <= 1e-9
+                ), (seed, index, name, value)
+
+    def test_chained_conditioning(self):
+        registry, dnfs = make_group("ccc", 5, 10, variables=6)
+        for dnf in dnfs:
+            names = sorted(dnf.variables, key=repr)
+            if len(names) < 2:
+                continue
+            circuit = compile_circuit(dnf, registry)
+            chained = circuit.condition(names[0], True).condition(
+                names[1], False
+            )
+            restricted = dnf.restrict(names[0], True).restrict(
+                names[1], False
+            )
+            truth = brute_force_probability(restricted, registry)
+            assert abs(chained.evaluate() - truth) <= 1e-9
+            # Clamps surface in `conditioned` whenever the chosen atom
+            # has an input node; either way nothing else may appear.
+            assert set(chained.conditioned.items()) <= {
+                (names[0], True), (names[1], False),
+            }
+
+    def test_condition_rejects_unknown_domain_value(self):
+        registry = VariableRegistry.from_boolean_probabilities(
+            {"ccx_x": 0.5}
+        )
+        circuit = compile_circuit(
+            DNF((Clause({"ccx_x": True}),)), registry
+        )
+        with pytest.raises(KeyError):
+            circuit.condition("ccx_x", "no-such-value")
+
+
+class TestPartialCircuits:
+    @pytest.mark.parametrize("seed", range(3))
+    @pytest.mark.parametrize("budget", [2, 6, 16])
+    def test_bounds_sound_everywhere(self, seed, budget):
+        registry, dnfs = make_group("cpb", seed, 15)
+        shifted, overrides = shifted_registry("cpb", seed, registry)
+        for index, dnf in enumerate(dnfs):
+            circuit = compile_circuit(dnf, registry, max_nodes=budget)
+            lower, upper = circuit.evaluate_bounds()
+            truth = brute_force_probability(dnf, registry)
+            assert lower - 1e-9 <= truth <= upper + 1e-9, (
+                seed, budget, index,
+            )
+            lower, upper = circuit.evaluate_bounds(overrides)
+            truth = brute_force_probability(dnf, shifted)
+            assert lower - 1e-9 <= truth <= upper + 1e-9, (
+                seed, budget, index,
+            )
+            if dnf.variables:
+                name = sorted(dnf.variables, key=repr)[-1]
+                lower, upper = circuit.condition(
+                    name, True
+                ).evaluate_bounds()
+                truth = brute_force_probability(
+                    dnf.restrict(name, True), registry
+                )
+                assert lower - 1e-9 <= truth <= upper + 1e-9, (
+                    seed, budget, index,
+                )
+
+    def test_residual_leaves_widen_only_when_touched(self):
+        registry = VariableRegistry.from_boolean_probabilities(
+            {
+                "cpw_a": 0.3, "cpw_b": 0.6, "cpw_c": 0.4,
+                "cpw_d": 0.7, "cpw_e": 0.5,
+            }
+        )
+        # Two independent components: {a,b}-lineage and {c,d,e}-lineage;
+        # a tiny budget leaves at least one as a residual.
+        dnf = DNF(
+            (
+                Clause({"cpw_a": True, "cpw_b": True}),
+                Clause({"cpw_a": True, "cpw_b": False}),
+                Clause({"cpw_c": True, "cpw_d": True}),
+                Clause({"cpw_d": True, "cpw_e": True}),
+                Clause({"cpw_c": True, "cpw_e": False}),
+            )
+        )
+        circuit = compile_circuit(dnf, registry, max_nodes=1)
+        assert not circuit.is_exact
+        base_lower, base_upper = circuit.evaluate_bounds()
+        residual_vars = set()
+        for _low, _high, vids in circuit.residuals:
+            residual_vars.update(vids)
+        from repro.core.variables import variable_name
+
+        # An override on a variable OUTSIDE every residual keeps the
+        # stored leaf bounds valid: overriding it with its own base
+        # probability must reproduce the base interval bit-for-bit.
+        compiled_only = [
+            variable_name(vid)
+            for vid in circuit.var_atoms
+            if vid not in residual_vars
+        ]
+        assert compiled_only, "budget of 1 should still compile atoms"
+        outside = compiled_only[0]
+        same = circuit.evaluate_bounds(
+            {outside: registry.probability(outside, True)}
+        )
+        assert same == (base_lower, base_upper)
+
+        # An override TOUCHING a residual voids its stored bounds; the
+        # leaf widens to [0, 1] and the interval stays sound for the
+        # overridden probability map.
+        inside = variable_name(sorted(residual_vars)[0])
+        lower, upper = circuit.evaluate_bounds({inside: 0.99})
+        assert upper - lower >= (base_upper - base_lower) - 1e-12
+        shifted = VariableRegistry()
+        for name in registry.variables():
+            shifted.add_boolean(
+                name, 0.99 if name == inside else registry.probability(
+                    name, True
+                )
+            )
+        truth = brute_force_probability(dnf, shifted)
+        assert lower - 1e-9 <= truth <= upper + 1e-9
+
+
+class TestEngineIntegration:
+    def test_read_once_rung_attaches_bit_identical_circuit(self):
+        registry = VariableRegistry.from_boolean_probabilities(
+            {"cei_x": 0.3, "cei_y": 0.2, "cei_z": 0.7, "cei_v": 0.8}
+        )
+        dnf = DNF.from_positive_clauses(
+            [["cei_x", "cei_y"], ["cei_x", "cei_z"], ["cei_v"]]
+        )
+        engine = ConfidenceEngine(
+            registry, EngineConfig(compile_circuits=True)
+        )
+        result = engine.compute(dnf)
+        assert result.strategy == "read-once"
+        assert isinstance(result.circuit, Circuit)
+        assert result.circuit.is_exact
+        assert result.circuit.evaluate() == result.probability
+
+    @pytest.mark.parametrize("seed", range(2))
+    def test_exact_dtree_rung_attaches_exact_circuit(self, seed):
+        registry, dnfs = make_group("cei", seed, 15)
+        engine = ConfidenceEngine(
+            registry,
+            EngineConfig(compile_circuits=True, try_read_once=False),
+        )
+        for result, dnf in zip(engine.compute_many(dnfs), dnfs):
+            assert result.circuit is not None
+            assert result.circuit.is_exact
+            assert (
+                abs(result.circuit.evaluate() - result.probability)
+                <= 1e-9
+            )
+
+    def test_budgeted_run_attaches_partial_sound_circuit(self):
+        # Hard-pattern bipartite lineage (R(X), S(X,Y), T(Y) over a
+        # 5×5 grid): far too large for the step-1 budget, so the
+        # attached circuit must be partial — and still sound.
+        registry = VariableRegistry()
+        grid = 5
+        for index in range(grid):
+            registry.add_boolean(f"cep_r{index}", 0.3)
+            registry.add_boolean(f"cep_t{index}", 0.6)
+        for left in range(grid):
+            for right in range(grid):
+                registry.add_boolean(f"cep_s{left}{right}", 0.4)
+        dnf = DNF(
+            Clause(
+                {
+                    f"cep_r{left}": True,
+                    f"cep_s{left}{right}": True,
+                    f"cep_t{right}": True,
+                }
+            )
+            for left in range(grid)
+            for right in range(grid)
+        )
+        engine = ConfidenceEngine(
+            registry,
+            EngineConfig(
+                compile_circuits=True,
+                try_read_once=False,
+                epsilon=0.05,
+                error_kind="relative",
+                max_steps=1,
+                mc_fallback=False,
+            ),
+        )
+        result = engine.compute(dnf)
+        circuit = result.circuit
+        assert circuit is not None
+        assert not circuit.is_exact, "step budget of 1 must truncate"
+        lower, upper = circuit.evaluate_bounds()
+        # Engine bounds and circuit bounds are both sound, so they
+        # must overlap; the exact value is out of brute-force reach.
+        assert max(lower, result.lower) <= min(upper, result.upper) + 1e-9
+
+    def test_off_by_default(self):
+        registry, dnfs = make_group("ceo", 4, 3)
+        engine = ConfidenceEngine(registry)
+        for result in engine.compute_many(dnfs):
+            assert result.circuit is None
+
+    def test_sharded_batch_compiles_on_the_coordinator(self):
+        registry, dnfs = make_group("cew", 6, 6)
+        engine = ConfidenceEngine(
+            registry,
+            EngineConfig(compile_circuits=True, workers=2,
+                         executor_kind="thread"),
+        )
+        with engine:
+            for dnf, result in zip(dnfs, engine.compute_many(dnfs)):
+                assert result.circuit is not None
+                lower, upper = result.circuit.evaluate_bounds()
+                truth = brute_force_probability(dnf, registry)
+                assert lower - 1e-9 <= truth <= upper + 1e-9
+
+    def test_per_call_override_forces_compilation(self):
+        registry, dnfs = make_group("cof", 7, 2)
+        engine = ConfidenceEngine(registry)  # circuits off by default
+        result = engine.compute(dnfs[0], compile_circuits=True)
+        assert result.circuit is not None
+        assert engine.compute(dnfs[1]).circuit is None
+
+
+class TestOverrideValidation:
+    def _circuit(self):
+        registry = VariableRegistry()
+        registry.add_variable(
+            "ovv_u", {"a": 0.5, "b": 0.2, "c": 0.3}
+        )
+        registry.add_boolean("ovv_x", 0.4)
+        dnf = DNF(
+            (
+                Clause({"ovv_u": "a", "ovv_x": True}),
+                Clause({"ovv_u": "b"}),
+            )
+        )
+        return registry, compile_circuit(dnf, registry)
+
+    def test_mapping_override_must_sum_to_one(self):
+        _registry, circuit = self._circuit()
+        with pytest.raises(ValueError, match="sums to"):
+            circuit.evaluate({"ovv_u": {"a": 0.9, "b": 0.9, "c": 0.9}})
+
+    def test_mapping_override_must_cover_the_domain(self):
+        _registry, circuit = self._circuit()
+        with pytest.raises(ValueError, match="domain"):
+            circuit.evaluate({"ovv_u": {"a": 0.6, "b": 0.4}})
+        with pytest.raises(ValueError, match="domain"):
+            circuit.evaluate(
+                {"ovv_u": {"a": 0.5, "b": 0.2, "c": 0.2, "d": 0.1}}
+            )
+
+    def test_valid_mapping_override_is_accepted(self):
+        registry, circuit = self._circuit()
+        value = circuit.evaluate(
+            {"ovv_u": {"a": 0.1, "b": 0.7, "c": 0.2}}
+        )
+        shifted = VariableRegistry()
+        shifted.add_variable("ovv_u", {"a": 0.1, "b": 0.7, "c": 0.2})
+        shifted.add_boolean("ovv_x", 0.4)
+        dnf = DNF(
+            (
+                Clause({"ovv_u": "a", "ovv_x": True}),
+                Clause({"ovv_u": "b"}),
+            )
+        )
+        assert abs(value - brute_force_probability(dnf, shifted)) <= 1e-9
+
+    def test_degenerate_mapping_override_is_conditioning(self):
+        _registry, circuit = self._circuit()
+        clamped = circuit.evaluate(
+            {"ovv_u": {"a": 0.0, "b": 1.0, "c": 0.0}}
+        )
+        assert clamped == circuit.condition("ovv_u", "b").evaluate()
+
+    def test_boolean_shorthand_out_of_range_rejected(self):
+        _registry, circuit = self._circuit()
+        with pytest.raises(ValueError, match="outside"):
+            circuit.evaluate({"ovv_x": 1.5})
+
+    def test_unknown_variable_override_is_rejected(self):
+        _registry, circuit = self._circuit()
+        with pytest.raises(KeyError, match="unknown"):
+            circuit.evaluate({"ovv_x_typo": 0.5})
+
+    def test_override_on_registry_variable_outside_circuit_is_noop(self):
+        registry, circuit = self._circuit()
+        registry.add_boolean("ovv_elsewhere", 0.5)
+        assert circuit.evaluate({"ovv_elsewhere": 0.9}) == (
+            circuit.evaluate()
+        )
+
+    def test_invalid_override_rejected_even_for_residual_only_vars(self):
+        registry = VariableRegistry.from_boolean_probabilities(
+            {f"ovr_v{index}": 0.5 for index in range(5)}
+        )
+        dnf = DNF(
+            Clause(
+                {
+                    f"ovr_v{index}": True,
+                    f"ovr_v{(index + 1) % 5}": True,
+                }
+            )
+            for index in range(5)
+        )
+        partial = compile_circuit(dnf, registry, max_nodes=1)
+        assert not partial.is_exact
+        with pytest.raises(ValueError, match="outside"):
+            partial.evaluate_bounds({"ovr_v0": 1.5})
+        with pytest.raises(ValueError, match="domain"):
+            partial.evaluate_bounds({"ovr_v0": {"bogus": 1.0}})
+
+    def test_float_shorthand_rejected_for_non_boolean_variable(self):
+        _registry, circuit = self._circuit()
+        with pytest.raises(ValueError, match="not Boolean"):
+            circuit.evaluate({"ovv_u": 0.99})
+
+    def test_condition_rejects_unknown_variable(self):
+        _registry, circuit = self._circuit()
+        with pytest.raises(KeyError, match="unknown"):
+            circuit.condition("ovv_u_typo", "a")
+
+    def test_conditioned_map_survives_missing_atom_polarity(self):
+        # The circuit holds only the x=True atom; clamping x to False
+        # pins nothing to 1.0 but must still be reported.
+        registry = VariableRegistry.from_boolean_probabilities(
+            {"ovp_x": 0.4, "ovp_y": 0.6}
+        )
+        circuit = compile_circuit(
+            DNF((Clause({"ovp_x": True, "ovp_y": True}),)), registry
+        )
+        conditioned = circuit.condition("ovp_x", False)
+        assert conditioned.conditioned == {"ovp_x": False}
+        assert conditioned.evaluate() == 0.0
+
+
+class TestWhatIfTieBreak:
+    def test_mixed_type_answer_values_do_not_crash_on_ties(self):
+        registry = VariableRegistry.from_boolean_probabilities(
+            {"wtb_x": 0.5, "wtb_y": 0.5}
+        )
+        pairs = [
+            ((1,), compile_circuit(
+                DNF((Clause({"wtb_x": True}),)), registry)),
+            (("a",), compile_circuit(
+                DNF((Clause({"wtb_y": True}),)), registry)),
+        ]
+        from repro import CompiledResult
+
+        ranked = CompiledResult(pairs).what_if_top_k(2)
+        assert {row.values for row in ranked} == {(1,), ("a",)}
+
+
+class TestBatchedCompilation:
+    def test_budgeted_batch_attaches_circuits_once_at_the_end(self):
+        registry, dnfs = make_group("cbb", 41, 8)
+        engine = ConfidenceEngine(
+            registry,
+            EngineConfig(
+                compile_circuits=True,
+                try_read_once=False,
+                max_total_steps=40,
+                initial_steps=1,
+            ),
+        )
+        results = engine.compute_many(dnfs)
+        for dnf, result in zip(dnfs, results):
+            assert result.circuit is not None
+            lower, upper = result.circuit.evaluate_bounds()
+            truth = brute_force_probability(dnf, registry)
+            assert lower - 1e-9 <= truth <= upper + 1e-9
+
+
+class TestSessionCircuitCache:
+    def _session(self, seed=21, cases=8):
+        registry, dnfs = make_group("csc", seed, cases)
+        session = ProbDB.from_registry(
+            registry, EngineConfig(compile_circuits=True)
+        )
+        pairs = [((index,), dnf) for index, dnf in enumerate(dnfs)]
+        return registry, session, pairs
+
+    def test_warm_query_skips_the_engine(self):
+        _registry, session, pairs = self._session()
+        first = session.lineage(pairs).confidences()
+        assert all(
+            result.strategy != "circuit" for _values, result in first
+        )
+        warm = session.lineage(pairs).confidences()
+        assert all(
+            result.strategy == "circuit" for _values, result in warm
+        )
+        for (_v1, cold), (_v2, hot) in zip(first, warm):
+            assert abs(cold.probability - hot.probability) <= 1e-9
+            assert hot.converged
+        stats = session.circuit_cache_stats()
+        assert stats["hits"] >= len(pairs)
+
+    def test_compile_populates_cache_for_warm_confidences(self):
+        _registry, session, pairs = self._session(seed=22)
+        compiled = session.lineage(pairs).compile()
+        assert len(compiled) == len(pairs)
+        warm = session.lineage(pairs).confidences()
+        assert all(
+            result.strategy == "circuit" for _values, result in warm
+        )
+
+    def test_what_if_top_k_matches_engine_on_shifted_registry(self):
+        registry, session, pairs = self._session(seed=23, cases=10)
+        compiled = session.lineage(pairs).compile()
+        shifted, overrides = shifted_registry("csc", 23, registry)
+        ranked = compiled.what_if_top_k(3, overrides)
+        expected = sorted(
+            (
+                brute_force_probability(dnf, shifted)
+                for _values, dnf in pairs
+            ),
+            reverse=True,
+        )
+        # Compare by probability: duplicate lineages (the generator may
+        # repeat a DNF) make tie order among answers arbitrary.
+        for row, expected_probability in zip(ranked, expected[:3]):
+            assert abs(row.midpoint() - expected_probability) <= 1e-9
+
+    def test_compiled_result_condition_and_sensitivities(self):
+        registry, session, pairs = self._session(seed=24, cases=6)
+        compiled = session.lineage(pairs).compile()
+        name = next(iter(pairs[0][1].variables))
+        conditioned = compiled.condition(name, True)
+        for (values, dnf), (_values, probability) in zip(
+            pairs, conditioned.evaluate()
+        ):
+            truth = brute_force_probability(
+                dnf.restrict(name, True), registry
+            )
+            assert abs(probability - truth) <= 1e-9
+        for (values, dnf), (_values, grads) in zip(
+            pairs, compiled.sensitivities()
+        ):
+            for variable, gradient in grads.items():
+                assert isinstance(gradient, float)
+
+    def test_session_circuit_helper_is_cached(self):
+        _registry, session, pairs = self._session(seed=25, cases=2)
+        first = session.circuit(pairs[0][1])
+        again = session.circuit(pairs[0][1])
+        assert first is again
+
+    def test_probdb_confidence_uses_the_circuit_cache(self):
+        _registry, session, pairs = self._session(seed=26, cases=1)
+        dnf = pairs[0][1]
+        cold = session.confidence(dnf)
+        assert cold.strategy != "circuit"
+        warm = session.confidence(dnf)
+        assert warm.strategy == "circuit"
+        assert warm.converged
+        assert abs(warm.probability - cold.probability) <= 1e-9
+
+
+class TestExplainInfluence:
+    def test_gradient_ranking_when_circuits_available(self):
+        registry, dnfs = make_group("cxi", 31, 4)
+        session = ProbDB.from_registry(
+            registry, EngineConfig(compile_circuits=True)
+        )
+        pairs = [((index,), dnf) for index, dnf in enumerate(dnfs)]
+        result = session.lineage(pairs).confidences()
+        from repro.db.explain import rank_influence
+
+        for (_values, outcome), (_v, dnf) in zip(result, pairs):
+            report = rank_influence(
+                dnf, registry, circuit=outcome.circuit
+            )
+            assert report.method == "circuit-gradient"
+            # The ranking is by true derivative: cross-check the top
+            # entry against the circuit's own gradient map.
+            gradients = outcome.circuit.gradients()
+            if report.entries:
+                top_variable, top_score = report.entries[0]
+                assert top_score == gradients[top_variable]
+                assert abs(top_score) == max(
+                    abs(score) for score in gradients.values()
+                )
+
+    def test_non_boolean_variables_ranked_by_strongest_value(self):
+        from repro.db.explain import rank_influence
+
+        registry = VariableRegistry()
+        registry.add_variable(
+            "cxb_u", {"a": 0.2, "b": 0.3, "c": 0.5}
+        )
+        registry.add_boolean("cxb_x", 0.4)
+        dnf = DNF(
+            (
+                Clause({"cxb_u": "a", "cxb_x": True}),
+                Clause({"cxb_u": "b"}),
+            )
+        )
+        circuit = compile_circuit(dnf, registry)
+        report = rank_influence(dnf, registry, circuit=circuit)
+        assert report.method == "circuit-gradient"
+        names = {name for name, _score in report.entries}
+        # The multi-valued (BID-style) variable must not be dropped.
+        assert "cxb_u" in names
+        assert "cxb_x" in names
+
+    def test_heuristic_fallback_reports_itself(self):
+        registry, dnfs = make_group("cxh", 32, 2)
+        from repro.db.explain import rank_influence
+
+        report = rank_influence(dnfs[0], registry, circuit=None)
+        assert report.method == "frequency-heuristic"
+        assert report.entries
+        assert "no compiled circuit" in report.note

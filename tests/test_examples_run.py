@@ -17,6 +17,7 @@ EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
 FAST_EXAMPLES = [
     "quickstart.py",
     "anytime_bounds.py",
+    "circuit_what_if.py",
     "sql_and_topk.py",
     "social_network_motifs.py",
 ]
