@@ -48,7 +48,12 @@ from repro.datasets.tpch_queries import HARD_QUERIES, make_query
 from repro.db.engine import answer_selector, evaluate_to_dnf
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-OUTPUT = os.path.join(REPO_ROOT, "BENCH_circuits.json")
+#: Result file; override with CIRCUIT_BENCH_OUTPUT so comparison runs
+#: (benchmarks/check_bench_regression.py) don't clobber the committed
+#: baseline.
+OUTPUT = os.environ.get(
+    "CIRCUIT_BENCH_OUTPUT", os.path.join(REPO_ROOT, "BENCH_circuits.json")
+)
 
 SMOKE = os.environ.get("CIRCUIT_BENCH_SMOKE") == "1"
 ASSERT_SPEEDUP = os.environ.get("CIRCUIT_BENCH_NO_ASSERT") != "1"

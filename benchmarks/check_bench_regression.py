@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: smoke benches vs the committed baselines.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_bench_regression.py
+
+Runs the circuit-reuse and engine-compare benches in **smoke mode**
+(small workloads, one repetition) and compares them against the
+committed ``BENCH_circuits.json`` / ``BENCH_engine.json`` baselines.
+Absolute seconds are meaningless across machines — the committed
+baselines were recorded on different hardware than any CI runner — so
+the gate checks the two **machine-independent ratios** each bench
+measures inside a single run:
+
+* ``speedup_warm_vs_cold`` (circuits): warm circuit re-evaluation vs
+  cold exact recompute.  Baseline ≈ 145×; the gate fails if a smoke run
+  cannot reach ``max(2, baseline / SLACK)`` — an order-of-magnitude
+  collapse of the circuits subsystem.
+* ``session_vs_interned`` (engine): batched session confidences vs the
+  per-tuple engine loop.  Baseline ≈ 1.0; the gate fails if batching
+  becomes ``SLACK×`` slower than the loop — a pathological regression
+  in ``compute_many`` / the session façade.
+
+``SLACK`` is deliberately generous (hosted runners are noisy, smoke
+workloads are small): the gate exists to catch *order-of-magnitude*
+regressions on every PR, not single-digit percentages — those are the
+job of the recorded full benches.
+
+Smoke outputs are written to a temp directory; the committed baselines
+are never touched.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.dirname(BENCH_DIR)
+
+#: How much worse than baseline a smoke ratio may be before failing.
+SLACK = 15.0
+#: The warm-vs-cold speedup below which circuits are considered broken
+#: regardless of baseline (warm evaluation must beat recompute easily).
+CIRCUIT_SPEEDUP_FLOOR = 2.0
+
+
+class RegressionError(AssertionError):
+    pass
+
+
+def load_baseline(name: str) -> dict:
+    path = os.path.join(REPO_ROOT, name)
+    if not os.path.exists(path):
+        raise RegressionError(
+            f"committed baseline {name} is missing — record it with the "
+            "matching bench script before gating on it"
+        )
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def run_bench(script: str, env: dict, *args: str) -> None:
+    command = [sys.executable, os.path.join(BENCH_DIR, script), *args]
+    merged_env = dict(os.environ)
+    merged_env.update(env)
+    merged_env.setdefault(
+        "PYTHONPATH", os.path.join(REPO_ROOT, "src")
+    )
+    completed = subprocess.run(
+        command, env=merged_env, capture_output=True, text=True
+    )
+    if completed.returncode != 0:
+        raise RegressionError(
+            f"{script} {' '.join(args)} failed:\n{completed.stdout}\n"
+            f"{completed.stderr}"
+        )
+
+
+def check_circuit_speedup(failures: list) -> None:
+    baseline = load_baseline("BENCH_circuits.json")
+    baseline_speedup = baseline["totals"]["speedup_warm_vs_cold"]
+    threshold = max(CIRCUIT_SPEEDUP_FLOOR, baseline_speedup / SLACK)
+
+    with tempfile.TemporaryDirectory() as temp_dir:
+        output = os.path.join(temp_dir, "circuits_smoke.json")
+        run_bench(
+            "bench_circuit_reuse.py",
+            {
+                "CIRCUIT_BENCH_SMOKE": "1",
+                "CIRCUIT_BENCH_OUTPUT": output,
+                # The gate applies its own threshold below.
+                "CIRCUIT_BENCH_NO_ASSERT": "1",
+            },
+        )
+        with open(output) as handle:
+            smoke = json.load(handle)
+    smoke_speedup = smoke["totals"]["speedup_warm_vs_cold"]
+    verdict = "ok" if smoke_speedup >= threshold else "FAIL"
+    print(
+        f"[circuits] warm-vs-cold speedup: smoke {smoke_speedup:.1f}x, "
+        f"baseline {baseline_speedup:.1f}x, threshold "
+        f">= {threshold:.1f}x ... {verdict}"
+    )
+    if smoke_speedup < threshold:
+        failures.append(
+            f"circuit warm re-evaluation speedup collapsed: "
+            f"{smoke_speedup:.1f}x < {threshold:.1f}x (baseline "
+            f"{baseline_speedup:.1f}x / slack {SLACK:g})"
+        )
+
+
+def check_session_ratio(failures: list) -> None:
+    baseline = load_baseline("BENCH_engine.json")
+    try:
+        baseline_ratio = baseline["session_vs_interned"]["overall_ratio"]
+    except KeyError:
+        raise RegressionError(
+            "BENCH_engine.json has no session_vs_interned section — "
+            "re-record the 'interned' and 'session' labels"
+        ) from None
+    # Batching may legitimately run a little over the loop on tiny
+    # smoke workloads; it must never be an order of magnitude over.
+    threshold = max(baseline_ratio, 1.0) * SLACK
+
+    with tempfile.TemporaryDirectory() as temp_dir:
+        output = os.path.join(temp_dir, "engine_smoke.json")
+        env = {"ENGINE_BENCH_SMOKE": "1", "ENGINE_BENCH_OUTPUT": output}
+        run_bench("bench_engine_compare.py", env, "interned")
+        run_bench("bench_engine_compare.py", env, "session")
+        with open(output) as handle:
+            smoke = json.load(handle)
+    smoke_ratio = smoke["session_vs_interned"]["overall_ratio"]
+    verdict = "ok" if smoke_ratio <= threshold else "FAIL"
+    print(
+        f"[engine] session/interned ratio: smoke {smoke_ratio:.3f}, "
+        f"baseline {baseline_ratio:.3f}, threshold "
+        f"<= {threshold:.1f} ... {verdict}"
+    )
+    if smoke_ratio > threshold:
+        failures.append(
+            f"batched session confidences regressed vs the per-tuple "
+            f"loop: ratio {smoke_ratio:.3f} > {threshold:.1f} "
+            f"(baseline {baseline_ratio:.3f} × slack {SLACK:g})"
+        )
+
+
+def main() -> int:
+    failures: list = []
+    check_circuit_speedup(failures)
+    check_session_ratio(failures)
+    if failures:
+        print("\nbench-regression gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nbench-regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

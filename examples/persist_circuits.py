@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Persisting compiled circuits across processes.
+
+A ``ProbDB`` session opened with a circuit store compiles each query's
+lineage once and saves the circuits on close; the *next* session — even
+in a brand-new process with fresh intern tables — warm-starts from the
+store and answers the same queries with strategy ``"circuit"``, never
+touching the engine, bit-identically to the cold run.
+
+This script demonstrates (and checks) exactly that:
+
+1. build a seeded lineage workload,
+2. session A (this process): cold confidences, circuits compiled and
+   persisted to the store,
+3. session B (a **subprocess** — a genuinely fresh interpreter): loads
+   the store, answers warm, asserts every strategy is ``"circuit"`` and
+   every probability is bit-identical to session A's.
+
+Run:  python examples/persist_circuits.py [--store PATH]
+
+With ``--store`` the store file is kept (CI uploads it as an artifact);
+without it a temporary directory is used and cleaned up.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+from repro import EngineConfig, ProbDB
+from repro.circuits import circuit_store_info
+
+EXAMPLE_DIR = os.path.dirname(os.path.abspath(__file__))
+
+
+def build_workload():
+    """A seeded registry + answer-lineage corpus, identical every run.
+
+    Determinism matters: session B rebuilds the same workload in a
+    fresh process and must produce equal lineage DNFs (by variable
+    *name* — the interned ids will differ, which is the point).
+    """
+    import random
+
+    from repro import DNF, VariableRegistry
+    from repro.core.events import Clause
+
+    rng = random.Random(2026)
+    names = [f"pc_v{index}" for index in range(10)]
+    registry = VariableRegistry.from_boolean_probabilities(
+        {name: rng.uniform(0.05, 0.95) for name in names}
+    )
+    dnfs = []
+    for _ in range(20):
+        dnfs.append(
+            DNF(
+                Clause(
+                    {
+                        rng.choice(names): rng.random() < 0.6
+                        for _ in range(rng.randint(1, 4))
+                    }
+                )
+                for _ in range(rng.randint(1, 7))
+            )
+        )
+    return registry, [((index,), dnf) for index, dnf in enumerate(dnfs)]
+
+
+def run_session(store_path: str) -> dict:
+    """One session against the store; returns strategies + confidences."""
+    registry, pairs = build_workload()
+    with ProbDB.from_registry(
+        registry,
+        EngineConfig(compile_circuits=True),
+        persist_circuits=store_path,
+    ) as session:
+        results = session.lineage(pairs).confidences()
+        return {
+            "strategies": [result.strategy for _values, result in results],
+            "probabilities": [
+                result.probability for _values, result in results
+            ],
+        }
+
+
+def main() -> int:
+    if sys.argv[1:2] == ["verify"]:
+        # Session B, running inside the subprocess spawned below.
+        print(json.dumps(run_session(sys.argv[2])))
+        return 0
+
+    keep_store = "--store" in sys.argv
+    if keep_store:
+        store_path = sys.argv[sys.argv.index("--store") + 1]
+        os.makedirs(os.path.dirname(store_path) or ".", exist_ok=True)
+        temp_dir = None
+    else:
+        temp_dir = tempfile.TemporaryDirectory()
+        store_path = os.path.join(temp_dir.name, "circuits.rcir")
+
+    # Session A: cold — every answer goes through the engine, circuits
+    # are compiled along the way and saved when the session closes.
+    cold = run_session(store_path)
+    assert all(s != "circuit" for s in cold["strategies"])
+    info = circuit_store_info(store_path)
+    print(
+        f"session A compiled {info['entries']} circuits "
+        f"({info['payload_bytes']} bytes, format v{info['format_version']})"
+    )
+
+    # Session B: a fresh interpreter — fresh intern tables, nothing
+    # shared but the store file on disk.
+    completed = subprocess.run(
+        [sys.executable, os.path.abspath(__file__), "verify", store_path],
+        capture_output=True,
+        text=True,
+        env=dict(os.environ),
+    )
+    if completed.returncode != 0:
+        print(completed.stderr, file=sys.stderr)
+        return 1
+    warm = json.loads(completed.stdout.strip().splitlines()[-1])
+
+    assert all(s == "circuit" for s in warm["strategies"]), (
+        f"warm session did not answer from circuits: {warm['strategies']}"
+    )
+    assert warm["probabilities"] == cold["probabilities"], (
+        "cross-process confidences are not bit-identical"
+    )
+    print(
+        f"session B (fresh process) answered all "
+        f"{len(warm['strategies'])} queries with strategy 'circuit', "
+        "bit-identical to session A"
+    )
+    if keep_store:
+        print(f"store kept at {store_path}")
+    if temp_dir is not None:
+        temp_dir.cleanup()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

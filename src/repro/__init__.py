@@ -62,7 +62,13 @@ from .core import (
     make_variable_selector,
     read_once_probability,
 )
-from .circuits import Circuit, CircuitCache, CompiledResult, compile_circuit
+from .circuits import (
+    Circuit,
+    CircuitCache,
+    CircuitStoreError,
+    CompiledResult,
+    compile_circuit,
+)
 from .engine import (
     BatchComputation,
     ConfidenceEngine,
@@ -75,7 +81,7 @@ from .db.explain import InfluenceReport, rank_influence
 from .db.session import BoundsSnapshot, ProbDB, QueryResult
 from .db.topk import RankedAnswer
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "ABSOLUTE",
@@ -86,6 +92,7 @@ __all__ = [
     "BoundsSnapshot",
     "Circuit",
     "CircuitCache",
+    "CircuitStoreError",
     "Clause",
     "CompiledResult",
     "ConfidenceEngine",

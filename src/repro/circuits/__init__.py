@@ -17,7 +17,14 @@ number and throws it away.  This package keeps it:
   lineage (``ProbDB`` uses it to skip the engine on warm queries);
 * :class:`CompiledResult` packages a whole answer set for
   compile-once/evaluate-many workloads
-  (``QueryResult.compile()``).
+  (``QueryResult.compile()``);
+* :mod:`repro.circuits.serialize` is the versioned binary codec that
+  makes circuits durable and shippable: ``CircuitCache.save/load``
+  persist a session's compiled circuits across restarts (by
+  variable/atom *names*, so any process can load any store), and the
+  sharded execution layer ships worker-compiled circuits and
+  decomposition-cache slices back to the coordinator over the same
+  format.
 """
 
 from .cache import CircuitCache
@@ -32,13 +39,23 @@ from .circuit import (
 )
 from .compiled import CompiledResult
 from .compiler import CircuitCompilationStats, compile_circuit
+from .serialize import (
+    CircuitStoreError,
+    circuit_store_info,
+    load_circuit_store,
+    save_circuit_store,
+)
 
 __all__ = [
     "Circuit",
     "CircuitCache",
     "CircuitCompilationStats",
+    "CircuitStoreError",
     "CompiledResult",
+    "circuit_store_info",
     "compile_circuit",
+    "load_circuit_store",
+    "save_circuit_store",
     "KIND_ATOM",
     "KIND_CONST",
     "KIND_OR",

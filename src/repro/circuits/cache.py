@@ -15,12 +15,16 @@ the engine's job to arbitrate, not the cache's.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+import os
+from typing import Dict, Optional, Union
 
 from ..core.dnf import DNF
+from ..core.variables import VariableRegistry
 from .circuit import Circuit
 
 __all__ = ["CircuitCache"]
+
+PathLike = Union[str, "os.PathLike[str]"]
 
 
 class CircuitCache:
@@ -67,6 +71,74 @@ class CircuitCache:
 
     def clear(self) -> None:
         self.entries.clear()
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: PathLike) -> int:
+        """Write every cached circuit (with its lineage key) to ``path``.
+
+        The file is the versioned store of
+        :mod:`repro.circuits.serialize`: self-contained variable/atom
+        *names*, so it loads into any process regardless of
+        intern-table state.  Returns the number of entries written.
+        """
+        from .serialize import save_circuit_store
+
+        return save_circuit_store(path, self.entries.items())
+
+    @classmethod
+    def load(
+        cls,
+        path: PathLike,
+        registry: VariableRegistry,
+        *,
+        strict: bool = True,
+        max_entries: int = 4096,
+    ) -> "CircuitCache":
+        """A fresh cache from a store written by :meth:`save`.
+
+        Keys re-intern by name in this process, so a query whose
+        lineage equals a stored entry's hits the cache exactly as it
+        did in the saving session.  ``strict=False`` skips entries that
+        reference atoms ``registry`` no longer defines instead of
+        raising :class:`~repro.circuits.serialize.CircuitStoreError`.
+        """
+        cache = cls(max_entries=max_entries)
+        cache.load_into(path, registry, strict=strict)
+        return cache
+
+    def load_into(
+        self,
+        path: PathLike,
+        registry: VariableRegistry,
+        *,
+        strict: bool = True,
+    ) -> int:
+        """Merge a store into this cache; returns entries loaded.
+
+        Keyless records (saved from bare circuits rather than a cache)
+        cannot be looked up by lineage and are skipped.
+        """
+        from .serialize import load_circuit_store
+
+        loaded = 0
+        for key, circuit in load_circuit_store(
+            path, registry, strict=strict
+        ):
+            if key is None:
+                continue
+            self.entries[key] = circuit
+            loaded += 1
+        if self.max_entries < 2 * len(self.entries):
+            # A warm-start that leaves too little headroom would be
+            # wiped wholesale by put()'s eviction within a handful of
+            # new compiles — losing every persisted circuit (and, on
+            # close, overwriting the store with the near-empty
+            # survivor).  Guarantee headroom of at least the loaded
+            # set's own size before eviction can trigger.
+            self.max_entries = 2 * len(self.entries)
+        return loaded
 
     def stats(self) -> Dict[str, int]:
         return {

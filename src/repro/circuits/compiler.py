@@ -58,21 +58,36 @@ __all__ = ["compile_circuit", "CircuitCompilationStats"]
 
 
 class CircuitCompilationStats:
-    """Counters collected while compiling a circuit."""
+    """Counters collected while compiling a circuit.
 
-    __slots__ = ("nodes", "shared", "residuals", "shannon_expansions")
+    ``cold_steps`` counts decomposition searches (⊗ partitioning, ⊙
+    factorization, Shannon expansion) the compile had to run afresh
+    because the shared cache held no entry; a pure replay — compiling
+    right after a confidence run, or after a worker's cache slice was
+    merged in — reports ``cold_steps == 0``.
+    """
+
+    __slots__ = (
+        "nodes",
+        "shared",
+        "residuals",
+        "shannon_expansions",
+        "cold_steps",
+    )
 
     def __init__(self) -> None:
         self.nodes = 0
         self.shared = 0
         self.residuals = 0
         self.shannon_expansions = 0
+        self.cold_steps = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"CircuitCompilationStats(nodes={self.nodes}, "
             f"shared={self.shared}, residuals={self.residuals}, "
-            f"shannon={self.shannon_expansions})"
+            f"shannon={self.shannon_expansions}, "
+            f"cold={self.cold_steps})"
         )
 
 
@@ -176,7 +191,11 @@ def compile_circuit(
     selector = choose_variable or max_frequency_choice
     if cache is None:
         cache = DecompositionCache()
-    cache.bind((registry, selector, sort_buckets, read_once_buckets))
+    cache.bind(
+        DecompositionCache.bind_config(
+            registry, selector, sort_buckets, read_once_buckets
+        )
+    )
     cache.trim()
     if stats is None:
         stats = CircuitCompilationStats()
@@ -239,8 +258,12 @@ def compile_circuit(
 
         components = cache.components.get(current)
         if components is None:
+            cache.misses += 1
+            stats.cold_steps += 1
             components = independent_or_partition(current)
             cache.components[current] = components
+        else:
+            cache.hits += 1
         if len(components) > 1:
             children = [
                 build(component, True) for component in components
@@ -250,8 +273,11 @@ def compile_circuit(
             return node
 
         if current in cache.factors:
+            cache.hits += 1
             factors = cache.factors[current]
         else:
+            cache.misses += 1
+            stats.cold_steps += 1
             factors = independent_and_factorization(current)
             cache.factors[current] = factors
         if factors is not None:
@@ -262,9 +288,13 @@ def compile_circuit(
 
         branches = cache.branches.get(current)
         if branches is None:
+            cache.misses += 1
+            stats.cold_steps += 1
             pivot = selector(current)
             branches = shannon_expansion(current, pivot, registry)
             cache.branches[current] = branches
+        else:
+            cache.hits += 1
         stats.shannon_expansions += 1
         children = []
         for branch in branches:

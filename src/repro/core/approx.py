@@ -513,7 +513,11 @@ def approximate_probability(
     # The config tuple holds the objects themselves (compared by
     # identity, and kept alive by the cache) — id()-based keys could be
     # silently reused after garbage collection.
-    cache.bind((registry, selector, sort_buckets, read_once_buckets))
+    cache.bind(
+        DecompositionCache.bind_config(
+            registry, selector, sort_buckets, read_once_buckets
+        )
+    )
     # Enforce the entry cap across calls too: a long-lived engine issuing
     # many small computes would otherwise never hit the in-loop trim.
     cache.trim()

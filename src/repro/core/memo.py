@@ -84,6 +84,25 @@ class DecompositionCache:
             + len(self.exact)
         )
 
+    @staticmethod
+    def bind_config(
+        registry: object,
+        selector: object,
+        sort_buckets: bool,
+        read_once_buckets: bool,
+    ) -> Tuple:
+        """The canonical bind tuple for :meth:`bind`.
+
+        Every site that binds a cache — the ε-approximation main loop,
+        the circuit compiler, and the engine's slice-merge path — must
+        build the tuple through this one function: :meth:`bind`
+        compares element-by-element by *identity*, so two sites
+        assembling the tuple with a different shape (or different
+        selector defaulting) would silently clear the cache on every
+        alternation instead of sharing it.
+        """
+        return (registry, selector, sort_buckets, read_once_buckets)
+
     def bind(self, config: Tuple) -> None:
         """Attach the cache to one (registry, selector, flags) config.
 

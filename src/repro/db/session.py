@@ -27,6 +27,7 @@ for, then memoised per request.
 
 from __future__ import annotations
 
+import os
 from typing import (
     Dict,
     Hashable,
@@ -55,6 +56,7 @@ __all__ = ["ProbDB", "QueryResult", "BoundsSnapshot"]
 
 AnswerValues = Tuple[Hashable, ...]
 LineageAnswer = Tuple[AnswerValues, DNF]
+PathLike = Union[str, "os.PathLike[str]"]
 
 
 def _circuit_hit_result(
@@ -559,9 +561,25 @@ class ProbDB:
     cache:
         A :class:`~repro.core.memo.DecompositionCache` to share with
         other sessions.
+    persist_circuits:
+        Path of a circuit store (:mod:`repro.circuits.serialize`).  If
+        the file exists, the session's circuit cache warm-starts from
+        it — queries whose lineage was compiled in an earlier session
+        answer with strategy ``"circuit"`` without ever touching the
+        engine, even though this is a brand-new process with its own
+        intern tables.  On :meth:`close` (or context-manager exit) the
+        cache is saved back, so repeated sessions compound: compile
+        once, anywhere; evaluate everywhere, forever.
+    strict_store:
+        How to treat store entries the database no longer covers
+        (variables dropped since the save).  ``True`` (default) raises
+        :class:`~repro.circuits.CircuitStoreError` at construction —
+        loud invalidation; ``False`` skips the stale entries and
+        warm-starts from whatever is still valid (the close-time save
+        then rewrites the store without them).
     """
 
-    __slots__ = ("database", "engine", "circuits")
+    __slots__ = ("database", "engine", "circuits", "_circuit_store")
 
     def __init__(
         self,
@@ -570,6 +588,8 @@ class ProbDB:
         *,
         engine: Optional[ConfidenceEngine] = None,
         cache: Optional[DecompositionCache] = None,
+        persist_circuits: Optional[PathLike] = None,
+        strict_store: bool = True,
     ) -> None:
         if engine is not None:
             if config is not None:
@@ -591,6 +611,15 @@ class ProbDB:
         #: Compiled circuits keyed by interned lineage DNF; a warm
         #: query's confidences are O(|circuit|) sweeps, engine skipped.
         self.circuits = CircuitCache()
+        self._circuit_store: Optional[str] = (
+            None if persist_circuits is None else os.fspath(persist_circuits)
+        )
+        if self._circuit_store is not None and os.path.exists(
+            self._circuit_store
+        ):
+            self.circuits.load_into(
+                self._circuit_store, self.registry, strict=strict_store
+            )
 
     @classmethod
     def from_registry(
@@ -599,6 +628,8 @@ class ProbDB:
         config: Optional[EngineConfig] = None,
         *,
         cache: Optional[DecompositionCache] = None,
+        persist_circuits: Optional[PathLike] = None,
+        strict_store: bool = True,
     ) -> "ProbDB":
         """A session over a bare probability space (no relations yet).
 
@@ -606,7 +637,37 @@ class ProbDB:
         formulas — that still want the shared planner, cache, and the
         :meth:`lineage` / :meth:`confidence` entry points.
         """
-        return cls(Database(registry), config, cache=cache)
+        return cls(
+            Database(registry), config, cache=cache,
+            persist_circuits=persist_circuits,
+            strict_store=strict_store,
+        )
+
+    @classmethod
+    def open(
+        cls,
+        database: Database,
+        config: Optional[EngineConfig] = None,
+        *,
+        circuit_store: PathLike,
+        cache: Optional[DecompositionCache] = None,
+        strict_store: bool = True,
+    ) -> "ProbDB":
+        """A session warm-started from (and persisted to) a circuit store.
+
+        Sugar for ``ProbDB(database, config,
+        persist_circuits=circuit_store)``, reading as the intent: open
+        the database *with* its compiled-circuit store.  A missing
+        store file is not an error — the first session starts cold and
+        writes the store on :meth:`close`; ``strict_store=False``
+        additionally tolerates a *stale* store (entries over dropped
+        variables are skipped instead of failing construction).
+        """
+        return cls(
+            database, config, cache=cache,
+            persist_circuits=circuit_store,
+            strict_store=strict_store,
+        )
 
     @property
     def config(self) -> EngineConfig:
@@ -719,9 +780,30 @@ class ProbDB:
             self.circuits.put(dnf, circuit)
         return circuit
 
+    def save_circuits(self, path: Optional[PathLike] = None) -> int:
+        """Persist the session's compiled circuits; returns the count.
+
+        ``path`` defaults to the session's ``persist_circuits`` store.
+        The written file is the versioned, name-based format of
+        :mod:`repro.circuits.serialize` — loadable by any process.
+        """
+        target = self._circuit_store if path is None else os.fspath(path)
+        if target is None:
+            raise ValueError(
+                "no store path: pass path= or open the session with "
+                "persist_circuits=/ProbDB.open(circuit_store=...)"
+            )
+        return self.circuits.save(target)
+
     def close(self) -> None:
-        """Retire the session's engine-lifetime worker pool (if any)."""
-        self.engine.close()
+        """Retire the worker pool and persist circuits (if configured)."""
+        try:
+            if self._circuit_store is not None:
+                self.save_circuits()
+        finally:
+            # A failed save (unwritable path) must not leak the
+            # engine-lifetime worker pool.
+            self.engine.close()
 
     def __enter__(self) -> "ProbDB":
         return self

@@ -62,6 +62,7 @@ import dataclasses
 import hashlib
 import pickle
 import threading
+from concurrent.futures import BrokenExecutor
 from typing import (
     TYPE_CHECKING,
     Dict,
@@ -90,7 +91,7 @@ from .core.approx import (
 from .core.dnf import DNF
 from .core.formulas import Formula
 from .core.memo import DecompositionCache
-from .core.orders import VariableSelector
+from .core.orders import VariableSelector, max_frequency_choice
 from .core.readonce import try_read_once
 from .core.variables import VariableRegistry
 
@@ -176,15 +177,15 @@ class EngineConfig:
         evaluation under changed tuple probabilities an O(|circuit|)
         sweep and power sensitivity / what-if analysis; the session
         layer additionally caches them so warm queries skip the
-        engine.  Batched refinement and sharded workers skip per-round
-        compilation (intermediate results are replaced, and worker
-        payloads stay small); the batch compiles its *final* answers
-        once on the coordinator — a cheap cache replay on the serial
-        path, but a serial re-decomposition when ``workers > 1``
-        (worker caches are not shipped back), so leave the knob off
-        for parallel throughput runs that don't need circuits.  Off by
-        default: compilation costs roughly one extra decomposition
-        replay per answer.
+        engine.  Batched refinement skips per-round compilation
+        (intermediate results are replaced); the batch compiles its
+        *final* answers once — a cheap cache replay on the serial
+        path, and under ``workers > 1`` a final round on the warm
+        workers, which compile in parallel and ship the circuits (and
+        their decomposition-cache cones) back to the coordinator over
+        the :mod:`repro.circuits.serialize` codec, so the coordinator
+        never re-decomposes.  Off by default: compilation costs
+        roughly one extra decomposition replay per answer.
     """
 
     epsilon: float = 0.0
@@ -394,6 +395,24 @@ class EngineResult:
             f"bounds=[{self.lower:.6g}, {self.upper:.6g}], "
             f"converged={self.converged})"
         )
+
+
+def _wants_exact_circuit(result: "EngineResult") -> bool:
+    """Should this result's circuit be compiled exactly (no budget)?
+
+    Exact answers — the trivial/read-once rungs, and an ``ε = 0``
+    converged d-tree run — compile fully; everything else gets a
+    node-budgeted partial compile.  One definition shared by the serial
+    attach path (:meth:`ConfidenceEngine._attach_circuit`) and the
+    sharded shipping path
+    (:meth:`~repro.engine_parallel.ShardedBatchComputation.compile_final_circuits`),
+    so the two cannot disagree on what a worker should compile.
+    """
+    return result.strategy in ("trivial", "read-once") or (
+        result.strategy == "dtree"
+        and result.converged
+        and result.epsilon == 0.0
+    )
 
 
 def _merge_refined(
@@ -932,6 +951,27 @@ class ConfidenceEngine:
             stats=stats,
         )
 
+    def bind_cache(self) -> DecompositionCache:
+        """The engine's cache, bound to the engine's own configuration.
+
+        The exact bind the decomposition/compile paths perform —
+        identity-compared ``(registry, selector, heuristic flags)`` —
+        so entries merged into the cache afterwards (worker cache
+        slices shipped by the sharded execution layer) survive the next
+        engine call instead of being cleared by a config rebind.
+        """
+        config = self.config
+        selector = config.choose_variable or max_frequency_choice
+        self.cache.bind(
+            DecompositionCache.bind_config(
+                self.registry,
+                selector,
+                config.sort_buckets,
+                config.read_once_buckets,
+            )
+        )
+        return self.cache
+
     @staticmethod
     def _circuit_node_budget(steps: int, dnf: DNF) -> int:
         """Node budget for the partial circuit of a budgeted run.
@@ -955,11 +995,7 @@ class ConfidenceEngine:
         with residual-interval leaves standing in for unexpanded
         sub-DNFs.
         """
-        exact = result.strategy in ("trivial", "read-once") or (
-            result.strategy == "dtree"
-            and result.converged
-            and result.epsilon == 0.0
-        )
+        exact = _wants_exact_circuit(result)
         max_nodes = (
             None
             if exact
@@ -1094,9 +1130,26 @@ class ConfidenceEngine:
             try:
                 batch.run(max_total_steps=max_total_steps)
                 self._finalize_batch(batch)
-                # Workers never compile (payloads stay small); the
-                # coordinator compiles the final answers, as the
-                # config knob promises.
+                if self.config.compile_circuits:
+                    # One final round on the (warm) workers: each
+                    # compiles its answers' circuits and ships them —
+                    # plus its decomposition-cache cone — back over
+                    # the serialization codec.  The coordinator never
+                    # re-decomposes; _attach_batch_circuits below is
+                    # only the fallback for unshippable entries.
+                    try:
+                        batch.compile_final_circuits()
+                    except BrokenExecutor:
+                        # The confidences are already complete; a pool
+                        # dying during this *optional* round must not
+                        # discard them.  The corpse was evicted inside
+                        # compile_final_circuits; the coordinator
+                        # compiles the missing circuits itself below.
+                        # Only BrokenExecutor is absorbed — any other
+                        # error (a worker-side compile bug, a missing
+                        # initializer) must surface, not silently
+                        # degrade every batch to serial compilation.
+                        pass
                 self._attach_batch_circuits(batch)
                 return list(batch.results)
             finally:
@@ -1144,15 +1197,14 @@ class ConfidenceEngine:
     def _attach_batch_circuits(self, batch) -> None:
         """Compile circuits for a finished batch's final answers.
 
-        Refinement rounds (and sharded workers) skip compilation —
-        their results are replaced round over round — so the batch
-        compiles once, here.  On the serial path this replays the
-        decompositions the run just cached (cheap).  On the sharded
-        path the decompositions live in per-worker caches, so this is
-        a *serial re-decomposition on the coordinator*: the price of
-        circuits under ``workers > 1`` until worker caches are shipped
-        back (ROADMAP follow-on) — turn ``compile_circuits`` off for
-        parallel throughput runs that don't need circuits.
+        Refinement rounds skip compilation — their results are
+        replaced round over round — so the batch compiles once, here.
+        On the serial path this replays the decompositions the run
+        just cached (cheap).  On the sharded path the workers already
+        compiled and shipped the final circuits
+        (:meth:`~repro.engine_parallel.ShardedBatchComputation.compile_final_circuits`),
+        so this loop only covers entries the shipping round could not
+        serialize (e.g. unpicklable variable names on a thread pool).
         """
         if not self.config.compile_circuits:
             return

@@ -66,6 +66,7 @@ import os
 import pickle
 import threading
 import weakref
+from contextlib import contextmanager
 from concurrent.futures import (
     BrokenExecutor,
     Executor,
@@ -73,8 +74,14 @@ from concurrent.futures import (
     ProcessPoolExecutor,
     ThreadPoolExecutor,
 )
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from .circuits.serialize import (
+    decode_circuit,
+    encode_cache_slice,
+    encode_circuit,
+    merge_cache_slice,
+)
 from .core import clock
 from .core.dnf import DNF
 from .core.events import Clause
@@ -93,6 +100,7 @@ from .engine import (
     EngineResult,
     Lineage,
     _merge_refined,
+    _wants_exact_circuit,
 )
 
 __all__ = ["ShardedBatchComputation", "WorkerPool"]
@@ -122,6 +130,15 @@ def _decode_dnf(encoded: _EncodedDNF) -> DNF:
     return DNF(Clause._from_atom_ids(ids) for ids in encoded)
 #: ``(per-item results, cache stats, worker key)`` — one task's report.
 _ShardReport = Tuple[List[Tuple[int, EngineResult]], Dict[str, int], object]
+
+#: ``(index, circuit record)`` — one compiled and serialized final
+#: answer; a ``None`` record means the worker could not serialize it
+#: (coordinator falls back to compiling that index itself).
+_CircuitPayload = Tuple[int, Optional[bytes]]
+#: ``(circuit payloads, union cache slice, cache stats, worker key)``.
+_CompileReport = Tuple[
+    List[_CircuitPayload], Optional[bytes], Dict[str, int], object
+]
 
 # ----------------------------------------------------------------------
 # Worker-side execution
@@ -203,6 +220,62 @@ def _process_run_items(
         engine, decoded, epsilon, error_kind, deadline_remaining,
         os.getpid(),
     )
+
+
+def _compile_items(
+    engine: ConfidenceEngine,
+    items: Sequence[_WorkItem],
+    worker_key: object,
+) -> _CompileReport:
+    """Compile one shard's final-answer circuits and serialize them.
+
+    Runs on the same worker (and cache) that just decomposed the
+    lineage, so compilation is a warm replay.  Each circuit ships as a
+    name-based :mod:`repro.circuits.serialize` record — valid in any
+    process — and the whole shard ships **one union slice** of the
+    decomposition-cache cones its compiles walked (shared cones are
+    serialized once), so the coordinator can both attach the circuits
+    *and* warm its own cache without re-decomposing anything.
+
+    Thread pools run the very same codec even though they could hand
+    objects across directly — deliberately: the cheap thread-pool
+    differential suites then exercise exactly the wire path the
+    process pool uses, and thread pools are the testing/deadline
+    executor, not the CPU-throughput one.
+    """
+    out: List[_CircuitPayload] = []
+    compiled: List[DNF] = []
+    for index, dnf, max_nodes in items:
+        circuit = engine.compile_circuit(dnf, max_nodes=max_nodes)
+        try:
+            payload = encode_circuit(circuit)
+        except Exception:
+            # Unserializable variable names (possible on thread pools,
+            # which never pickle anything): fall back to a coordinator
+            # compile for this index rather than failing the batch.
+            out.append((index, None))
+            continue
+        out.append((index, payload))
+        compiled.append(dnf)
+    slice_payload: Optional[bytes] = None
+    if compiled:
+        try:
+            slice_payload = encode_cache_slice(engine.cache, *compiled)
+        except Exception:
+            slice_payload = None  # circuits still ship; cache stays cold
+    return out, slice_payload, engine.cache.stats(), worker_key
+
+
+def _process_compile_items(items: Sequence[_WorkItem]) -> _CompileReport:
+    """Process-pool task body for the final circuit-compile round."""
+    engine = _WORKER_ENGINE
+    if engine is None:  # pragma: no cover - initializer always ran
+        raise RuntimeError("worker engine missing: initializer did not run")
+    decoded = [
+        (index, _decode_dnf(encoded), budget)
+        for index, encoded, budget in items
+    ]
+    return _compile_items(engine, decoded, os.getpid())
 
 
 def _worker_probe(encoded: _EncodedDNF):
@@ -480,8 +553,10 @@ class ShardedBatchComputation:
         self.shards = min(self.workers, len(self.dnfs))
         # Workers never recurse into sharding, never sample (MC is
         # finalized on the coordinator, deterministic under rng_seed),
-        # and never compile circuits (result payloads stay small; the
-        # coordinating session compiles on demand).
+        # and never compile circuits mid-refinement (round results are
+        # replaced, and payloads stay small); final-answer circuits
+        # are compiled in one dedicated round and shipped back
+        # serialized (compile_final_circuits).
         self._shard_config = config.replace(
             workers=1, mc_fallback=False, max_total_steps=None,
             compile_circuits=False,
@@ -581,6 +656,44 @@ class ShardedBatchComputation:
         self._pool = pool
         return pool.executor
 
+    @contextmanager
+    def _locked_round(
+        self, executor: Optional[Executor] = None
+    ) -> Iterator[Executor]:
+        """Hold the pool's round lock around one parallel round.
+
+        Whole rounds serialize on the pool: concurrent batches on one
+        engine interleave rounds instead of racing the single-threaded
+        per-shard worker engines.  Between acquisition and locking, a
+        concurrent acquire may have displaced (and closed) our pool —
+        re-validate under the lock and re-acquire if so, instead of
+        submitting on a shut-down executor.
+        """
+        if executor is None:
+            executor = self._ensure_executor()
+        pool = self._pool
+        assert pool is not None
+        for _attempt in range(8):
+            pool.round_lock.acquire()
+            if (
+                self.engine._worker_pools.get(self.executor_kind)
+                is pool
+            ):
+                break
+            pool.round_lock.release()
+            self._pool = None
+            executor = self._ensure_executor()
+            pool = self._pool
+            assert pool is not None
+        else:  # pragma: no cover - displacement storm
+            raise RuntimeError(
+                "worker pool kept being displaced by concurrent batches"
+            )
+        try:
+            yield executor
+        finally:
+            pool.round_lock.release()
+
     def close(self) -> None:
         """Release this batch's reference to the engine's pool.
 
@@ -676,31 +789,7 @@ class ShardedBatchComputation:
                 (index, encode(self.dnfs[index]), self.budgets[index])
             )
         merged: List[Tuple[int, EngineResult]] = []
-        pool = self._pool
-        assert pool is not None
-        # Whole rounds serialize on the pool: concurrent batches on one
-        # engine interleave rounds instead of racing the single-threaded
-        # per-shard worker engines.  Between acquisition and locking, a
-        # concurrent acquire may have displaced (and closed) our pool —
-        # re-validate under the lock and re-acquire if so, instead of
-        # submitting on a shut-down executor.
-        for _attempt in range(8):
-            pool.round_lock.acquire()
-            if (
-                self.engine._worker_pools.get(self.executor_kind)
-                is pool
-            ):
-                break
-            pool.round_lock.release()
-            self._pool = None
-            executor = self._ensure_executor()
-            pool = self._pool
-            assert pool is not None
-        else:  # pragma: no cover - displacement storm
-            raise RuntimeError(
-                "worker pool kept being displaced by concurrent batches"
-            )
-        try:
+        with self._locked_round(executor) as executor:
             # Budget measured only after the lock is held: waiting out
             # another batch's round (or a pool rebuild) must come out
             # of THIS batch's wall-clock allowance, not be handed to
@@ -732,8 +821,6 @@ class ShardedBatchComputation:
                 # must not cost a healthy pool its warm caches.
                 self._evict_pool()
                 raise
-        finally:
-            pool.round_lock.release()
         merged.sort(key=lambda pair: pair[0])
         for index, result in merged:
             if initial:
@@ -744,6 +831,114 @@ class ShardedBatchComputation:
             result = _merge_refined(previous, result)
             self.results[index] = result
             self.total_steps += result.steps - previous.steps
+
+    # -- final circuit shipping ------------------------------------------
+    def _submit_compile_shard(
+        self, executor: Executor, shard: int, items: List[_WorkItem]
+    ) -> Future:
+        if self.executor_kind == "thread":
+            assert self._pool is not None
+            engines = self._pool.thread_engines
+            assert engines is not None
+            return executor.submit(
+                _compile_items, engines[shard], items, shard
+            )
+        return executor.submit(_process_compile_items, items)
+
+    def compile_final_circuits(self) -> int:
+        """One compile round on the warm workers; circuits ship back.
+
+        Every final result still missing a circuit is dealt in index
+        order round-robin across the shards — the same deal as the
+        initial pass, so in the common case each lineage lands on a
+        worker whose cache already replayed it.  The worker compiles
+        it (exact or node-budgeted, mirroring the serial attach
+        policy) and serializes it with
+        :func:`repro.circuits.serialize.encode_circuit`; each shard
+        additionally ships one *union* slice of the decomposition-cache
+        cones its compiles walked (shared cones serialized once).
+        The coordinator decodes the circuits onto ``results`` and
+        merges the cache slices into its own
+        :class:`~repro.core.memo.DecompositionCache`, so the final
+        answers carry circuits with **zero cold decomposition steps on
+        the coordinator** — the sharded analogue of the serial path's
+        cheap cache replay.
+
+        Returns the number of circuits installed.  Indices a worker
+        could not serialize (payload ``None``) are left for the
+        coordinator's fallback compile in
+        :meth:`~repro.engine.ConfidenceEngine._attach_batch_circuits`.
+        """
+        items: List[Tuple[int, DNF, Optional[int]]] = []
+        for index, result in enumerate(self.results):
+            if result.circuit is not None:
+                continue
+            dnf = self.dnfs[index]
+            max_nodes = (
+                None
+                if _wants_exact_circuit(result)
+                else ConfidenceEngine._circuit_node_budget(
+                    result.steps, dnf
+                )
+            )
+            items.append((index, dnf, max_nodes))
+        if not items:
+            return 0
+        encode = (
+            _encode_dnf
+            if self.executor_kind == "process"
+            else (lambda dnf: dnf)
+        )
+        assignments: List[List[_WorkItem]] = [
+            [] for _ in range(self.shards)
+        ]
+        for position, (index, dnf, max_nodes) in enumerate(items):
+            assignments[position % self.shards].append(
+                (index, encode(dnf), max_nodes)
+            )
+        merged: List[_CircuitPayload] = []
+        slices: List[bytes] = []
+        with self._locked_round() as executor:
+            try:
+                futures = [
+                    self._submit_compile_shard(
+                        executor, shard, shard_items
+                    )
+                    for shard, shard_items in enumerate(assignments)
+                    if shard_items
+                ]
+            except (BrokenExecutor, RuntimeError):
+                self._evict_pool()
+                raise
+            try:
+                for future in futures:
+                    payloads, slice_bytes, stats, worker_key = (
+                        future.result()
+                    )
+                    self.worker_stats[worker_key] = stats
+                    merged.extend(payloads)
+                    if slice_bytes is not None:
+                        slices.append(slice_bytes)
+            except BrokenExecutor:
+                self._evict_pool()
+                raise
+        registry = self.engine.registry
+        # Bind first so the merged slices survive the engine's next
+        # bind instead of being cleared as foreign-config entries.
+        cache = self.engine.bind_cache()
+        for slice_bytes in slices:
+            merge_cache_slice(slice_bytes, cache)
+        installed = 0
+        merged.sort(key=lambda payload: payload[0])
+        for index, circuit_bytes in merged:
+            if circuit_bytes is None:
+                continue
+            circuit, _key = decode_circuit(
+                circuit_bytes, registry, validate=False
+            )
+            self.results[index].circuit = circuit
+            installed += 1
+        return installed
 
     def refine(self, index: int) -> EngineResult:
         """Grow ``index``'s budget and recompute it on a worker."""

@@ -18,6 +18,7 @@ FAST_EXAMPLES = [
     "quickstart.py",
     "anytime_bounds.py",
     "circuit_what_if.py",
+    "persist_circuits.py",
     "sql_and_topk.py",
     "social_network_motifs.py",
 ]

@@ -1,0 +1,509 @@
+"""Property tests for versioned circuit serialization.
+
+The contracts, over the seeded generator shared with
+``tests/test_parallel_differential.py``:
+
+* **Round trip** — ``decode(encode(circuit))`` evaluates bit-identically
+  (values, bounds, gradients) for exact, partial, and conditioned
+  circuits, and the lineage key survives.
+* **Store integrity** — a store rejects bad magic, unsupported format
+  versions, and corrupted payloads with clear
+  :class:`~repro.circuits.CircuitStoreError` messages; ``strict=False``
+  skips entries the registry no longer covers instead of failing.
+* **Cross-process identity** — a cache saved here and reloaded in a
+  fresh ``python -c`` process (fresh intern tables, different dense
+  ids) answers the same queries with strategy ``"circuit"`` and
+  bit-identical confidences.
+* **Coordinator no-recompile** — under ``workers=2`` +
+  ``compile_circuits=True`` the final answers carry circuits that were
+  compiled on the workers and shipped back: the coordinator's
+  decomposition cache records **zero** cold steps during the batch, and
+  a subsequent coordinator compile of the same lineage is a pure replay
+  of the merged worker cache slices (``cold_steps == 0``).
+"""
+
+import json
+import os
+import struct
+import subprocess
+import sys
+
+import pytest
+
+from repro import (
+    CircuitCache,
+    CircuitStoreError,
+    ConfidenceEngine,
+    EngineConfig,
+    ProbDB,
+    compile_circuit,
+)
+from repro.circuits import circuit_store_info, save_circuit_store
+from repro.circuits.compiler import CircuitCompilationStats
+from repro.circuits.serialize import (
+    FORMAT_VERSION,
+    decode_circuit,
+    encode_cache_slice,
+    encode_circuit,
+    merge_cache_slice,
+)
+from repro.core.dnf import DNF
+from repro.core.events import Clause
+from repro.core.memo import DecompositionCache
+from repro.core.semantics import brute_force_probability
+from repro.core.variables import VariableRegistry
+
+from test_parallel_differential import make_group
+
+#: (groups, cases per group) — the generated round-trip corpus.
+SERIALIZE_GROUPS = (5, 20)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("seed", range(SERIALIZE_GROUPS[0]))
+    def test_exact_circuits_round_trip_bit_identically(self, seed):
+        registry, dnfs = make_group("szr", seed, SERIALIZE_GROUPS[1])
+        for index, dnf in enumerate(dnfs):
+            circuit = compile_circuit(dnf, registry)
+            restored, key = decode_circuit(
+                encode_circuit(circuit, key=dnf), registry
+            )
+            assert key == dnf, (seed, index)
+            assert restored.evaluate() == circuit.evaluate(), (seed, index)
+            assert restored.evaluate_bounds() == circuit.evaluate_bounds()
+            assert restored.gradients() == circuit.gradients(), (
+                seed, index,
+            )
+            assert restored.node_histogram() == circuit.node_histogram()
+
+    @pytest.mark.parametrize("budget", [1, 4, 12])
+    def test_partial_circuits_round_trip(self, budget):
+        registry, dnfs = make_group("szp", 17, 15)
+        for index, dnf in enumerate(dnfs):
+            circuit = compile_circuit(dnf, registry, max_nodes=budget)
+            restored, _key = decode_circuit(
+                encode_circuit(circuit), registry
+            )
+            assert restored.is_exact == circuit.is_exact
+            assert restored.evaluate_bounds() == circuit.evaluate_bounds()
+            assert len(restored.residuals) == len(circuit.residuals)
+            # Residual variable *sets* survive by name: overriding a
+            # residual variable widens both circuits identically.
+            if not circuit.is_exact and dnf.variables:
+                name = sorted(dnf.variables, key=repr)[0]
+                assert restored.evaluate_bounds(
+                    {name: 0.5}
+                ) == circuit.evaluate_bounds({name: 0.5}), (budget, index)
+
+    def test_conditioned_circuits_round_trip(self):
+        registry, dnfs = make_group("szc", 23, 10)
+        for dnf in dnfs:
+            names = sorted(dnf.variables, key=repr)
+            if len(names) < 2:
+                continue
+            circuit = compile_circuit(dnf, registry).condition(
+                names[0], True
+            ).condition(names[1], False)
+            restored, _key = decode_circuit(
+                encode_circuit(circuit), registry
+            )
+            assert restored.conditioned == circuit.conditioned
+            assert restored.evaluate() == circuit.evaluate()
+
+    def test_non_boolean_domains_round_trip(self):
+        registry = VariableRegistry()
+        registry.add_variable("szn_u", {"a": 0.5, "b": 0.2, "c": 0.3})
+        registry.add_boolean("szn_x", 0.4)
+        dnf = DNF(
+            (
+                Clause({"szn_u": "a", "szn_x": True}),
+                Clause({"szn_u": "b"}),
+            )
+        )
+        circuit = compile_circuit(dnf, registry)
+        restored, key = decode_circuit(
+            encode_circuit(circuit, key=dnf), registry
+        )
+        assert key == dnf
+        assert restored.evaluate() == circuit.evaluate()
+        overrides = {"szn_u": {"a": 0.1, "b": 0.8, "c": 0.1}}
+        assert restored.evaluate(overrides) == circuit.evaluate(overrides)
+
+
+class TestStoreIntegrity:
+    def _store(self, tmp_path, seed=31, cases=6):
+        registry, dnfs = make_group("szs", seed, cases)
+        cache = CircuitCache()
+        for dnf in dnfs:
+            cache.put(dnf, compile_circuit(dnf, registry))
+        path = tmp_path / "circuits.rcir"
+        cache.save(path)
+        return registry, dnfs, cache, path
+
+    def test_cache_save_load_round_trip(self, tmp_path):
+        registry, dnfs, cache, path = self._store(tmp_path)
+        loaded = CircuitCache.load(path, registry)
+        assert len(loaded) == len(cache)
+        for dnf in dnfs:
+            original = cache.entries[dnf]
+            restored = loaded.get(dnf)
+            assert restored is not None
+            assert restored.evaluate() == original.evaluate()
+
+    def test_store_info_reports_header(self, tmp_path):
+        _registry, _dnfs, cache, path = self._store(tmp_path, seed=32)
+        info = circuit_store_info(path)
+        assert info["format_version"] == FORMAT_VERSION
+        assert info["entries"] == len(cache)
+        # Saved by this very process, so the provenance digest matches.
+        assert info["intern_digest_matches"] is True
+
+    def test_bad_magic_is_rejected(self, tmp_path):
+        path = tmp_path / "not-a-store.rcir"
+        path.write_bytes(b"GIF89a" + b"\x00" * 64)
+        with pytest.raises(CircuitStoreError, match="bad magic"):
+            CircuitCache.load(path, VariableRegistry())
+
+    def test_wrong_version_is_rejected(self, tmp_path):
+        registry, _dnfs, _cache, path = self._store(tmp_path, seed=33)
+        raw = bytearray(path.read_bytes())
+        # The version is the u16 right after the 4-byte magic.
+        struct.pack_into("<H", raw, 4, FORMAT_VERSION + 1)
+        path.write_bytes(bytes(raw))
+        with pytest.raises(
+            CircuitStoreError, match="unsupported circuit-store format"
+        ):
+            CircuitCache.load(path, registry)
+
+    def test_corrupted_payload_is_rejected(self, tmp_path):
+        registry, _dnfs, _cache, path = self._store(tmp_path, seed=34)
+        raw = bytearray(path.read_bytes())
+        raw[-1] ^= 0xFF  # flip a payload bit; the header stays intact
+        path.write_bytes(bytes(raw))
+        with pytest.raises(CircuitStoreError, match="corrupted"):
+            CircuitCache.load(path, registry)
+
+    def test_inconsistent_node_structure_is_rejected(self):
+        # A digest-valid record whose product node claims children the
+        # record never wrote: slicing would silently truncate, so the
+        # decoder must refuse instead of evaluating wrong.
+        from repro.circuits.serialize import _NameTable, _Writer
+
+        table = _NameTable()
+        body = _Writer()
+        body.u64(1)  # one node...
+        body.buffer.write(bytes([2]))  # ...KIND_PROD
+        body.i64_seq([0])  # arg0
+        body.i64_seq([5])  # arg1: span [0, 5) over an empty
+        body.i64_seq([])  # children array
+        body.f64_seq([])  # consts
+        body.u32(0)  # residuals
+        body.u8(0)  # no key
+        writer = _Writer()
+        table.dump(writer, extra=())
+        writer.buffer.write(body.getvalue())
+        with pytest.raises(CircuitStoreError, match="child span"):
+            decode_circuit(writer.getvalue(), VariableRegistry())
+
+    def test_truncated_store_is_rejected(self, tmp_path):
+        path = tmp_path / "tiny.rcir"
+        path.write_bytes(b"RCIR")
+        with pytest.raises(CircuitStoreError, match="too short"):
+            circuit_store_info(path)
+
+    def test_unknown_variables_fail_strict_and_skip_lenient(
+        self, tmp_path
+    ):
+        registry, dnfs, cache, path = self._store(tmp_path, seed=35)
+        # A registry missing every variable of the stored circuits:
+        # strict load refuses, lenient load skips all of them.
+        other = VariableRegistry.from_boolean_probabilities(
+            {"szs_unrelated": 0.5}
+        )
+        with pytest.raises(CircuitStoreError, match="does not define"):
+            CircuitCache.load(path, other)
+        lenient = CircuitCache.load(path, other, strict=False)
+        assert len(lenient) == 0
+
+    def test_full_size_store_survives_the_next_put(self, tmp_path):
+        # A store that fills the cache to its entry cap must not be
+        # wholesale-evicted by the first post-load put().
+        registry, dnfs = make_group("szv", 37, 4)
+        donor = CircuitCache()
+        for dnf in dnfs:
+            donor.put(dnf, compile_circuit(dnf, registry))
+        path = tmp_path / "full.rcir"
+        donor.save(path)
+        loaded = CircuitCache.load(
+            path, registry, max_entries=len(donor)
+        )
+        extra_registry, extra = make_group("szv_extra", 38, 3)
+        for extra_dnf in extra:
+            loaded.put(
+                extra_dnf, compile_circuit(extra_dnf, extra_registry)
+            )
+        for dnf in dnfs:
+            assert dnf in loaded, "warm entry evicted by post-load put()"
+
+    def test_near_full_store_keeps_headroom_too(self, tmp_path):
+        # Loading max_entries - 1 entries must also grow the cap:
+        # without headroom the second put() would wipe the warm set.
+        registry, dnfs = make_group("szh", 39, 3)
+        donor = CircuitCache()
+        for dnf in dnfs:
+            donor.put(dnf, compile_circuit(dnf, registry))
+        path = tmp_path / "nearfull.rcir"
+        donor.save(path)
+        loaded = CircuitCache.load(
+            path, registry, max_entries=len(donor) + 1
+        )
+        # The guarantee is headroom of at least the loaded set's own
+        # size: len(donor) new compiles before eviction can trigger.
+        extra_registry, extra = make_group("szh_extra", 40, 3)
+        for extra_dnf in extra:
+            loaded.put(
+                extra_dnf, compile_circuit(extra_dnf, extra_registry)
+            )
+        for dnf in dnfs:
+            assert dnf in loaded, "warm entry evicted by post-load put()"
+
+    def test_keyless_records_load_but_skip_the_cache(self, tmp_path):
+        registry, dnfs = make_group("szk", 36, 2)
+        circuit = compile_circuit(dnfs[0], registry)
+        path = tmp_path / "keyless.rcir"
+        save_circuit_store(path, [(None, circuit)])
+        cache = CircuitCache.load(path, registry)
+        assert len(cache) == 0  # nothing addressable by lineage
+
+
+class TestSessionPersistence:
+    def _pairs(self, seed=41, cases=10):
+        registry, dnfs = make_group("szd", seed, cases)
+        return registry, [
+            ((index,), dnf) for index, dnf in enumerate(dnfs)
+        ]
+
+    def test_probdb_persists_on_close_and_warm_starts(self, tmp_path):
+        registry, pairs = self._pairs()
+        store = tmp_path / "session.rcir"
+        with ProbDB.from_registry(
+            registry,
+            EngineConfig(compile_circuits=True),
+            persist_circuits=store,
+        ) as session:
+            cold = session.lineage(pairs).confidences()
+        assert store.exists()
+        assert all(r.strategy != "circuit" for _v, r in cold)
+
+        with ProbDB.from_registry(
+            registry, persist_circuits=store
+        ) as warm_session:
+            # No compile_circuits in the config: the warm path must come
+            # purely from the loaded store.
+            engine_misses = warm_session.engine.cache.stats()["misses"]
+            warm = warm_session.lineage(pairs).confidences()
+            assert warm_session.engine.cache.stats()["misses"] == (
+                engine_misses
+            ), "warm session touched the engine"
+        assert all(r.strategy == "circuit" for _v, r in warm)
+        for (_v1, a), (_v2, b) in zip(cold, warm):
+            assert a.probability == b.probability
+
+    def test_probdb_open_is_persist_sugar(self, tmp_path):
+        from repro.db.database import Database
+
+        registry, pairs = self._pairs(seed=42, cases=4)
+        store = tmp_path / "open.rcir"
+        with ProbDB.open(
+            Database(registry),
+            EngineConfig(compile_circuits=True),
+            circuit_store=store,
+        ) as session:
+            session.lineage(pairs).confidences()
+        with ProbDB.open(Database(registry), circuit_store=store) as again:
+            warm = again.lineage(pairs).confidences()
+        assert all(r.strategy == "circuit" for _v, r in warm)
+
+    def test_stale_store_fails_loud_or_skips_by_choice(self, tmp_path):
+        registry, pairs = self._pairs(seed=44, cases=3)
+        store = tmp_path / "stale.rcir"
+        with ProbDB.from_registry(
+            registry,
+            EngineConfig(compile_circuits=True),
+            persist_circuits=store,
+        ) as session:
+            session.lineage(pairs).confidences()
+        # The "database" drops every variable: default construction
+        # fails loudly, strict_store=False starts cold instead.
+        smaller = VariableRegistry.from_boolean_probabilities(
+            {"szd_survivor": 0.5}
+        )
+        with pytest.raises(CircuitStoreError):
+            ProbDB.from_registry(smaller, persist_circuits=store)
+        with ProbDB.from_registry(
+            smaller, persist_circuits=store, strict_store=False
+        ) as lenient:
+            assert len(lenient.circuits) == 0  # stale entries skipped
+
+    def test_save_circuits_requires_a_path(self):
+        registry, _pairs = self._pairs(seed=43, cases=1)
+        session = ProbDB.from_registry(registry)
+        with pytest.raises(ValueError, match="no store path"):
+            session.save_circuits()
+
+
+#: Session B, byte-for-byte: runs in a fresh interpreter whose intern
+#: tables have seen nothing but this workload, so every dense id
+#: differs from the parent process's — the store must not care.
+_CHILD_SCRIPT = r"""
+import json, sys
+sys.path.insert(0, {src!r})
+sys.path.insert(0, {tests!r})
+from test_serialize import child_session
+print(json.dumps(child_session({store!r})))
+"""
+
+
+def child_session(store_path):
+    """The workload both processes run (imported by the child too)."""
+    registry, dnfs = make_group("szx", 77, 12)
+    pairs = [((index,), dnf) for index, dnf in enumerate(dnfs)]
+    with ProbDB.from_registry(
+        registry,
+        EngineConfig(compile_circuits=True),
+        persist_circuits=store_path,
+    ) as session:
+        results = session.lineage(pairs).confidences()
+        return {
+            "strategies": [r.strategy for _v, r in results],
+            "probabilities": [r.probability for _v, r in results],
+        }
+
+
+class TestCrossProcess:
+    def test_fresh_process_answers_bit_identically_from_store(
+        self, tmp_path
+    ):
+        store = str(tmp_path / "xproc.rcir")
+        parent = child_session(store)  # cold: compiles + saves
+        assert all(s != "circuit" for s in parent["strategies"])
+
+        here = os.path.dirname(os.path.abspath(__file__))
+        src = os.path.join(os.path.dirname(here), "src")
+        script = _CHILD_SCRIPT.format(src=src, tests=here, store=store)
+        completed = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert completed.returncode == 0, completed.stderr
+        child = json.loads(completed.stdout.strip().splitlines()[-1])
+        assert all(s == "circuit" for s in child["strategies"]), (
+            child["strategies"]
+        )
+        assert child["probabilities"] == parent["probabilities"], (
+            "cross-process confidences are not bit-identical"
+        )
+
+
+class TestCacheSliceShipping:
+    def test_slice_merge_makes_a_cold_cache_replay(self):
+        registry, dnfs = make_group("szm", 51, 8)
+        donor = ConfidenceEngine(
+            registry, EngineConfig(try_read_once=False)
+        )
+        for dnf in dnfs:
+            donor.compute(dnf)
+            donor.compile_circuit(dnf)
+        receiver = ConfidenceEngine(
+            registry, EngineConfig(try_read_once=False)
+        )
+        cache = receiver.bind_cache()
+        for dnf in dnfs:
+            merge_cache_slice(
+                encode_cache_slice(donor.cache, dnf), cache
+            )
+        for dnf in dnfs:
+            stats = CircuitCompilationStats()
+            circuit = receiver.compile_circuit(dnf, stats=stats)
+            assert stats.cold_steps == 0, dnf
+            assert circuit.evaluate() == donor.compile_circuit(
+                dnf
+            ).evaluate()
+
+    def test_coordinator_performs_zero_cold_steps_under_workers(self):
+        registry, dnfs = make_group("szw", 52, 8)
+        engine = ConfidenceEngine(
+            registry,
+            EngineConfig(
+                compile_circuits=True,
+                workers=2,
+                executor_kind="thread",
+                try_read_once=False,
+            ),
+        )
+        with engine:
+            before = engine.cache.stats()
+            results = engine.compute_many(dnfs)
+            after = engine.cache.stats()
+        assert all(r.circuit is not None for r in results)
+        for dnf, result in zip(dnfs, results):
+            truth = brute_force_probability(dnf, registry)
+            assert abs(result.circuit.evaluate() - truth) <= 1e-9
+        # The acceptance bar: the workers compiled and shipped the
+        # final circuits, so the coordinator's own decomposition cache
+        # saw zero cold steps for the whole batch...
+        assert after["misses"] == before["misses"], (
+            "coordinator re-decomposed despite worker shipping"
+        )
+        # ...and the shipped cache slices make a subsequent coordinator
+        # compile a pure replay.
+        stats = CircuitCompilationStats()
+        engine.compile_circuit(dnfs[0], stats=stats)
+        assert stats.cold_steps == 0
+
+    def test_process_pool_ships_circuits_too(self):
+        registry, dnfs = make_group("szq", 53, 6)
+        engine = ConfidenceEngine(
+            registry,
+            EngineConfig(
+                compile_circuits=True,
+                workers=2,
+                executor_kind="process",
+                try_read_once=False,
+            ),
+        )
+        with engine:
+            before = engine.cache.stats()["misses"]
+            results = engine.compute_many(dnfs)
+            after = engine.cache.stats()["misses"]
+        assert after == before
+        for dnf, result in zip(dnfs, results):
+            assert result.circuit is not None
+            truth = brute_force_probability(dnf, registry)
+            assert abs(result.circuit.evaluate() - truth) <= 1e-9
+
+    def test_budgeted_sharded_batch_ships_partial_circuits(self):
+        registry, dnfs = make_group("szb", 54, 6)
+        engine = ConfidenceEngine(
+            registry,
+            EngineConfig(
+                compile_circuits=True,
+                workers=2,
+                executor_kind="thread",
+                try_read_once=False,
+                max_total_steps=12,
+                initial_steps=1,
+                mc_fallback=False,
+                epsilon=0.05,
+                error_kind="relative",
+            ),
+        )
+        with engine:
+            results = engine.compute_many(dnfs)
+        for dnf, result in zip(dnfs, results):
+            assert result.circuit is not None
+            lower, upper = result.circuit.evaluate_bounds()
+            truth = brute_force_probability(dnf, registry)
+            assert lower - 1e-9 <= truth <= upper + 1e-9
