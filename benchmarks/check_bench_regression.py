@@ -21,6 +21,10 @@ measures inside a single run:
   per-tuple engine loop.  Baseline ≈ 1.0; the gate fails if batching
   becomes ``SLACK×`` slower than the loop — a pathological regression
   in ``compute_many`` / the session façade.
+* ``speedup_vectorized_vs_scalar`` (sweep): the numpy kernel batch vs
+  the per-world scalar sweep.  Baseline ≈ 30×; checked only when numpy
+  is importable — without it the bench has nothing to race, and the
+  gate prints a skip notice instead.
 
 ``SLACK`` is deliberately generous (hosted runners are noisy, smoke
 workloads are small): the gate exists to catch *order-of-magnitude*
@@ -47,6 +51,8 @@ SLACK = 15.0
 #: The warm-vs-cold speedup below which circuits are considered broken
 #: regardless of baseline (warm evaluation must beat recompute easily).
 CIRCUIT_SPEEDUP_FLOOR = 2.0
+#: Likewise for the vectorized sweep vs the scalar per-world loop.
+SWEEP_SPEEDUP_FLOOR = 2.0
 
 
 class RegressionError(AssertionError):
@@ -149,10 +155,52 @@ def check_session_ratio(failures: list) -> None:
         )
 
 
+def check_sweep_speedup(failures: list) -> None:
+    try:
+        import numpy  # noqa: F401
+    except ImportError:
+        print(
+            "[sweep] skipped: numpy unavailable, scalar fallback has "
+            "nothing to race against"
+        )
+        return
+    baseline = load_baseline("BENCH_sweep.json")
+    baseline_speedup = baseline["totals"]["speedup_vectorized_vs_scalar"]
+    threshold = max(SWEEP_SPEEDUP_FLOOR, baseline_speedup / SLACK)
+
+    with tempfile.TemporaryDirectory() as temp_dir:
+        output = os.path.join(temp_dir, "sweep_smoke.json")
+        run_bench(
+            "bench_scenario_sweep.py",
+            {
+                "SWEEP_BENCH_SMOKE": "1",
+                "SWEEP_BENCH_OUTPUT": output,
+                # The gate applies its own threshold below.
+                "SWEEP_BENCH_NO_ASSERT": "1",
+            },
+        )
+        with open(output) as handle:
+            smoke = json.load(handle)
+    smoke_speedup = smoke["totals"]["speedup_vectorized_vs_scalar"]
+    verdict = "ok" if smoke_speedup >= threshold else "FAIL"
+    print(
+        f"[sweep] vectorized-vs-scalar speedup: smoke "
+        f"{smoke_speedup:.1f}x, baseline {baseline_speedup:.1f}x, "
+        f"threshold >= {threshold:.1f}x ... {verdict}"
+    )
+    if smoke_speedup < threshold:
+        failures.append(
+            f"vectorized sweep speedup collapsed: {smoke_speedup:.1f}x "
+            f"< {threshold:.1f}x (baseline {baseline_speedup:.1f}x / "
+            f"slack {SLACK:g})"
+        )
+
+
 def main() -> int:
     failures: list = []
     check_circuit_speedup(failures)
     check_session_ratio(failures)
+    check_sweep_speedup(failures)
     if failures:
         print("\nbench-regression gate FAILED:", file=sys.stderr)
         for failure in failures:

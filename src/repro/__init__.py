@@ -65,9 +65,14 @@ from .core import (
 from .circuits import (
     Circuit,
     CircuitCache,
+    CircuitKernel,
+    CircuitSampler,
     CircuitStoreError,
     CompiledResult,
+    KernelUnavailableError,
+    SweepResult,
     compile_circuit,
+    kernel_backend,
 )
 from .engine import (
     BatchComputation,
@@ -81,7 +86,7 @@ from .db.explain import InfluenceReport, rank_influence
 from .db.session import BoundsSnapshot, ProbDB, QueryResult
 from .db.topk import RankedAnswer
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "ABSOLUTE",
@@ -92,6 +97,8 @@ __all__ = [
     "BoundsSnapshot",
     "Circuit",
     "CircuitCache",
+    "CircuitKernel",
+    "CircuitSampler",
     "CircuitStoreError",
     "Clause",
     "CompiledResult",
@@ -101,11 +108,13 @@ __all__ = [
     "EngineConfig",
     "EngineResult",
     "InfluenceReport",
+    "KernelUnavailableError",
     "ProbDB",
     "QueryResult",
     "RankedAnswer",
     "STRATEGY_LADDER",
     "ShardedBatchComputation",
+    "SweepResult",
     "VariableRegistry",
     "WorkerPool",
     "approximate_probability",
@@ -115,6 +124,7 @@ __all__ = [
     "exact_probability",
     "exact_probability_compiled",
     "independent_bounds",
+    "kernel_backend",
     "make_variable_selector",
     "rank_influence",
     "read_once_probability",

@@ -18,6 +18,13 @@ number and throws it away.  This package keeps it:
 * :class:`CompiledResult` packages a whole answer set for
   compile-once/evaluate-many workloads
   (``QueryResult.compile()``);
+* :mod:`repro.circuits.kernels` and :mod:`repro.circuits.sweep` are
+  the vectorized layer: :class:`CircuitKernel` lowers a circuit into
+  op-segmented numpy arrays so whole ``(scenarios × atoms)`` matrices
+  evaluate in a few array passes (batch evaluation, bounds, gradients,
+  and circuit-native Monte-Carlo world sampling), with a bit-identical
+  scalar fallback when numpy — the optional ``repro[fast]`` extra — is
+  not installed;
 * :mod:`repro.circuits.serialize` is the versioned binary codec that
   makes circuits durable and shippable: ``CircuitCache.save/load``
   persist a session's compiled circuits across restarts (by
@@ -39,6 +46,14 @@ from .circuit import (
 )
 from .compiled import CompiledResult
 from .compiler import CircuitCompilationStats, compile_circuit
+from .kernels import (
+    CircuitKernel,
+    CircuitSampler,
+    KernelUnavailableError,
+    circuit_monte_carlo,
+    kernel_backend,
+    numpy_available,
+)
 from .serialize import (
     CircuitStoreError,
     circuit_store_info,
@@ -46,16 +61,35 @@ from .serialize import (
     save_circuit_store,
 )
 
+from .sweep import (
+    SweepResult,
+    sweep_bounds,
+    sweep_gradients,
+    sweep_values,
+    what_if_scenarios,
+)
+
 __all__ = [
     "Circuit",
     "CircuitCache",
     "CircuitCompilationStats",
+    "CircuitKernel",
+    "CircuitSampler",
     "CircuitStoreError",
     "CompiledResult",
+    "KernelUnavailableError",
+    "SweepResult",
+    "circuit_monte_carlo",
     "circuit_store_info",
     "compile_circuit",
+    "kernel_backend",
     "load_circuit_store",
+    "numpy_available",
     "save_circuit_store",
+    "sweep_bounds",
+    "sweep_gradients",
+    "sweep_values",
+    "what_if_scenarios",
     "KIND_ATOM",
     "KIND_CONST",
     "KIND_OR",

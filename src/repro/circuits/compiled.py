@@ -11,16 +11,30 @@ circuit evaluation unlocks:
 * :meth:`condition` — clamp a variable across every answer (what-if
   conditioning), returning another :class:`CompiledResult`;
 * :meth:`what_if_top_k` — re-rank the answers under hypothetical
-  probabilities without touching the engine.
+  probabilities without touching the engine;
+* :meth:`sweep` / :meth:`what_if_grid` — evaluate every answer under a
+  whole list of override scenarios at once, vectorized through the
+  :mod:`repro.circuits.kernels` numpy backend when available.
 
 Obtained from :meth:`repro.db.session.QueryResult.compile`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Hashable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from .circuit import Bounds, Circuit, ProbOverrides
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .sweep import SweepResult
 
 __all__ = ["CompiledResult"]
 
@@ -104,6 +118,53 @@ class CompiledResult:
                 (values, circuit.condition(variable, value))
                 for values, circuit in self.pairs
             ]
+        )
+
+    def sweep(
+        self,
+        scenarios: Sequence[Optional[ProbOverrides]],
+        *,
+        vectorized: Optional[bool] = None,
+    ) -> "SweepResult":
+        """Every answer's confidence under every scenario, one call.
+
+        Each scenario is an override map in the :meth:`evaluate`
+        vocabulary; the result holds a ``(answers × scenarios)`` value
+        grid.  With numpy available (``vectorized=None`` auto, or
+        ``True`` to insist) each circuit is lowered once and the whole
+        scenario batch flows through it as a matrix — the scalar
+        fallback (``False``, or numpy missing) computes the identical
+        grid one evaluation at a time.
+        """
+        from .sweep import SweepResult, sweep_values
+        from .kernels import kernel_backend
+
+        backend = kernel_backend(vectorized)
+        values = [
+            sweep_values(circuit, scenarios, vectorized=vectorized)
+            for _values, circuit in self.pairs
+        ]
+        return SweepResult(self.answers, values, backend)
+
+    def what_if_grid(
+        self,
+        variable: Hashable,
+        probabilities: Sequence[float],
+        *,
+        vectorized: Optional[bool] = None,
+    ) -> "SweepResult":
+        """Sweep one Boolean tuple's probability across a grid.
+
+        ``what_if_grid("t", [0.0, 0.1, ..., 1.0])`` answers "how does
+        every answer's confidence respond as ``P(t)`` moves?" — the
+        one-dimensional sensitivity scan, as a single vectorized sweep
+        per answer circuit.
+        """
+        from .sweep import what_if_scenarios
+
+        return self.sweep(
+            what_if_scenarios(variable, probabilities),
+            vectorized=vectorized,
         )
 
     def what_if_top_k(

@@ -167,6 +167,7 @@ def compile_circuit(
     sort_buckets: bool = True,
     read_once_buckets: bool = False,
     stats: Optional[CircuitCompilationStats] = None,
+    vectorized: Optional[bool] = None,
 ) -> Circuit:
     """Compile lineage into an arithmetic :class:`Circuit`.
 
@@ -213,6 +214,7 @@ def compile_circuit(
                 registry,
                 sort_by_probability=sort_buckets,
                 allow_read_once_buckets=read_once_buckets,
+                vectorized=vectorized,
             )
             bounds_cache[leaf] = bounds
         return bounds

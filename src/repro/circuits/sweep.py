@@ -1,0 +1,236 @@
+"""Scenario sweeps: one circuit, thousands of probability worlds.
+
+A *sweep* evaluates a compiled circuit under a whole list of override
+scenarios — a sensitivity grid, a what-if parameter scan, a stress
+batch of probability worlds — in one call.  On the numpy backend
+(:mod:`repro.circuits.kernels`) the circuit is lowered once and the
+scenarios flow through it as a ``(scenarios × atoms)`` matrix; without
+numpy the same functions fall back to per-scenario scalar sweeps, so
+results are available (and, for evaluation and bounds, bit-identical)
+on every install.
+
+Scenario maps use exactly the :meth:`Circuit.evaluate` override
+vocabulary — ``{variable: P(True)}`` floats for Boolean variables or
+``{variable: {value: prob}}`` distributions — and are validated the
+same way (unknown variables raise, irrelevant ones are no-ops, touched
+residual leaves widen per scenario).
+
+Entry points: :func:`sweep_values`, :func:`sweep_bounds`,
+:func:`sweep_gradients`, and the grid helper
+:func:`what_if_scenarios`; :class:`SweepResult` is the multi-answer
+container returned by :meth:`CompiledResult.sweep` and
+:meth:`QueryResult.sweep`.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Dict,
+    FrozenSet,
+    Hashable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..core.variables import atom_entry, variable_name
+from .circuit import Bounds, Circuit, ProbOverrides
+from .kernels import BACKEND_NUMPY, CircuitKernel, kernel_backend
+
+__all__ = [
+    "SweepResult",
+    "sweep_bounds",
+    "sweep_gradients",
+    "sweep_values",
+    "what_if_scenarios",
+]
+
+Scenarios = Sequence[Optional[ProbOverrides]]
+
+
+def what_if_scenarios(
+    variable: Hashable, probabilities: Sequence[float]
+) -> List[Dict[Hashable, float]]:
+    """One scenario per probability: ``[{variable: p}, ...]``.
+
+    The standard one-dimensional what-if grid — sweep a single Boolean
+    tuple's probability across a range and watch every answer's
+    confidence respond.
+    """
+    return [{variable: float(prob)} for prob in probabilities]
+
+
+def _resolved_inputs(
+    circuit: Circuit, scenarios: Scenarios
+) -> Tuple[List[Dict[int, float]], List[FrozenSet[int]]]:
+    """Per-scenario resolved atom overrides + touched variable sets.
+
+    Runs the circuit's own override resolution so the sweep validates
+    and widens exactly like the scalar entry points.
+    """
+    resolved_list: List[Dict[int, float]] = []
+    touched_list: List[FrozenSet[int]] = []
+    for overrides in scenarios:
+        resolved, touched = circuit._resolve_overrides(overrides)
+        resolved_list.append(resolved)
+        touched_list.append(touched)
+    return resolved_list, touched_list
+
+
+def _scenario_matrix(
+    kernel: CircuitKernel, resolved_list: List[Dict[int, float]]
+) -> object:
+    """The (scenarios, atoms) input matrix for a resolved scenario list."""
+    matrix = kernel.base_matrix(len(resolved_list))
+    atom_index = kernel.atom_index
+    for row, resolved in enumerate(resolved_list):
+        for atom_id, prob in resolved.items():
+            matrix[row, atom_index[atom_id]] = prob
+    return matrix
+
+
+def _use_kernel(circuit: Circuit, vectorized: Optional[bool]) -> bool:
+    backend = kernel_backend(vectorized)
+    return backend == BACKEND_NUMPY and len(circuit.kinds) > 0
+
+
+def sweep_values(
+    circuit: Circuit,
+    scenarios: Scenarios,
+    *,
+    vectorized: Optional[bool] = None,
+) -> List[float]:
+    """``P(Φ)`` per scenario (interval midpoints on partial circuits).
+
+    Bit-identical to ``[circuit.evaluate(s) for s in scenarios]``; the
+    numpy backend just pays one batched sweep instead of one Python
+    sweep per scenario.
+    """
+    if not _use_kernel(circuit, vectorized):
+        return [circuit.evaluate(overrides) for overrides in scenarios]
+    kernel = CircuitKernel(circuit)
+    resolved_list, touched_list = _resolved_inputs(circuit, scenarios)
+    matrix = _scenario_matrix(kernel, resolved_list)
+    return kernel.evaluate_batch(matrix, touched_list).tolist()
+
+
+def sweep_bounds(
+    circuit: Circuit,
+    scenarios: Scenarios,
+    *,
+    vectorized: Optional[bool] = None,
+) -> List[Bounds]:
+    """Certified ``[lower, upper]`` per scenario (points when exact).
+
+    Bit-identical to per-scenario :meth:`Circuit.evaluate_bounds`.
+    """
+    if not _use_kernel(circuit, vectorized):
+        return [
+            circuit.evaluate_bounds(overrides) for overrides in scenarios
+        ]
+    kernel = CircuitKernel(circuit)
+    resolved_list, touched_list = _resolved_inputs(circuit, scenarios)
+    matrix = _scenario_matrix(kernel, resolved_list)
+    bounds = kernel.bounds_batch(matrix, touched_list)
+    return [tuple(row) for row in bounds.tolist()]
+
+
+def sweep_gradients(
+    circuit: Circuit,
+    scenarios: Scenarios,
+    *,
+    vectorized: Optional[bool] = None,
+) -> List[Dict[Hashable, float]]:
+    """Per-scenario Boolean-variable gradients ``∂P/∂p(x)``.
+
+    The batched :meth:`Circuit.gradients`: each scenario's dict maps
+    every unpinned Boolean input variable to its sensitivity at that
+    scenario's probabilities.  The numpy backend folds atom adjoints
+    per variable in the same order as the scalar method; agreement is
+    ~1e-12 (adjoint accumulation order differs), not bit-exact.
+    """
+    if not _use_kernel(circuit, vectorized):
+        return [circuit.gradients(overrides) for overrides in scenarios]
+    kernel = CircuitKernel(circuit)
+    resolved_list, touched_list = _resolved_inputs(circuit, scenarios)
+    matrix = _scenario_matrix(kernel, resolved_list)
+    adjoints = kernel.gradients_batch(matrix, touched_list)
+    registry = circuit.registry
+    # (name, signed column list) per reported variable, mirroring the
+    # scalar fold: + for the True atom, - for the False atom.
+    folds: List[Tuple[Hashable, List[Tuple[float, int]]]] = []
+    for var_id, atom_ids in circuit.var_atoms.items():
+        if var_id in circuit._pinned_vids:
+            continue
+        name = variable_name(var_id)
+        if name not in registry or not registry.is_boolean(name):
+            continue
+        signed: List[Tuple[float, int]] = []
+        for atom_id in atom_ids:
+            _vid, _name, value = atom_entry(atom_id)
+            if value is True:
+                signed.append((1.0, kernel.atom_index[atom_id]))
+            elif value is False:
+                signed.append((-1.0, kernel.atom_index[atom_id]))
+        folds.append((name, signed))
+    out: List[Dict[Hashable, float]] = []
+    for row in range(adjoints.shape[0]):
+        gradients: Dict[Hashable, float] = {}
+        for name, signed in folds:
+            gradient = 0.0
+            for sign, column in signed:
+                gradient += sign * adjoints[row, column]
+            gradients[name] = gradient
+        out.append(gradients)
+    return out
+
+
+class SweepResult:
+    """A scenario sweep over a whole answer set.
+
+    ``values[i][s]`` is answer ``i``'s confidence in scenario ``s``
+    (interval midpoint for partial circuits).  ``backend`` records
+    which kernel produced the numbers (``"numpy"`` or ``"scalar"``) —
+    they agree bit-for-bit, so the field is provenance, not semantics.
+    """
+
+    __slots__ = ("answers", "values", "backend")
+
+    def __init__(
+        self,
+        answers: Sequence[Tuple[Hashable, ...]],
+        values: Sequence[Sequence[float]],
+        backend: str,
+    ) -> None:
+        self.answers = list(answers)
+        self.values = [list(row) for row in values]
+        self.backend = backend
+
+    @property
+    def scenario_count(self) -> int:
+        return len(self.values[0]) if self.values else 0
+
+    def __len__(self) -> int:
+        return len(self.answers)
+
+    def row(self, answer: Tuple[Hashable, ...]) -> List[float]:
+        """The per-scenario values of one answer tuple."""
+        try:
+            index = self.answers.index(answer)
+        except ValueError:
+            raise KeyError(f"unknown answer {answer!r}") from None
+        return list(self.values[index])
+
+    def column(self, scenario: int) -> List[Tuple[Tuple[Hashable, ...], float]]:
+        """All answers' values in one scenario, as (answer, value) pairs."""
+        return [
+            (answer, self.values[index][scenario])
+            for index, answer in enumerate(self.answers)
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"SweepResult({len(self.answers)} answers × "
+            f"{self.scenario_count} scenarios, {self.backend} backend)"
+        )

@@ -35,11 +35,13 @@ from typing import (
     Iterator,
     List,
     Optional,
+    Sequence,
     Tuple,
     Union,
 )
 
-from ..circuits import Circuit, CircuitCache, CompiledResult
+from ..circuits import Circuit, CircuitCache, CompiledResult, SweepResult
+from ..circuits.circuit import ProbOverrides
 from ..core.dnf import DNF
 from ..core.formulas import Formula
 from ..core.memo import DecompositionCache
@@ -494,6 +496,49 @@ class QueryResult:
             pairs.append((values, circuit))
         return CompiledResult(pairs)
 
+    def sweep(
+        self,
+        scenarios: Sequence[Optional[ProbOverrides]],
+        *,
+        vectorized: Optional[bool] = None,
+        max_nodes: Optional[int] = None,
+    ) -> SweepResult:
+        """Every answer's confidence under every override scenario.
+
+        Compiles the answers' circuits (through the session cache, so
+        repeated sweeps — and earlier :meth:`compile` /
+        :meth:`confidences` calls — share the work) and evaluates the
+        whole scenario batch per circuit in one vectorized pass when
+        numpy is available.  ``vectorized`` defaults to the session
+        config's :attr:`~repro.engine.EngineConfig.vectorized` policy;
+        the scalar fallback returns the identical grid.
+        """
+        if vectorized is None:
+            vectorized = self.engine.config.vectorized
+        return self.compile(max_nodes=max_nodes).sweep(
+            scenarios, vectorized=vectorized
+        )
+
+    def what_if_grid(
+        self,
+        variable: Hashable,
+        probabilities: Sequence[float],
+        *,
+        vectorized: Optional[bool] = None,
+        max_nodes: Optional[int] = None,
+    ) -> SweepResult:
+        """Sweep one Boolean tuple's probability across every answer.
+
+        ``result.what_if_grid("t", [i / 10 for i in range(11)])`` is
+        the one-dimensional sensitivity scan: each answer's confidence
+        as a function of ``P(t)``, one vectorized sweep per circuit.
+        """
+        if vectorized is None:
+            vectorized = self.engine.config.vectorized
+        return self.compile(max_nodes=max_nodes).what_if_grid(
+            variable, probabilities, vectorized=vectorized
+        )
+
     def explain(
         self, include_influence: Optional[bool] = None, *, top: int = 5
     ) -> QueryExplanation:
@@ -611,6 +656,10 @@ class ProbDB:
         #: Compiled circuits keyed by interned lineage DNF; a warm
         #: query's confidences are O(|circuit|) sweeps, engine skipped.
         self.circuits = CircuitCache()
+        # Let the engine's MC rung sample worlds on a session-cached
+        # exact circuit (vectorized, when numpy is available) instead
+        # of running per-sample Karp-Luby over the raw lineage.
+        engine.circuit_source = self.circuits.get
         self._circuit_store: Optional[str] = (
             None if persist_circuits is None else os.fspath(persist_circuits)
         )

@@ -65,6 +65,7 @@ import threading
 from concurrent.futures import BrokenExecutor
 from typing import (
     TYPE_CHECKING,
+    Callable,
     Dict,
     Hashable,
     Iterable,
@@ -81,6 +82,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 from .circuits.circuit import Circuit
 from .circuits.compiler import CircuitCompilationStats
 from .circuits.compiler import compile_circuit as _compile_circuit
+from .circuits.kernels import BACKEND_NUMPY, kernel_backend
 from .core import clock
 from .core.approx import (
     ABSOLUTE,
@@ -169,6 +171,15 @@ class EngineConfig:
         nondeterministic; an integer makes every MC estimate a pure
         function of ``(rng_seed, lineage)`` — stable across runs, tuple
         order, and shard assignment.
+    vectorized:
+        Kernel backend policy for the numpy-vectorized paths (scenario
+        sweeps, circuit Monte-Carlo sampling, batched leaf bounds).
+        ``None`` (default) auto-selects: numpy when importable, the
+        pure-Python scalar sweeps otherwise — results are bit-identical
+        either way.  ``False`` forces scalar (the differential-testing
+        knob); ``True`` demands numpy and raises
+        :class:`~repro.circuits.KernelUnavailableError` at construction
+        when it is missing (install the ``repro[fast]`` extra).
     compile_circuits:
         Record the d-tree trace of every answer as an arithmetic
         circuit (:mod:`repro.circuits`) on ``EngineResult.circuit``:
@@ -206,8 +217,13 @@ class EngineConfig:
     executor_kind: str = "process"
     rng_seed: Optional[int] = None
     compile_circuits: bool = False
+    vectorized: Optional[bool] = None
 
     def __post_init__(self) -> None:
+        # Resolving the backend validates the preference: forcing
+        # vectorized=True without numpy raises KernelUnavailableError
+        # here, at config construction, instead of deep in a sweep.
+        kernel_backend(self.vectorized)
         if not (0.0 <= self.epsilon < 1.0):
             raise ValueError(
                 f"epsilon must be in [0, 1), got {self.epsilon}"
@@ -261,6 +277,10 @@ class EngineConfig:
                 or getattr(selector, "__name__", None)
                 or repr(selector)
             )
+        # The *resolved* backend ("numpy"/"scalar"), so a recorded run
+        # pins down which kernel actually executed — the `vectorized`
+        # field only records the preference.
+        description["kernel_backend"] = kernel_backend(self.vectorized)
         return description
 
 
@@ -300,6 +320,14 @@ def _lineage_seed(base: int, dnf: DNF) -> int:
         b"\x01".join(clauses), digest_size=8
     ).digest()
     return (base ^ int.from_bytes(digest, "big")) & 0x7FFFFFFFFFFFFFFF
+
+
+#: Human-readable fragment per MC sampler tag, spliced into the
+#: EngineResult reason string by both MC call sites.
+_MC_SAMPLER_REASONS = {
+    "karp-luby": "Karp–Luby/DKLR aconf estimate",
+    "circuit": "vectorized circuit-sampling DKLR estimate",
+}
 
 
 class EngineResult:
@@ -650,6 +678,14 @@ class ConfidenceEngine:
         self._worker_pools: Dict[str, "WorkerPool"] = {}
         self._pool_lock = threading.Lock()
         self._pool_starts = 0
+        #: Optional ``DNF -> Circuit`` lookup the session layer wires to
+        #: its circuit cache: when the MC rung finds an *exact* cached
+        #: circuit here (and the numpy backend is on), it samples
+        #: Bernoulli worlds on the circuit in vectorized blocks instead
+        #: of running per-sample Karp-Luby over the raw lineage.
+        self.circuit_source: Optional[
+            Callable[[DNF], Optional[Circuit]]
+        ] = None
 
     # -- EngineConfig field mirrors (pre-config API compatibility) -------
     @property
@@ -829,6 +865,7 @@ class ConfidenceEngine:
             max_steps=max_steps,
             deadline_seconds=deadline_seconds,
             cache=self.cache,
+            vectorized=config.vectorized,
         )
         if outcome.converged or not self._mc_applicable(
             epsilon, error_kind, mc_enabled
@@ -859,7 +896,7 @@ class ConfidenceEngine:
                     )
                 )
             )
-        estimate, samples, capped = mc_result
+        estimate, samples, capped, sampler = mc_result
         # The d-tree bounds stay sound; clip the MC estimate into them.
         estimate = min(max(estimate, outcome.lower), outcome.upper)
         return finish(
@@ -869,14 +906,16 @@ class ConfidenceEngine:
                     outcome.lower,
                     outcome.upper,
                     "mc",
-                    "d-tree budget exhausted; Karp–Luby/DKLR aconf "
-                    "estimate within the partial d-tree bounds",
+                    "d-tree budget exhausted; "
+                    + _MC_SAMPLER_REASONS[sampler]
+                    + " within the partial d-tree bounds",
                     not capped,
                     epsilon,
                     error_kind,
                     steps=outcome.steps,
                     details={"dtree": outcome, "mc_samples": samples,
-                             "mc_capped": capped},
+                             "mc_capped": capped,
+                             "mc_sampler": sampler},
                 )
             )
         )
@@ -949,6 +988,7 @@ class ConfidenceEngine:
             sort_buckets=config.sort_buckets,
             read_once_buckets=config.read_once_buckets,
             stats=stats,
+            vectorized=config.vectorized,
         )
 
     def bind_cache(self) -> DecompositionCache:
@@ -1234,21 +1274,23 @@ class ConfidenceEngine:
             )
             if mc_result is None:
                 continue
-            estimate, samples, capped = mc_result
+            estimate, samples, capped, sampler = mc_result
             estimate = min(max(estimate, result.lower), result.upper)
             batch.results[index] = EngineResult(
                 estimate,
                 result.lower,
                 result.upper,
                 "mc",
-                "batch budget exhausted; Karp–Luby/DKLR aconf estimate "
-                "within the partial d-tree bounds",
+                "batch budget exhausted; "
+                + _MC_SAMPLER_REASONS[sampler]
+                + " within the partial d-tree bounds",
                 not capped,
                 batch.epsilon,
                 batch.error_kind,
                 steps=result.steps,
                 details=dict(
-                    result.details, mc_samples=samples, mc_capped=capped
+                    result.details, mc_samples=samples, mc_capped=capped,
+                    mc_sampler=sampler,
                 ),
                 circuit=result.circuit,
             )
@@ -1261,16 +1303,37 @@ class ConfidenceEngine:
         # converged.
         return enabled and epsilon > 0.0 and error_kind == RELATIVE
 
+    def _mc_circuit(self, dnf: DNF) -> Optional[Circuit]:
+        """An exact cached circuit to sample MC worlds on, if usable.
+
+        Requires a wired :attr:`circuit_source` (the session layer), the
+        numpy backend (circuit sampling is only a win vectorized), an
+        *exact* circuit (residual leaves are bounds, not events), and
+        the engine's own registry (a cache shared across probability
+        spaces must not leak another space's probabilities).
+        """
+        source = self.circuit_source
+        if source is None:
+            return None
+        if kernel_backend(self.config.vectorized) != BACKEND_NUMPY:
+            return None
+        circuit = source(dnf)
+        if circuit is None or not circuit.is_exact:
+            return None
+        if circuit.registry is not self.registry:
+            return None
+        return circuit
+
     def _run_mc(
         self,
         dnf: DNF,
         epsilon: float,
         remaining_seconds: Optional[float],
-    ) -> Optional[Tuple[float, int, bool]]:
+    ) -> Optional[Tuple[float, int, bool, str]]:
         if remaining_seconds is not None and remaining_seconds <= 0.0:
             return None  # deadline already spent by the d-tree rung
         try:
-            from .mc.aconf import aconf
+            from .mc.aconf import DEFAULT_DELTA, aconf
         except ImportError:  # pragma: no cover - mc is part of the tree
             return None
         seed = self.config.rng_seed
@@ -1279,6 +1342,21 @@ class ConfidenceEngine:
             # function of (rng_seed, lineage): identical across runs,
             # tuple orderings, and shard assignments.
             seed = _lineage_seed(seed, dnf)
+        circuit = self._mc_circuit(dnf)
+        if circuit is not None:
+            # Same (ε, δ) DKLR driver and work cap as the scalar rung —
+            # identical interval semantics — but each sample is one row
+            # of a vectorized circuit-world block.
+            from .circuits.kernels import circuit_monte_carlo
+
+            run = circuit_monte_carlo(
+                circuit,
+                epsilon=epsilon,
+                delta=DEFAULT_DELTA,
+                seed=seed,
+                max_samples=self.config.mc_max_samples,
+            )
+            return run.estimate, run.samples, run.capped, "circuit"
         outcome = aconf(
             dnf,
             self.registry,
@@ -1286,7 +1364,12 @@ class ConfidenceEngine:
             seed=seed,
             max_samples=self.config.mc_max_samples,
         )
-        return outcome.estimate, outcome.samples, outcome.capped
+        return (
+            outcome.estimate,
+            outcome.samples,
+            outcome.capped,
+            "karp-luby",
+        )
 
     def _from_dtree(
         self, outcome: ApproximationResult, reason: str
