@@ -196,11 +196,60 @@ def check_sweep_speedup(failures: list) -> None:
         )
 
 
+def check_serving_overhead(failures: list) -> None:
+    baseline = load_baseline("BENCH_serving.json")
+    baseline_overhead = baseline["totals"]["overhead_ratio"]
+    # The wire stack (JSON + routing + admission + batching windows)
+    # legitimately costs a multiple of a direct call; it must not
+    # explode by another order of magnitude on top of the baseline.
+    threshold = max(baseline_overhead, 1.0) * SLACK
+
+    with tempfile.TemporaryDirectory() as temp_dir:
+        output = os.path.join(temp_dir, "serving_smoke.json")
+        run_bench(
+            "bench_serving_latency.py",
+            {
+                "SERVING_BENCH_SMOKE": "1",
+                "SERVING_BENCH_OUTPUT": output,
+                # Occupancy is gated below alongside the overhead.
+                "SERVING_BENCH_NO_ASSERT": "1",
+            },
+        )
+        with open(output) as handle:
+            smoke = json.load(handle)
+    totals = smoke["totals"]
+    smoke_overhead = totals["overhead_ratio"]
+    occupancy = totals["batch_occupancy"]
+    verdict = (
+        "ok" if smoke_overhead <= threshold and occupancy > 1.0 else "FAIL"
+    )
+    print(
+        f"[serving] overhead vs direct calls: smoke "
+        f"{smoke_overhead:.1f}x (p50 {totals['p50_ms']:.2f} ms, p99 "
+        f"{totals['p99_ms']:.2f} ms, {totals['throughput_rps']:.0f} "
+        f"req/s, occupancy {occupancy:.2f}), baseline "
+        f"{baseline_overhead:.1f}x, threshold <= {threshold:.1f}x "
+        f"... {verdict}"
+    )
+    if smoke_overhead > threshold:
+        failures.append(
+            f"serving-tier overhead exploded: {smoke_overhead:.1f}x "
+            f"direct calls > {threshold:.1f}x (baseline "
+            f"{baseline_overhead:.1f}x × slack {SLACK:g})"
+        )
+    if occupancy <= 1.0:
+        failures.append(
+            f"serving micro-batching stopped coalescing: occupancy "
+            f"{occupancy:.2f} <= 1.0"
+        )
+
+
 def main() -> int:
     failures: list = []
     check_circuit_speedup(failures)
     check_session_ratio(failures)
     check_sweep_speedup(failures)
+    check_serving_overhead(failures)
     if failures:
         print("\nbench-regression gate FAILED:", file=sys.stderr)
         for failure in failures:

@@ -34,7 +34,7 @@ number and throws it away.  This package keeps it:
   format.
 """
 
-from .cache import CircuitCache
+from .cache import CircuitCache, CircuitCacheSnapshot
 from .circuit import (
     KIND_ATOM,
     KIND_CONST,
@@ -45,9 +45,14 @@ from .circuit import (
     Circuit,
 )
 from .compiled import CompiledResult
-from .compiler import CircuitCompilationStats, compile_circuit
+from .compiler import (
+    CircuitCompilationStats,
+    compile_circuit,
+    expand_residuals,
+)
 from .kernels import (
     CircuitKernel,
+    circuit_kernel,
     CircuitSampler,
     KernelUnavailableError,
     circuit_monte_carlo,
@@ -63,6 +68,7 @@ from .serialize import (
 
 from .sweep import (
     SweepResult,
+    refine_sweep_bounds,
     sweep_bounds,
     sweep_gradients,
     sweep_values,
@@ -72,6 +78,7 @@ from .sweep import (
 __all__ = [
     "Circuit",
     "CircuitCache",
+    "CircuitCacheSnapshot",
     "CircuitCompilationStats",
     "CircuitKernel",
     "CircuitSampler",
@@ -79,12 +86,15 @@ __all__ = [
     "CompiledResult",
     "KernelUnavailableError",
     "SweepResult",
+    "circuit_kernel",
     "circuit_monte_carlo",
     "circuit_store_info",
     "compile_circuit",
+    "expand_residuals",
     "kernel_backend",
     "load_circuit_store",
     "numpy_available",
+    "refine_sweep_bounds",
     "save_circuit_store",
     "sweep_bounds",
     "sweep_gradients",

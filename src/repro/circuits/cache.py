@@ -16,13 +16,14 @@ the engine's job to arbitrate, not the cache's.
 from __future__ import annotations
 
 import os
-from typing import Dict, Optional, Union
+import threading
+from typing import Dict, Iterator, Optional, Tuple, Union
 
 from ..core.dnf import DNF
 from ..core.variables import VariableRegistry
 from .circuit import Circuit
 
-__all__ = ["CircuitCache"]
+__all__ = ["CircuitCache", "CircuitCacheSnapshot"]
 
 PathLike = Union[str, "os.PathLike[str]"]
 
@@ -36,20 +37,30 @@ class CircuitCache:
     bookkeeping stays off the lookup path.
     """
 
-    __slots__ = ("entries", "max_entries", "hits", "misses")
+    __slots__ = (
+        "entries", "max_entries", "hits", "misses", "_lock", "_version",
+    )
 
     def __init__(self, max_entries: int = 4096) -> None:
         self.entries: Dict[DNF, Circuit] = {}
         self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
+        #: Guards mutations (and the stats counters) so a cache shared
+        #: with the serving tier's request threads stays coherent; the
+        #: hot read is still just a dict lookup under the GIL.
+        self._lock = threading.Lock()
+        #: Bumped on every mutation; snapshots carry the version they
+        #: were cut at, so staleness is a cheap integer comparison.
+        self._version = 0
 
     def get(self, lineage: DNF) -> Optional[Circuit]:
         circuit = self.entries.get(lineage)
-        if circuit is None:
-            self.misses += 1
-        else:
-            self.hits += 1
+        with self._lock:
+            if circuit is None:
+                self.misses += 1
+            else:
+                self.hits += 1
         return circuit
 
     def put(
@@ -58,9 +69,11 @@ class CircuitCache:
         """Insert; returns whether the circuit was stored."""
         if exact_only and not circuit.is_exact:
             return False
-        if len(self.entries) >= self.max_entries:
-            self.entries.clear()
-        self.entries[lineage] = circuit
+        with self._lock:
+            if len(self.entries) >= self.max_entries:
+                self.entries = {}
+            self.entries[lineage] = circuit
+            self._version += 1
         return True
 
     def __len__(self) -> int:
@@ -70,7 +83,26 @@ class CircuitCache:
         return lineage in self.entries
 
     def clear(self) -> None:
-        self.entries.clear()
+        with self._lock:
+            self.entries = {}
+            self._version += 1
+
+    @property
+    def version(self) -> int:
+        """Mutation counter (monotone; equal versions ⇒ equal content)."""
+        return self._version
+
+    def snapshot(self) -> "CircuitCacheSnapshot":
+        """An immutable point-in-time view of the cache contents.
+
+        The serving tier hands snapshots to concurrent readers: lookups
+        never contend with (or observe a torn state of) session-side
+        compiles, and ``version`` identifies exactly which cache state
+        answered a request.  O(entries) to cut; circuits are shared,
+        not copied.
+        """
+        with self._lock:
+            return CircuitCacheSnapshot(dict(self.entries), self._version)
 
     # ------------------------------------------------------------------
     # Persistence
@@ -85,7 +117,9 @@ class CircuitCache:
         """
         from .serialize import save_circuit_store
 
-        return save_circuit_store(path, self.entries.items())
+        with self._lock:
+            entries = dict(self.entries)
+        return save_circuit_store(path, entries.items())
 
     @classmethod
     def load(
@@ -123,13 +157,17 @@ class CircuitCache:
         from .serialize import load_circuit_store
 
         loaded = 0
-        for key, circuit in load_circuit_store(
-            path, registry, strict=strict
-        ):
-            if key is None:
-                continue
-            self.entries[key] = circuit
-            loaded += 1
+        with self._lock:
+            entries = dict(self.entries)
+            for key, circuit in load_circuit_store(
+                path, registry, strict=strict
+            ):
+                if key is None:
+                    continue
+                entries[key] = circuit
+                loaded += 1
+            self.entries = entries
+            self._version += 1
         if self.max_entries < 2 * len(self.entries):
             # A warm-start that leaves too little headroom would be
             # wiped wholesale by put()'s eviction within a handful of
@@ -151,4 +189,44 @@ class CircuitCache:
         return (
             f"CircuitCache({len(self.entries)} circuits, "
             f"hits={self.hits}, misses={self.misses})"
+        )
+
+
+class CircuitCacheSnapshot:
+    """A read-only, point-in-time view of a :class:`CircuitCache`.
+
+    The share-everything handle the serving tier distributes: lookups
+    are plain dict reads on a private dict no writer ever touches
+    (:meth:`CircuitCache.snapshot` copies the mapping, mutators swap
+    the live dict wholesale), so any number of event-loop tasks and
+    worker threads may read concurrently without locks.  ``version``
+    is the cache's mutation counter at cut time — compare against
+    ``cache.version`` to detect staleness.
+    """
+
+    __slots__ = ("_entries", "version")
+
+    def __init__(self, entries: Dict[DNF, Circuit], version: int) -> None:
+        self._entries = entries
+        self.version = version
+
+    def get(self, lineage: DNF) -> Optional[Circuit]:
+        return self._entries.get(lineage)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, lineage: DNF) -> bool:
+        return lineage in self._entries
+
+    def __iter__(self) -> Iterator[DNF]:
+        return iter(self._entries)
+
+    def items(self) -> Iterator[Tuple[DNF, Circuit]]:
+        return iter(self._entries.items())
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitCacheSnapshot({len(self._entries)} circuits, "
+            f"version={self.version})"
         )

@@ -127,10 +127,12 @@ class Circuit:
         "residuals",
         "atom_nodes",
         "var_atoms",
+        "residual_dnfs",
         "_residual_vids",
         "_pinned",
         "_pinned_vids",
         "_conditioned_map",
+        "_kernel",
     )
 
     def __init__(
@@ -144,6 +146,7 @@ class Circuit:
         residuals: List[Tuple[float, float, FrozenSet[int]]],
         atom_nodes: Dict[int, int],
         var_atoms: Dict[int, List[int]],
+        residual_dnfs: Optional[List[Optional[object]]] = None,
         _pinned: Optional[Dict[int, float]] = None,
         _pinned_vids: FrozenSet[int] = frozenset(),
         _conditioned: Optional[Dict[Hashable, Hashable]] = None,
@@ -157,6 +160,22 @@ class Circuit:
         self.residuals = residuals
         self.atom_nodes = atom_nodes
         self.var_atoms = var_atoms
+        #: Parallel to :attr:`residuals`: the unexpanded sub-DNF behind
+        #: each residual leaf, when known.  Only compile-time circuits
+        #: carry them (deserialized stores do not persist sub-DNFs), so
+        #: entries may be ``None`` — those leaves are not refinable via
+        #: :func:`repro.circuits.expand_residuals`.
+        self.residual_dnfs: List[Optional[object]] = (
+            list(residual_dnfs)
+            if residual_dnfs is not None
+            else [None] * len(residuals)
+        )
+        #: Lazily built :class:`~repro.circuits.CircuitKernel` for this
+        #: exact node/pin configuration (see ``circuit_kernel()`` in
+        #: :mod:`repro.circuits.kernels`).  ``condition()`` and residual
+        #: expansion return *new* Circuit objects, so identity is the
+        #: invalidation rule — a cached kernel can never go stale.
+        self._kernel: Optional[object] = None
         #: Union of residual-leaf variable sets: overrides on these
         #: variables void the affected stored bounds even when the
         #: variable has no input node in the expanded part.
@@ -213,6 +232,44 @@ class Circuit:
             key = names[kind]
             histogram[key] = histogram.get(key, 0) + 1
         return histogram
+
+    def widest_residual(
+        self,
+        touched_sets: Optional[Iterable[FrozenSet[int]]] = None,
+        *,
+        refinable_only: bool = True,
+    ) -> Optional[int]:
+        """Index of the residual leaf with the widest effective bounds.
+
+        The *effective* width of a leaf is its stored ``high - low``,
+        or ``1.0`` when any of the ``touched_sets`` (per-scenario
+        touched variable ids, as produced by override resolution)
+        intersects its variables — those scenarios see the leaf widened
+        to ``[0, 1]``, so it dominates the uncertainty of a sweep.
+        With ``refinable_only`` (default) leaves without a recorded
+        sub-DNF are skipped; returns ``None`` when nothing qualifies.
+        """
+        touched_union: FrozenSet[int] = frozenset()
+        if touched_sets is not None:
+            acc: set = set()
+            for touched in touched_sets:
+                acc.update(touched)
+            acc.update(self._pinned_vids)
+            touched_union = frozenset(acc)
+        elif self._pinned_vids:
+            touched_union = self._pinned_vids
+        best: Optional[int] = None
+        best_width = -1.0
+        for index, (low, high, vids) in enumerate(self.residuals):
+            if refinable_only and self.residual_dnfs[index] is None:
+                continue
+            width = high - low
+            if touched_union and not touched_union.isdisjoint(vids):
+                width = 1.0
+            if width > best_width:
+                best = index
+                best_width = width
+        return best
 
     def __repr__(self) -> str:
         state = "exact" if self.is_exact else (
@@ -652,6 +709,7 @@ class Circuit:
             self.residuals,
             self.atom_nodes,
             self.var_atoms,
+            residual_dnfs=self.residual_dnfs,
             _pinned=pinned,
             _pinned_vids=pinned_vids,
             _conditioned=conditioned,

@@ -54,7 +54,11 @@ from .circuit import (
     Circuit,
 )
 
-__all__ = ["compile_circuit", "CircuitCompilationStats"]
+__all__ = [
+    "compile_circuit",
+    "expand_residuals",
+    "CircuitCompilationStats",
+]
 
 
 class CircuitCompilationStats:
@@ -101,6 +105,7 @@ class _Builder:
         "children",
         "consts",
         "residuals",
+        "residual_dnfs",
         "atom_nodes",
         "var_atoms",
         "stats",
@@ -113,6 +118,7 @@ class _Builder:
         self.children = array("q")
         self.consts: List[float] = []
         self.residuals: List[Tuple[float, float, FrozenSet[int]]] = []
+        self.residual_dnfs: List[Optional[DNF]] = []
         self.atom_nodes: Dict[int, int] = {}
         self.var_atoms: Dict[int, List[int]] = {}
         self.stats = stats
@@ -149,10 +155,14 @@ class _Builder:
         return self._emit(kind, start, len(self.children))
 
     def residual(
-        self, bounds: Tuple[float, float], vids: FrozenSet[int]
+        self,
+        bounds: Tuple[float, float],
+        vids: FrozenSet[int],
+        dnf: Optional[DNF] = None,
     ) -> int:
         index = len(self.residuals)
         self.residuals.append((bounds[0], bounds[1], vids))
+        self.residual_dnfs.append(dnf)
         self.stats.residuals += 1
         return self._emit(KIND_RESIDUAL, index, 0)
 
@@ -253,7 +263,7 @@ def compile_circuit(
 
         if max_nodes is not None and stats.nodes >= max_nodes:
             node = builder.residual(
-                leaf_bounds(current), current.variable_ids
+                leaf_bounds(current), current.variable_ids, current
             )
             memo[current] = node
             return node
@@ -337,4 +347,113 @@ def compile_circuit(
         builder.residuals,
         builder.atom_nodes,
         builder.var_atoms,
+        residual_dnfs=builder.residual_dnfs,
     )
+
+
+def expand_residuals(
+    circuit: Circuit, replacements: Dict[int, Circuit]
+) -> Circuit:
+    """Splice compiled subcircuits in place of residual leaves.
+
+    ``replacements`` maps residual indices (positions in
+    :attr:`Circuit.residuals`) to circuits compiled from the matching
+    :attr:`Circuit.residual_dnfs` entries — the caller compiles them
+    (typically via :meth:`~repro.engine.ConfidenceEngine.compile_circuit`,
+    so the shared decomposition cache replays the original trace) and
+    this function performs the structural surgery: a full rebuild pass
+    that inlines each subcircuit where its leaf stood, dedupes atom
+    nodes across the seam (gradients assume one input node per atom),
+    and re-applies any conditioning so atoms that only existed inside
+    the residual get pinned too.  Soundness: the residual's stored
+    bounds were sound for the sub-DNF, and the subcircuit computes that
+    sub-DNF's probability, so the expanded circuit's bounds are nested
+    within the original's.
+
+    The result is a **new** circuit (the input is untouched), so
+    identity-keyed kernel caches stay coherent.
+    """
+    if not replacements:
+        return circuit
+    for index, sub in replacements.items():
+        if not 0 <= index < len(circuit.residuals):
+            raise IndexError(
+                f"residual index {index} out of range for "
+                f"{len(circuit.residuals)} leaves"
+            )
+        if sub.registry is not circuit.registry:
+            raise ValueError(
+                "replacement circuit was compiled against a different "
+                "registry"
+            )
+        if sub._pinned or sub._conditioned_map:
+            raise ValueError(
+                "replacement circuits must be unconditioned — compile "
+                "the residual sub-DNF directly; conditioning is "
+                "re-applied to the expanded circuit as a whole"
+            )
+    stats = CircuitCompilationStats()
+    builder = _Builder(stats)
+
+    def rebuild(
+        source: Circuit, inline: Optional[Dict[int, Circuit]]
+    ) -> int:
+        """Emit ``source``'s nodes into the builder; returns the root.
+
+        ``inline`` maps residual indices to subcircuits to splice
+        (only for the outer circuit; inlined subs keep their own
+        residual leaves as leaves).
+        """
+        if not len(source.kinds):
+            return builder.const(0.0)
+        mapping = [0] * len(source.kinds)
+        for index in range(len(source.kinds)):
+            kind = source.kinds[index]
+            if kind == KIND_ATOM:
+                atom_id = source.arg0[index]
+                var_id, _name, _value = atom_entry(atom_id)
+                mapping[index] = builder.atom(atom_id, var_id)
+            elif kind == KIND_CONST:
+                mapping[index] = builder.const(
+                    source.consts[source.arg0[index]]
+                )
+            elif kind == KIND_RESIDUAL:
+                slot = source.arg0[index]
+                sub = inline.get(slot) if inline is not None else None
+                if sub is None:
+                    low, high, vids = source.residuals[slot]
+                    mapping[index] = builder.residual(
+                        (low, high), vids, source.residual_dnfs[slot]
+                    )
+                else:
+                    mapping[index] = rebuild(sub, None)
+            else:
+                span = [
+                    mapping[child]
+                    for child in source.children[
+                        source.arg0[index]:source.arg1[index]
+                    ]
+                ]
+                mapping[index] = builder.inner(kind, span)
+        return mapping[-1]
+
+    root = rebuild(circuit, replacements)
+    # Same invariant as compile_circuit: the root must be the last node
+    # (atom dedup across the splice seam can map it earlier).
+    if root != len(builder.kinds) - 1:
+        builder.inner(KIND_SUM, [root])
+    expanded = Circuit(
+        circuit.registry,
+        builder.kinds,
+        builder.arg0,
+        builder.arg1,
+        builder.children,
+        builder.consts,
+        builder.residuals,
+        builder.atom_nodes,
+        builder.var_atoms,
+        residual_dnfs=builder.residual_dnfs,
+    )
+    for variable, value in circuit._conditioned_map.items():
+        expanded = expanded.condition(variable, value)
+    return expanded

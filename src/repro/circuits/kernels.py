@@ -75,6 +75,7 @@ __all__ = [
     "CircuitKernel",
     "CircuitSampler",
     "KernelUnavailableError",
+    "circuit_kernel",
     "circuit_monte_carlo",
     "clause_probability_batch",
     "kernel_backend",
@@ -625,6 +626,25 @@ class CircuitKernel:
             )
         rng = np.random.default_rng(rng_seed)
         return self.evaluate_batch(self.sample_matrix(count, rng))
+
+
+def circuit_kernel(circuit: Circuit) -> CircuitKernel:
+    """The circuit's lowered kernel, built once and cached on it.
+
+    Lowering is O(nodes + edges) of Python work — wasted when repeated
+    per sweep call (and per serving request).  The kernel is cached on
+    the :class:`Circuit` instance itself; every derivation that could
+    invalidate it (``condition()``, ``expand_residuals``) returns a new
+    Circuit object, so object identity is the invalidation rule and a
+    cached kernel can never disagree with its circuit.  Benign under
+    concurrent readers: the only race is two threads lowering the same
+    circuit once each, and either result is equivalent.
+    """
+    kernel = circuit._kernel
+    if kernel is None:
+        kernel = CircuitKernel(circuit)
+        circuit._kernel = kernel
+    return kernel  # type: ignore[return-value]
 
 
 class CircuitSampler:

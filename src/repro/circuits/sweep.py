@@ -25,6 +25,7 @@ container returned by :meth:`CompiledResult.sweep` and
 from __future__ import annotations
 
 from typing import (
+    Callable,
     Dict,
     FrozenSet,
     Hashable,
@@ -36,10 +37,16 @@ from typing import (
 
 from ..core.variables import atom_entry, variable_name
 from .circuit import Bounds, Circuit, ProbOverrides
-from .kernels import BACKEND_NUMPY, CircuitKernel, kernel_backend
+from .kernels import (
+    BACKEND_NUMPY,
+    CircuitKernel,
+    circuit_kernel,
+    kernel_backend,
+)
 
 __all__ = [
     "SweepResult",
+    "refine_sweep_bounds",
     "sweep_bounds",
     "sweep_gradients",
     "sweep_values",
@@ -109,7 +116,7 @@ def sweep_values(
     """
     if not _use_kernel(circuit, vectorized):
         return [circuit.evaluate(overrides) for overrides in scenarios]
-    kernel = CircuitKernel(circuit)
+    kernel = circuit_kernel(circuit)
     resolved_list, touched_list = _resolved_inputs(circuit, scenarios)
     matrix = _scenario_matrix(kernel, resolved_list)
     return kernel.evaluate_batch(matrix, touched_list).tolist()
@@ -129,11 +136,59 @@ def sweep_bounds(
         return [
             circuit.evaluate_bounds(overrides) for overrides in scenarios
         ]
-    kernel = CircuitKernel(circuit)
+    kernel = circuit_kernel(circuit)
     resolved_list, touched_list = _resolved_inputs(circuit, scenarios)
     matrix = _scenario_matrix(kernel, resolved_list)
     bounds = kernel.bounds_batch(matrix, touched_list)
     return [tuple(row) for row in bounds.tolist()]
+
+
+def refine_sweep_bounds(
+    circuit: Circuit,
+    scenarios: Scenarios,
+    *,
+    compile_subcircuit: "Callable[[object], Circuit]",
+    target_width: float = 0.0,
+    max_rounds: int = 16,
+    vectorized: Optional[bool] = None,
+) -> Tuple[Circuit, List[Bounds]]:
+    """Tighten a partial circuit's bounds across many scenarios at once.
+
+    The batched analogue of resuming a truncated ε-run: each round
+    picks the residual leaf with the widest *effective* width over the
+    whole scenario batch (a leaf touched by any scenario's overrides
+    counts as ``[0, 1]`` wide — see :meth:`Circuit.widest_residual`),
+    compiles its recorded sub-DNF via ``compile_subcircuit`` (pass
+    ``engine.compile_circuit`` so the shared decomposition cache
+    replays the original trace), splices it in with
+    :func:`~repro.circuits.expand_residuals`, and re-sweeps **all**
+    scenarios in one batched pass — so uncertainty shrinks uniformly
+    across the batch instead of per request.
+
+    Stops when every scenario's interval is at most ``target_width``
+    wide, after ``max_rounds`` expansions, or when no refinable leaf
+    remains (deserialized circuits do not carry sub-DNFs; their leaves
+    are skipped).  Returns the refined circuit — the input is never
+    mutated — and its per-scenario bounds.
+    """
+    from .compiler import expand_residuals
+
+    bounds = sweep_bounds(circuit, scenarios, vectorized=vectorized)
+    rounds = 0
+    while circuit.residuals and rounds < max_rounds:
+        if all(high - low <= target_width for low, high in bounds):
+            break
+        _resolved, touched_list = _resolved_inputs(circuit, scenarios)
+        index = circuit.widest_residual(touched_list)
+        if index is None:
+            break
+        sub_dnf = circuit.residual_dnfs[index]
+        circuit = expand_residuals(
+            circuit, {index: compile_subcircuit(sub_dnf)}
+        )
+        bounds = sweep_bounds(circuit, scenarios, vectorized=vectorized)
+        rounds += 1
+    return circuit, bounds
 
 
 def sweep_gradients(
@@ -152,7 +207,7 @@ def sweep_gradients(
     """
     if not _use_kernel(circuit, vectorized):
         return [circuit.gradients(overrides) for overrides in scenarios]
-    kernel = CircuitKernel(circuit)
+    kernel = circuit_kernel(circuit)
     resolved_list, touched_list = _resolved_inputs(circuit, scenarios)
     matrix = _scenario_matrix(kernel, resolved_list)
     adjoints = kernel.gradients_batch(matrix, touched_list)

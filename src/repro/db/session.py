@@ -46,7 +46,12 @@ from ..core.dnf import DNF
 from ..core.formulas import Formula
 from ..core.memo import DecompositionCache
 from ..core.variables import VariableRegistry
-from ..engine import ConfidenceEngine, EngineConfig, EngineResult
+from ..engine import (
+    ConfidenceEngine,
+    EngineConfig,
+    EngineResult,
+    circuit_hit_result,
+)
 from .cq import ConjunctiveQuery
 from .database import Database
 from .engine import QueryAnswer, evaluate
@@ -59,29 +64,6 @@ __all__ = ["ProbDB", "QueryResult", "BoundsSnapshot"]
 AnswerValues = Tuple[Hashable, ...]
 LineageAnswer = Tuple[AnswerValues, DNF]
 PathLike = Union[str, "os.PathLike[str]"]
-
-
-def _circuit_hit_result(
-    circuit: Circuit,
-    config: EngineConfig,
-    epsilon: Optional[float],
-    error_kind: Optional[str],
-) -> EngineResult:
-    """The session-cache warm hit as an :class:`EngineResult`.
-
-    One definition for both warm paths (``QueryResult.confidences``
-    and ``ProbDB.confidence``), so they cannot drift apart.
-    """
-    value = circuit.evaluate()
-    return EngineResult(
-        value, value, value, "circuit",
-        "session circuit cache hit: O(|circuit|) re-evaluation, "
-        "engine skipped",
-        True,
-        config.epsilon if epsilon is None else epsilon,
-        config.error_kind if error_kind is None else error_kind,
-        circuit=circuit,
-    )
 
 
 class BoundsSnapshot:
@@ -339,7 +321,7 @@ class QueryResult:
         for index, (_values, dnf) in enumerate(answers):
             circuit = cache.get(dnf) if cache is not None else None
             if circuit is not None and circuit.is_exact:
-                results[index] = _circuit_hit_result(
+                results[index] = circuit_hit_result(
                     circuit, config, epsilon, error_kind
                 )
             else:
@@ -783,7 +765,7 @@ class ProbDB:
         dnf = lineage.to_dnf() if isinstance(lineage, Formula) else lineage
         circuit = self.circuits.get(dnf)
         if circuit is not None and circuit.is_exact:
-            return _circuit_hit_result(
+            return circuit_hit_result(
                 circuit, self.engine.config, epsilon, error_kind
             )
         result = self.engine.compute(
@@ -843,6 +825,25 @@ class ProbDB:
                 "persist_circuits=/ProbDB.open(circuit_store=...)"
             )
         return self.circuits.save(target)
+
+    def serving(
+        self, *, store_name: str = "session", config: Optional[object] = None
+    ) -> "object":
+        """An async serving engine over this session's circuit cache.
+
+        The returned :class:`repro.serving.ServingEngine` serves the
+        live session cache under ``store_name`` (snapshots re-cut as
+        the cache's mutation counter moves, so circuits compiled after
+        this call are visible to the server) and degrades to this
+        session's engine for cold lineages.  Wrap it in
+        :class:`repro.serving.ServingApp` for the ASGI front-end or
+        :class:`repro.serving.ServingClient` for in-process calls.
+        """
+        from ..serving import CircuitStoreService, ServingEngine
+
+        stores = CircuitStoreService(self.registry)
+        stores.add_cache(store_name, self.circuits)
+        return ServingEngine(stores, self.engine, config)  # type: ignore[arg-type]
 
     def close(self) -> None:
         """Retire the worker pool and persist circuits (if configured)."""

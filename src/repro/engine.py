@@ -103,6 +103,7 @@ __all__ = [
     "EngineConfig",
     "EngineResult",
     "STRATEGY_LADDER",
+    "circuit_hit_result",
 ]
 
 #: The ladder, in selection order (``sprout`` applies at query level).
@@ -423,6 +424,31 @@ class EngineResult:
             f"bounds=[{self.lower:.6g}, {self.upper:.6g}], "
             f"converged={self.converged})"
         )
+
+
+def circuit_hit_result(
+    circuit: "Circuit",
+    config: "EngineConfig",
+    epsilon: Optional[float] = None,
+    error_kind: Optional[str] = None,
+) -> "EngineResult":
+    """A cached-circuit answer as an :class:`EngineResult`.
+
+    One definition for every warm path that skips the engine — the
+    session cache hits (``QueryResult.confidences`` and
+    ``ProbDB.confidence``) and the serving tier's store hits — so the
+    strategy-"circuit" result shape cannot drift between them.
+    """
+    value = circuit.evaluate()
+    return EngineResult(
+        value, value, value, "circuit",
+        "session circuit cache hit: O(|circuit|) re-evaluation, "
+        "engine skipped",
+        True,
+        config.epsilon if epsilon is None else epsilon,
+        config.error_kind if error_kind is None else error_kind,
+        circuit=circuit,
+    )
 
 
 def _wants_exact_circuit(result: "EngineResult") -> bool:

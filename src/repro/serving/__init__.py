@@ -1,0 +1,53 @@
+"""Circuit-serving tier: async evaluation over persisted circuit stores.
+
+The query-time half of the compile-once/evaluate-many story.  One
+process (or many) compiles lineage into arithmetic circuits and saves
+them with :meth:`CircuitCache.save`; a serving process loads those
+stores through a :class:`CircuitStoreService` (immutable snapshots,
+stat-based hot reload), and a :class:`ServingEngine` answers
+``evaluate`` / ``bounds`` / ``gradients`` / ``what_if`` / ``sweep`` /
+``top_k`` requests against them — micro-batching concurrent
+same-circuit work into single kernel sweeps, bounding concurrency per
+tenant, enforcing deadlines through :mod:`repro.core.clock`, and
+degrading gracefully (cold lineage → attached engine; overload →
+shed with a structured ``overloaded`` error).
+
+Front-ends: :class:`ServingApp` (stdlib ASGI 3, JSON wire codec in
+:mod:`repro.serving.codec`), :func:`serve` (uvicorn, optional extra),
+and the in-process :class:`ServingClient` / :class:`ASGIClient`.
+:class:`ServingStats` reports latency percentiles, batch occupancy,
+store hit/miss traffic, and shed counts.
+
+This subpackage is imported on demand (``import repro.serving``), not
+by ``import repro`` — command-line tools that never serve pay nothing.
+"""
+
+from .app import ServingApp, serve
+from .client import ASGIClient, ServingClient
+from .codec import (
+    dnf_from_json,
+    dnf_to_json,
+    overrides_from_json,
+    overrides_to_json,
+)
+from .engine import ServingConfig, ServingEngine
+from .errors import ServingError
+from .stats import ServingStats
+from .store import CircuitStoreService, StoreSnapshot
+
+__all__ = [
+    "ASGIClient",
+    "CircuitStoreService",
+    "ServingApp",
+    "ServingClient",
+    "ServingConfig",
+    "ServingEngine",
+    "ServingError",
+    "ServingStats",
+    "StoreSnapshot",
+    "dnf_from_json",
+    "dnf_to_json",
+    "overrides_from_json",
+    "overrides_to_json",
+    "serve",
+]

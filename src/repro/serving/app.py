@@ -1,0 +1,198 @@
+"""Thin ASGI/JSON front-end over a :class:`ServingEngine`.
+
+:class:`ServingApp` is a dependency-free ASGI 3 application (plain
+``async def __call__(scope, receive, send)``), so it runs under any
+ASGI server — and, for tests and benchmarks, directly in-process via
+:class:`~repro.serving.client.ASGIClient` with no server at all.
+
+Routes::
+
+    GET  /healthz     liveness + store names
+    GET  /v1/stats    ServingStats summary (latency, occupancy, shed)
+    GET  /v1/stores   per-store name/path/version/entry-count
+    POST /v1/<op>     evaluate | bounds | gradients | what_if | sweep
+                      | top_k — JSON body per repro.serving.codec
+
+Every :class:`~repro.serving.errors.ServingError` maps to its HTTP
+status with a structured ``{"error": {code, message, details}}`` body;
+nothing else is ever surfaced to a client.
+
+:func:`serve` runs the app under uvicorn **if it is installed** (the
+``repro[serve]`` extra); the import is gated so the serving tier —
+like the rest of the library — works from the standard library alone.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from .engine import ServingConfig, ServingEngine
+from .errors import ServingError
+from .store import CircuitStoreService
+
+__all__ = ["ServingApp", "serve"]
+
+_MAX_BODY_BYTES = 16 * 1024 * 1024
+_POST_OPS = ("evaluate", "bounds", "gradients", "what_if", "sweep", "top_k")
+
+
+class ServingApp:
+    """ASGI 3 application wrapping one :class:`ServingEngine`."""
+
+    def __init__(self, engine: ServingEngine) -> None:
+        self.engine = engine
+
+    # -- ASGI ------------------------------------------------------------
+    async def __call__(
+        self,
+        scope: Dict[str, Any],
+        receive: Callable[[], Any],
+        send: Callable[[Dict[str, Any]], Any],
+    ) -> None:
+        if scope["type"] == "lifespan":
+            await self._lifespan(receive, send)
+            return
+        if scope["type"] != "http":  # pragma: no cover - ws etc.
+            raise RuntimeError(
+                f"unsupported ASGI scope type {scope['type']!r}"
+            )
+        method = scope["method"]
+        path = scope["path"]
+        try:
+            status, payload = await self._route(method, path, receive)
+        except ServingError as exc:
+            status, payload = exc.status, exc.to_json()
+        except Exception as exc:  # pragma: no cover - defensive
+            error = ServingError(
+                "internal", f"{type(exc).__name__}: {exc}"
+            )
+            status, payload = error.status, error.to_json()
+        await self._send_json(send, status, payload)
+
+    async def _lifespan(
+        self,
+        receive: Callable[[], Any],
+        send: Callable[[Dict[str, Any]], Any],
+    ) -> None:
+        while True:
+            message = await receive()
+            if message["type"] == "lifespan.startup":
+                await send({"type": "lifespan.startup.complete"})
+            elif message["type"] == "lifespan.shutdown":
+                await self.engine.close()
+                await send({"type": "lifespan.shutdown.complete"})
+                return
+
+    # -- routing ---------------------------------------------------------
+    async def _route(
+        self, method: str, path: str, receive: Callable[[], Any]
+    ) -> Tuple[int, Dict[str, Any]]:
+        if method == "GET":
+            if path == "/healthz":
+                return 200, {
+                    "status": "ok",
+                    "stores": list(self.engine.stores.names()),
+                }
+            if path == "/v1/stats":
+                return 200, self.engine.stats.summary()
+            if path == "/v1/stores":
+                return 200, {"stores": self.engine.stores.describe()}
+            raise ServingError(
+                "bad-request", f"no GET route {path!r}", status=404
+            )
+        if method == "POST":
+            op = path[len("/v1/"):] if path.startswith("/v1/") else ""
+            if op not in _POST_OPS:
+                raise ServingError(
+                    "bad-request", f"no POST route {path!r}", status=404
+                )
+            request = await self._read_json(receive)
+            request["op"] = op
+            response = await self.engine.handle(request)
+            return 200, response
+        raise ServingError(
+            "bad-request", f"method {method} not allowed", status=405
+        )
+
+    async def _read_json(
+        self, receive: Callable[[], Any]
+    ) -> Dict[str, Any]:
+        chunks = []
+        total = 0
+        while True:
+            message = await receive()
+            if message["type"] != "http.request":  # pragma: no cover
+                raise ServingError(
+                    "bad-request", "unexpected ASGI message"
+                )
+            body = message.get("body", b"")
+            total += len(body)
+            if total > _MAX_BODY_BYTES:
+                raise ServingError(
+                    "bad-request",
+                    f"request body exceeds {_MAX_BODY_BYTES} bytes",
+                    status=413,
+                )
+            chunks.append(body)
+            if not message.get("more_body", False):
+                break
+        raw = b"".join(chunks)
+        if not raw:
+            return {}
+        try:
+            data = json.loads(raw)
+        except ValueError as exc:
+            raise ServingError(
+                "bad-request", f"request body is not JSON: {exc}"
+            ) from exc
+        if not isinstance(data, dict):
+            raise ServingError(
+                "bad-request", "request body must be a JSON object"
+            )
+        return data
+
+    async def _send_json(
+        self,
+        send: Callable[[Dict[str, Any]], Any],
+        status: int,
+        payload: Dict[str, Any],
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        await send(
+            {
+                "type": "http.response.start",
+                "status": status,
+                "headers": [
+                    (b"content-type", b"application/json"),
+                    (b"content-length", str(len(body)).encode("ascii")),
+                ],
+            }
+        )
+        await send({"type": "http.response.body", "body": body})
+
+
+def serve(
+    stores: CircuitStoreService,
+    engine: Optional[object] = None,
+    *,
+    config: Optional[ServingConfig] = None,
+    host: str = "127.0.0.1",
+    port: int = 8093,
+) -> None:
+    """Run the serving app under uvicorn (``pip install repro[serve]``).
+
+    The serving tier itself is stdlib-only; this convenience runner is
+    the single place that wants a real HTTP server, so the uvicorn
+    import is gated here rather than being a hard dependency.
+    """
+    try:
+        import uvicorn
+    except ImportError as exc:  # pragma: no cover - optional extra
+        raise RuntimeError(
+            "uvicorn is not installed; install the repro[serve] extra, "
+            "or drive ServingApp with repro.serving.ASGIClient (tests) "
+            "or any other ASGI server"
+        ) from exc
+    app = ServingApp(ServingEngine(stores, engine, config))
+    uvicorn.run(app, host=host, port=port, log_level="warning")

@@ -1,0 +1,316 @@
+"""In-process async clients for the serving tier.
+
+Two clients, one vocabulary:
+
+* :class:`ServingClient` wraps a :class:`ServingEngine` directly —
+  zero serialization, native Python values in and out.  This is the
+  path ``ProbDB.serving()`` hands back for same-process callers.
+* :class:`ASGIClient` drives a :class:`ServingApp` through the real
+  ASGI protocol (scope/receive/send, JSON bodies) without a socket —
+  what an HTTP client would see, minus the network.  Tests and the
+  latency benchmark use it to exercise the full wire path.
+
+Both expose the same ``evaluate`` / ``bounds`` / ``gradients`` /
+``what_if`` / ``sweep`` / ``top_k`` coroutines plus a generic
+``request`` escape hatch, so a test can assert bit-identity between
+the direct and the wire path with the same call sites.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Hashable, List, Optional, Sequence
+
+from .app import ServingApp
+from .codec import dnf_to_json, overrides_to_json, value_to_json
+from .engine import ServingEngine
+from .errors import ServingError
+
+__all__ = ["ASGIClient", "ServingClient"]
+
+
+def _encode_lineage(lineage: Any) -> Any:
+    """DNF objects become wire clause lists; wire lists pass through."""
+    if hasattr(lineage, "sorted_clauses"):
+        return dnf_to_json(lineage)
+    return lineage
+
+
+class _ClientBase:
+    """Shared request builders over an abstract ``request`` coroutine."""
+
+    async def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        raise NotImplementedError
+
+    def _common(
+        self,
+        op: str,
+        *,
+        store: Optional[str],
+        tenant: Optional[str],
+        deadline_seconds: Optional[float],
+        expect_version: Optional[str],
+    ) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"op": op}
+        if store is not None:
+            payload["store"] = store
+        if tenant is not None:
+            payload["tenant"] = tenant
+        if deadline_seconds is not None:
+            payload["deadline_seconds"] = deadline_seconds
+        if expect_version is not None:
+            payload["expect_version"] = expect_version
+        return payload
+
+    async def evaluate(
+        self,
+        lineage: Any,
+        *,
+        overrides: Optional[Dict[Hashable, Any]] = None,
+        store: Optional[str] = None,
+        tenant: Optional[str] = None,
+        deadline_seconds: Optional[float] = None,
+        expect_version: Optional[str] = None,
+        epsilon: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        payload = self._common(
+            "evaluate",
+            store=store,
+            tenant=tenant,
+            deadline_seconds=deadline_seconds,
+            expect_version=expect_version,
+        )
+        payload["lineage"] = _encode_lineage(lineage)
+        if overrides is not None:
+            payload["overrides"] = overrides_to_json(overrides)
+        if epsilon is not None:
+            payload["epsilon"] = epsilon
+        return await self.request(payload)
+
+    async def bounds(
+        self,
+        lineage: Any,
+        *,
+        overrides: Optional[Dict[Hashable, Any]] = None,
+        refine: bool = False,
+        target_width: Optional[float] = None,
+        store: Optional[str] = None,
+        tenant: Optional[str] = None,
+        deadline_seconds: Optional[float] = None,
+        expect_version: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        payload = self._common(
+            "bounds",
+            store=store,
+            tenant=tenant,
+            deadline_seconds=deadline_seconds,
+            expect_version=expect_version,
+        )
+        payload["lineage"] = _encode_lineage(lineage)
+        if overrides is not None:
+            payload["overrides"] = overrides_to_json(overrides)
+        if refine:
+            payload["refine"] = True
+        if target_width is not None:
+            payload["target_width"] = target_width
+        return await self.request(payload)
+
+    async def gradients(
+        self,
+        lineage: Any,
+        *,
+        overrides: Optional[Dict[Hashable, Any]] = None,
+        store: Optional[str] = None,
+        tenant: Optional[str] = None,
+        deadline_seconds: Optional[float] = None,
+        expect_version: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        payload = self._common(
+            "gradients",
+            store=store,
+            tenant=tenant,
+            deadline_seconds=deadline_seconds,
+            expect_version=expect_version,
+        )
+        payload["lineage"] = _encode_lineage(lineage)
+        if overrides is not None:
+            payload["overrides"] = overrides_to_json(overrides)
+        return await self.request(payload)
+
+    async def what_if(
+        self,
+        lineage: Any,
+        variable: Hashable,
+        probabilities: Sequence[float],
+        *,
+        store: Optional[str] = None,
+        tenant: Optional[str] = None,
+        deadline_seconds: Optional[float] = None,
+        expect_version: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        payload = self._common(
+            "what_if",
+            store=store,
+            tenant=tenant,
+            deadline_seconds=deadline_seconds,
+            expect_version=expect_version,
+        )
+        payload["lineage"] = _encode_lineage(lineage)
+        payload["variable"] = value_to_json(variable)
+        payload["probabilities"] = [float(p) for p in probabilities]
+        return await self.request(payload)
+
+    async def sweep(
+        self,
+        lineage: Any,
+        scenarios: Sequence[Optional[Dict[Hashable, Any]]],
+        *,
+        kind: str = "values",
+        refine: bool = False,
+        target_width: Optional[float] = None,
+        store: Optional[str] = None,
+        tenant: Optional[str] = None,
+        deadline_seconds: Optional[float] = None,
+        expect_version: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        payload = self._common(
+            "sweep",
+            store=store,
+            tenant=tenant,
+            deadline_seconds=deadline_seconds,
+            expect_version=expect_version,
+        )
+        payload["lineage"] = _encode_lineage(lineage)
+        payload["scenarios"] = [
+            overrides_to_json(overrides) for overrides in scenarios
+        ]
+        payload["kind"] = kind
+        if refine:
+            payload["refine"] = True
+        if target_width is not None:
+            payload["target_width"] = target_width
+        return await self.request(payload)
+
+    async def top_k(
+        self,
+        lineages: Sequence[Any],
+        k: int,
+        *,
+        answers: Optional[Sequence[Hashable]] = None,
+        overrides: Optional[Dict[Hashable, Any]] = None,
+        store: Optional[str] = None,
+        tenant: Optional[str] = None,
+        deadline_seconds: Optional[float] = None,
+        expect_version: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        payload = self._common(
+            "top_k",
+            store=store,
+            tenant=tenant,
+            deadline_seconds=deadline_seconds,
+            expect_version=expect_version,
+        )
+        payload["lineages"] = [
+            _encode_lineage(lineage) for lineage in lineages
+        ]
+        payload["k"] = k
+        if answers is not None:
+            payload["answers"] = [
+                value_to_json(answer) for answer in answers
+            ]
+        if overrides is not None:
+            payload["overrides"] = overrides_to_json(overrides)
+        return await self.request(payload)
+
+
+class ServingClient(_ClientBase):
+    """Direct in-process client: payload dicts straight to ``handle``."""
+
+    def __init__(self, engine: ServingEngine) -> None:
+        self.engine = engine
+
+    async def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        return await self.engine.handle(payload)
+
+    async def stats(self) -> Dict[str, Any]:
+        return self.engine.stats.summary()  # type: ignore[return-value]
+
+
+class ASGIClient(_ClientBase):
+    """Drives a :class:`ServingApp` through the ASGI protocol in-process.
+
+    Raises :class:`ServingError` on non-2xx responses, rebuilt from the
+    structured error body — so callers see the same exception type on
+    both the direct and the wire path.
+    """
+
+    def __init__(self, app: ServingApp) -> None:
+        self.app = app
+
+    async def http(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        """One request/response cycle; returns the decoded JSON body."""
+        raw = json.dumps(body).encode("utf-8") if body is not None else b""
+        scope = {
+            "type": "http",
+            "asgi": {"version": "3.0"},
+            "http_version": "1.1",
+            "method": method,
+            "scheme": "http",
+            "path": path,
+            "raw_path": path.encode("ascii"),
+            "query_string": b"",
+            "headers": [(b"content-type", b"application/json")],
+        }
+        received = False
+
+        async def receive() -> Dict[str, Any]:
+            nonlocal received
+            if received:  # pragma: no cover - disconnect sentinel
+                return {"type": "http.disconnect"}
+            received = True
+            return {"type": "http.request", "body": raw, "more_body": False}
+
+        messages: List[Dict[str, Any]] = []
+
+        async def send(message: Dict[str, Any]) -> None:
+            messages.append(message)
+
+        await self.app(scope, receive, send)
+        status = 500
+        chunks = []
+        for message in messages:
+            if message["type"] == "http.response.start":
+                status = message["status"]
+            elif message["type"] == "http.response.body":
+                chunks.append(message.get("body", b""))
+        payload = json.loads(b"".join(chunks) or b"{}")
+        if status >= 300:
+            error = payload.get("error", {})
+            raise ServingError(
+                error.get("code", "internal"),
+                error.get("message", f"HTTP {status}"),
+                status=status,
+                details=error.get("details"),
+            )
+        return payload
+
+    async def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        op = payload["op"]
+        body = {
+            key: value for key, value in payload.items() if key != "op"
+        }
+        return await self.http("POST", f"/v1/{op}", body)
+
+    async def stats(self) -> Dict[str, Any]:
+        return await self.http("GET", "/v1/stats")
+
+    async def healthz(self) -> Dict[str, Any]:
+        return await self.http("GET", "/healthz")
+
+    async def stores(self) -> Dict[str, Any]:
+        return await self.http("GET", "/v1/stores")

@@ -1,0 +1,720 @@
+"""The asyncio serving engine: batched evaluation over store snapshots.
+
+:class:`ServingEngine` is the request dispatcher of the serving tier.
+Each request names a store, a lineage, and an operation (``evaluate``,
+``bounds``, ``gradients``, ``what_if``, ``sweep``, ``top_k``); the
+engine resolves the circuit from the store snapshot (or the warm
+overlay of circuits it compiled itself), runs the operation, and
+returns a JSON-ready response that always reports which ``strategy``
+produced the numbers:
+
+``store``
+    served straight from the persisted store snapshot;
+``overlay``
+    from a circuit this server compiled earlier for a cold lineage;
+``engine`` / ``engine-compile``
+    graceful degradation — the lineage was not in the store, so the
+    attached :class:`~repro.engine.ConfidenceEngine` computed it (or
+    compiled a circuit into the overlay) on a worker thread.
+
+Micro-batching: concurrent single-scenario requests against the *same*
+circuit are coalesced — each enqueues a row into a per-``(circuit,
+kind)`` bucket that flushes after ``batch_window_seconds`` (or at
+``max_batch`` rows) through one :func:`~repro.circuits.sweep_values` /
+:func:`~repro.circuits.sweep_bounds` call, i.e. one kernel
+``evaluate_batch`` on the numpy backend.  Multi-scenario operations
+(``what_if``, ``sweep``, ``top_k``) enqueue all their rows at once, so
+batch occupancy exceeds 1 even for a single client.  Sweep results are
+bit-identical to the scalar path by the sweep module's own contract,
+so batching is a latency decision, never a semantics one.
+
+Backpressure: admission beyond ``max_inflight + queue_limit`` sheds
+with a structured ``overloaded`` error; admitted requests wait on a
+global and a per-tenant semaphore, and per-request deadlines (read
+through :mod:`repro.core.clock`, so tests can fake time) fail with
+``deadline-exceeded`` rather than queueing forever.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from ..circuits.cache import CircuitCache
+from ..circuits.circuit import Circuit
+from ..circuits.sweep import (
+    refine_sweep_bounds,
+    sweep_bounds,
+    sweep_values,
+    what_if_scenarios,
+)
+from ..core import clock
+from ..core.dnf import DNF
+from .codec import (
+    answers_from_json,
+    dnf_from_json,
+    gradients_to_json,
+    overrides_from_json,
+    scenarios_from_json,
+    value_from_json,
+    value_to_json,
+)
+from .errors import ServingError
+from .stats import ServingStats
+from .store import CircuitStoreService, StoreSnapshot
+
+__all__ = ["ServingConfig", "ServingEngine"]
+
+_OPS = ("evaluate", "bounds", "gradients", "what_if", "sweep", "top_k")
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Tuning knobs for one :class:`ServingEngine`.
+
+    ``max_inflight`` requests run concurrently; up to ``queue_limit``
+    more wait; anything beyond is shed immediately.  ``batch_window_
+    seconds`` is how long the first row of a micro-batch waits for
+    company before flushing (0 flushes synchronously per row).
+    """
+
+    max_inflight: int = 64
+    per_tenant_inflight: int = 16
+    queue_limit: int = 256
+    batch_window_seconds: float = 0.002
+    max_batch: int = 256
+    default_deadline_seconds: Optional[float] = None
+    #: Forwarded to the sweep entry points (None = auto backend).
+    vectorized: Optional[bool] = None
+    #: Refinement rounds allowed when a ``bounds``/``sweep`` request
+    #: asks for ``refine`` on a partial circuit (engine required).
+    refine_rounds: int = 4
+    #: Circuits the overlay keeps for cold lineages before wholesale
+    #: eviction (the CircuitCache policy).
+    overlay_entries: int = 1024
+
+
+class _Bucket:
+    """One pending micro-batch: same circuit, same result kind."""
+
+    __slots__ = ("circuit", "kind", "overrides", "futures", "handle")
+
+    def __init__(self, circuit: Circuit, kind: str) -> None:
+        self.circuit = circuit
+        self.kind = kind
+        self.overrides: List[Optional[Dict[Any, Any]]] = []
+        self.futures: List["asyncio.Future[Any]"] = []
+        self.handle: Optional[asyncio.TimerHandle] = None
+
+
+class _MicroBatcher:
+    """Coalesces same-circuit rows into single batched sweep calls."""
+
+    def __init__(
+        self,
+        loop: asyncio.AbstractEventLoop,
+        stats: ServingStats,
+        *,
+        window: float,
+        max_batch: int,
+        vectorized: Optional[bool],
+    ) -> None:
+        self.loop = loop
+        self.stats = stats
+        self.window = window
+        self.max_batch = max_batch
+        self.vectorized = vectorized
+        self.buckets: Dict[Tuple[int, str], _Bucket] = {}
+
+    def submit(
+        self,
+        circuit: Circuit,
+        overrides: Optional[Dict[Any, Any]],
+        kind: str,
+    ) -> "asyncio.Future[Any]":
+        # Validate per row *before* enqueueing so a bad scenario fails
+        # its own request, never the whole batch it would share.
+        try:
+            circuit._resolve_overrides(overrides)
+        except Exception as exc:
+            raise ServingError(
+                "bad-request", f"invalid overrides: {exc}"
+            ) from exc
+        key = (id(circuit), kind)
+        bucket = self.buckets.get(key)
+        if bucket is None:
+            bucket = _Bucket(circuit, kind)
+            self.buckets[key] = bucket
+            bucket.handle = self.loop.call_later(
+                self.window, self._flush, key
+            )
+        future: "asyncio.Future[Any]" = self.loop.create_future()
+        bucket.overrides.append(overrides)
+        bucket.futures.append(future)
+        if len(bucket.futures) >= self.max_batch:
+            self._flush(key)
+        return future
+
+    def _flush(self, key: Tuple[int, str]) -> None:
+        bucket = self.buckets.pop(key, None)
+        if bucket is None:
+            return
+        if bucket.handle is not None:
+            bucket.handle.cancel()
+        self.stats.record_batch(len(bucket.futures))
+        try:
+            if bucket.kind == "bounds":
+                results: List[Any] = [
+                    list(pair)
+                    for pair in sweep_bounds(
+                        bucket.circuit,
+                        bucket.overrides,
+                        vectorized=self.vectorized,
+                    )
+                ]
+            else:
+                results = sweep_values(
+                    bucket.circuit,
+                    bucket.overrides,
+                    vectorized=self.vectorized,
+                )
+        except Exception as exc:  # pragma: no cover - defensive
+            error = ServingError(
+                "internal", f"batched sweep failed: {exc}"
+            )
+            for future in bucket.futures:
+                if not future.done():
+                    future.set_exception(error)
+            return
+        for future, result in zip(bucket.futures, results):
+            if not future.done():
+                future.set_result(result)
+
+    def flush_all(self) -> None:
+        for key in list(self.buckets):
+            self._flush(key)
+
+
+class ServingEngine:
+    """Dispatches serving requests against a :class:`CircuitStoreService`.
+
+    ``engine`` is the optional :class:`~repro.engine.ConfidenceEngine`
+    used for graceful degradation on cold lineages; without one, a
+    lineage missing from every store snapshot is an ``unknown-circuit``
+    error.  All engine work runs on a worker thread under a lock (the
+    engine's decomposition cache is not thread-safe), so the event loop
+    keeps serving warm traffic while a cold lineage compiles.
+    """
+
+    def __init__(
+        self,
+        stores: CircuitStoreService,
+        engine: Optional[object] = None,
+        config: Optional[ServingConfig] = None,
+    ) -> None:
+        self.stores = stores
+        self.engine = engine
+        self.config = config or ServingConfig()
+        self.stats = ServingStats()
+        #: Warm cache of circuits this server compiled for cold
+        #: lineages (partial circuits included — exact_only=False).
+        self.overlay = CircuitCache(
+            max_entries=self.config.overlay_entries
+        )
+        self._engine_lock = threading.Lock()
+        self._pending = 0
+        # Loop-bound state, re-created if the engine is reused from a
+        # different event loop (tests call asyncio.run repeatedly).
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._global_sem: Optional[asyncio.Semaphore] = None
+        self._tenant_sems: Dict[str, asyncio.Semaphore] = {}
+        self._batcher: Optional[_MicroBatcher] = None
+
+    # -- public entry ----------------------------------------------------
+    async def handle(self, request: Mapping[str, Any]) -> Dict[str, Any]:
+        """Serve one request dict; raises :class:`ServingError`."""
+        start = clock.monotonic()
+        op = request.get("op")
+        if op not in _OPS:
+            error = ServingError(
+                "bad-request",
+                f"unknown op {op!r} (expected one of {', '.join(_OPS)})",
+            )
+            self.stats.record_error(error.code)
+            raise error
+        tenant = str(request.get("tenant", "default"))
+        limit = self.config.max_inflight + self.config.queue_limit
+        if self._pending >= limit:
+            self.stats.shed += 1
+            self.stats.record_error("overloaded")
+            raise ServingError(
+                "overloaded",
+                f"{self._pending} requests already admitted "
+                f"(limit {limit}); retry later",
+                details={"inflight": self._pending, "limit": limit},
+            )
+        self._ensure_loop_state()
+        self._pending += 1
+        self.stats.enter_inflight()
+        try:
+            assert self._global_sem is not None
+            async with self._global_sem:
+                async with self._tenant_sem(tenant):
+                    self.stats.record_tenant(tenant)
+                    deadline = self._deadline(request, start)
+                    self._check_deadline(deadline, "queued")
+                    handler: Callable[..., Any] = getattr(
+                        self, f"_op_{op}"
+                    )
+                    response = await handler(request, deadline)
+            response["op"] = op
+            self.stats.record_request(op, clock.monotonic() - start)
+            return response
+        except ServingError as exc:
+            self.stats.record_error(exc.code)
+            raise
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            self.stats.record_error("internal")
+            raise ServingError(
+                "internal", f"{type(exc).__name__}: {exc}"
+            ) from exc
+        finally:
+            self._pending -= 1
+            self.stats.exit_inflight()
+
+    async def close(self) -> None:
+        """Flush any pending micro-batches (idempotent)."""
+        if self._batcher is not None:
+            self._batcher.flush_all()
+
+    # -- plumbing --------------------------------------------------------
+    def _ensure_loop_state(self) -> None:
+        loop = asyncio.get_running_loop()
+        if self._loop is not loop:
+            self._loop = loop
+            self._global_sem = asyncio.Semaphore(self.config.max_inflight)
+            self._tenant_sems = {}
+            self._batcher = _MicroBatcher(
+                loop,
+                self.stats,
+                window=self.config.batch_window_seconds,
+                max_batch=self.config.max_batch,
+                vectorized=self.config.vectorized,
+            )
+
+    def _tenant_sem(self, tenant: str) -> asyncio.Semaphore:
+        semaphore = self._tenant_sems.get(tenant)
+        if semaphore is None:
+            semaphore = asyncio.Semaphore(self.config.per_tenant_inflight)
+            self._tenant_sems[tenant] = semaphore
+        return semaphore
+
+    def _deadline(
+        self, request: Mapping[str, Any], start: float
+    ) -> Optional[float]:
+        seconds = request.get(
+            "deadline_seconds", self.config.default_deadline_seconds
+        )
+        if seconds is None:
+            return None
+        try:
+            seconds = float(seconds)
+        except (TypeError, ValueError):
+            raise ServingError(
+                "bad-request",
+                f"deadline_seconds must be a number, got {seconds!r}",
+            ) from None
+        return start + seconds
+
+    def _check_deadline(
+        self, deadline: Optional[float], stage: str
+    ) -> None:
+        if deadline is not None and clock.monotonic() >= deadline:
+            raise ServingError(
+                "deadline-exceeded",
+                f"request deadline expired while {stage}",
+            )
+
+    def _remaining(self, deadline: Optional[float]) -> Optional[float]:
+        if deadline is None:
+            return None
+        return max(0.0, deadline - clock.monotonic())
+
+    def _snapshot(self, request: Mapping[str, Any]) -> StoreSnapshot:
+        name = request.get("store")
+        if name is None:
+            names = self.stores.names()
+            if len(names) == 1:
+                name = names[0]
+            else:
+                raise ServingError(
+                    "bad-request",
+                    "request must name a store (available: "
+                    f"{', '.join(names) or 'none'})",
+                )
+        snapshot = self.stores.snapshot(str(name))
+        self.stats.reloads = self.stores.reloads
+        expected = request.get("expect_version")
+        if expected is not None and expected != snapshot.version:
+            raise ServingError(
+                "stale-version",
+                f"store {snapshot.name!r} is at version "
+                f"{snapshot.version!r}, request expected {expected!r}",
+                details={
+                    "store": snapshot.name,
+                    "current": snapshot.version,
+                    "expected": expected,
+                },
+            )
+        return snapshot
+
+    def _lineage(self, data: Any) -> DNF:
+        if isinstance(data, DNF):
+            return data  # in-process client shortcut
+        return dnf_from_json(data)
+
+    async def _with_engine(
+        self, deadline: Optional[float], work: Callable[[], Any]
+    ) -> Any:
+        self._check_deadline(deadline, "waiting for the engine")
+
+        def locked() -> Any:
+            with self._engine_lock:
+                return work()
+
+        result = await asyncio.to_thread(locked)
+        self._check_deadline(deadline, "finishing engine work")
+        return result
+
+    async def _circuit_for(
+        self,
+        snapshot: StoreSnapshot,
+        dnf: DNF,
+        deadline: Optional[float],
+        *,
+        compile_cold: bool,
+    ) -> Tuple[Optional[Circuit], str]:
+        """Resolve a circuit: store snapshot, then overlay, then cold.
+
+        Returns ``(None, "engine")`` for a cold lineage when
+        ``compile_cold`` is False — the caller degrades to a direct
+        engine computation instead of compiling.
+        """
+        circuit = snapshot.get(dnf)
+        if circuit is not None:
+            self.stats.store_hits += 1
+            return circuit, "store"
+        circuit = self.overlay.get(dnf)
+        if circuit is not None:
+            self.stats.overlay_hits += 1
+            return circuit, "overlay"
+        self.stats.store_misses += 1
+        if self.engine is None:
+            raise ServingError(
+                "unknown-circuit",
+                f"lineage not in store {snapshot.name!r} and no engine "
+                "is attached for cold computation",
+            )
+        if not compile_cold:
+            return None, "engine"
+        engine = self.engine
+        circuit = await self._with_engine(
+            deadline, lambda: engine.compile_circuit(dnf)  # type: ignore[attr-defined]
+        )
+        self.overlay.put(dnf, circuit, exact_only=False)
+        self.stats.engine_fallbacks += 1
+        return circuit, "engine-compile"
+
+    async def _submit(
+        self,
+        circuit: Circuit,
+        overrides: Optional[Dict[Any, Any]],
+        kind: str,
+        deadline: Optional[float],
+    ) -> Any:
+        assert self._batcher is not None
+        result = await self._batcher.submit(circuit, overrides, kind)
+        self._check_deadline(deadline, "awaiting the batched sweep")
+        return result
+
+    async def _submit_many(
+        self,
+        circuit: Circuit,
+        scenario_list: List[Optional[Dict[Any, Any]]],
+        kind: str,
+        deadline: Optional[float],
+    ) -> List[Any]:
+        assert self._batcher is not None
+        futures = [
+            self._batcher.submit(circuit, overrides, kind)
+            for overrides in scenario_list
+        ]
+        results = await asyncio.gather(*futures)
+        self._check_deadline(deadline, "awaiting the batched sweep")
+        return list(results)
+
+    def _base(
+        self, snapshot: StoreSnapshot, strategy: str
+    ) -> Dict[str, Any]:
+        return {
+            "store": snapshot.name,
+            "store_version": snapshot.version,
+            "strategy": strategy,
+        }
+
+    # -- operations ------------------------------------------------------
+    async def _op_evaluate(
+        self, request: Mapping[str, Any], deadline: Optional[float]
+    ) -> Dict[str, Any]:
+        snapshot = self._snapshot(request)
+        dnf = self._lineage(request.get("lineage"))
+        overrides = overrides_from_json(request.get("overrides"))
+        # A cold lineage with overrides needs a circuit (the engine
+        # computes base probabilities only), so compile in that case.
+        circuit, strategy = await self._circuit_for(
+            snapshot, dnf, deadline, compile_cold=overrides is not None
+        )
+        if circuit is None:
+            result = await self._engine_compute(dnf, request, deadline)
+            response = self._base(snapshot, "engine")
+            response.update(
+                value=result.probability,
+                converged=result.converged,
+                reason=result.reason,
+            )
+            return response
+        value = await self._submit(circuit, overrides, "values", deadline)
+        response = self._base(snapshot, strategy)
+        response["value"] = value
+        response["exact"] = circuit.is_exact
+        return response
+
+    async def _op_bounds(
+        self, request: Mapping[str, Any], deadline: Optional[float]
+    ) -> Dict[str, Any]:
+        snapshot = self._snapshot(request)
+        dnf = self._lineage(request.get("lineage"))
+        overrides = overrides_from_json(request.get("overrides"))
+        refine = bool(request.get("refine", False))
+        circuit, strategy = await self._circuit_for(
+            snapshot,
+            dnf,
+            deadline,
+            compile_cold=overrides is not None or refine,
+        )
+        if circuit is None:
+            result = await self._engine_compute(dnf, request, deadline)
+            response = self._base(snapshot, "engine")
+            response.update(
+                bounds=[result.lower, result.upper],
+                converged=result.converged,
+                reason=result.reason,
+            )
+            return response
+        if refine and circuit.residuals and self.engine is not None:
+            circuit, pair = await self._refine(
+                dnf, circuit, [overrides], request, deadline
+            )
+            bounds = list(pair[0])
+            strategy = strategy + "+refined"
+        else:
+            bounds = await self._submit(
+                circuit, overrides, "bounds", deadline
+            )
+        response = self._base(snapshot, strategy)
+        response["bounds"] = bounds
+        response["width"] = bounds[1] - bounds[0]
+        return response
+
+    async def _op_gradients(
+        self, request: Mapping[str, Any], deadline: Optional[float]
+    ) -> Dict[str, Any]:
+        snapshot = self._snapshot(request)
+        dnf = self._lineage(request.get("lineage"))
+        overrides = overrides_from_json(request.get("overrides"))
+        circuit, strategy = await self._circuit_for(
+            snapshot, dnf, deadline, compile_cold=True
+        )
+        assert circuit is not None
+        # Scalar on purpose: Circuit.gradients is the bit-exact
+        # reference (the kernel's adjoint fold agrees only to ~1e-12).
+        try:
+            gradients = circuit.gradients(overrides)
+        except Exception as exc:
+            raise ServingError(
+                "bad-request", f"invalid overrides: {exc}"
+            ) from exc
+        self._check_deadline(deadline, "computing gradients")
+        response = self._base(snapshot, strategy)
+        response["gradients"] = gradients_to_json(gradients)
+        return response
+
+    async def _op_what_if(
+        self, request: Mapping[str, Any], deadline: Optional[float]
+    ) -> Dict[str, Any]:
+        snapshot = self._snapshot(request)
+        dnf = self._lineage(request.get("lineage"))
+        variable = value_from_json(request.get("variable"))
+        probabilities = request.get("probabilities")
+        if not isinstance(probabilities, list) or not all(
+            isinstance(p, (int, float)) and not isinstance(p, bool)
+            for p in probabilities
+        ):
+            raise ServingError(
+                "bad-request",
+                "what_if needs a numeric probabilities list",
+            )
+        circuit, strategy = await self._circuit_for(
+            snapshot, dnf, deadline, compile_cold=True
+        )
+        assert circuit is not None
+        scenarios = what_if_scenarios(variable, probabilities)
+        values = await self._submit_many(
+            circuit, list(scenarios), "values", deadline
+        )
+        response = self._base(snapshot, strategy)
+        response["variable"] = value_to_json(variable)
+        response["probabilities"] = [float(p) for p in probabilities]
+        response["values"] = values
+        return response
+
+    async def _op_sweep(
+        self, request: Mapping[str, Any], deadline: Optional[float]
+    ) -> Dict[str, Any]:
+        snapshot = self._snapshot(request)
+        dnf = self._lineage(request.get("lineage"))
+        scenarios = scenarios_from_json(request.get("scenarios"))
+        kind = request.get("kind", "values")
+        if kind not in ("values", "bounds"):
+            raise ServingError(
+                "bad-request",
+                f"sweep kind must be 'values' or 'bounds', got {kind!r}",
+            )
+        refine = bool(request.get("refine", False)) and kind == "bounds"
+        circuit, strategy = await self._circuit_for(
+            snapshot, dnf, deadline, compile_cold=True
+        )
+        assert circuit is not None
+        response = self._base(snapshot, strategy)
+        if refine and circuit.residuals and self.engine is not None:
+            circuit, bounds = await self._refine(
+                dnf, circuit, scenarios, request, deadline
+            )
+            response["strategy"] = strategy + "+refined"
+            response["results"] = [list(pair) for pair in bounds]
+        else:
+            response["results"] = await self._submit_many(
+                circuit, scenarios, kind, deadline
+            )
+        response["kind"] = kind
+        response["scenario_count"] = len(scenarios)
+        return response
+
+    async def _op_top_k(
+        self, request: Mapping[str, Any], deadline: Optional[float]
+    ) -> Dict[str, Any]:
+        snapshot = self._snapshot(request)
+        lineages_data = request.get("lineages")
+        if not isinstance(lineages_data, list) or not lineages_data:
+            raise ServingError(
+                "bad-request", "top_k needs a non-empty lineages list"
+            )
+        dnfs = [self._lineage(entry) for entry in lineages_data]
+        answers = answers_from_json(request.get("answers"), len(dnfs))
+        k = request.get("k", len(dnfs))
+        if not isinstance(k, int) or isinstance(k, bool) or k < 1:
+            raise ServingError(
+                "bad-request", f"k must be a positive integer, got {k!r}"
+            )
+        overrides = overrides_from_json(request.get("overrides"))
+        strategies = set()
+        futures = []
+        assert self._batcher is not None
+        for dnf in dnfs:
+            circuit, strategy = await self._circuit_for(
+                snapshot, dnf, deadline, compile_cold=True
+            )
+            assert circuit is not None
+            strategies.add(strategy)
+            futures.append(
+                self._batcher.submit(circuit, overrides, "values")
+            )
+        values = list(await asyncio.gather(*futures))
+        self._check_deadline(deadline, "awaiting the batched sweep")
+        ranked = sorted(
+            range(len(values)), key=lambda i: (-values[i], i)
+        )[: min(k, len(values))]
+        strategy = (
+            strategies.pop() if len(strategies) == 1 else "mixed"
+        )
+        response = self._base(snapshot, strategy)
+        response["k"] = min(k, len(values))
+        response["answers"] = [
+            [value_to_json(answers[i]), values[i]] for i in ranked
+        ]
+        return response
+
+    # -- degradation helpers ---------------------------------------------
+    async def _engine_compute(
+        self,
+        dnf: DNF,
+        request: Mapping[str, Any],
+        deadline: Optional[float],
+    ) -> Any:
+        """Cold-path direct computation (confidence + bounds)."""
+        engine = self.engine
+        assert engine is not None
+        epsilon = request.get("epsilon")
+
+        def work() -> Any:
+            return engine.compute(  # type: ignore[attr-defined]
+                dnf,
+                epsilon=epsilon,
+                deadline_seconds=self._remaining(deadline),
+            )
+
+        result = await self._with_engine(deadline, work)
+        if getattr(result, "circuit", None) is not None:
+            self.overlay.put(dnf, result.circuit, exact_only=False)
+        self.stats.engine_fallbacks += 1
+        return result
+
+    async def _refine(
+        self,
+        dnf: DNF,
+        circuit: Circuit,
+        scenarios: List[Optional[Dict[Any, Any]]],
+        request: Mapping[str, Any],
+        deadline: Optional[float],
+    ) -> Tuple[Circuit, List[Tuple[float, float]]]:
+        """Batched residual refinement across all request scenarios."""
+        engine = self.engine
+        assert engine is not None
+        target_width = float(request.get("target_width", 0.0))
+
+        def work() -> Tuple[Circuit, List[Tuple[float, float]]]:
+            return refine_sweep_bounds(
+                circuit,
+                scenarios,
+                compile_subcircuit=engine.compile_circuit,  # type: ignore[attr-defined]
+                target_width=target_width,
+                max_rounds=self.config.refine_rounds,
+                vectorized=self.config.vectorized,
+            )
+
+        refined, bounds = await self._with_engine(deadline, work)
+        if refined is not circuit:
+            self.overlay.put(dnf, refined, exact_only=False)
+            self.stats.refinements += 1
+        return refined, bounds
+
+    def __repr__(self) -> str:
+        return (
+            f"ServingEngine(stores={list(self.stores.names())!r}, "
+            f"engine={'attached' if self.engine else 'none'}, "
+            f"{self.stats!r})"
+        )

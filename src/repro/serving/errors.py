@@ -1,0 +1,60 @@
+"""Structured errors for the serving tier.
+
+Every failure a client can observe is a :class:`ServingError` with a
+stable machine-readable ``code``, an HTTP status for the ASGI
+front-end, and optional ``details`` (e.g. the current store version on
+a ``stale-version`` rejection).  Anything else escaping a handler is a
+bug and surfaces as ``internal`` / 500.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+__all__ = ["ServingError"]
+
+#: code -> HTTP status used when the constructor is not given one.
+_DEFAULT_STATUS = {
+    "bad-request": 400,
+    "unknown-store": 404,
+    "unknown-circuit": 404,
+    "stale-version": 409,
+    "overloaded": 429,
+    "internal": 500,
+    "deadline-exceeded": 504,
+}
+
+
+class ServingError(Exception):
+    """A structured, client-visible serving failure."""
+
+    def __init__(
+        self,
+        code: str,
+        message: str,
+        *,
+        status: Optional[int] = None,
+        details: Optional[Dict[str, object]] = None,
+    ) -> None:
+        super().__init__(message)
+        self.code = code
+        self.message = message
+        self.status = (
+            status if status is not None else _DEFAULT_STATUS.get(code, 400)
+        )
+        self.details: Dict[str, object] = details or {}
+
+    def to_json(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "code": self.code,
+            "message": self.message,
+        }
+        if self.details:
+            payload["details"] = self.details
+        return {"error": payload}
+
+    def __repr__(self) -> str:
+        return (
+            f"ServingError({self.code!r}, {self.message!r}, "
+            f"status={self.status})"
+        )

@@ -1,0 +1,660 @@
+"""Serving tier: stores, operations, degradation, wire protocol.
+
+The acceptance bar is bit-identity: a circuit compiled in one process
+and served from a store in another must answer ``evaluate`` /
+``bounds`` / ``gradients`` exactly (``==``) like the in-process
+:class:`CompiledResult` path — serving is a deployment decision, never
+a semantics one.  Degradation paths (cold lineage, stale version,
+overload, deadline) must fail *structurally*, with stable error codes.
+"""
+
+import asyncio
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+import repro
+from repro.circuits import (
+    CircuitCache,
+    circuit_kernel,
+    compile_circuit,
+    expand_residuals,
+    refine_sweep_bounds,
+    sweep_bounds,
+    sweep_values,
+)
+from repro.core.dnf import DNF
+from repro.core.events import Clause
+from repro.core.variables import VariableRegistry
+from repro.db.session import ProbDB
+from repro.engine import ConfidenceEngine
+from repro.serving import (
+    ASGIClient,
+    CircuitStoreService,
+    ServingApp,
+    ServingClient,
+    ServingConfig,
+    ServingEngine,
+    ServingError,
+)
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+def make_registry():
+    registry = VariableRegistry()
+    for index in range(10):
+        registry.add_boolean(f"x{index}", 0.08 + 0.07 * index)
+    return registry
+
+
+def dnf(*clauses):
+    return DNF([Clause({v: True for v in clause}) for clause in clauses])
+
+
+L1 = (("x0", "x1"), ("x2",), ("x3", "x4"))
+L2 = (("x1", "x5"), ("x6", "x7"))
+L3 = (("x0", "x8"), ("x2", "x9"), ("x5",))
+COLD = (("x3", "x9"), ("x4", "x6"))
+
+
+@pytest.fixture
+def served(tmp_path):
+    """A store file with three circuits + a serving stack over it."""
+    registry = make_registry()
+    engine = ConfidenceEngine(registry)
+    cache = CircuitCache()
+    lineages = [dnf(*L1), dnf(*L2), dnf(*L3)]
+    for lineage in lineages:
+        cache.put(lineage, engine.compile_circuit(lineage))
+    path = tmp_path / "store.bin"
+    cache.save(path)
+    stores = CircuitStoreService(
+        registry, {"main": path}, reload_check_seconds=0.0
+    )
+    serving = ServingEngine(stores, ConfidenceEngine(registry))
+    return {
+        "registry": registry,
+        "cache": cache,
+        "lineages": lineages,
+        "path": path,
+        "stores": stores,
+        "serving": serving,
+        "client": ServingClient(serving),
+        "wire": ASGIClient(ServingApp(serving)),
+    }
+
+
+# ----------------------------------------------------------------------
+# Store service
+# ----------------------------------------------------------------------
+class TestStoreService:
+    def test_snapshot_contents_and_versioning(self, served):
+        snapshot = served["stores"].snapshot("main")
+        assert len(snapshot) == 3
+        assert snapshot.name == "main"
+        stat = os.stat(served["path"])
+        assert snapshot.version == f"{stat.st_mtime_ns}:{stat.st_size}"
+        for lineage in served["lineages"]:
+            assert lineage in snapshot
+            assert snapshot.get(lineage) is not None
+        assert snapshot.intern is not None
+
+    def test_unknown_store_is_structured(self, served):
+        with pytest.raises(ServingError) as info:
+            served["stores"].snapshot("nope")
+        assert info.value.code == "unknown-store"
+        assert info.value.status == 404
+
+    def test_hot_reload_on_version_change(self, served, tmp_path):
+        stores = served["stores"]
+        before = stores.snapshot("main").version
+        # Grow the store file: a fourth circuit changes size => version.
+        registry = served["registry"]
+        engine = ConfidenceEngine(registry)
+        extra = dnf(*COLD)
+        served["cache"].put(extra, engine.compile_circuit(extra))
+        served["cache"].save(served["path"])
+        snapshot = stores.snapshot("main")
+        assert snapshot.version != before
+        assert len(snapshot) == 4
+        assert snapshot.get(extra) is not None
+        assert stores.reloads == 1
+
+    def test_vanished_file_keeps_last_good_snapshot(self, served):
+        stores = served["stores"]
+        before = stores.snapshot("main")
+        os.unlink(served["path"])
+        after = stores.snapshot("main")
+        assert after is before  # degraded, not dead
+
+    def test_live_cache_store_recuts_on_mutation(self):
+        registry = make_registry()
+        engine = ConfidenceEngine(registry)
+        cache = CircuitCache()
+        stores = CircuitStoreService(registry)
+        stores.add_cache("live", cache)
+        assert len(stores.snapshot("live")) == 0
+        lineage = dnf(*L1)
+        cache.put(lineage, engine.compile_circuit(lineage))
+        snapshot = stores.snapshot("live")
+        assert len(snapshot) == 1
+        assert snapshot.version.startswith("cache:")
+
+    def test_snapshot_survives_cache_clear(self):
+        registry = make_registry()
+        engine = ConfidenceEngine(registry)
+        cache = CircuitCache()
+        lineage = dnf(*L2)
+        cache.put(lineage, engine.compile_circuit(lineage))
+        snapshot = cache.snapshot()
+        cache.clear()
+        assert snapshot.get(lineage) is not None
+        assert cache.get(lineage) is None
+
+
+# ----------------------------------------------------------------------
+# Operations: bit-identity against the direct circuit path
+# ----------------------------------------------------------------------
+class TestOperations:
+    def test_evaluate_bit_identical(self, served):
+        circuit = served["cache"].get(dnf(*L1))
+        for overrides in (None, {"x0": 0.9}, {"x2": 0.0, "x4": 1.0}):
+            response = run(
+                served["client"].evaluate(dnf(*L1), overrides=overrides)
+            )
+            assert response["value"] == circuit.evaluate(overrides)
+            assert response["strategy"] == "store"
+            assert response["store"] == "main"
+
+    def test_bounds_bit_identical(self, served):
+        circuit = served["cache"].get(dnf(*L2))
+        response = run(served["client"].bounds(dnf(*L2)))
+        assert tuple(response["bounds"]) == circuit.evaluate_bounds()
+        assert response["width"] == 0.0  # exact circuit
+
+    def test_gradients_bit_identical(self, served):
+        circuit = served["cache"].get(dnf(*L3))
+        expected = circuit.gradients({"x5": 0.4})
+        response = run(
+            served["client"].gradients(dnf(*L3), overrides={"x5": 0.4})
+        )
+        decoded = {
+            variable: gradient
+            for variable, gradient in response["gradients"]
+        }
+        assert decoded == expected
+
+    def test_what_if_matches_scalar_grid(self, served):
+        circuit = served["cache"].get(dnf(*L1))
+        probabilities = [0.0, 0.25, 0.5, 0.75, 1.0]
+        response = run(
+            served["client"].what_if(dnf(*L1), "x2", probabilities)
+        )
+        assert response["values"] == [
+            circuit.evaluate({"x2": p}) for p in probabilities
+        ]
+
+    def test_sweep_values_and_bounds(self, served):
+        circuit = served["cache"].get(dnf(*L3))
+        scenarios = [None, {"x0": 0.3}, {"x9": 0.9, "x5": 0.1}]
+        values = run(served["client"].sweep(dnf(*L3), scenarios))
+        assert values["results"] == [
+            circuit.evaluate(s) for s in scenarios
+        ]
+        bounds = run(
+            served["client"].sweep(dnf(*L3), scenarios, kind="bounds")
+        )
+        assert [tuple(pair) for pair in bounds["results"]] == [
+            circuit.evaluate_bounds(s) for s in scenarios
+        ]
+
+    def test_top_k_ranks_by_confidence(self, served):
+        values = {
+            label: served["cache"].get(lineage).evaluate()
+            for label, lineage in zip(
+                "abc", served["lineages"]
+            )
+        }
+        response = run(
+            served["client"].top_k(
+                served["lineages"], 2, answers=["a", "b", "c"]
+            )
+        )
+        expected = sorted(
+            values.items(), key=lambda item: (-item[1], item[0])
+        )[:2]
+        assert [tuple(pair) for pair in response["answers"]] == expected
+
+    def test_default_store_when_single(self, served):
+        response = run(served["client"].evaluate(dnf(*L1)))
+        assert response["store"] == "main"
+
+
+# ----------------------------------------------------------------------
+# Degradation: cold circuits, staleness, overload, deadlines
+# ----------------------------------------------------------------------
+class TestDegradation:
+    def test_cold_lineage_engine_compute(self, served):
+        reference = ConfidenceEngine(served["registry"]).compute(
+            dnf(*COLD)
+        )
+        response = run(served["client"].evaluate(dnf(*COLD)))
+        assert response["strategy"] == "engine"
+        assert response["value"] == reference.probability
+        assert served["serving"].stats.engine_fallbacks == 1
+        # Repeat answers are stable; if the engine attached a circuit
+        # it landed in the overlay and the repeat is served warm.
+        again = run(served["client"].evaluate(dnf(*COLD)))
+        assert again["strategy"] in ("engine", "overlay")
+        assert again["value"] == response["value"]
+
+    def test_cold_lineage_with_overrides_compiles(self, served):
+        response = run(
+            served["client"].evaluate(dnf(*COLD), overrides={"x3": 0.5})
+        )
+        assert response["strategy"] == "engine-compile"
+        direct = ConfidenceEngine(served["registry"]).compile_circuit(
+            dnf(*COLD)
+        )
+        assert response["value"] == direct.evaluate({"x3": 0.5})
+
+    def test_cold_without_engine_is_unknown_circuit(self, served):
+        serving = ServingEngine(served["stores"], engine=None)
+        with pytest.raises(ServingError) as info:
+            run(ServingClient(serving).evaluate(dnf(*COLD)))
+        assert info.value.code == "unknown-circuit"
+
+    def test_stale_version_rejected_with_current(self, served):
+        with pytest.raises(ServingError) as info:
+            run(
+                served["client"].evaluate(
+                    dnf(*L1), expect_version="stale"
+                )
+            )
+        assert info.value.code == "stale-version"
+        assert info.value.status == 409
+        current = served["stores"].snapshot("main").version
+        assert info.value.details["current"] == current
+
+    def test_overload_sheds_structurally(self, served):
+        serving = served["serving"]
+        limit = (
+            serving.config.max_inflight + serving.config.queue_limit
+        )
+        serving._pending = limit  # saturate admission
+        try:
+            with pytest.raises(ServingError) as info:
+                run(served["client"].evaluate(dnf(*L1)))
+        finally:
+            serving._pending = 0
+        assert info.value.code == "overloaded"
+        assert info.value.status == 429
+        assert serving.stats.shed == 1
+
+    def test_deadline_exceeded_via_fake_clock(self, served, fake_clock):
+        fake_clock.auto_advance = 3.0  # every clock read costs 3s
+        with pytest.raises(ServingError) as info:
+            run(
+                served["client"].evaluate(
+                    dnf(*L1), deadline_seconds=2.0
+                )
+            )
+        assert info.value.code == "deadline-exceeded"
+        assert info.value.status == 504
+
+    def test_bad_requests(self, served):
+        with pytest.raises(ServingError) as info:
+            run(served["serving"].handle({"op": "frobnicate"}))
+        assert info.value.code == "bad-request"
+        with pytest.raises(ServingError) as info:
+            run(
+                served["client"].evaluate(
+                    dnf(*L1), overrides={"unknown_var": 0.5}
+                )
+            )
+        assert info.value.code == "bad-request"
+        with pytest.raises(ServingError) as info:
+            run(served["client"].evaluate(dnf(*L1), store="missing"))
+        assert info.value.code == "unknown-store"
+
+
+# ----------------------------------------------------------------------
+# Micro-batching
+# ----------------------------------------------------------------------
+class TestBatching:
+    def test_occupancy_exceeds_one(self, served):
+        async def burst():
+            client = served["client"]
+            await asyncio.gather(
+                *[
+                    client.evaluate(dnf(*L1), overrides={"x0": p})
+                    for p in (0.1, 0.2, 0.3, 0.4, 0.5)
+                ]
+            )
+
+        run(burst())
+        stats = served["serving"].stats
+        assert stats.batches >= 1
+        assert stats.occupancy() > 1.0
+
+    def test_batched_rows_match_serial(self, served):
+        circuit = served["cache"].get(dnf(*L2))
+        overrides_list = [{"x1": p / 10.0} for p in range(10)]
+
+        async def burst():
+            return await asyncio.gather(
+                *[
+                    served["client"].evaluate(dnf(*L2), overrides=o)
+                    for o in overrides_list
+                ]
+            )
+
+        responses = run(burst())
+        for response, overrides in zip(responses, overrides_list):
+            assert response["value"] == circuit.evaluate(overrides)
+
+    def test_bad_row_does_not_poison_batch(self, served):
+        async def burst():
+            good = asyncio.create_task(
+                served["client"].evaluate(
+                    dnf(*L1), overrides={"x0": 0.7}
+                )
+            )
+            with pytest.raises(ServingError):
+                await served["client"].evaluate(
+                    dnf(*L1), overrides={"bogus": 0.5}
+                )
+            return await good
+
+        response = run(burst())
+        circuit = served["cache"].get(dnf(*L1))
+        assert response["value"] == circuit.evaluate({"x0": 0.7})
+
+
+# ----------------------------------------------------------------------
+# ASGI wire path
+# ----------------------------------------------------------------------
+class TestASGI:
+    def test_wire_matches_direct(self, served):
+        direct = run(
+            served["client"].evaluate(dnf(*L1), overrides={"x4": 0.6})
+        )
+        wired = run(
+            served["wire"].evaluate(dnf(*L1), overrides={"x4": 0.6})
+        )
+        assert wired["value"] == direct["value"]
+        assert wired["strategy"] == direct["strategy"]
+
+    def test_health_stores_stats_routes(self, served):
+        health = run(served["wire"].healthz())
+        assert health == {"status": "ok", "stores": ["main"]}
+        stores = run(served["wire"].stores())
+        assert stores["stores"]["main"]["entries"] == 3
+        run(served["wire"].evaluate(dnf(*L2)))
+        stats = run(served["wire"].stats())
+        assert stats["requests_total"] >= 1
+        assert "latency" in stats and "p99_ms" in stats["latency"]
+
+    def test_wire_errors_are_structured(self, served):
+        with pytest.raises(ServingError) as info:
+            run(served["wire"].http("POST", "/v1/nope", {}))
+        assert info.value.status == 404
+        with pytest.raises(ServingError) as info:
+            run(served["wire"].http("GET", "/v1/unknown"))
+        assert info.value.status == 404
+        with pytest.raises(ServingError) as info:
+            run(served["wire"].evaluate(dnf(*L1), store="ghost"))
+        assert info.value.code == "unknown-store"
+
+    def test_lifespan_protocol(self, served):
+        app = ServingApp(served["serving"])
+
+        async def cycle():
+            events = [
+                {"type": "lifespan.startup"},
+                {"type": "lifespan.shutdown"},
+            ]
+            sent = []
+
+            async def receive():
+                return events.pop(0)
+
+            async def send(message):
+                sent.append(message["type"])
+
+            await app({"type": "lifespan"}, receive, send)
+            return sent
+
+        assert run(cycle()) == [
+            "lifespan.startup.complete",
+            "lifespan.shutdown.complete",
+        ]
+
+
+# ----------------------------------------------------------------------
+# Session integration
+# ----------------------------------------------------------------------
+class TestSessionServing:
+    def test_probdb_serving_sees_later_compiles(self):
+        registry = make_registry()
+        db = ProbDB.from_registry(registry)
+        first = dnf(*L1)
+        circuit = db.circuit(first)
+        client = ServingClient(db.serving(store_name="live"))
+        response = run(client.evaluate(first))
+        assert response["strategy"] == "store"
+        assert response["value"] == circuit.evaluate()
+        later = dnf(*L2)
+        later_circuit = db.circuit(later)
+        response = run(client.evaluate(later))
+        assert response["strategy"] == "store"
+        assert response["value"] == later_circuit.evaluate()
+
+
+# ----------------------------------------------------------------------
+# Satellite: per-circuit kernel caching
+# ----------------------------------------------------------------------
+class TestKernelCache:
+    def test_kernel_cached_by_identity(self):
+        from repro.circuits.kernels import BACKEND_NUMPY, kernel_backend
+
+        if kernel_backend(None) != BACKEND_NUMPY:
+            pytest.skip("numpy backend disabled")
+        registry = make_registry()
+        engine = ConfidenceEngine(registry)
+        circuit = engine.compile_circuit(dnf(*L1))
+        kernel = circuit_kernel(circuit)
+        assert circuit_kernel(circuit) is kernel
+        # Sweeps share the instance kernel instead of re-lowering.
+        sweep_values(circuit, [None, {"x0": 0.5}])
+        assert circuit._kernel is kernel
+        # condition() returns a NEW circuit: no stale kernel leaks.
+        conditioned = circuit.condition("x0", True)
+        assert conditioned is not circuit
+        assert conditioned._kernel is None
+        assert circuit_kernel(conditioned) is not kernel
+
+
+# ----------------------------------------------------------------------
+# Satellite: batched bounds refinement
+# ----------------------------------------------------------------------
+class TestRefineSweepBounds:
+    def big_lineage(self):
+        clauses = [
+            ("x0", "x1"), ("x1", "x2"), ("x2", "x3"), ("x3", "x4"),
+            ("x4", "x5"), ("x5", "x6"), ("x6", "x7"), ("x7", "x8"),
+            ("x8", "x9"), ("x9", "x0"), ("x0", "x5"), ("x2", "x7"),
+        ]
+        return dnf(*clauses)
+
+    def test_refines_to_exact_bounds(self):
+        registry = make_registry()
+        engine = ConfidenceEngine(registry)
+        lineage = self.big_lineage()
+        partial = engine.compile_circuit(lineage, max_nodes=8)
+        assert partial.residuals, "need a truncated circuit"
+        exact = engine.compile_circuit(lineage)
+        scenarios = [None, {"x0": 0.9}, {"x3": 0.1, "x7": 0.8}]
+        refined, bounds = refine_sweep_bounds(
+            partial,
+            scenarios,
+            compile_subcircuit=engine.compile_circuit,
+            target_width=0.0,
+            max_rounds=64,
+        )
+        assert bounds == sweep_bounds(exact, scenarios)
+        for low, high in bounds:
+            assert low == high
+        # Input circuit is never mutated.
+        assert partial.residuals
+
+    def test_single_expansion_nests_bounds(self):
+        registry = make_registry()
+        engine = ConfidenceEngine(registry)
+        lineage = self.big_lineage()
+        partial = engine.compile_circuit(lineage, max_nodes=8)
+        scenarios = [None, {"x4": 0.2}]
+        before = sweep_bounds(partial, scenarios)
+        refined, after = refine_sweep_bounds(
+            partial,
+            scenarios,
+            compile_subcircuit=engine.compile_circuit,
+            max_rounds=1,
+        )
+        for (low0, high0), (low1, high1) in zip(before, after):
+            assert low1 >= low0 - 1e-12
+            assert high1 <= high0 + 1e-12
+
+    def test_serving_refine_via_overlay(self, tmp_path):
+        registry = make_registry()
+        engine = ConfidenceEngine(registry)
+        lineage = self.big_lineage()
+        partial = engine.compile_circuit(lineage, max_nodes=8)
+        exact = engine.compile_circuit(lineage)
+        cache = CircuitCache()
+        path = tmp_path / "empty.bin"
+        cache.save(path)
+        stores = CircuitStoreService(registry, {"main": path})
+        serving = ServingEngine(stores, engine)
+        serving.overlay.put(lineage, partial, exact_only=False)
+        response = run(
+            ServingClient(serving).bounds(lineage, refine=True)
+        )
+        assert response["strategy"] == "overlay+refined"
+        low, high = exact.evaluate_bounds()
+        assert response["bounds"] == [low, high]
+        assert serving.stats.refinements == 1
+
+    def test_deserialized_leaves_not_refinable(self, tmp_path):
+        registry = make_registry()
+        engine = ConfidenceEngine(registry)
+        lineage = self.big_lineage()
+        partial = engine.compile_circuit(lineage, max_nodes=8)
+        cache = CircuitCache()
+        cache.put(lineage, partial, exact_only=False)
+        path = tmp_path / "partial.bin"
+        cache.save(path)
+        other = CircuitCache()
+        other.load_into(path, registry)
+        loaded = other.get(lineage)
+        assert loaded is not None and loaded.residuals
+        # Sub-DNFs are in-memory only: no refinable leaf after reload.
+        refined, bounds = refine_sweep_bounds(
+            loaded,
+            [None],
+            compile_subcircuit=engine.compile_circuit,
+            max_rounds=4,
+        )
+        assert refined is loaded
+        assert bounds == sweep_bounds(loaded, [None])
+
+
+# ----------------------------------------------------------------------
+# Cross-process acceptance: compile there, serve here, bit-identical
+# ----------------------------------------------------------------------
+_COMPILER_SCRIPT = """
+import json, sys
+from repro.circuits import CircuitCache
+from repro.core.dnf import DNF
+from repro.core.events import Clause
+from repro.core.variables import VariableRegistry
+from repro.engine import ConfidenceEngine
+
+registry = VariableRegistry()
+for index in range(10):
+    registry.add_boolean(f"x{index}", 0.08 + 0.07 * index)
+lineages = [
+    DNF([Clause({v: True for v in clause}) for clause in spec])
+    for spec in json.loads(sys.argv[2])
+]
+engine = ConfidenceEngine(registry)
+cache = CircuitCache()
+expected = []
+for lineage in lineages:
+    circuit = engine.compile_circuit(lineage)
+    cache.put(lineage, circuit)
+    expected.append(
+        {
+            "value": circuit.evaluate(),
+            "shifted": circuit.evaluate({"x2": 0.5}),
+            "bounds": list(circuit.evaluate_bounds()),
+            "gradients": sorted(circuit.gradients().items()),
+        }
+    )
+cache.save(sys.argv[1])
+print(json.dumps(expected))
+"""
+
+
+class TestCrossProcess:
+    def test_compile_elsewhere_serve_here(self, served, tmp_path):
+        path = tmp_path / "shipped.bin"
+        specs = [list(map(list, L1)), list(map(list, L2))]
+        src_dir = os.path.dirname(os.path.dirname(repro.__file__))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src_dir + os.pathsep + env.get(
+            "PYTHONPATH", ""
+        )
+        output = subprocess.run(
+            [
+                sys.executable,
+                "-c",
+                _COMPILER_SCRIPT,
+                str(path),
+                json.dumps(specs),
+            ],
+            env=env,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        expected = json.loads(output.stdout)
+
+        stores = CircuitStoreService(
+            served["registry"], {"shipped": path}
+        )
+        client = ServingClient(ServingEngine(stores))
+        for spec, want in zip((L1, L2), expected):
+            lineage = dnf(*spec)
+            response = run(client.evaluate(lineage, store="shipped"))
+            assert response["strategy"] == "store"
+            assert response["value"] == want["value"]
+            shifted = run(
+                client.evaluate(
+                    lineage, store="shipped", overrides={"x2": 0.5}
+                )
+            )
+            assert shifted["value"] == want["shifted"]
+            bounds = run(client.bounds(lineage, store="shipped"))
+            assert bounds["bounds"] == want["bounds"]
+            gradients = run(client.gradients(lineage, store="shipped"))
+            assert [
+                [variable, gradient]
+                for variable, gradient in gradients["gradients"]
+            ] == want["gradients"]
