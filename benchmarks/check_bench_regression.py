@@ -25,6 +25,13 @@ measures inside a single run:
   the per-world scalar sweep.  Baseline ≈ 30×; checked only when numpy
   is importable — without it the bench has nothing to race, and the
   gate prints a skip notice instead.
+* ``response_hit_ratio`` (fleet): the share of the repetition-heavy
+  socket workload answered from worker response caches.  The ratio is
+  fixed by the workload's repeat structure, not the hardware, so the
+  gate fails if it halves — the cache stopped carrying repeats.  The
+  fleet check also verifies more than one worker actually served and
+  that per-worker throughput did not collapse by ``SLACK×`` against
+  the committed baseline.
 
 ``SLACK`` is deliberately generous (hosted runners are noisy, smoke
 workloads are small): the gate exists to catch *order-of-magnitude*
@@ -244,12 +251,75 @@ def check_serving_overhead(failures: list) -> None:
         )
 
 
+def check_fleet(failures: list) -> None:
+    baseline = load_baseline("BENCH_fleet.json")
+    baseline_totals = baseline["totals"]
+    baseline_ratio = baseline_totals["response_hit_ratio"]
+    baseline_per_worker = baseline_totals["throughput_per_worker"]
+    # The hit ratio is workload-determined (unique specs × repeats), so
+    # even a smoke run on slow hardware reproduces it; halving means
+    # the response cache stopped carrying repeated requests.
+    ratio_threshold = baseline_ratio / 2.0
+    # Per-worker throughput of mostly-cached JSON responses is gated
+    # only against an order-of-magnitude collapse — hosted runners are
+    # slower than the recording machine, never SLACK× slower at
+    # answering cache hits over loopback.
+    per_worker_threshold = baseline_per_worker / SLACK
+
+    with tempfile.TemporaryDirectory() as temp_dir:
+        output = os.path.join(temp_dir, "fleet_smoke.json")
+        run_bench(
+            "bench_fleet_throughput.py",
+            {
+                "FLEET_BENCH_SMOKE": "1",
+                "FLEET_BENCH_OUTPUT": output,
+                # The gate applies its own thresholds below.
+                "FLEET_BENCH_NO_ASSERT": "1",
+            },
+        )
+        with open(output) as handle:
+            smoke = json.load(handle)
+    totals = smoke["totals"]
+    workers = totals["workers"]
+    hit_ratio = totals["response_hit_ratio"]
+    per_worker = totals["throughput_per_worker"]
+    ok = (
+        workers > 1
+        and hit_ratio >= ratio_threshold
+        and per_worker >= per_worker_threshold
+    )
+    print(
+        f"[fleet] {int(workers)} workers, response hit ratio "
+        f"{hit_ratio:.3f} (threshold >= {ratio_threshold:.3f}), "
+        f"{per_worker:.0f} req/s/worker (threshold "
+        f">= {per_worker_threshold:.0f}) ... {'ok' if ok else 'FAIL'}"
+    )
+    if workers <= 1:
+        failures.append(
+            f"fleet smoke served with {int(workers)} worker(s); "
+            "scale-out needs more than one"
+        )
+    if hit_ratio < ratio_threshold:
+        failures.append(
+            f"fleet response-cache hit ratio collapsed: "
+            f"{hit_ratio:.3f} < {ratio_threshold:.3f} (baseline "
+            f"{baseline_ratio:.3f} / 2)"
+        )
+    if per_worker < per_worker_threshold:
+        failures.append(
+            f"fleet per-worker throughput collapsed: {per_worker:.0f} "
+            f"req/s < {per_worker_threshold:.0f} req/s (baseline "
+            f"{baseline_per_worker:.0f} / slack {SLACK:g})"
+        )
+
+
 def main() -> int:
     failures: list = []
     check_circuit_speedup(failures)
     check_session_ratio(failures)
     check_sweep_speedup(failures)
     check_serving_overhead(failures)
+    check_fleet(failures)
     if failures:
         print("\nbench-regression gate FAILED:", file=sys.stderr)
         for failure in failures:

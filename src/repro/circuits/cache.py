@@ -55,8 +55,13 @@ class CircuitCache:
         self._version = 0
 
     def get(self, lineage: DNF) -> Optional[Circuit]:
-        circuit = self.entries.get(lineage)
+        # The read happens *under* the lock: an unlocked read races the
+        # wholesale clear-on-overflow eviction in put(), so a hit could
+        # be counted against an entry evicted a moment earlier (and a
+        # caller pairing get() with ``version`` could observe a version
+        # older than the miss it just caused).
         with self._lock:
+            circuit = self.entries.get(lineage)
             if circuit is None:
                 self.misses += 1
             else:

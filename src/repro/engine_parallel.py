@@ -103,7 +103,7 @@ from .engine import (
     _wants_exact_circuit,
 )
 
-__all__ = ["ShardedBatchComputation", "WorkerPool"]
+__all__ = ["ShardedBatchComputation", "WorkerPool", "build_worker_engine"]
 
 #: ``(index, dnf, step budget)`` — one unit of shard work.  The process
 #: path ships the DNF through the interned-id codec below instead of
@@ -149,20 +149,32 @@ _CompileReport = Tuple[
 _WORKER_ENGINE: Optional[ConfidenceEngine] = None
 
 
+def build_worker_engine(
+    snapshot: InternSnapshot,
+    registry: VariableRegistry,
+    config: EngineConfig,
+) -> ConfidenceEngine:
+    """Install a coordinator's intern snapshot and build a worker engine.
+
+    The one true recipe for standing up a shard process: replay the
+    intern-table snapshot first (so id-encoded clauses deserialise
+    correctly and ids stay stable both ways), then build a private
+    engine + cache on top.  Used by this module's pool initializer and
+    by :mod:`repro.serving.fleet` worker processes, which must agree
+    with the pools on intern-id semantics to share persisted stores.
+    """
+    install_intern_snapshot(snapshot)
+    return ConfidenceEngine(registry, config)
+
+
 def _process_worker_init(
     snapshot: InternSnapshot,
     registry: VariableRegistry,
     config: EngineConfig,
 ) -> None:
-    """Process-pool initializer: runs once per worker process.
-
-    Installs the coordinator's intern-table snapshot (so id-encoded
-    clauses deserialise correctly and ids stay stable both ways) and
-    builds the worker's private engine + cache.
-    """
-    install_intern_snapshot(snapshot)
+    """Process-pool initializer: runs once per worker process."""
     global _WORKER_ENGINE
-    _WORKER_ENGINE = ConfidenceEngine(registry, config)
+    _WORKER_ENGINE = build_worker_engine(snapshot, registry, config)
 
 
 def _run_items(

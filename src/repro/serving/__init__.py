@@ -16,7 +16,16 @@ Front-ends: :class:`ServingApp` (stdlib ASGI 3, JSON wire codec in
 :mod:`repro.serving.codec`), :func:`serve` (uvicorn, optional extra),
 and the in-process :class:`ServingClient` / :class:`ASGIClient`.
 :class:`ServingStats` reports latency percentiles, batch occupancy,
-store hit/miss traffic, and shed counts.
+store and response-cache hit/miss traffic, shed counts, and quota
+rejections.
+
+Fleet scale-out: :class:`ServingFleet` runs one serving worker process
+per shard over the same persisted store files (shared-nothing; intern
+snapshots shipped at fork like ``engine_parallel``), each behind its
+own HTTP socket, with :class:`FleetClient` routing by lineage affinity
+so repeated point queries land on a warm :class:`ResponseCache`.
+Per-tenant :class:`~repro.serving.quota.TokenBucket` quotas shed
+over-rate tenants with 429 + ``Retry-After``.
 
 This subpackage is imported on demand (``import repro.serving``), not
 by ``import repro`` — command-line tools that never serve pay nothing.
@@ -32,19 +41,29 @@ from .codec import (
 )
 from .engine import ServingConfig, ServingEngine
 from .errors import ServingError
+from .fleet import FleetClient, FleetConfig, ServingFleet
+from .quota import TenantQuotas, TokenBucket
+from .response_cache import ResponseCache, canonical_overrides
 from .stats import ServingStats
 from .store import CircuitStoreService, StoreSnapshot
 
 __all__ = [
     "ASGIClient",
     "CircuitStoreService",
+    "FleetClient",
+    "FleetConfig",
+    "ResponseCache",
     "ServingApp",
     "ServingClient",
     "ServingConfig",
     "ServingEngine",
     "ServingError",
+    "ServingFleet",
     "ServingStats",
     "StoreSnapshot",
+    "TenantQuotas",
+    "TokenBucket",
+    "canonical_overrides",
     "dnf_from_json",
     "dnf_to_json",
     "overrides_from_json",

@@ -7,15 +7,21 @@ ASGI server — and, for tests and benchmarks, directly in-process via
 
 Routes::
 
-    GET  /healthz     liveness + store names
-    GET  /v1/stats    ServingStats summary (latency, occupancy, shed)
-    GET  /v1/stores   per-store name/path/version/entry-count
-    POST /v1/<op>     evaluate | bounds | gradients | what_if | sweep
-                      | top_k — JSON body per repro.serving.codec
+    GET  /healthz           liveness + store names
+    GET  /v1/stats          ServingStats summary (latency, occupancy, shed)
+    GET  /v1/stores         per-store name/path/version/entry-count
+    POST /v1/<op>           evaluate | bounds | gradients | what_if
+                            | sweep | top_k — body per repro.serving.codec
+    POST /v1/stores/add     {"name", "path", "lazy"?} — register a store
+    POST /v1/stores/drop    {"name"} — retire a store
+    POST /v1/stores/reload  {"name"} — force a reload from disk
+    POST /v1/stores/serve_directory  {"path", "suffix"?} — lazy-serve
+                            every circuit file in a directory
 
 Every :class:`~repro.serving.errors.ServingError` maps to its HTTP
-status with a structured ``{"error": {code, message, details}}`` body;
-nothing else is ever surfaced to a client.
+status with a structured ``{"error": {code, message, details}}`` body
+(quota rejections additionally carry a ``Retry-After`` header); nothing
+else is ever surfaced to a client.
 
 :func:`serve` runs the app under uvicorn **if it is installed** (the
 ``repro[serve]`` extra); the import is gated so the serving tier —
@@ -25,6 +31,7 @@ like the rest of the library — works from the standard library alone.
 from __future__ import annotations
 
 import json
+import math
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from .engine import ServingConfig, ServingEngine
@@ -59,16 +66,28 @@ class ServingApp:
             )
         method = scope["method"]
         path = scope["path"]
+        headers: Tuple[Tuple[bytes, bytes], ...] = ()
         try:
             status, payload = await self._route(method, path, receive)
         except ServingError as exc:
             status, payload = exc.status, exc.to_json()
+            retry_after = exc.retry_after_seconds
+            if retry_after is not None:
+                # RFC 9110 Retry-After is integral seconds; round up so
+                # a compliant client never retries before the quota
+                # bucket actually has a token.
+                headers = (
+                    (
+                        b"retry-after",
+                        str(max(1, math.ceil(retry_after))).encode("ascii"),
+                    ),
+                )
         except Exception as exc:  # pragma: no cover - defensive
             error = ServingError(
                 "internal", f"{type(exc).__name__}: {exc}"
             )
             status, payload = error.status, error.to_json()
-        await self._send_json(send, status, payload)
+        await self._send_json(send, status, payload, headers)
 
     async def _lifespan(
         self,
@@ -102,6 +121,10 @@ class ServingApp:
                 "bad-request", f"no GET route {path!r}", status=404
             )
         if method == "POST":
+            if path.startswith("/v1/stores/"):
+                action = path[len("/v1/stores/"):]
+                request = await self._read_json(receive)
+                return self._catalog(action, request)
             op = path[len("/v1/"):] if path.startswith("/v1/") else ""
             if op not in _POST_OPS:
                 raise ServingError(
@@ -114,6 +137,61 @@ class ServingApp:
         raise ServingError(
             "bad-request", f"method {method} not allowed", status=405
         )
+
+    # -- store catalog ----------------------------------------------------
+    def _catalog(
+        self, action: str, request: Dict[str, Any]
+    ) -> Tuple[int, Dict[str, Any]]:
+        """Runtime store-catalog management (``POST /v1/stores/<action>``)."""
+        stores = self.engine.stores
+        if action == "add":
+            name = self._required_str(request, "name")
+            path = self._required_str(request, "path")
+            lazy = bool(request.get("lazy", False))
+            snapshot = stores.add_store(name, path, lazy=lazy)
+            return 200, {
+                "name": name,
+                "loaded": snapshot is not None,
+                "stores": list(stores.names()),
+            }
+        if action == "drop":
+            name = self._required_str(request, "name")
+            stores.drop_store(name)
+            # Eagerly free the dropped store's cached responses; the
+            # version embedded in each key already makes them
+            # unreachable for correctness purposes.
+            self.engine.responses.purge_store(name)
+            return 200, {"dropped": name, "stores": list(stores.names())}
+        if action == "reload":
+            name = self._required_str(request, "name")
+            snapshot = stores.reload(name)
+            return 200, snapshot.describe()
+        if action == "serve_directory":
+            path = self._required_str(request, "path")
+            suffix = request.get("suffix", ".rcir")
+            if not isinstance(suffix, str) or not suffix:
+                raise ServingError(
+                    "bad-request",
+                    f"suffix must be a non-empty string, got {suffix!r}",
+                )
+            added = stores.serve_directory(path, suffix=suffix)
+            return 200, {
+                "added": list(added),
+                "stores": list(stores.names()),
+            }
+        raise ServingError(
+            "bad-request", f"no store-catalog action {action!r}", status=404
+        )
+
+    @staticmethod
+    def _required_str(request: Dict[str, Any], field: str) -> str:
+        value = request.get(field)
+        if not isinstance(value, str) or not value:
+            raise ServingError(
+                "bad-request",
+                f"store-catalog request needs a non-empty {field!r} string",
+            )
+        return value
 
     async def _read_json(
         self, receive: Callable[[], Any]
@@ -157,6 +235,7 @@ class ServingApp:
         send: Callable[[Dict[str, Any]], Any],
         status: int,
         payload: Dict[str, Any],
+        headers: Tuple[Tuple[bytes, bytes], ...] = (),
     ) -> None:
         body = json.dumps(payload).encode("utf-8")
         await send(
@@ -166,6 +245,7 @@ class ServingApp:
                 "headers": [
                     (b"content-type", b"application/json"),
                     (b"content-length", str(len(body)).encode("ascii")),
+                    *headers,
                 ],
             }
         )

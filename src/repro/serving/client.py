@@ -235,6 +235,37 @@ class ServingClient(_ClientBase):
     async def stats(self) -> Dict[str, Any]:
         return self.engine.stats.summary()  # type: ignore[return-value]
 
+    # -- store catalog ---------------------------------------------------
+    async def add_store(
+        self, name: str, path: str, *, lazy: bool = False
+    ) -> Dict[str, Any]:
+        snapshot = self.engine.stores.add_store(name, path, lazy=lazy)
+        return {
+            "name": name,
+            "loaded": snapshot is not None,
+            "stores": list(self.engine.stores.names()),
+        }
+
+    async def drop_store(self, name: str) -> Dict[str, Any]:
+        self.engine.stores.drop_store(name)
+        self.engine.responses.purge_store(name)
+        return {
+            "dropped": name,
+            "stores": list(self.engine.stores.names()),
+        }
+
+    async def reload_store(self, name: str) -> Dict[str, Any]:
+        return dict(self.engine.stores.reload(name).describe())
+
+    async def serve_directory(
+        self, path: str, *, suffix: str = ".rcir"
+    ) -> Dict[str, Any]:
+        added = self.engine.stores.serve_directory(path, suffix=suffix)
+        return {
+            "added": list(added),
+            "stores": list(self.engine.stores.names()),
+        }
+
 
 class ASGIClient(_ClientBase):
     """Drives a :class:`ServingApp` through the ASGI protocol in-process.
@@ -314,3 +345,27 @@ class ASGIClient(_ClientBase):
 
     async def stores(self) -> Dict[str, Any]:
         return await self.http("GET", "/v1/stores")
+
+    # -- store catalog ---------------------------------------------------
+    async def add_store(
+        self, name: str, path: str, *, lazy: bool = False
+    ) -> Dict[str, Any]:
+        body: Dict[str, Any] = {"name": name, "path": path}
+        if lazy:
+            body["lazy"] = True
+        return await self.http("POST", "/v1/stores/add", body)
+
+    async def drop_store(self, name: str) -> Dict[str, Any]:
+        return await self.http("POST", "/v1/stores/drop", {"name": name})
+
+    async def reload_store(self, name: str) -> Dict[str, Any]:
+        return await self.http("POST", "/v1/stores/reload", {"name": name})
+
+    async def serve_directory(
+        self, path: str, *, suffix: str = ".rcir"
+    ) -> Dict[str, Any]:
+        return await self.http(
+            "POST",
+            "/v1/stores/serve_directory",
+            {"path": path, "suffix": suffix},
+        )

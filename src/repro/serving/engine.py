@@ -62,12 +62,20 @@ from .codec import (
     value_to_json,
 )
 from .errors import ServingError
+from .quota import TenantQuotas
+from .response_cache import ResponseCache, canonical_overrides
 from .stats import ServingStats
 from .store import CircuitStoreService, StoreSnapshot
 
 __all__ = ["ServingConfig", "ServingEngine"]
 
 _OPS = ("evaluate", "bounds", "gradients", "what_if", "sweep", "top_k")
+
+#: Strategies whose responses are pure functions of the snapshot and
+#: the request — safe to replay from the response cache.  ``engine``
+#: is excluded: a cold computation may have used the (seeded or not)
+#: MC rung, and its convergence is budget-dependent.
+_CACHEABLE_STRATEGIES = frozenset({"store", "overlay", "engine-compile"})
 
 
 @dataclass(frozen=True)
@@ -94,6 +102,22 @@ class ServingConfig:
     #: Circuits the overlay keeps for cold lineages before wholesale
     #: eviction (the CircuitCache policy).
     overlay_entries: int = 1024
+    #: Finished responses kept in the LRU response cache (0 disables).
+    #: Cached answers are bit-identical by construction: the cached
+    #: object is the response computed on the first request, keyed by
+    #: store snapshot version + canonicalized arguments.
+    response_cache_entries: int = 1024
+    #: Per-tenant token-bucket quota in requests/second (None =
+    #: unmetered).  A tenant over quota is rejected with
+    #: ``quota-exceeded`` (429) and a retry-after; other tenants are
+    #: unaffected.
+    quota_rps: Optional[float] = None
+    #: Bucket capacity (how far a quiet tenant may burst); defaults to
+    #: twice the rate.
+    quota_burst: Optional[float] = None
+    #: Per-tenant rate overrides (``tenant -> rps``; ``None`` exempts
+    #: that tenant from metering).
+    tenant_quota_rps: Optional[Mapping[str, Optional[float]]] = None
 
 
 class _Bucket:
@@ -223,6 +247,19 @@ class ServingEngine:
         self.overlay = CircuitCache(
             max_entries=self.config.overlay_entries
         )
+        #: Finished responses for repeated point queries, keyed by
+        #: store snapshot version (purged eagerly on version bumps).
+        self.responses = ResponseCache(
+            max_entries=self.config.response_cache_entries
+        )
+        #: Last snapshot version seen per store, for eager purging.
+        self._response_versions: Dict[str, str] = {}
+        #: Token-bucket rate quotas, layered over the semaphores.
+        self.quotas = TenantQuotas(
+            self.config.quota_rps,
+            burst=self.config.quota_burst,
+            tenant_rates=self.config.tenant_quota_rps,
+        )
         self._engine_lock = threading.Lock()
         self._pending = 0
         # Loop-bound state, re-created if the engine is reused from a
@@ -254,6 +291,23 @@ class ServingEngine:
                 f"{self._pending} requests already admitted "
                 f"(limit {limit}); retry later",
                 details={"inflight": self._pending, "limit": limit},
+            )
+        # Rate quota after overload shedding, before any queueing: a
+        # tenant over its token bucket is rejected immediately (429 +
+        # retry-after) and never occupies a semaphore slot, so other
+        # tenants see no queueing effect from a hammering neighbour.
+        retry_after = self.quotas.try_acquire(tenant)
+        if retry_after > 0.0:
+            self.stats.quota_rejections += 1
+            self.stats.record_error("quota-exceeded")
+            raise ServingError(
+                "quota-exceeded",
+                f"tenant {tenant!r} exceeded its request quota; retry "
+                f"in {retry_after:.3f}s",
+                details={
+                    "tenant": tenant,
+                    "retry_after_seconds": retry_after,
+                },
             )
         self._ensure_loop_state()
         self._pending += 1
@@ -358,6 +412,14 @@ class ServingEngine:
                 )
         snapshot = self.stores.snapshot(str(name))
         self.stats.reloads = self.stores.reloads
+        # Version bump (hot reload / live-cache mutation): stale cached
+        # responses are already unreachable — keys embed the version —
+        # but purge them eagerly so a reload never pins dead entries.
+        last = self._response_versions.get(snapshot.name)
+        if last != snapshot.version:
+            if last is not None:
+                self.responses.purge_store(snapshot.name)
+            self._response_versions[snapshot.name] = snapshot.version
         expected = request.get("expect_version")
         if expected is not None and expected != snapshot.version:
             raise ServingError(
@@ -466,6 +528,41 @@ class ServingEngine:
             "strategy": strategy,
         }
 
+    # -- response cache --------------------------------------------------
+    def _response_key(
+        self, snapshot: StoreSnapshot, op: str, *parts: Any
+    ) -> Optional[Tuple[Any, ...]]:
+        """The cache key for a request, or None when uncacheable
+        (cache disabled, or the caller passes no key on purpose)."""
+        if not self.responses.enabled:
+            return None
+        return (snapshot.name, snapshot.version, op) + parts
+
+    def _cached_response(
+        self, key: Optional[Tuple[Any, ...]]
+    ) -> Optional[Dict[str, Any]]:
+        if key is None:
+            return None
+        response = self.responses.get(key)
+        if response is None:
+            self.stats.response_misses += 1
+            return None
+        self.stats.response_hits += 1
+        response["cached"] = True
+        return response
+
+    def _store_response(
+        self,
+        key: Optional[Tuple[Any, ...]],
+        response: Dict[str, Any],
+    ) -> None:
+        """Cache a finished response if its strategy is deterministic
+        (``top_k`` handles its own ``mixed`` strategy set inline)."""
+        if key is None:
+            return
+        if response.get("strategy") in _CACHEABLE_STRATEGIES:
+            self.responses.put(key, response)
+
     # -- operations ------------------------------------------------------
     async def _op_evaluate(
         self, request: Mapping[str, Any], deadline: Optional[float]
@@ -473,6 +570,12 @@ class ServingEngine:
         snapshot = self._snapshot(request)
         dnf = self._lineage(request.get("lineage"))
         overrides = overrides_from_json(request.get("overrides"))
+        key = self._response_key(
+            snapshot, "evaluate", dnf, canonical_overrides(overrides)
+        )
+        cached = self._cached_response(key)
+        if cached is not None:
+            return cached
         # A cold lineage with overrides needs a circuit (the engine
         # computes base probabilities only), so compile in that case.
         circuit, strategy = await self._circuit_for(
@@ -491,6 +594,7 @@ class ServingEngine:
         response = self._base(snapshot, strategy)
         response["value"] = value
         response["exact"] = circuit.is_exact
+        self._store_response(key, response)
         return response
 
     async def _op_bounds(
@@ -500,6 +604,18 @@ class ServingEngine:
         dnf = self._lineage(request.get("lineage"))
         overrides = overrides_from_json(request.get("overrides"))
         refine = bool(request.get("refine", False))
+        # Refinement mutates the overlay circuit between requests, so
+        # only non-refining bounds are cacheable.
+        key = (
+            None
+            if refine
+            else self._response_key(
+                snapshot, "bounds", dnf, canonical_overrides(overrides)
+            )
+        )
+        cached = self._cached_response(key)
+        if cached is not None:
+            return cached
         circuit, strategy = await self._circuit_for(
             snapshot,
             dnf,
@@ -528,6 +644,7 @@ class ServingEngine:
         response = self._base(snapshot, strategy)
         response["bounds"] = bounds
         response["width"] = bounds[1] - bounds[0]
+        self._store_response(key, response)
         return response
 
     async def _op_gradients(
@@ -536,6 +653,12 @@ class ServingEngine:
         snapshot = self._snapshot(request)
         dnf = self._lineage(request.get("lineage"))
         overrides = overrides_from_json(request.get("overrides"))
+        key = self._response_key(
+            snapshot, "gradients", dnf, canonical_overrides(overrides)
+        )
+        cached = self._cached_response(key)
+        if cached is not None:
+            return cached
         circuit, strategy = await self._circuit_for(
             snapshot, dnf, deadline, compile_cold=True
         )
@@ -551,6 +674,7 @@ class ServingEngine:
         self._check_deadline(deadline, "computing gradients")
         response = self._base(snapshot, strategy)
         response["gradients"] = gradients_to_json(gradients)
+        self._store_response(key, response)
         return response
 
     async def _op_what_if(
@@ -568,6 +692,16 @@ class ServingEngine:
                 "bad-request",
                 "what_if needs a numeric probabilities list",
             )
+        key = self._response_key(
+            snapshot,
+            "what_if",
+            dnf,
+            variable,
+            tuple(float(p) for p in probabilities),
+        )
+        cached = self._cached_response(key)
+        if cached is not None:
+            return cached
         circuit, strategy = await self._circuit_for(
             snapshot, dnf, deadline, compile_cold=True
         )
@@ -580,6 +714,7 @@ class ServingEngine:
         response["variable"] = value_to_json(variable)
         response["probabilities"] = [float(p) for p in probabilities]
         response["values"] = values
+        self._store_response(key, response)
         return response
 
     async def _op_sweep(
@@ -595,6 +730,22 @@ class ServingEngine:
                 f"sweep kind must be 'values' or 'bounds', got {kind!r}",
             )
         refine = bool(request.get("refine", False)) and kind == "bounds"
+        # Refinement mutates the overlay circuit, so only plain sweeps
+        # are cacheable.
+        key = (
+            None
+            if refine
+            else self._response_key(
+                snapshot,
+                "sweep",
+                dnf,
+                kind,
+                tuple(canonical_overrides(s) for s in scenarios),
+            )
+        )
+        cached = self._cached_response(key)
+        if cached is not None:
+            return cached
         circuit, strategy = await self._circuit_for(
             snapshot, dnf, deadline, compile_cold=True
         )
@@ -612,6 +763,7 @@ class ServingEngine:
             )
         response["kind"] = kind
         response["scenario_count"] = len(scenarios)
+        self._store_response(key, response)
         return response
 
     async def _op_top_k(
@@ -631,6 +783,17 @@ class ServingEngine:
                 "bad-request", f"k must be a positive integer, got {k!r}"
             )
         overrides = overrides_from_json(request.get("overrides"))
+        key = self._response_key(
+            snapshot,
+            "top_k",
+            tuple(dnfs),
+            min(k, len(dnfs)),
+            canonical_overrides(overrides),
+            tuple(answers),
+        )
+        cached = self._cached_response(key)
+        if cached is not None:
+            return cached
         strategies = set()
         futures = []
         assert self._batcher is not None
@@ -656,6 +819,10 @@ class ServingEngine:
         response["answers"] = [
             [value_to_json(answers[i]), values[i]] for i in ranked
         ]
+        # A "mixed" strategy set is cacheable as long as every member
+        # is deterministic; _store_response only knows single strategies.
+        if key is not None and strategies <= _CACHEABLE_STRATEGIES:
+            self.responses.put(key, response)
         return response
 
     # -- degradation helpers ---------------------------------------------

@@ -20,6 +20,7 @@ _DEFAULT_STATUS = {
     "unknown-circuit": 404,
     "stale-version": 409,
     "overloaded": 429,
+    "quota-exceeded": 429,
     "internal": 500,
     "deadline-exceeded": 504,
 }
@@ -43,6 +44,16 @@ class ServingError(Exception):
             status if status is not None else _DEFAULT_STATUS.get(code, 400)
         )
         self.details: Dict[str, object] = details or {}
+
+    @property
+    def retry_after_seconds(self) -> Optional[float]:
+        """Seconds the client should back off, when the error carries
+        one (``quota-exceeded`` does; the ASGI front-end renders it as
+        a ``Retry-After`` header)."""
+        value = self.details.get("retry_after_seconds")
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            return float(value)
+        return None
 
     def to_json(self) -> Dict[str, object]:
         payload: Dict[str, object] = {

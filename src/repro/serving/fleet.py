@@ -1,0 +1,732 @@
+"""Shared-nothing serving fleet: one serving process per worker.
+
+A single :class:`~repro.serving.ServingEngine` is bounded by one
+Python process.  :class:`ServingFleet` scales the tier *out*: it forks
+``workers`` processes, each of which loads the **same persisted store
+files** into its own :class:`~repro.serving.CircuitStoreService`,
+builds its own :class:`ServingEngine` (response cache, quotas,
+micro-batcher, optional cold-compile
+:class:`~repro.engine.ConfidenceEngine`), and serves its own HTTP
+socket.  Nothing is shared after start-up — no locks, no IPC on the
+request path — which is exactly the deployment shape the store codec
+was built for: stores are name-based and immutable, so N readers are
+as safe as one.
+
+Intern-snapshot shipping is reused from :mod:`repro.engine_parallel`:
+each worker replays the coordinator's intern-table snapshot before
+touching a store (via
+:func:`~repro.engine_parallel.build_worker_engine` when a cold-compile
+engine is configured), so id-encoded clauses and dense kernel ids mean
+the same thing in every process.
+
+HTTP: each worker binds an ephemeral port and reports it to the
+coordinator over a pipe.  The server is uvicorn when installed and
+requested (``http_server="uvicorn"``/``"auto"``), otherwise a small
+stdlib asyncio HTTP/1.1 bridge over the same ASGI app — keep-alive,
+content-length framing, nothing fancy — so the fleet, like the rest of
+the library, works from the standard library alone.
+
+Routing: :class:`FleetClient` holds one persistent connection per
+worker and routes by **lineage affinity** (stable CRC32 of the wire
+lineage), so repeated point queries for the same lineage land on the
+same worker's warm :class:`~repro.serving.ResponseCache`; requests
+without a lineage round-robin.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import multiprocessing
+import multiprocessing.connection
+import os
+import signal
+import socket
+import time
+import traceback
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..core.variables import (
+    InternSnapshot,
+    VariableRegistry,
+    install_intern_snapshot,
+    intern_snapshot,
+)
+from ..engine import EngineConfig
+from .app import ServingApp
+from .client import _ClientBase
+from .engine import ServingConfig, ServingEngine
+from .errors import ServingError
+from .store import CircuitStoreService
+
+__all__ = ["FleetClient", "FleetConfig", "ServingFleet"]
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    411: "Length Required",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    504: "Gateway Timeout",
+}
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Deployment shape of one :class:`ServingFleet`."""
+
+    #: Worker processes (one serving engine + HTTP socket each).
+    workers: int = 2
+    host: str = "127.0.0.1"
+    #: Per-worker serving knobs (response cache, quotas, batching...).
+    serving: ServingConfig = field(default_factory=ServingConfig)
+    #: Cold-compile engine built in every worker via
+    #: ``engine_parallel.build_worker_engine`` (intern snapshot
+    #: replayed first); ``None`` serves stores only — cold lineages
+    #: become ``unknown-circuit`` errors.
+    engine: Optional[EngineConfig] = field(default_factory=EngineConfig)
+    #: Forwarded to each worker's CircuitStoreService.
+    strict: bool = False
+    reload_check_seconds: float = 0.05
+    #: ``"auto"`` uses uvicorn when importable, else the stdlib bridge;
+    #: ``"uvicorn"`` requires it; ``"stdlib"`` never imports it.
+    http_server: str = "auto"
+    #: Seconds to wait for every worker to report its bound port.
+    startup_timeout_seconds: float = 30.0
+
+
+# ----------------------------------------------------------------------
+# Worker process
+# ----------------------------------------------------------------------
+def _fleet_worker_main(
+    conn: "multiprocessing.connection.Connection",
+    host: str,
+    snapshot: InternSnapshot,
+    registry: VariableRegistry,
+    stores: Dict[str, str],
+    serving_config: ServingConfig,
+    engine_config: Optional[EngineConfig],
+    strict: bool,
+    reload_check_seconds: float,
+    http_server: str,
+) -> None:
+    """Entry point of one fleet worker process."""
+    # The coordinator owns shutdown (a pipe message / pipe close); a
+    # terminal Ctrl-C must not race it by killing workers first.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    try:
+        if engine_config is not None:
+            # Deferred import: repro.serving must stay importable
+            # without dragging the full engine stack in.
+            from ..engine_parallel import build_worker_engine
+
+            engine = build_worker_engine(snapshot, registry, engine_config)
+        else:
+            install_intern_snapshot(snapshot)
+            engine = None
+        service = CircuitStoreService(
+            registry,
+            stores,
+            strict=strict,
+            reload_check_seconds=reload_check_seconds,
+        )
+        serving = ServingEngine(service, engine, serving_config)
+        app = ServingApp(serving)
+        asyncio.run(_worker_serve(app, conn, host, http_server))
+    except Exception:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except (OSError, ValueError):
+            pass
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+async def _worker_serve(
+    app: ServingApp,
+    conn: "multiprocessing.connection.Connection",
+    host: str,
+    http_server: str,
+) -> None:
+    """Bind an ephemeral port, report it, serve until the pipe says stop."""
+    loop = asyncio.get_running_loop()
+    stop = asyncio.Event()
+    # Any pipe traffic — a stop message or the coordinator closing its
+    # end (crash included) — wakes the worker for shutdown.
+    loop.add_reader(conn.fileno(), stop.set)
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    sock.bind((host, 0))
+    port = sock.getsockname()[1]
+
+    use_uvicorn = False
+    if http_server in ("auto", "uvicorn"):
+        try:
+            import uvicorn  # noqa: F401
+
+            use_uvicorn = True
+        except ImportError:
+            if http_server == "uvicorn":
+                raise RuntimeError(
+                    "http_server='uvicorn' but uvicorn is not installed; "
+                    "install the repro[serve] extra or use 'stdlib'"
+                )
+    try:
+        if use_uvicorn:
+            import uvicorn
+
+            sock.listen(128)
+            config = uvicorn.Config(
+                app, log_level="warning", lifespan="on"
+            )
+            server = uvicorn.Server(config)
+            conn.send(("ready", port))
+            task = asyncio.ensure_future(server.serve(sockets=[sock]))
+            await stop.wait()
+            server.should_exit = True
+            await task
+        else:
+            bridge = _StdlibBridge(app)
+            server = await asyncio.start_server(bridge.handle, sock=sock)
+            conn.send(("ready", port))
+            await stop.wait()
+            server.close()
+            await server.wait_closed()
+            await bridge.drain()
+            await app.engine.close()
+    finally:
+        loop.remove_reader(conn.fileno())
+
+
+class _StdlibBridge:
+    """Minimal HTTP/1.1 → ASGI bridge for one :class:`ServingApp`.
+
+    Supports exactly what the serving wire protocol needs: JSON bodies
+    framed by ``Content-Length``, keep-alive connections, one request
+    in flight per connection.  Chunked uploads are rejected with 411.
+    """
+
+    def __init__(self, app: ServingApp) -> None:
+        self.app = app
+        self._writers: set = set()
+        self._handlers: set = set()
+
+    async def drain(self) -> None:
+        """Close every live connection so handlers finish on their own.
+
+        Cancelling handler tasks at loop teardown instead would make
+        Python 3.11's ``StreamReaderProtocol`` log spurious
+        ``CancelledError`` tracebacks (its done-callback predates the
+        cancelled-task guard); feeding EOF lets each keep-alive loop
+        exit normally.
+        """
+        for writer in list(self._writers):
+            writer.close()
+        if self._handlers:
+            await asyncio.gather(
+                *list(self._handlers), return_exceptions=True
+            )
+
+    async def handle(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        self._writers.add(writer)
+        self._handlers.add(asyncio.current_task())
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, path, body, keep_alive = request
+                status, headers, payload = await self._dispatch(
+                    method, path, body
+                )
+                await self._write_response(
+                    writer, status, headers, payload, keep_alive
+                )
+                if not keep_alive:
+                    break
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionResetError,
+            BrokenPipeError,
+        ):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            self._writers.discard(writer)
+            self._handlers.discard(asyncio.current_task())
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[Tuple[str, str, bytes, bool]]:
+        request_line = await reader.readline()
+        if not request_line.strip():
+            return None
+        try:
+            method, target, version = (
+                request_line.decode("latin-1").strip().split(" ", 2)
+            )
+        except ValueError:
+            return None
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        if "chunked" in headers.get("transfer-encoding", "").lower():
+            # The bridge frames bodies by Content-Length only; a
+            # chunked upload gets an empty body (the app rejects it as
+            # bad-request) and the connection closes to resynchronise.
+            return method, target, b"", False
+        length = int(headers.get("content-length", "0") or "0")
+        body = await reader.readexactly(length) if length else b""
+        keep_alive = (
+            version.upper() != "HTTP/1.0"
+            and headers.get("connection", "").lower() != "close"
+        )
+        path = target.split("?", 1)[0]
+        return method, path, body, keep_alive
+
+    async def _dispatch(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, List[Tuple[bytes, bytes]], bytes]:
+        scope = {
+            "type": "http",
+            "asgi": {"version": "3.0"},
+            "http_version": "1.1",
+            "method": method,
+            "scheme": "http",
+            "path": path,
+            "raw_path": path.encode("latin-1"),
+            "query_string": b"",
+            "headers": [(b"content-type", b"application/json")],
+        }
+        sent = False
+
+        async def receive() -> Dict[str, Any]:
+            nonlocal sent
+            if sent:
+                return {"type": "http.disconnect"}
+            sent = True
+            return {
+                "type": "http.request",
+                "body": body,
+                "more_body": False,
+            }
+
+        messages: List[Dict[str, Any]] = []
+
+        async def send(message: Dict[str, Any]) -> None:
+            messages.append(message)
+
+        await self.app(scope, receive, send)
+        status = 500
+        headers: List[Tuple[bytes, bytes]] = []
+        chunks: List[bytes] = []
+        for message in messages:
+            if message["type"] == "http.response.start":
+                status = message["status"]
+                headers = list(message.get("headers", []))
+            elif message["type"] == "http.response.body":
+                chunks.append(message.get("body", b""))
+        return status, headers, b"".join(chunks)
+
+    async def _write_response(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        headers: List[Tuple[bytes, bytes]],
+        body: bytes,
+        keep_alive: bool,
+    ) -> None:
+        reason = _REASONS.get(status, "Status")
+        lines = [f"HTTP/1.1 {status} {reason}".encode("latin-1")]
+        has_length = False
+        for name, value in headers:
+            if name.lower() == b"content-length":
+                has_length = True
+            lines.append(name + b": " + value)
+        if not has_length:
+            lines.append(b"content-length: " + str(len(body)).encode())
+        lines.append(
+            b"connection: keep-alive" if keep_alive else b"connection: close"
+        )
+        writer.write(b"\r\n".join(lines) + b"\r\n\r\n" + body)
+        await writer.drain()
+
+
+# ----------------------------------------------------------------------
+# Coordinator
+# ----------------------------------------------------------------------
+class ServingFleet:
+    """Spawns and supervises a shared-nothing fleet of serving workers.
+
+    Usage::
+
+        fleet = ServingFleet(registry, {"main": "store.bin"})
+        addresses = fleet.start()          # [(host, port), ...]
+        client = FleetClient(addresses)
+        ...
+        await client.close()
+        fleet.close()
+
+    Workers are daemonic; an abandoned fleet dies with its coordinator.
+    """
+
+    def __init__(
+        self,
+        registry: VariableRegistry,
+        stores: Mapping[str, PathLike],
+        *,
+        config: Optional[FleetConfig] = None,
+    ) -> None:
+        self.registry = registry
+        self.stores = {
+            name: os.fspath(path) for name, path in stores.items()
+        }
+        self.config = config or FleetConfig()
+        if self.config.workers < 1:
+            raise ValueError(
+                f"a fleet needs at least 1 worker, got "
+                f"{self.config.workers}"
+            )
+        self.addresses: List[Tuple[str, int]] = []
+        self._processes: List[multiprocessing.process.BaseProcess] = []
+        self._pipes: List["multiprocessing.connection.Connection"] = []
+
+    def start(self) -> List[Tuple[str, int]]:
+        """Spawn the workers; returns their ``(host, port)`` addresses."""
+        if self._processes:
+            return list(self.addresses)
+        # fork (where available) shares the parent's pages — intern
+        # tables, registry, loaded modules — making worker start-up
+        # cheap; spawn replays the shipped snapshot for real.  Same
+        # policy as engine_parallel's process pools.
+        if "fork" in multiprocessing.get_all_start_methods():
+            ctx = multiprocessing.get_context("fork")
+        else:  # pragma: no cover - non-posix
+            ctx = multiprocessing.get_context("spawn")
+        snapshot = intern_snapshot()
+        cfg = self.config
+        for _ in range(cfg.workers):
+            parent_conn, child_conn = ctx.Pipe()
+            process = ctx.Process(
+                target=_fleet_worker_main,
+                args=(
+                    child_conn,
+                    cfg.host,
+                    snapshot,
+                    self.registry,
+                    self.stores,
+                    cfg.serving,
+                    cfg.engine,
+                    cfg.strict,
+                    cfg.reload_check_seconds,
+                    cfg.http_server,
+                ),
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            self._processes.append(process)
+            self._pipes.append(parent_conn)
+        # Real wall time on purpose: worker start-up is OS work, not
+        # serving-tier logic, so the fake test clock must not govern it.
+        deadline = time.monotonic() + cfg.startup_timeout_seconds
+        for index, conn in enumerate(self._pipes):
+            remaining = max(0.0, deadline - time.monotonic())
+            if not conn.poll(remaining):
+                self.close()
+                raise RuntimeError(
+                    f"fleet worker {index} did not report a port within "
+                    f"{cfg.startup_timeout_seconds:.1f}s"
+                )
+            kind, value = conn.recv()
+            if kind == "error":
+                self.close()
+                raise RuntimeError(
+                    f"fleet worker {index} failed to start:\n{value}"
+                )
+            self.addresses.append((cfg.host, int(value)))
+        return list(self.addresses)
+
+    def close(self, *, timeout_seconds: float = 5.0) -> None:
+        """Stop every worker (graceful pipe signal, then terminate)."""
+        for conn in self._pipes:
+            try:
+                conn.send(("stop", None))
+            except (OSError, ValueError):
+                pass
+        deadline = time.monotonic() + timeout_seconds
+        for process in self._processes:
+            process.join(max(0.0, deadline - time.monotonic()))
+        for process in self._processes:
+            if process.is_alive():
+                process.terminate()
+                process.join(1.0)
+        for conn in self._pipes:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        self._processes.clear()
+        self._pipes.clear()
+        self.addresses.clear()
+
+    @property
+    def alive(self) -> int:
+        """How many workers are currently running."""
+        return sum(1 for p in self._processes if p.is_alive())
+
+    def __enter__(self) -> "ServingFleet":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"ServingFleet({len(self.stores)} stores, "
+            f"{self.alive}/{self.config.workers} workers up)"
+        )
+
+
+# ----------------------------------------------------------------------
+# Client
+# ----------------------------------------------------------------------
+class FleetClient(_ClientBase):
+    """Async client over real sockets, one per fleet worker.
+
+    Same request vocabulary as :class:`~repro.serving.ServingClient` /
+    :class:`~repro.serving.ASGIClient` (the ``_ClientBase`` builders),
+    plus routing: requests that carry a lineage hash it (stable CRC32
+    of the wire form — ``hash()`` is salted per process, so it cannot
+    route) to pick a worker, which keeps repeated point queries on the
+    same worker's warm response cache; everything else round-robins.
+
+    Connections are persistent (keep-alive) and serialized per worker
+    with a lock; a dropped connection is re-dialed once per request.
+    """
+
+    def __init__(
+        self,
+        addresses: Sequence[Tuple[str, int]],
+        *,
+        affinity: bool = True,
+    ) -> None:
+        if not addresses:
+            raise ValueError("FleetClient needs at least one address")
+        self.addresses = [(host, int(port)) for host, port in addresses]
+        self.affinity = affinity
+        self._connections: List[
+            Optional[Tuple[asyncio.StreamReader, asyncio.StreamWriter]]
+        ] = [None] * len(self.addresses)
+        self._locks: List[Optional[asyncio.Lock]] = [None] * len(
+            self.addresses
+        )
+        self._rr = 0
+
+    # -- routing ---------------------------------------------------------
+    def worker_for(self, payload: Mapping[str, Any]) -> int:
+        """Which worker a payload routes to (exposed for tests)."""
+        lineage = payload.get("lineage")
+        if lineage is None:
+            lineage = payload.get("lineages")
+        if self.affinity and lineage is not None:
+            wire = json.dumps(lineage, sort_keys=True, default=str)
+            digest = zlib.crc32(wire.encode("utf-8"))
+            return digest % len(self.addresses)
+        self._rr = (self._rr + 1) % len(self.addresses)
+        return self._rr
+
+    # -- transport -------------------------------------------------------
+    async def _connect(
+        self, worker: int
+    ) -> Tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+        connection = self._connections[worker]
+        if connection is not None and not connection[1].is_closing():
+            return connection
+        host, port = self.addresses[worker]
+        reader, writer = await asyncio.open_connection(host, port)
+        self._connections[worker] = (reader, writer)
+        return reader, writer
+
+    def _lock(self, worker: int) -> asyncio.Lock:
+        lock = self._locks[worker]
+        if lock is None:
+            lock = asyncio.Lock()
+            self._locks[worker] = lock
+        return lock
+
+    async def http(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+        *,
+        worker: int = 0,
+    ) -> Dict[str, Any]:
+        """One request/response against ``worker``; decoded JSON body."""
+        raw = json.dumps(body).encode("utf-8") if body is not None else b""
+        host, port = self.addresses[worker]
+        request = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"host: {host}:{port}\r\n"
+            "content-type: application/json\r\n"
+            f"content-length: {len(raw)}\r\n"
+            "connection: keep-alive\r\n\r\n"
+        ).encode("latin-1") + raw
+        async with self._lock(worker):
+            for attempt in (0, 1):
+                reader, writer = await self._connect(worker)
+                try:
+                    writer.write(request)
+                    await writer.drain()
+                    status, payload = await self._read_response(reader)
+                    break
+                except (
+                    asyncio.IncompleteReadError,
+                    ConnectionResetError,
+                    BrokenPipeError,
+                    OSError,
+                ):
+                    # Stale keep-alive (worker restarted, idle timeout):
+                    # drop the connection and re-dial exactly once.
+                    self._connections[worker] = None
+                    writer.close()
+                    if attempt:
+                        raise
+        if status >= 300:
+            error = payload.get("error", {})
+            raise ServingError(
+                error.get("code", "internal"),
+                error.get("message", f"HTTP {status}"),
+                status=status,
+                details=error.get("details"),
+            )
+        return payload
+
+    @staticmethod
+    async def _read_response(
+        reader: asyncio.StreamReader,
+    ) -> Tuple[int, Dict[str, Any]]:
+        status_line = await reader.readline()
+        if not status_line:
+            raise ConnectionResetError("connection closed by worker")
+        parts = status_line.decode("latin-1").split(" ", 2)
+        status = int(parts[1])
+        length = 0
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                length = int(value.strip())
+        body = await reader.readexactly(length) if length else b""
+        return status, json.loads(body or b"{}")
+
+    # -- request vocabulary ---------------------------------------------
+    async def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        op = payload["op"]
+        body = {
+            key: value for key, value in payload.items() if key != "op"
+        }
+        worker = self.worker_for(payload)
+        return await self.http("POST", f"/v1/{op}", body, worker=worker)
+
+    async def stats(self) -> List[Dict[str, Any]]:
+        """Per-worker ``/v1/stats`` summaries, in worker order."""
+        return [
+            await self.http("GET", "/v1/stats", worker=index)
+            for index in range(len(self.addresses))
+        ]
+
+    async def healthz(self) -> List[Dict[str, Any]]:
+        return [
+            await self.http("GET", "/healthz", worker=index)
+            for index in range(len(self.addresses))
+        ]
+
+    async def aggregate_stats(self) -> Dict[str, float]:
+        """Fleet-wide counters summed across workers."""
+        totals = {
+            "requests_total": 0.0,
+            "response_hits": 0.0,
+            "response_misses": 0.0,
+            "shed": 0.0,
+            "quota_rejections": 0.0,
+            "batches": 0.0,
+            "batched_rows": 0.0,
+        }
+        summaries = await self.stats()
+        for summary in summaries:
+            for key in totals:
+                totals[key] += float(summary.get(key, 0))
+        hits, misses = totals["response_hits"], totals["response_misses"]
+        totals["response_hit_ratio"] = (
+            hits / (hits + misses) if hits + misses else 0.0
+        )
+        totals["workers"] = float(len(summaries))
+        return totals
+
+    # -- catalog ---------------------------------------------------------
+    async def add_store(
+        self, name: str, path: str, *, lazy: bool = False
+    ) -> List[Dict[str, Any]]:
+        """Register a store on **every** worker (the catalog is
+        replicated, not partitioned)."""
+        body: Dict[str, Any] = {"name": name, "path": path}
+        if lazy:
+            body["lazy"] = True
+        return [
+            await self.http(
+                "POST", "/v1/stores/add", body, worker=index
+            )
+            for index in range(len(self.addresses))
+        ]
+
+    async def drop_store(self, name: str) -> List[Dict[str, Any]]:
+        return [
+            await self.http(
+                "POST", "/v1/stores/drop", {"name": name}, worker=index
+            )
+            for index in range(len(self.addresses))
+        ]
+
+    async def close(self) -> None:
+        for connection in self._connections:
+            if connection is not None:
+                connection[1].close()
+        self._connections = [None] * len(self.addresses)
+
+    def __repr__(self) -> str:
+        live = sum(
+            1
+            for connection in self._connections
+            if connection is not None and not connection[1].is_closing()
+        )
+        return (
+            f"FleetClient({len(self.addresses)} workers, "
+            f"{live} live connections)"
+        )

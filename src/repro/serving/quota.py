@@ -1,0 +1,117 @@
+"""Per-tenant token-bucket rate quotas for the serving tier.
+
+The concurrency semaphores in :class:`~repro.serving.ServingEngine`
+bound how much of the server a tenant can hold *at once*; a
+:class:`TokenBucket` bounds how much it may consume *over time* — the
+"millions of users" knob: a tenant hammering cheap point queries gets
+throttled to its provisioned request rate instead of starving everyone
+else's admission queue.
+
+Time is read through :mod:`repro.core.clock`, so quota tests run on the
+fake clock like every other deadline test in the library: refill exact,
+no sleeps, no flaking.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Mapping, Optional
+
+from ..core import clock
+
+__all__ = ["TenantQuotas", "TokenBucket"]
+
+
+class TokenBucket:
+    """The classic token bucket: ``rate`` tokens/second, ``burst`` cap.
+
+    Starts full (a quiet tenant may burst up to ``burst`` requests at
+    once), refills continuously, and never accumulates beyond the cap.
+    :meth:`try_acquire` is the only operation: take one token if
+    available, otherwise report how long until one accrues.
+    """
+
+    __slots__ = ("rate", "burst", "_tokens", "_updated", "_lock")
+
+    def __init__(self, rate: float, burst: float) -> None:
+        if rate <= 0.0:
+            raise ValueError(f"token rate must be positive, got {rate!r}")
+        self.rate = float(rate)
+        self.burst = max(1.0, float(burst))
+        self._tokens = self.burst
+        self._updated = clock.monotonic()
+        self._lock = threading.Lock()
+
+    def try_acquire(self) -> float:
+        """Take one token; returns 0.0 on success, else the seconds
+        until the next token accrues (the client's retry-after)."""
+        with self._lock:
+            now = clock.monotonic()
+            elapsed = max(0.0, now - self._updated)
+            self._tokens = min(
+                self.burst, self._tokens + elapsed * self.rate
+            )
+            self._updated = now
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                return 0.0
+            return (1.0 - self._tokens) / self.rate
+
+    @property
+    def tokens(self) -> float:
+        """Current token balance (un-refilled; diagnostic only)."""
+        return self._tokens
+
+    def __repr__(self) -> str:
+        return (
+            f"TokenBucket(rate={self.rate:g}/s, burst={self.burst:g}, "
+            f"tokens={self._tokens:.2f})"
+        )
+
+
+class TenantQuotas:
+    """One bucket per tenant, built lazily from the configured rates.
+
+    ``default_rate`` applies to any tenant without an entry in
+    ``tenant_rates``; a tenant whose effective rate is ``None`` (or not
+    positive) is unmetered.  ``burst`` defaults to twice the rate —
+    enough that a well-behaved tenant never notices the meter.
+    """
+
+    def __init__(
+        self,
+        default_rate: Optional[float],
+        *,
+        burst: Optional[float] = None,
+        tenant_rates: Optional[Mapping[str, Optional[float]]] = None,
+    ) -> None:
+        self.default_rate = default_rate
+        self.burst = burst
+        self.tenant_rates = dict(tenant_rates or {})
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+
+    def _rate_for(self, tenant: str) -> Optional[float]:
+        rate = self.tenant_rates.get(tenant, self.default_rate)
+        if rate is None or rate <= 0.0:
+            return None
+        return float(rate)
+
+    def try_acquire(self, tenant: str) -> float:
+        """0.0 if ``tenant`` may proceed, else its retry-after seconds."""
+        rate = self._rate_for(tenant)
+        if rate is None:
+            return 0.0
+        with self._lock:
+            bucket = self._buckets.get(tenant)
+            if bucket is None or bucket.rate != rate:
+                burst = self.burst if self.burst is not None else 2.0 * rate
+                bucket = TokenBucket(rate, burst)
+                self._buckets[tenant] = bucket
+        return bucket.try_acquire()
+
+    def __repr__(self) -> str:
+        return (
+            f"TenantQuotas(default={self.default_rate!r}, "
+            f"{len(self._buckets)} live buckets)"
+        )

@@ -9,6 +9,7 @@ reads :meth:`summary` for its throughput / p50 / p99 columns.
 
 from __future__ import annotations
 
+import math
 import threading
 from typing import Dict, List, Optional
 
@@ -20,13 +21,20 @@ _LATENCY_CAPACITY = 200_000
 
 
 def percentile(values: List[float], fraction: float) -> float:
-    """Nearest-rank percentile of ``values`` (0.0 for an empty list)."""
+    """Nearest-rank percentile of ``values`` (0.0 for an empty list).
+
+    The standard nearest-rank formula: the smallest sample such that at
+    least ``fraction`` of the data is at or below it, i.e. the sample
+    at rank ``ceil(fraction * n)``.  ``int(round(...))`` would use
+    banker's rounding, which lands on the *wrong* sample at exact ``.5``
+    ranks (p50 of 4 samples must be the 2nd, not the 2.5th rounded to
+    even); ``math.ceil`` never does.
+    """
     if not values:
         return 0.0
     ordered = sorted(values)
-    index = min(
-        len(ordered) - 1, max(0, int(round(fraction * (len(ordered) - 1))))
-    )
+    rank = math.ceil(fraction * len(ordered))
+    index = min(len(ordered) - 1, max(0, rank - 1))
     return ordered[index]
 
 
@@ -45,10 +53,13 @@ class ServingStats:
         "store_hits",
         "overlay_hits",
         "store_misses",
+        "response_hits",
+        "response_misses",
         "engine_fallbacks",
         "refinements",
         "reloads",
         "shed",
+        "quota_rejections",
         "inflight",
         "max_inflight",
     )
@@ -72,10 +83,16 @@ class ServingStats:
         self.store_hits = 0
         self.overlay_hits = 0
         self.store_misses = 0
+        #: Response-cache traffic: hits answered without touching a
+        #: circuit, misses counted only for cacheable requests.
+        self.response_hits = 0
+        self.response_misses = 0
         self.engine_fallbacks = 0
         self.refinements = 0
         self.reloads = 0
         self.shed = 0
+        #: Requests rejected by a tenant's token-bucket quota (429).
+        self.quota_rejections = 0
         self.inflight = 0
         self.max_inflight = 0
 
@@ -116,6 +133,11 @@ class ServingStats:
     def occupancy(self) -> float:
         """Mean rows per kernel flush (0.0 before the first flush)."""
         return self.batched_rows / self.batches if self.batches else 0.0
+
+    def response_hit_ratio(self) -> float:
+        """Response-cache hits over cacheable lookups (0.0 when none)."""
+        total = self.response_hits + self.response_misses
+        return self.response_hits / total if total else 0.0
 
     def latency_percentiles(
         self, op: Optional[str] = None
@@ -159,10 +181,14 @@ class ServingStats:
             "store_hits": self.store_hits,
             "overlay_hits": self.overlay_hits,
             "store_misses": self.store_misses,
+            "response_hits": self.response_hits,
+            "response_misses": self.response_misses,
+            "response_hit_ratio": self.response_hit_ratio(),
             "engine_fallbacks": self.engine_fallbacks,
             "refinements": self.refinements,
             "reloads": self.reloads,
             "shed": self.shed,
+            "quota_rejections": self.quota_rejections,
             "max_inflight": self.max_inflight,
         }
 

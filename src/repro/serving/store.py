@@ -13,8 +13,10 @@ reload can never tear a lookup.
 
 Hot reload: every :meth:`snapshot` call (throttled through
 :mod:`repro.core.clock`) compares the store file's version —
-``mtime_ns:size`` — against the loaded snapshot's and atomically swaps
-in a fresh load when the file changed.  A store may also be backed by
+``mtime_ns:size:dev:ino``, the inode folded in so an atomic same-size
+replace within one mtime tick still bumps the version — against the
+loaded snapshot's and atomically swaps in a fresh load when the file
+changed.  A store may also be backed by
 a **live** session :class:`~repro.circuits.CircuitCache` (the
 in-process serving path of ``ProbDB.serving()``), in which case the
 cache's mutation counter plays the role of the file version.
@@ -39,8 +41,16 @@ PathLike = Union[str, "os.PathLike[str]"]
 
 
 def _file_version(path: str) -> str:
+    # mtime alone misses an atomic same-size replace on filesystems
+    # with coarse mtime granularity (a fast ``os.replace`` of an
+    # equal-length store within one timestamp tick), which would serve
+    # the stale snapshot forever.  The inode changes on every replace-
+    # by-rename, so folding ``st_ino`` (and ``st_dev``) into the key
+    # catches exactly that case without reading the file.
     stat = os.stat(path)
-    return f"{stat.st_mtime_ns}:{stat.st_size}"
+    return (
+        f"{stat.st_mtime_ns}:{stat.st_size}:{stat.st_dev}:{stat.st_ino}"
+    )
 
 
 class StoreSnapshot:
@@ -138,20 +148,111 @@ class CircuitStoreService:
         #: Live-cache stores: name -> the mutable session cache backing
         #: the snapshot (re-cut when its mutation counter moves).
         self._caches: Dict[str, CircuitCache] = {}
+        #: Lazily-registered stores: name -> path, loaded on first
+        #: :meth:`snapshot` rather than at registration.
+        self._lazy: Dict[str, str] = {}
+        #: Served directories: ``(path, suffix)`` pairs rescanned when a
+        #: lookup misses, so files dropped in later are picked up.
+        self._directories: Dict[str, str] = {}
         self._last_check: Dict[str, float] = {}
         if stores:
             for name, path in stores.items():
                 self.add_store(name, path)
 
     # -- registration ----------------------------------------------------
-    def add_store(self, name: str, path: PathLike) -> StoreSnapshot:
-        """Load a persisted store file under ``name`` (replaces any
-        previous binding of the name)."""
-        snapshot = self._load_file(name, os.fspath(path))
+    def add_store(
+        self, name: str, path: PathLike, *, lazy: bool = False
+    ) -> Optional[StoreSnapshot]:
+        """Register a persisted store file under ``name`` (replaces any
+        previous binding of the name).
+
+        ``lazy=True`` defers the load to the first :meth:`snapshot`
+        call (the file must merely exist now) and returns ``None``; the
+        eager default loads immediately and returns the snapshot.
+        """
+        path = os.fspath(path)
+        if lazy:
+            if not os.path.exists(path):
+                raise ServingError(
+                    "unknown-store",
+                    f"store {name!r} at {path!r} does not exist",
+                    status=404,
+                )
+            with self._lock:
+                self._lazy[name] = path
+                self._snapshots.pop(name, None)
+                self._caches.pop(name, None)
+            return None
+        snapshot = self._load_file(name, path)
         with self._lock:
             self._snapshots[name] = snapshot
             self._caches.pop(name, None)
+            self._lazy.pop(name, None)
         return snapshot
+
+    def drop_store(self, name: str) -> None:
+        """Forget ``name`` entirely (snapshot, live cache, lazy entry).
+
+        In-flight requests holding the dropped snapshot finish
+        unaffected — snapshots are immutable; the name just stops
+        resolving for new requests.
+        """
+        with self._lock:
+            known = (
+                self._snapshots.pop(name, None) is not None
+                or self._lazy.pop(name, None) is not None
+            )
+            self._caches.pop(name, None)
+            self._last_check.pop(name, None)
+        if not known:
+            raise ServingError(
+                "unknown-store", f"no store named {name!r}"
+            )
+
+    def serve_directory(
+        self, path: PathLike, *, suffix: str = ".rcir"
+    ) -> Tuple[str, ...]:
+        """Serve every ``*<suffix>`` file under ``path`` lazily.
+
+        Each file registers under its basename-minus-suffix; nothing is
+        loaded until a request names the store.  The directory is
+        rescanned whenever a lookup misses, so files dropped in after
+        registration are picked up without another call.  Returns the
+        names registered by this scan.
+        """
+        directory = os.fspath(path)
+        if not os.path.isdir(directory):
+            raise ServingError(
+                "unknown-store",
+                f"{directory!r} is not a directory",
+                status=404,
+            )
+        with self._lock:
+            self._directories[directory] = suffix
+        return self._scan_directories()
+
+    def _scan_directories(self) -> Tuple[str, ...]:
+        """Register any new matching files; returns names added."""
+        added = []
+        with self._lock:
+            directories = dict(self._directories)
+        for directory, suffix in directories.items():
+            try:
+                filenames = sorted(os.listdir(directory))
+            except OSError:
+                # Vanished directory: already-loaded stores keep
+                # serving, the rescan just finds nothing new.
+                continue
+            for filename in filenames:
+                if not filename.endswith(suffix):
+                    continue
+                name = filename[: len(filename) - len(suffix)]
+                with self._lock:
+                    if name in self._snapshots or name in self._lazy:
+                        continue
+                    self._lazy[name] = os.path.join(directory, filename)
+                added.append(name)
+        return tuple(added)
 
     def add_cache(self, name: str, cache: CircuitCache) -> StoreSnapshot:
         """Serve a live session :class:`CircuitCache` under ``name``.
@@ -168,7 +269,7 @@ class CircuitStoreService:
         return snapshot
 
     def names(self) -> Tuple[str, ...]:
-        return tuple(sorted(self._snapshots))
+        return tuple(sorted(set(self._snapshots) | set(self._lazy)))
 
     def describe(self) -> Dict[str, Dict[str, object]]:
         return {
@@ -184,9 +285,12 @@ class CircuitStoreService:
         mutated) reloads and atomically swaps the snapshot.  If the
         backing file has *vanished*, the last good snapshot keeps
         serving — a fleet node outliving its store file is degraded,
-        not dead.
+        not dead.  Lazily-registered stores (``add_store(lazy=True)``,
+        :meth:`serve_directory`) load on their first request here.
         """
         snapshot = self._snapshots.get(name)
+        if snapshot is None:
+            snapshot = self._load_lazy(name)
         if snapshot is None:
             raise ServingError(
                 "unknown-store",
@@ -213,12 +317,29 @@ class CircuitStoreService:
             return self._refresh(name)
         return snapshot
 
+    def _load_lazy(self, name: str) -> Optional[StoreSnapshot]:
+        """First-request load of a lazily-registered store (or a file
+        that appeared in a served directory since the last scan)."""
+        if name not in self._lazy:
+            self._scan_directories()
+        path = self._lazy.get(name)
+        if path is None:
+            return None
+        snapshot = self._load_file(name, path)
+        with self._lock:
+            # Another thread may have loaded it while we did; keep the
+            # installed snapshot so both threads agree on the version.
+            installed = self._snapshots.setdefault(name, snapshot)
+            self._lazy.pop(name, None)
+        return installed
+
     def reload(self, name: str) -> StoreSnapshot:
         """Force a reload of ``name`` regardless of version probes."""
         if name not in self._snapshots:
-            raise ServingError(
-                "unknown-store", f"no store named {name!r}"
-            )
+            if self._load_lazy(name) is None:
+                raise ServingError(
+                    "unknown-store", f"no store named {name!r}"
+                )
         return self._refresh(name, force=True)
 
     def _refresh(self, name: str, *, force: bool = False) -> StoreSnapshot:

@@ -36,6 +36,7 @@ from repro import (
     ProbDB,
     compile_circuit,
 )
+from repro.circuits import CircuitCache
 from repro.circuits.compiler import CircuitCompilationStats
 from repro.core.dnf import DNF
 from repro.core.events import Clause
@@ -711,3 +712,92 @@ class TestExplainInfluence:
         assert report.method == "frequency-heuristic"
         assert report.entries
         assert "no compiled circuit" in report.note
+
+
+class TestCircuitCacheThreadSafety:
+    """Regression: ``get`` must read the entry dict under the lock.
+
+    The unlocked read raced ``put``'s clear-on-overflow eviction — a
+    ``get`` could count a hit for an entry wiped a moment earlier, so
+    ``hits + misses`` drifted from the number of lookups and a caller
+    pairing ``get()`` with ``version`` could observe a version older
+    than the miss it just caused.
+    """
+
+    def test_threaded_get_put_counters_stay_exact(self):
+        import threading
+
+        registry = VariableRegistry()
+        for index in range(8):
+            registry.add_boolean(f"t{index}", 0.2 + 0.05 * index)
+        engine = ConfidenceEngine(registry)
+        lineages = [
+            DNF([Clause({f"t{i}": True, f"t{(i + 1) % 8}": True})])
+            for i in range(8)
+        ]
+        circuits = [engine.compile_circuit(dnf) for dnf in lineages]
+        # Tiny cap: put() evicts wholesale constantly, so reads race
+        # eviction as hard as possible.
+        cache = CircuitCache(max_entries=2)
+        rounds = 400
+        threads = 6
+        barrier = threading.Barrier(threads)
+        errors = []
+
+        def worker(seed):
+            rng = random.Random(seed)
+            barrier.wait()
+            try:
+                for _ in range(rounds):
+                    index = rng.randrange(len(lineages))
+                    if rng.random() < 0.5:
+                        cache.put(
+                            lineages[index],
+                            circuits[index],
+                            exact_only=False,
+                        )
+                    else:
+                        found = cache.get(lineages[index])
+                        if found is not None:
+                            assert found is circuits[index]
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        pool = [
+            threading.Thread(target=worker, args=(seed,))
+            for seed in range(threads)
+        ]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        assert errors == []
+        gets = sum(
+            1
+            for seed in range(threads)
+            for draw in [random.Random(seed)]
+            for _ in range(rounds)
+            if not (draw.randrange(len(lineages)), draw.random())[1] < 0.5
+        )
+        # Replaying the per-thread RNGs reproduces the exact number of
+        # get() calls; with the locked read, every one is accounted as
+        # exactly one hit or one miss — no lost updates.
+        assert cache.hits + cache.misses == gets
+
+    def test_eviction_is_wholesale_and_consistent(self):
+        registry = VariableRegistry()
+        registry.add_boolean("a", 0.3)
+        registry.add_boolean("b", 0.6)
+        engine = ConfidenceEngine(registry)
+        first = DNF([Clause({"a": True})])
+        second = DNF([Clause({"b": True})])
+        third = DNF([Clause({"a": True, "b": True})])
+        cache = CircuitCache(max_entries=2)
+        for lineage in (first, second, third):
+            cache.put(
+                lineage, engine.compile_circuit(lineage), exact_only=False
+            )
+        # Inserting the third wiped the first two wholesale.
+        assert cache.get(third) is not None
+        assert cache.get(first) is None
+        assert cache.get(second) is None

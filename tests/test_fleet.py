@@ -1,0 +1,300 @@
+"""Serving fleet: real sockets, real processes, bit-identical answers.
+
+End-to-end acceptance for the scale-out tier: a
+:class:`~repro.serving.ServingFleet` of worker processes over one
+persisted store file must answer exactly (``==``) like the in-process
+circuit path, route repeated point queries onto a warm response cache,
+replicate catalog changes, shed an over-quota tenant with 429 +
+retry-after while its neighbours are unaffected, and shut down
+cleanly.  Everything here runs over the stdlib HTTP/1.1 bridge (the
+container has no uvicorn), which is exactly the configuration CI
+benchmarks.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.circuits import CircuitCache
+from repro.core.dnf import DNF
+from repro.core.events import Clause
+from repro.core.variables import VariableRegistry
+from repro.engine import ConfidenceEngine
+from repro.serving import (
+    FleetClient,
+    FleetConfig,
+    ServingConfig,
+    ServingError,
+    ServingFleet,
+)
+from repro.serving.codec import dnf_to_json
+
+
+def make_registry():
+    registry = VariableRegistry()
+    for index in range(10):
+        registry.add_boolean(f"x{index}", 0.08 + 0.07 * index)
+    return registry
+
+
+def dnf(*clauses):
+    return DNF([Clause({v: True for v in clause}) for clause in clauses])
+
+
+L1 = (("x0", "x1"), ("x2",), ("x3", "x4"))
+L2 = (("x1", "x5"), ("x6", "x7"))
+L3 = (("x0", "x8"), ("x2", "x9"), ("x5",))
+COLD = (("x3", "x9"), ("x4", "x6"))
+
+
+def build_store(registry, path, specs):
+    engine = ConfidenceEngine(registry)
+    cache = CircuitCache()
+    circuits = {}
+    for spec in specs:
+        lineage = dnf(*spec)
+        circuit = engine.compile_circuit(lineage)
+        cache.put(lineage, circuit)
+        circuits[spec] = circuit
+    cache.save(path)
+    return circuits
+
+
+@pytest.fixture(scope="module")
+def fleet_stack(tmp_path_factory):
+    """One 2-worker fleet shared by the module (start-up is the cost)."""
+    tmp_path = tmp_path_factory.mktemp("fleet")
+    registry = make_registry()
+    circuits = build_store(
+        registry, tmp_path / "store.bin", [L1, L2, L3]
+    )
+    fleet = ServingFleet(
+        registry,
+        {"main": tmp_path / "store.bin"},
+        config=FleetConfig(
+            workers=2,
+            serving=ServingConfig(
+                tenant_quota_rps={"metered": 2.0},
+                quota_burst=None,
+            ),
+        ),
+    )
+    addresses = fleet.start()
+    yield {
+        "registry": registry,
+        "circuits": circuits,
+        "fleet": fleet,
+        "addresses": addresses,
+        "tmp_path": tmp_path,
+    }
+    fleet.close()
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+class TestFleetServing:
+    def test_two_workers_bit_identical(self, fleet_stack):
+        assert len(fleet_stack["addresses"]) == 2
+        assert fleet_stack["fleet"].alive == 2
+        circuits = fleet_stack["circuits"]
+
+        async def scenario():
+            client = FleetClient(fleet_stack["addresses"])
+            try:
+                for spec in (L1, L2, L3):
+                    for overrides in (None, {"x0": 0.9}, {"x5": 0.25}):
+                        response = await client.evaluate(
+                            dnf(*spec), overrides=overrides, store="main"
+                        )
+                        assert response["strategy"] == "store"
+                        assert response["value"] == circuits[
+                            spec
+                        ].evaluate(overrides)
+                bounds = await client.bounds(dnf(*L2), store="main")
+                assert tuple(bounds["bounds"]) == circuits[
+                    L2
+                ].evaluate_bounds()
+            finally:
+                await client.close()
+
+        run(scenario())
+
+    def test_affinity_routes_repeats_onto_warm_cache(self, fleet_stack):
+        circuits = fleet_stack["circuits"]
+
+        async def scenario():
+            client = FleetClient(fleet_stack["addresses"])
+            try:
+                payload = {"lineage": "probe"}
+                assert client.worker_for(payload) == client.worker_for(
+                    payload
+                )
+                first = await client.evaluate(
+                    dnf(*L1), overrides={"x2": 0.5}, store="main"
+                )
+                second = await client.evaluate(
+                    dnf(*L1), overrides={"x2": 0.5}, store="main"
+                )
+                assert second["cached"] is True
+                expected = circuits[L1].evaluate({"x2": 0.5})
+                assert first["value"] == second["value"] == expected
+                totals = await client.aggregate_stats()
+                assert totals["response_hits"] >= 1
+            finally:
+                await client.close()
+
+        run(scenario())
+
+    def test_quota_sheds_metered_tenant_only(self, fleet_stack):
+        async def scenario():
+            client = FleetClient(fleet_stack["addresses"])
+            try:
+                rejections = 0
+                retry_after = None
+                # Burst defaults to 2x the 2 rps rate => 4 tokens; the
+                # 12-request hammer must overflow the bucket.
+                for _ in range(12):
+                    try:
+                        await client.evaluate(
+                            dnf(*L3), store="main", tenant="metered"
+                        )
+                    except ServingError as exc:
+                        assert exc.code == "quota-exceeded"
+                        assert exc.status == 429
+                        rejections += 1
+                        retry_after = exc.retry_after_seconds
+                assert rejections > 0
+                assert retry_after is not None and retry_after > 0.0
+                # Unmetered tenants on the same worker sail through.
+                for _ in range(12):
+                    response = await client.evaluate(
+                        dnf(*L3), store="main", tenant="free"
+                    )
+                    assert "value" in response
+                totals = await client.aggregate_stats()
+                assert totals["quota_rejections"] >= rejections
+            finally:
+                await client.close()
+
+        run(scenario())
+
+    def test_catalog_replicates_across_workers(self, fleet_stack):
+        tmp_path = fleet_stack["tmp_path"]
+        extra_circuits = build_store(
+            fleet_stack["registry"], tmp_path / "extra.bin", [COLD]
+        )
+
+        async def scenario():
+            client = FleetClient(fleet_stack["addresses"])
+            try:
+                results = await client.add_store(
+                    "extra", str(tmp_path / "extra.bin")
+                )
+                assert len(results) == 2
+                assert all(
+                    "extra" in result["stores"] for result in results
+                )
+                # Every worker can serve it (bypass affinity on purpose).
+                for index in range(2):
+                    response = await client.http(
+                        "POST",
+                        "/v1/evaluate",
+                        {
+                            "lineage": dnf_to_json(dnf(*COLD)),
+                            "store": "extra",
+                        },
+                        worker=index,
+                    )
+                    assert response["value"] == extra_circuits[
+                        COLD
+                    ].evaluate(None)
+                dropped = await client.drop_store("extra")
+                assert all(
+                    "extra" not in result["stores"] for result in dropped
+                )
+                with pytest.raises(ServingError) as info:
+                    await client.evaluate(dnf(*COLD), store="extra")
+                assert info.value.code == "unknown-store"
+            finally:
+                await client.close()
+
+        run(scenario())
+
+    def test_healthz_and_stats_per_worker(self, fleet_stack):
+        async def scenario():
+            client = FleetClient(fleet_stack["addresses"])
+            try:
+                health = await client.healthz()
+                assert [entry["status"] for entry in health] == [
+                    "ok",
+                    "ok",
+                ]
+                summaries = await client.stats()
+                assert len(summaries) == 2
+                for summary in summaries:
+                    assert "requests_total" in summary
+                    assert "response_hit_ratio" in summary
+            finally:
+                await client.close()
+
+        run(scenario())
+
+
+class TestFleetLifecycle:
+    def test_close_is_clean_and_idempotent(self, tmp_path):
+        registry = make_registry()
+        build_store(registry, tmp_path / "store.bin", [L1])
+        fleet = ServingFleet(
+            registry,
+            {"main": tmp_path / "store.bin"},
+            config=FleetConfig(workers=1),
+        )
+        with fleet:
+            assert fleet.alive == 1
+
+            async def scenario():
+                client = FleetClient(fleet.addresses)
+                try:
+                    response = await client.evaluate(
+                        dnf(*L1), store="main"
+                    )
+                    assert response["strategy"] == "store"
+                finally:
+                    await client.close()
+
+            run(scenario())
+        assert fleet.alive == 0
+        fleet.close()  # idempotent
+
+    def test_zero_workers_rejected(self, tmp_path):
+        registry = make_registry()
+        build_store(registry, tmp_path / "store.bin", [L1])
+        with pytest.raises(ValueError):
+            ServingFleet(
+                registry,
+                {"main": tmp_path / "store.bin"},
+                config=FleetConfig(workers=0),
+            )
+
+    def test_store_only_fleet_has_no_cold_path(self, tmp_path):
+        registry = make_registry()
+        build_store(registry, tmp_path / "store.bin", [L1])
+        fleet = ServingFleet(
+            registry,
+            {"main": tmp_path / "store.bin"},
+            config=FleetConfig(workers=1, engine=None),
+        )
+        with fleet:
+
+            async def scenario():
+                client = FleetClient(fleet.addresses)
+                try:
+                    with pytest.raises(ServingError) as info:
+                        await client.evaluate(dnf(*COLD), store="main")
+                    assert info.value.code == "unknown-circuit"
+                finally:
+                    await client.close()
+
+            run(scenario())

@@ -99,7 +99,9 @@ class TestStoreService:
         assert len(snapshot) == 3
         assert snapshot.name == "main"
         stat = os.stat(served["path"])
-        assert snapshot.version == f"{stat.st_mtime_ns}:{stat.st_size}"
+        assert snapshot.version == (
+            f"{stat.st_mtime_ns}:{stat.st_size}:{stat.st_dev}:{stat.st_ino}"
+        )
         for lineage in served["lineages"]:
             assert lineage in snapshot
             assert snapshot.get(lineage) is not None
@@ -658,3 +660,378 @@ class TestCrossProcess:
                 [variable, gradient]
                 for variable, gradient in gradients["gradients"]
             ] == want["gradients"]
+
+
+# ----------------------------------------------------------------------
+# Response cache: repeated point queries, bit-identity, invalidation
+# ----------------------------------------------------------------------
+class TestResponseCache:
+    def test_repeat_point_query_hits_bit_identical(self, served):
+        client = served["client"]
+        circuit = served["cache"].get(dnf(*L1))
+        first = run(client.evaluate(dnf(*L1), overrides={"x0": 0.9}))
+        second = run(client.evaluate(dnf(*L1), overrides={"x0": 0.9}))
+        assert "cached" not in first
+        assert second["cached"] is True
+        expected = circuit.evaluate({"x0": 0.9})
+        assert first["value"] == second["value"] == expected
+        stats = served["serving"].stats
+        assert stats.response_hits == 1
+        assert stats.response_misses == 1
+        assert stats.response_hit_ratio() == 0.5
+
+    def test_override_insertion_order_is_canonical(self, served):
+        client = served["client"]
+        first = run(
+            client.evaluate(
+                dnf(*L1), overrides={"x0": 0.9, "x2": 0.1}
+            )
+        )
+        second = run(
+            client.evaluate(
+                dnf(*L1), overrides={"x2": 0.1, "x0": 0.9}
+            )
+        )
+        assert second["cached"] is True
+        assert second["value"] == first["value"]
+
+    def test_every_deterministic_op_caches(self, served):
+        client = served["client"]
+
+        def calls():
+            return [
+                client.bounds(dnf(*L2), overrides={"x1": 0.3}),
+                client.gradients(dnf(*L3), overrides={"x5": 0.4}),
+                client.what_if(dnf(*L1), "x2", [0.0, 0.5, 1.0]),
+                client.sweep(
+                    dnf(*L2), [None, {"x1": 0.2}], kind="values"
+                ),
+                client.top_k(
+                    [dnf(*L1), dnf(*L2), dnf(*L3)],
+                    2,
+                    overrides={"x0": 0.3},
+                ),
+            ]
+
+        async def both():
+            first = await asyncio.gather(*calls())
+            second = await asyncio.gather(*calls())
+            return first, second
+
+        first, second = run(both())
+        for cold, warm in zip(first, second):
+            assert "cached" not in cold
+            assert warm.pop("cached") is True
+            assert warm == cold
+
+    def test_version_bump_invalidates(self, served):
+        client = served["client"]
+        warmed = run(client.evaluate(dnf(*L1)))
+        hit = run(client.evaluate(dnf(*L1)))
+        assert hit["cached"] is True
+        # Grow the store: new version, cached responses must not serve.
+        engine = ConfidenceEngine(served["registry"])
+        extra = dnf(*COLD)
+        served["cache"].put(extra, engine.compile_circuit(extra))
+        served["cache"].save(served["path"])
+        fresh = run(client.evaluate(dnf(*L1)))
+        assert "cached" not in fresh
+        assert fresh["store_version"] != warmed["store_version"]
+        assert fresh["value"] == warmed["value"]  # same circuit bytes
+
+    def test_engine_strategy_is_never_cached(self, served):
+        client = served["client"]
+        before = len(served["serving"].responses)
+        response = run(client.evaluate(dnf(*COLD)))
+        assert response["strategy"] == "engine"
+        assert len(served["serving"].responses) == before
+
+    def test_refining_bounds_bypass_cache(self, served):
+        client = served["client"]
+        misses_before = served["serving"].stats.response_misses
+        run(client.bounds(dnf(*L2), refine=True))
+        assert served["serving"].stats.response_misses == misses_before
+
+    def test_disabled_cache_never_hits(self, served):
+        serving = ServingEngine(
+            served["stores"],
+            None,
+            ServingConfig(response_cache_entries=0),
+        )
+        client = ServingClient(serving)
+        run(client.evaluate(dnf(*L1)))
+        repeat = run(client.evaluate(dnf(*L1)))
+        assert "cached" not in repeat
+        assert serving.stats.response_hits == 0
+        assert len(serving.responses) == 0
+
+
+# ----------------------------------------------------------------------
+# Per-tenant token-bucket quotas
+# ----------------------------------------------------------------------
+class TestQuotas:
+    def make(self, served, **kwargs):
+        serving = ServingEngine(
+            served["stores"], None, ServingConfig(**kwargs)
+        )
+        return serving, ServingClient(serving)
+
+    def test_over_rate_tenant_sheds_with_429(self, served, fake_clock):
+        serving, client = self.make(
+            served, quota_rps=1.0, quota_burst=2.0
+        )
+        circuit = served["cache"].get(dnf(*L1))
+
+        async def scenario():
+            await client.evaluate(dnf(*L1), tenant="hammer")
+            await client.evaluate(dnf(*L1), tenant="hammer")
+            with pytest.raises(ServingError) as info:
+                await client.evaluate(dnf(*L1), tenant="hammer")
+            assert info.value.code == "quota-exceeded"
+            assert info.value.status == 429
+            retry = info.value.retry_after_seconds
+            assert retry is not None and retry > 0.0
+            # An unrelated tenant is completely unaffected.
+            polite = await client.evaluate(dnf(*L1), tenant="polite")
+            assert polite["value"] == circuit.evaluate(None)
+            # Tokens accrue with (fake) time; the hammer recovers.
+            fake_clock.advance(1.0)
+            again = await client.evaluate(dnf(*L1), tenant="hammer")
+            assert again["value"] == circuit.evaluate(None)
+
+        run(scenario())
+        assert serving.stats.quota_rejections == 1
+        assert serving.stats.errors["quota-exceeded"] == 1
+        # The rejected request never counted as admitted traffic.
+        assert serving.stats.tenants["hammer"] == 3
+
+    def test_per_tenant_rate_overrides(self, served, fake_clock):
+        serving, client = self.make(
+            served,
+            quota_rps=1.0,
+            quota_burst=1.0,
+            tenant_quota_rps={"vip": None, "slow": 0.5},
+        )
+
+        async def scenario():
+            # vip is exempt from metering entirely.
+            for _ in range(5):
+                await client.evaluate(dnf(*L1), tenant="vip")
+            # slow gets its own (smaller) bucket.
+            await client.evaluate(dnf(*L1), tenant="slow")
+            with pytest.raises(ServingError) as info:
+                await client.evaluate(dnf(*L1), tenant="slow")
+            assert info.value.retry_after_seconds == pytest.approx(2.0)
+
+        run(scenario())
+        assert serving.stats.quota_rejections == 1
+
+    def test_wire_carries_retry_after_header(self, served, fake_clock):
+        serving = ServingEngine(
+            served["stores"],
+            None,
+            ServingConfig(quota_rps=0.5, quota_burst=1.0),
+        )
+        app = ServingApp(serving)
+
+        async def post(body):
+            scope = {
+                "type": "http",
+                "asgi": {"version": "3.0"},
+                "http_version": "1.1",
+                "method": "POST",
+                "scheme": "http",
+                "path": "/v1/evaluate",
+                "raw_path": b"/v1/evaluate",
+                "query_string": b"",
+                "headers": [(b"content-type", b"application/json")],
+            }
+            raw = json.dumps(body).encode()
+            sent = []
+
+            async def receive():
+                return {
+                    "type": "http.request",
+                    "body": raw,
+                    "more_body": False,
+                }
+
+            async def send(message):
+                sent.append(message)
+
+            await app(scope, receive, send)
+            start = next(
+                m for m in sent if m["type"] == "http.response.start"
+            )
+            return start["status"], dict(start["headers"])
+
+        from repro.serving.codec import dnf_to_json
+
+        body = {"lineage": dnf_to_json(dnf(*L1)), "store": "main"}
+
+        async def scenario():
+            status, headers = await post(body)
+            assert status == 200
+            assert b"retry-after" not in headers
+            status, headers = await post(body)
+            assert status == 429
+            assert int(headers[b"retry-after"]) >= 1
+
+        run(scenario())
+
+
+# ----------------------------------------------------------------------
+# Runtime store catalog (add / drop / reload / serve_directory)
+# ----------------------------------------------------------------------
+def build_store(registry, path, specs):
+    engine = ConfidenceEngine(registry)
+    cache = CircuitCache()
+    for spec in specs:
+        lineage = dnf(*spec)
+        cache.put(lineage, engine.compile_circuit(lineage))
+    cache.save(path)
+    return path
+
+
+class TestCatalog:
+    def test_add_evaluate_drop_over_the_wire(self, served, tmp_path):
+        wire = served["wire"]
+        extra = build_store(
+            served["registry"], tmp_path / "extra.bin", [COLD]
+        )
+        added = run(wire.add_store("extra", str(extra)))
+        assert added["loaded"] is True
+        assert sorted(added["stores"]) == ["extra", "main"]
+        response = run(wire.evaluate(dnf(*COLD), store="extra"))
+        assert response["strategy"] == "store"
+        dropped = run(wire.drop_store("extra"))
+        assert dropped["stores"] == ["main"]
+        with pytest.raises(ServingError) as info:
+            run(wire.evaluate(dnf(*COLD), store="extra"))
+        assert info.value.code == "unknown-store"
+
+    def test_lazy_add_loads_on_first_request(self, served, tmp_path):
+        wire = served["wire"]
+        extra = build_store(
+            served["registry"], tmp_path / "lazy.bin", [COLD]
+        )
+        added = run(wire.add_store("lazy", str(extra), lazy=True))
+        assert added["loaded"] is False
+        assert "lazy" in added["stores"]
+        response = run(wire.evaluate(dnf(*COLD), store="lazy"))
+        assert response["strategy"] == "store"
+
+    def test_reload_route_forces_fresh_snapshot(self, served):
+        wire = served["wire"]
+        before = served["stores"].reloads
+        described = run(wire.reload_store("main"))
+        assert described["name"] == "main"
+        assert described["entries"] == 3
+        assert served["stores"].reloads == before + 1
+
+    def test_serve_directory_lazy_and_rescan(self, served, tmp_path):
+        wire = served["wire"]
+        directory = tmp_path / "shard"
+        directory.mkdir()
+        build_store(served["registry"], directory / "alpha.rcir", [L1])
+        build_store(served["registry"], directory / "beta.rcir", [L2])
+        result = run(wire.serve_directory(str(directory)))
+        assert sorted(result["added"]) == ["alpha", "beta"]
+        response = run(wire.evaluate(dnf(*L1), store="alpha"))
+        assert response["strategy"] == "store"
+        # A file dropped in *after* registration is found on miss.
+        build_store(served["registry"], directory / "gamma.rcir", [L3])
+        late = run(wire.evaluate(dnf(*L3), store="gamma"))
+        assert late["strategy"] == "store"
+
+    def test_catalog_requests_are_validated(self, served):
+        wire = served["wire"]
+        with pytest.raises(ServingError) as info:
+            run(wire.http("POST", "/v1/stores/add", {"name": "x"}))
+        assert info.value.code == "bad-request"
+        with pytest.raises(ServingError) as info:
+            run(wire.http("POST", "/v1/stores/frobnicate", {}))
+        assert info.value.status == 404
+
+    def test_same_size_atomic_replace_still_reloads(
+        self, served, tmp_path
+    ):
+        """The inode component catches an atomic same-size replace.
+
+        ``os.replace`` of an equal-length store within one mtime tick
+        leaves ``mtime_ns:size`` unchanged — the old two-part version
+        key would serve the stale snapshot forever.
+        """
+        stores = served["stores"]
+        before = stores.snapshot("main")
+        path = served["path"]
+        stat = os.stat(path)
+        clone = tmp_path / "clone.bin"
+        clone.write_bytes(path.read_bytes())
+        os.utime(clone, ns=(stat.st_atime_ns, stat.st_mtime_ns))
+        os.replace(clone, path)
+        after_stat = os.stat(path)
+        # The replace is invisible to the old key...
+        assert (after_stat.st_mtime_ns, after_stat.st_size) == (
+            stat.st_mtime_ns,
+            stat.st_size,
+        )
+        # ...but not to the inode-qualified one.
+        reload_count = stores.reloads
+        after = stores.snapshot("main")
+        assert after.version != before.version
+        assert stores.reloads == reload_count + 1
+        assert len(after) == len(before)
+
+
+# ----------------------------------------------------------------------
+# Deadline vs. micro-batch interaction
+# ----------------------------------------------------------------------
+class TestDeadlineMicrobatch:
+    def test_expired_row_fails_alone_batch_survives(
+        self, served, fake_clock
+    ):
+        """A row whose deadline expires while queued in the batcher
+        must 504 by itself — its batch-mates still get exact values."""
+        serving = ServingEngine(
+            served["stores"],
+            None,
+            # Window far beyond the test's lifetime: only the
+            # max_batch=2 fill can flush, so the doomed row provably
+            # sits queued while the clock jumps past its deadline.
+            ServingConfig(batch_window_seconds=60.0, max_batch=2),
+        )
+        client = ServingClient(serving)
+        circuit = served["cache"].get(dnf(*L1))
+
+        async def scenario():
+            doomed = asyncio.ensure_future(
+                client.evaluate(
+                    dnf(*L1),
+                    overrides={"x0": 0.3},
+                    deadline_seconds=0.05,
+                )
+            )
+            # Let the doomed request run until its row is enqueued.
+            while (
+                serving._batcher is None
+                or not serving._batcher.buckets
+            ):
+                await asyncio.sleep(0)
+            assert not doomed.done()
+            fake_clock.advance(1.0)  # deadline long gone, row queued
+            healthy = await client.evaluate(
+                dnf(*L1), overrides={"x0": 0.7}
+            )
+            with pytest.raises(ServingError) as info:
+                await doomed
+            assert info.value.code == "deadline-exceeded"
+            return healthy
+
+        healthy = run(scenario())
+        # The shared flush computed both rows; the survivor's value is
+        # bit-identical to the scalar reference.
+        assert healthy["value"] == circuit.evaluate({"x0": 0.7})
+        assert serving.stats.batches == 1
+        assert serving.stats.batched_rows == 2
+        assert serving.stats.errors["deadline-exceeded"] == 1
