@@ -1,0 +1,279 @@
+"""Incremental recompilation vs from-scratch rebuild under mutations.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_incremental_updates.py
+    UPDATES_BENCH_SMOKE=1 PYTHONPATH=src python benchmarks/bench_incremental_updates.py
+
+The workload the mutation subsystem exists for: the Fig. 7 hard TPC-H
+batch (B2, B9, B20, B21) served from a warm session while the underlying
+tuples mutate — probability re-weighting through the DML API
+(``session.update(..., probability=...)``).  Each mutation runs the
+cone-level invalidation pass of :mod:`repro.circuits.incremental`:
+only circuits and decomposition cones whose variable sets touch the
+changed tuples are evicted.
+
+Each round is one mutation followed by one full batch re-query — the
+read-your-writes serving pattern:
+
+* applies one random probability-only update via the DML API (timed —
+  the mutation throughput number);
+* **incremental** — re-answers the whole batch on the warm session:
+  untouched answers are O(|circuit|) sweeps, touched answers recompute
+  against the surviving memo cones (per-answer latencies recorded for
+  the p50/p99 numbers);
+* **full** — rebuilds from scratch: a fresh registry at the current
+  probabilities, a fresh engine and cache, full decomposition for
+  every answer (what a system without cone-level invalidation must do
+  — any mutation invalidates everything);
+* asserts the two agree to 1e-9 (both are exact), and times both.
+
+Results are written to ``BENCH_updates.json`` at the repo root.  The
+acceptance bar — ``speedup_incremental_vs_full >= 5×`` — is asserted
+unless ``UPDATES_BENCH_NO_ASSERT=1``.
+
+Smoke mode (``UPDATES_BENCH_SMOKE=1``, used by CI): smallest scale,
+six mutations.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import sys
+import time
+
+from repro import ConfidenceEngine, EngineConfig
+from repro.core.formulas import AtomNode
+from repro.core.variables import VariableRegistry
+from repro.datasets.tpch import TPCHConfig, generate_tpch
+from repro.datasets.tpch_queries import HARD_QUERIES, make_query
+from repro.db.engine import answer_selector, evaluate_to_dnf
+from repro.db.session import ProbDB
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+OUTPUT = os.environ.get(
+    "UPDATES_BENCH_OUTPUT", os.path.join(REPO_ROOT, "BENCH_updates.json")
+)
+
+SMOKE = os.environ.get("UPDATES_BENCH_SMOKE") == "1"
+ASSERT_SPEEDUP = os.environ.get("UPDATES_BENCH_NO_ASSERT") != "1"
+SCALE = 0.05 if SMOKE else 0.1
+#: One mutation + one batch re-query per round.
+ROUNDS = 6 if SMOKE else 24
+SPEEDUP_TARGET = 5.0
+
+
+def build_session():
+    database = generate_tpch(
+        TPCHConfig(
+            scale_factor=SCALE, probability_range=(0.0, 1.0), seed=1
+        )
+    )
+    selector = answer_selector(database)
+    config = EngineConfig(
+        choose_variable=selector, mc_fallback=False, compile_circuits=True
+    )
+    session = ProbDB(database, config)
+    batch = []
+    for query_name in HARD_QUERIES:
+        for values, dnf in evaluate_to_dnf(
+            make_query(query_name), database
+        ):
+            batch.append((f"{query_name}{values!r}", dnf))
+    return session, batch
+
+
+def mutation_pool(session):
+    """Every ``(table, where-triples, variable)`` a probability update
+    can target: tuple-independent rows, matched exactly by value."""
+    pool = []
+    for table in session.database.relation_names():
+        relation = session.database[table]
+        for values, lineage in relation.rows:
+            if isinstance(lineage, AtomNode) and lineage.atom.value is True:
+                where = [
+                    (attribute, "=", literal)
+                    for attribute, literal in zip(
+                        relation.attributes, values
+                    )
+                ]
+                pool.append((table, where, lineage.atom.variable))
+    return pool
+
+
+def percentile(sorted_values, fraction):
+    if not sorted_values:
+        return None
+    index = min(
+        len(sorted_values) - 1, int(fraction * (len(sorted_values) - 1))
+    )
+    return sorted_values[index]
+
+
+def main() -> int:
+    session, batch = build_session()
+    registry = session.registry
+    dnfs = [dnf for _label, dnf in batch]
+    cold_config = EngineConfig(
+        choose_variable=session.config.choose_variable, mc_fallback=False
+    )
+
+    # Warm the session once: compile + cache every answer's circuit.
+    started = time.perf_counter()
+    warm_pairs = session.lineage(
+        [((label,), dnf) for label, dnf in batch]
+    ).confidences()
+    warmup_seconds = time.perf_counter() - started
+    assert all(result.converged for _v, result in warm_pairs)
+
+    pool = mutation_pool(session)
+    rng = random.Random(2024)
+    per_round = []
+    mutation_seconds_total = 0.0
+    incremental_seconds_total = 0.0
+    full_seconds_total = 0.0
+    mutations_total = 0
+    requery_latencies = []
+
+    for round_index in range(ROUNDS):
+        # --- mutate: one probability-only update through the DML API -
+        table, where, variable = rng.choice(pool)
+        base = registry.probability(variable, True)
+        shifted = min(0.99, max(0.01, base * rng.uniform(0.5, 1.5)))
+        started = time.perf_counter()
+        result = session.update(table, probability=shifted, where=where)
+        mutation_elapsed = time.perf_counter() - started
+        evicted_circuits = result.invalidation.circuits_evicted
+        mutation_seconds_total += mutation_elapsed
+        mutations_total += 1
+
+        # --- incremental: re-answer the batch on the warm session ----
+        started = time.perf_counter()
+        incremental_values = []
+        warm_hits = 0
+        for dnf in dnfs:
+            answer_started = time.perf_counter()
+            result = session.confidence(dnf)
+            requery_latencies.append(
+                time.perf_counter() - answer_started
+            )
+            if result.strategy == "circuit":
+                warm_hits += 1
+            incremental_values.append(result.probability)
+        incremental = time.perf_counter() - started
+        incremental_seconds_total += incremental
+
+        # --- full: from-scratch rebuild at the current probabilities -
+        started = time.perf_counter()
+        fresh = VariableRegistry()
+        for name in registry.variables():
+            if registry.is_boolean(name):
+                fresh.add_boolean(name, registry.probability(name, True))
+            else:  # pragma: no cover - TPC-H tuples are Boolean
+                fresh.add_variable(name, registry.distribution(name))
+        cold_engine = ConfidenceEngine(fresh, cold_config)
+        full_results = cold_engine.compute_many(dnfs)
+        full = time.perf_counter() - started
+        full_seconds_total += full
+
+        for (label, _dnf), incremental_value, full_result in zip(
+            batch, incremental_values, full_results
+        ):
+            drift = abs(incremental_value - full_result.probability)
+            assert drift <= 1e-9, (
+                f"incremental/full disagreement on {label} round "
+                f"{round_index}: {incremental_value!r} vs "
+                f"{full_result.probability!r}"
+            )
+        per_round.append(
+            {
+                "round": round_index,
+                "mutated_table": table,
+                "circuits_evicted": evicted_circuits,
+                "warm_circuit_answers": warm_hits,
+                "answers": len(dnfs),
+                "mutation_seconds": round(mutation_elapsed, 6),
+                "incremental_requery_seconds": round(incremental, 6),
+                "full_rebuild_seconds": round(full, 6),
+                "speedup": (
+                    round(full / incremental, 1) if incremental > 0 else None
+                ),
+            }
+        )
+        print(
+            f"round {round_index}: update {table} "
+            f"({evicted_circuits} circuits evicted), incremental "
+            f"{incremental:.3f}s ({warm_hits}/{len(dnfs)} warm), full "
+            f"{full:.3f}s, speedup {full / incremental:,.1f}x"
+        )
+
+    speedup = (
+        full_seconds_total / incremental_seconds_total
+        if incremental_seconds_total > 0
+        else float("inf")
+    )
+    requery_latencies.sort()
+    p50 = percentile(requery_latencies, 0.50)
+    p99 = percentile(requery_latencies, 0.99)
+    throughput = (
+        mutations_total / mutation_seconds_total
+        if mutation_seconds_total > 0
+        else float("inf")
+    )
+    report = {
+        "experiment": (
+            "Incremental recompilation under DML mutations on the "
+            "Fig. 7 hard batch (benchmarks/bench_incremental_updates.py)"
+        ),
+        "workload": (
+            f"{','.join(HARD_QUERIES)} sf={SCALE}: {len(batch)} answer "
+            f"lineages re-queried after each of {ROUNDS} probability-"
+            "only DML updates (uniform over tuple-independent rows); "
+            "exact (epsilon=0) on both paths"
+        ),
+        "environment": {
+            "python": sys.version.split()[0],
+            "cpu_count": os.cpu_count(),
+            "smoke": SMOKE,
+        },
+        "warmup_seconds": round(warmup_seconds, 6),
+        "mutation_pool_size": len(pool),
+        "rounds": per_round,
+        "totals": {
+            "mutations": mutations_total,
+            "mutation_seconds": round(mutation_seconds_total, 6),
+            "mutation_throughput_per_s": round(throughput, 1),
+            "incremental_requery_seconds": round(
+                incremental_seconds_total, 6
+            ),
+            "full_rebuild_seconds": round(full_seconds_total, 6),
+            "speedup_incremental_vs_full": round(speedup, 1),
+            "requery_p50_ms": round(p50 * 1000, 3),
+            "requery_p99_ms": round(p99 * 1000, 3),
+        },
+        "differential": (
+            "incremental re-query agreed with the from-scratch rebuild "
+            "to 1e-9 on every answer and round"
+        ),
+    }
+    with open(OUTPUT, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(
+        f"\ntotals: speedup {speedup:,.1f}x, {throughput:,.0f} "
+        f"mutations/s, re-query p50 {p50 * 1000:.2f} ms / p99 "
+        f"{p99 * 1000:.2f} ms -> {OUTPUT}"
+    )
+    session.close()
+    if ASSERT_SPEEDUP:
+        assert speedup >= SPEEDUP_TARGET, (
+            f"incremental re-query speedup {speedup:.1f}x below the "
+            f"{SPEEDUP_TARGET:.0f}x acceptance bar"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -25,6 +25,10 @@ measures inside a single run:
   the per-world scalar sweep.  Baseline ≈ 30×; checked only when numpy
   is importable — without it the bench has nothing to race, and the
   gate prints a skip notice instead.
+* ``speedup_incremental_vs_full`` (updates): incremental re-query after
+  a DML mutation (cone-level eviction, warm remainder) vs a full
+  from-scratch rebuild.  Baseline from the recorded full run; the gate
+  fails if a smoke run cannot reach ``max(2, baseline / SLACK)``.
 * ``response_hit_ratio`` (fleet): the share of the repetition-heavy
   socket workload answered from worker response caches.  The ratio is
   fixed by the workload's repeat structure, not the hardware, so the
@@ -60,6 +64,8 @@ SLACK = 15.0
 CIRCUIT_SPEEDUP_FLOOR = 2.0
 #: Likewise for the vectorized sweep vs the scalar per-world loop.
 SWEEP_SPEEDUP_FLOOR = 2.0
+#: And for incremental re-query vs from-scratch rebuild after DML.
+UPDATES_SPEEDUP_FLOOR = 2.0
 
 
 class RegressionError(AssertionError):
@@ -203,6 +209,43 @@ def check_sweep_speedup(failures: list) -> None:
         )
 
 
+def check_updates(failures: list) -> None:
+    baseline = load_baseline("BENCH_updates.json")
+    baseline_speedup = baseline["totals"]["speedup_incremental_vs_full"]
+    threshold = max(UPDATES_SPEEDUP_FLOOR, baseline_speedup / SLACK)
+
+    with tempfile.TemporaryDirectory() as temp_dir:
+        output = os.path.join(temp_dir, "updates_smoke.json")
+        run_bench(
+            "bench_incremental_updates.py",
+            {
+                "UPDATES_BENCH_SMOKE": "1",
+                "UPDATES_BENCH_OUTPUT": output,
+                # The gate applies its own threshold below.
+                "UPDATES_BENCH_NO_ASSERT": "1",
+            },
+        )
+        with open(output) as handle:
+            smoke = json.load(handle)
+    totals = smoke["totals"]
+    smoke_speedup = totals["speedup_incremental_vs_full"]
+    verdict = "ok" if smoke_speedup >= threshold else "FAIL"
+    print(
+        f"[updates] incremental-vs-full speedup: smoke "
+        f"{smoke_speedup:.1f}x ({totals['mutation_throughput_per_s']:.0f} "
+        f"mutations/s, re-query p50 {totals['requery_p50_ms']:.2f} ms / "
+        f"p99 {totals['requery_p99_ms']:.2f} ms), baseline "
+        f"{baseline_speedup:.1f}x, threshold >= {threshold:.1f}x "
+        f"... {verdict}"
+    )
+    if smoke_speedup < threshold:
+        failures.append(
+            f"incremental re-query speedup collapsed: "
+            f"{smoke_speedup:.1f}x < {threshold:.1f}x (baseline "
+            f"{baseline_speedup:.1f}x / slack {SLACK:g})"
+        )
+
+
 def check_serving_overhead(failures: list) -> None:
     baseline = load_baseline("BENCH_serving.json")
     baseline_overhead = baseline["totals"]["overhead_ratio"]
@@ -318,6 +361,7 @@ def main() -> int:
     check_circuit_speedup(failures)
     check_session_ratio(failures)
     check_sweep_speedup(failures)
+    check_updates(failures)
     check_serving_overhead(failures)
     check_fleet(failures)
     if failures:

@@ -25,6 +25,10 @@ number and throws it away.  This package keeps it:
   and circuit-native Monte-Carlo world sampling), with a bit-identical
   scalar fallback when numpy — the optional ``repro[fast]`` extra — is
   not installed;
+* :mod:`repro.circuits.incremental` is the cone-level invalidation pass
+  behind the mutation subsystem (:mod:`repro.db.mutations`): a tuple
+  change evicts only the circuits and decomposition cones whose
+  variable sets intersect it, so every disjoint query stays warm;
 * :mod:`repro.circuits.serialize` is the versioned binary codec that
   makes circuits durable and shippable: ``CircuitCache.save/load``
   persist a session's compiled circuits across restarts (by
@@ -49,6 +53,11 @@ from .compiler import (
     CircuitCompilationStats,
     compile_circuit,
     expand_residuals,
+)
+from .incremental import (
+    InvalidationReport,
+    invalidate_variables,
+    variable_ids_of,
 )
 from .kernels import (
     CircuitKernel,
@@ -84,6 +93,9 @@ __all__ = [
     "CircuitSampler",
     "CircuitStoreError",
     "CompiledResult",
+    "InvalidationReport",
+    "invalidate_variables",
+    "variable_ids_of",
     "KernelUnavailableError",
     "SweepResult",
     "circuit_kernel",

@@ -92,6 +92,44 @@ class CircuitCache:
             self.entries = {}
             self._version += 1
 
+    def evict_intersecting(self, variable_ids) -> int:
+        """Drop circuits whose lineage mentions any touched variable.
+
+        Mutation-driven surgical eviction: disjoint entries survive and
+        keep answering warm.  The surviving set is built as a fresh dict
+        and swapped wholesale so live snapshots are never torn.  The
+        version bumps only when something was actually removed — a
+        no-op mutation must not invalidate serving snapshots.  Returns
+        the number of circuits evicted.
+        """
+        touched = frozenset(variable_ids)
+        if not touched:
+            return 0
+        with self._lock:
+            survivors = {
+                lineage: circuit
+                for lineage, circuit in self.entries.items()
+                if touched.isdisjoint(lineage.variable_ids)
+            }
+            removed = len(self.entries) - len(survivors)
+            if removed:
+                self.entries = survivors
+                self._version += 1
+        return removed
+
+    def touch(self) -> int:
+        """Bump the version without changing content; returns it.
+
+        Commit marker for the mutation subsystem: tuple probabilities
+        live in the registry (circuit atom leaves read them at eval
+        time), so a probability-only commit changes answers without
+        changing any cached circuit.  Touching forces serving snapshots
+        and response caches keyed on ``version`` to refresh.
+        """
+        with self._lock:
+            self._version += 1
+            return self._version
+
     @property
     def version(self) -> int:
         """Mutation counter (monotone; equal versions ⇒ equal content)."""

@@ -1,0 +1,109 @@
+"""Cone-level incremental recompilation for mutating databases.
+
+A tuple mutation (insert / delete / probability update) changes a small
+set of random variables.  Everything the session has memoised — compiled
+circuits in the :class:`~repro.circuits.cache.CircuitCache`, decomposition
+cones in the :class:`~repro.core.memo.DecompositionCache` — is keyed by
+DNFs that carry their interned variable-id sets, which *is* the
+dependency structure: an entry is affected by a mutation iff its
+variable set intersects the touched variables.
+
+:func:`invalidate_variables` is that one surgical pass.  It is sound for
+the memo because decomposition children only ever mention subsets of
+their parent's variables (Shannon restriction, component splitting and
+factoring never introduce variables), so a disjoint cone's entire
+subtree is disjoint too — and it stays warm.  The mutation subsystem
+(:mod:`repro.db.mutations`) calls this once per mutation with the union
+of touched variable ids; untouched queries then re-answer with strategy
+``"circuit"`` and zero cold decomposition steps, which the test suite
+asserts via cache stats.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Hashable, Iterable, Optional
+
+from ..core.memo import DecompositionCache
+from ..core.variables import lookup_variable
+from .cache import CircuitCache
+
+__all__ = [
+    "InvalidationReport",
+    "invalidate_variables",
+    "variable_ids_of",
+]
+
+
+class InvalidationReport:
+    """What one incremental-invalidation pass evicted.
+
+    ``variable_ids`` is the touched set the pass ran with;
+    ``circuits_evicted`` / ``memo_evicted`` count removed cache entries.
+    Reports from the mutations in one transaction add up with ``+``.
+    """
+
+    __slots__ = ("variable_ids", "circuits_evicted", "memo_evicted")
+
+    def __init__(
+        self,
+        variable_ids: FrozenSet[int],
+        circuits_evicted: int = 0,
+        memo_evicted: int = 0,
+    ) -> None:
+        self.variable_ids = frozenset(variable_ids)
+        self.circuits_evicted = circuits_evicted
+        self.memo_evicted = memo_evicted
+
+    def __add__(self, other: "InvalidationReport") -> "InvalidationReport":
+        if not isinstance(other, InvalidationReport):
+            return NotImplemented
+        return InvalidationReport(
+            self.variable_ids | other.variable_ids,
+            self.circuits_evicted + other.circuits_evicted,
+            self.memo_evicted + other.memo_evicted,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"InvalidationReport({len(self.variable_ids)} variables, "
+            f"circuits={self.circuits_evicted}, memo={self.memo_evicted})"
+        )
+
+
+def variable_ids_of(names: Iterable[Hashable]) -> FrozenSet[int]:
+    """Interned ids of the given variable names.
+
+    Names never interned cannot occur in any cached DNF (caches key on
+    interned formulas), so they are skipped rather than interned — a
+    pure-insert mutation of brand-new variables correctly touches
+    nothing that exists yet.
+    """
+    ids = set()
+    for name in names:
+        var_id = lookup_variable(name)
+        if var_id is not None:
+            ids.add(var_id)
+    return frozenset(ids)
+
+
+def invalidate_variables(
+    variable_ids: Iterable[int],
+    *,
+    circuits: Optional[CircuitCache] = None,
+    memo: Optional[DecompositionCache] = None,
+) -> InvalidationReport:
+    """Evict every cached cone whose variable set touches ``variable_ids``.
+
+    Pass the session's circuit cache and/or the engine's decomposition
+    memo; either may be ``None``.  Disjoint entries are left untouched
+    and keep answering warm.  Returns an :class:`InvalidationReport`.
+    """
+    touched = frozenset(variable_ids)
+    circuits_evicted = 0
+    memo_evicted = 0
+    if touched:
+        if circuits is not None:
+            circuits_evicted = circuits.evict_intersecting(touched)
+        if memo is not None:
+            memo_evicted = memo.evict_intersecting(touched)
+    return InvalidationReport(touched, circuits_evicted, memo_evicted)

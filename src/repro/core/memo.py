@@ -126,6 +126,46 @@ class DecompositionCache:
         if len(self) > self.max_entries:
             self._reset()
 
+    def evict_intersecting(self, variable_ids) -> int:
+        """Drop every memo entry whose DNF mentions a touched variable.
+
+        The surgical half of incremental recompilation (the other half
+        is :meth:`repro.circuits.cache.CircuitCache.evict_intersecting`):
+        a mutation hands in the interned variable ids it touched, and
+        only cones whose variable sets intersect them are evicted.
+        Decomposition children always use a *subset* of their parent's
+        variables, so a disjoint parent cone — and therefore its whole
+        subtree — stays warm and sound.  All six sections are evicted,
+        not just the numeric ``bounds``/``exact`` ones: pivot selection
+        and bucket ordering may consult probabilities, so a stale
+        ``branches``/``reduced`` entry could disagree with what a fresh
+        decomposition would produce.
+
+        Deletion is in place (callers hold direct references to the
+        section dicts).  Returns the number of entries removed.
+        """
+        touched = frozenset(variable_ids)
+        if not touched:
+            return 0
+        removed = 0
+        for section in (
+            self.reduced,
+            self.components,
+            self.factors,
+            self.branches,
+            self.bounds,
+            self.exact,
+        ):
+            stale = [
+                dnf
+                for dnf in section
+                if not touched.isdisjoint(dnf.variable_ids)
+            ]
+            for dnf in stale:
+                del section[dnf]
+            removed += len(stale)
+        return removed
+
     def stats(self) -> Dict[str, int]:
         return {"hits": self.hits, "misses": self.misses,
                 "entries": len(self)}

@@ -294,19 +294,30 @@ class VariableRegistry:
                 raise ValueError(f"variable {name!r} already registered")
             return name
         self._distributions[name] = normalised
-        probs = self._atom_probs
         for value, prob in normalised.items():
             atom_id, _var_id = intern_atom(name, value)
-            if not probs and not self._atom_overflow:
-                self._atom_base = atom_id
-            index = atom_id - self._atom_base
-            if index < 0 or index >= len(probs) + _WINDOW_GROWTH_LIMIT:
-                self._atom_overflow[atom_id] = prob
-            else:
-                if index >= len(probs):
-                    probs.extend([None] * (index + 1 - len(probs)))
-                probs[index] = prob
+            self._store_atom_prob(atom_id, prob)
         return name
+
+    def _store_atom_prob(self, atom_id: int, prob: float) -> None:
+        """Write one atom's probability into the array window (or the
+        overflow dict when it lands outside the growth limit)."""
+        probs = self._atom_probs
+        if not probs and not self._atom_overflow:
+            self._atom_base = atom_id
+        index = atom_id - self._atom_base
+        if index < 0 or index >= len(probs) + _WINDOW_GROWTH_LIMIT:
+            self._atom_overflow[atom_id] = prob
+        else:
+            if index >= len(probs):
+                probs.extend([None] * (index + 1 - len(probs)))
+            probs[index] = prob
+
+    def _clear_atom_prob(self, atom_id: int) -> None:
+        index = atom_id - self._atom_base
+        if 0 <= index < len(self._atom_probs):
+            self._atom_probs[index] = None
+        self._atom_overflow.pop(atom_id, None)
 
     def add_boolean(self, name: Hashable, probability_true: float) -> Hashable:
         """Register a Boolean variable with ``P(name = True)`` given."""
@@ -325,6 +336,78 @@ class VariableRegistry:
         """Bulk-register Boolean variables from ``(name, P(True))`` pairs."""
         for name, prob in names_and_probabilities:
             self.add_boolean(name, prob)
+
+    # ------------------------------------------------------------------
+    # Mutation (DML support)
+    # ------------------------------------------------------------------
+    def set_distribution(
+        self, name: Hashable, distribution: Mapping[Hashable, float]
+    ) -> Dict[Hashable, float]:
+        """Replace the distribution of an existing variable.
+
+        Validates exactly like :meth:`add_variable` and returns the
+        *previous* ``value -> probability`` map so a transaction can
+        undo the change.  Atom-probability slots for domain values the
+        new distribution drops are cleared (lookups then fall back to
+        the authoritative distribution dict, which raises with precise
+        diagnostics).
+        """
+        old = dict(self._distribution_of(name))
+        if not distribution:
+            raise ValueError(f"variable {name!r} needs a non-empty domain")
+        for value, prob in distribution.items():
+            if not (0.0 < prob <= 1.0):
+                raise ValueError(
+                    f"P({name!r} = {value!r}) = {prob} is outside (0, 1]"
+                )
+        total = math.fsum(distribution.values())
+        if abs(total - 1.0) > _SUM_TOLERANCE:
+            raise ValueError(
+                f"distribution of {name!r} sums to {total}, expected 1.0"
+            )
+        normalised = {
+            value: prob / total for value, prob in distribution.items()
+        }
+        for value in old:
+            if value not in normalised:
+                atom_id, _var_id = lookup_atom(name, value)
+                if atom_id is not None:
+                    self._clear_atom_prob(atom_id)
+        self._distributions[name] = normalised
+        for value, prob in normalised.items():
+            atom_id, _var_id = intern_atom(name, value)
+            self._store_atom_prob(atom_id, prob)
+        return old
+
+    def set_boolean(
+        self, name: Hashable, probability_true: float
+    ) -> Dict[Hashable, float]:
+        """Replace ``P(name = True)``; returns the previous distribution."""
+        if not (0.0 < probability_true < 1.0):
+            raise ValueError(
+                f"P({name!r}) = {probability_true} must be strictly in "
+                "(0, 1) for a Boolean variable"
+            )
+        return self.set_distribution(
+            name, {True: probability_true, False: 1.0 - probability_true}
+        )
+
+    def remove_variable(self, name: Hashable) -> Dict[Hashable, float]:
+        """Unregister ``name``; returns its distribution for undo.
+
+        Only the registry entry is removed — interned ids are process
+        lifetime by design.  Formulas still holding the variable will
+        raise on evaluation, which is exactly the signal a dangling
+        lineage reference should produce.
+        """
+        old = self._distributions.pop(name, None)
+        if old is None:
+            raise KeyError(f"unknown random variable {name!r}")
+        for value in old:
+            atom_id, _var_id = lookup_atom(name, value)
+            if atom_id is not None:
+                self._clear_atom_prob(atom_id)
+        return dict(old)
 
     # ------------------------------------------------------------------
     # Lookup

@@ -37,10 +37,20 @@ from .cq import (
 from .database import Database
 from .engine import QueryAnswer, answer_selector, evaluate, evaluate_to_dnf
 from .explain import InfluenceReport, QueryExplanation, explain, rank_influence
+from .mutations import MutationError, MutationResult, Transaction
 from .relation import Relation
 from .session import BoundsSnapshot, ProbDB, QueryResult
 from .sprout import UnsafeQueryError, sprout_confidence
-from .sql import SqlSyntaxError, parse_conf_query, run_conf_query
+from .sql import (
+    DeleteStatement,
+    InsertStatement,
+    SqlSyntaxError,
+    TransactionStatement,
+    UpdateStatement,
+    parse_conf_query,
+    parse_statement,
+    run_conf_query,
+)
 from .topk import RankedAnswer, rank_answers, top_k_answers
 
 __all__ = [
@@ -72,7 +82,15 @@ __all__ = [
     "sprout_confidence",
     "SqlSyntaxError",
     "parse_conf_query",
+    "parse_statement",
     "run_conf_query",
+    "MutationError",
+    "MutationResult",
+    "Transaction",
+    "InsertStatement",
+    "UpdateStatement",
+    "DeleteStatement",
+    "TransactionStatement",
     "InfluenceReport",
     "QueryExplanation",
     "explain",

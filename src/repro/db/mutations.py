@@ -1,0 +1,547 @@
+"""Probabilistic DML: insert / update / delete with transactions.
+
+The paper's machinery assumes a frozen tuple-independent database; this
+module makes the database *live*.  Each mutation
+
+1. edits the relation (and the registry, for probability changes),
+2. computes the set of touched random variables, and
+3. runs one surgical :func:`~repro.circuits.incremental.invalidate_variables`
+   pass — only circuits and decomposition cones whose variable sets
+   intersect the change are evicted; every disjoint query stays warm.
+
+Mutations run either *autocommit* (each one immediately bumps the
+session circuit-cache version, so serving snapshots refresh) or inside a
+:class:`Transaction` (``db.transaction()``), which defers the version
+bump to commit and can roll everything back: relation contents, minted
+variables, and replaced distributions.  Interned ids are process-wide
+and append-only by design, so rollback never un-interns — it only
+restores registry/relation state, which is all correctness needs.
+
+Semantics per row shape
+-----------------------
+* **insert** with ``0 < p < 1`` mints a fresh Boolean lineage variable
+  ``(table, index)`` exactly like
+  :meth:`~repro.db.relation.Relation.tuple_independent`; ``p`` omitted
+  or ``>= 1`` inserts a certain row (lineage ``⊤``); ``p <= 0`` is an
+  error (a tuple with no mass is a non-insert — use ``delete``).
+* **update** of values rewrites the tuple, keeping its lineage.
+* **update** of probability: a certain row with ``p < 1`` mints a fresh
+  variable; a tuple-independent row re-registers its variable at the
+  new probability (``set_boolean``); raising to ``p >= 1`` promotes the
+  row to certain (the old variable stays registered — lineage of other
+  relations may share it via renaming); rows with complex (c-table)
+  lineage refuse probability updates.
+* **delete** removes matching rows.  Their lineage variables stay
+  registered: renamed relations share row lists, and a dangling
+  registration is harmless (confidence depends only on variables that
+  occur in lineage).
+
+Probability updates additionally retire the engine's worker pools:
+per-worker decomposition caches memoise numeric results keyed only by
+intern version, which does not move on a probability change.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from ..circuits.incremental import (
+    InvalidationReport,
+    invalidate_variables,
+    variable_ids_of,
+)
+from ..core.events import Atom
+from ..core.formulas import TRUE, AtomNode, Formula, TrueNode
+from .relation import Relation, Row
+
+__all__ = [
+    "MutationError",
+    "MutationResult",
+    "Transaction",
+    "apply_insert",
+    "apply_update",
+    "apply_delete",
+]
+
+#: A ``WHERE`` specification: ``None`` (all rows), a ``column -> value``
+#: equality map, a predicate over the row's ``attribute -> value`` dict,
+#: or a sequence of ``(column, operator, literal)`` triples (AND-ed).
+WhereSpec = Union[
+    None,
+    Mapping[str, Hashable],
+    Callable[[Mapping[str, Hashable]], bool],
+    Sequence[Tuple[str, str, Hashable]],
+]
+
+_OPERATORS: Dict[str, Callable[[object, object], bool]] = {
+    "=": lambda a, b: a == b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<>": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+class MutationError(ValueError):
+    """A mutation that cannot be applied (bad table, shape, or mass)."""
+
+
+class MutationResult:
+    """What one mutation did.
+
+    Attributes
+    ----------
+    op:
+        ``"insert"`` / ``"update"`` / ``"delete"``.
+    table:
+        The mutated relation's name.
+    rows_affected:
+        Rows inserted, rewritten, or removed.
+    touched_variables:
+        Names of every random variable the mutation touched (minted,
+        re-registered, promoted, or occurring in deleted lineage).
+    invalidation:
+        The :class:`~repro.circuits.incremental.InvalidationReport` of
+        the surgical eviction pass this mutation ran.
+    """
+
+    __slots__ = (
+        "op", "table", "rows_affected", "touched_variables", "invalidation",
+    )
+
+    def __init__(
+        self,
+        op: str,
+        table: str,
+        rows_affected: int,
+        touched_variables: FrozenSet[Hashable],
+        invalidation: InvalidationReport,
+    ) -> None:
+        self.op = op
+        self.table = table
+        self.rows_affected = rows_affected
+        self.touched_variables = touched_variables
+        self.invalidation = invalidation
+
+    def __repr__(self) -> str:
+        return (
+            f"MutationResult({self.op} {self.table!r}, "
+            f"rows={self.rows_affected}, "
+            f"vars={len(self.touched_variables)}, "
+            f"evicted={self.invalidation.circuits_evicted}c/"
+            f"{self.invalidation.memo_evicted}m)"
+        )
+
+
+# ----------------------------------------------------------------------
+# WHERE compilation
+# ----------------------------------------------------------------------
+def _compile_where(
+    relation: Relation, where: WhereSpec
+) -> Callable[[Row], bool]:
+    """Lower a ``WHERE`` spec to a predicate over raw value tuples."""
+    if where is None:
+        return lambda values: True
+    attributes = relation.attributes
+    if callable(where):
+        def row_dict_pred(values: Row) -> bool:
+            return bool(where(dict(zip(attributes, values))))
+        return row_dict_pred
+    if isinstance(where, Mapping):
+        conditions = [(column, "=", literal) for column, literal in where.items()]
+    else:
+        conditions = [tuple(entry) for entry in where]  # type: ignore[misc]
+    compiled: List[Tuple[int, Callable[[object, object], bool], Hashable]] = []
+    for column, operator, literal in conditions:
+        op = _OPERATORS.get(operator)
+        if op is None:
+            raise MutationError(
+                f"unsupported WHERE operator {operator!r}"
+            )
+        compiled.append((relation.attribute_index(column), op, literal))
+
+    def pred(values: Row) -> bool:
+        return all(op(values[index], literal) for index, op, literal in compiled)
+
+    return pred
+
+
+def _relation_of(session, table: str) -> Relation:
+    if table not in session.database:
+        raise MutationError(f"unknown relation {table!r}")
+    return session.database[table]
+
+
+def _mint_variable(session, relation: Relation, probability: float):
+    """A fresh Boolean lineage variable for one row of ``relation``.
+
+    Names follow the :meth:`Relation.tuple_independent` convention
+    ``(table, index)``; the index probes past names already registered
+    (earlier rows, earlier sessions sharing the registry).
+    """
+    index = len(relation.rows)
+    variable = (relation.name, index)
+    while variable in session.registry:
+        index += 1
+        variable = (relation.name, index)
+    session.registry.add_boolean(variable, probability)
+    relation.variable_origin[variable] = relation.name
+    return variable
+
+
+def _invalidate(
+    session,
+    touched: FrozenSet[Hashable],
+    *,
+    probabilities_changed: bool,
+) -> InvalidationReport:
+    """The cone-level eviction pass one mutation runs."""
+    report = invalidate_variables(
+        variable_ids_of(touched),
+        circuits=session.circuits,
+        memo=session.engine.cache,
+    )
+    if probabilities_changed and session.engine._worker_pools:
+        # Worker-side decomposition caches key on intern version, which
+        # a probability-only change does not move — retire the pools so
+        # the next sharded batch ships fresh state.
+        session.engine.retire_worker_pools()
+    return report
+
+
+def _finish(
+    session,
+    txn: Optional["Transaction"],
+    result: MutationResult,
+    undo: Callable[[], None],
+    *,
+    probabilities_changed: bool,
+) -> MutationResult:
+    if txn is not None:
+        txn._record(result, undo, probabilities_changed)
+    else:
+        # Autocommit: the serving tier keys snapshots and response
+        # caches on the circuit-cache version; bump it now.
+        session.circuits.touch()
+    return result
+
+
+# ----------------------------------------------------------------------
+# The three mutations
+# ----------------------------------------------------------------------
+def apply_insert(
+    session,
+    table: str,
+    row: Sequence[Hashable],
+    probability: Optional[float] = None,
+) -> MutationResult:
+    """Insert one row; see the module docstring for the probability
+    semantics.  Returns a :class:`MutationResult`."""
+    relation = _relation_of(session, table)
+    values = tuple(row)
+    if len(values) != len(relation.attributes):
+        raise MutationError(
+            f"row {values!r} has {len(values)} values; relation "
+            f"{table!r} has {len(relation.attributes)} attributes"
+        )
+    minted = None
+    if probability is None or probability >= 1.0:
+        lineage: Formula = TRUE
+    elif probability <= 0.0:
+        raise MutationError(
+            f"insert into {table!r} with probability {probability} — a "
+            "tuple with no mass is not an insert"
+        )
+    else:
+        minted = _mint_variable(session, relation, probability)
+        lineage = AtomNode(Atom(minted, True))
+    position = len(relation.rows)
+    relation._append(values, lineage)
+    relation._simple_lineage_memo = None
+    touched = frozenset(() if minted is None else (minted,))
+    # A brand-new variable cannot occur in any cached cone, so the pass
+    # is a no-op for pure inserts — kept for the uniform report.
+    report = _invalidate(session, touched, probabilities_changed=False)
+
+    def undo() -> None:
+        del relation.rows[position]
+        relation._simple_lineage_memo = None
+        if minted is not None:
+            session.registry.remove_variable(minted)
+            relation.variable_origin.pop(minted, None)
+
+    result = MutationResult("insert", table, 1, touched, report)
+    return _finish(
+        session, session._txn, result, undo, probabilities_changed=False
+    )
+
+
+def apply_delete(
+    session, table: str, where: WhereSpec = None
+) -> MutationResult:
+    """Delete matching rows; their lineage variables stay registered."""
+    relation = _relation_of(session, table)
+    pred = _compile_where(relation, where)
+    kept: List[Tuple[Row, Formula]] = []
+    removed: List[Tuple[int, Row, Formula]] = []
+    for index, (values, lineage) in enumerate(relation.rows):
+        if pred(values):
+            removed.append((index, values, lineage))
+        else:
+            kept.append((values, lineage))
+    if removed:
+        relation.rows[:] = kept
+        relation._simple_lineage_memo = None
+    touched = frozenset().union(
+        *(lineage.variables() for _i, _v, lineage in removed)
+    ) if removed else frozenset()
+    report = _invalidate(session, touched, probabilities_changed=False)
+
+    def undo() -> None:
+        # Ascending-index reinsertion restores the exact original order.
+        for index, values, lineage in removed:
+            relation.rows.insert(index, (values, lineage))
+        relation._simple_lineage_memo = None
+
+    result = MutationResult("delete", table, len(removed), touched, report)
+    return _finish(
+        session, session._txn, result, undo, probabilities_changed=False
+    )
+
+
+def apply_update(
+    session,
+    table: str,
+    *,
+    values: Optional[Mapping[str, Hashable]] = None,
+    probability: Optional[float] = None,
+    where: WhereSpec = None,
+) -> MutationResult:
+    """Rewrite matching rows' values and/or probability."""
+    relation = _relation_of(session, table)
+    if values is None and probability is None:
+        raise MutationError(
+            "update needs values= and/or probability="
+        )
+    if probability is not None and probability <= 0.0:
+        raise MutationError(
+            f"update of {table!r} to probability {probability} — delete "
+            "the row instead of zeroing its mass"
+        )
+    value_slots: List[Tuple[int, Hashable]] = []
+    if values:
+        value_slots = [
+            (relation.attribute_index(column), literal)
+            for column, literal in values.items()
+        ]
+    pred = _compile_where(relation, where)
+    #: per-row undo records:
+    #: (index, old_values, old_lineage, replaced_dist_var, old_dist, minted)
+    undo_log: List[
+        Tuple[int, Row, Formula, Optional[Hashable],
+              Optional[Dict[Hashable, float]], Optional[Hashable]]
+    ] = []
+    touched: set = set()
+    probabilities_changed = False
+    affected = 0
+    for index, (old_values, old_lineage) in enumerate(relation.rows):
+        if not pred(old_values):
+            continue
+        affected += 1
+        new_values = old_values
+        if value_slots:
+            row_list = list(old_values)
+            for slot, literal in value_slots:
+                row_list[slot] = literal
+            new_values = tuple(row_list)
+        new_lineage = old_lineage
+        replaced_var: Optional[Hashable] = None
+        old_dist: Optional[Dict[Hashable, float]] = None
+        minted: Optional[Hashable] = None
+        if probability is not None:
+            if isinstance(old_lineage, TrueNode):
+                if probability < 1.0:
+                    minted = _mint_variable(session, relation, probability)
+                    new_lineage = AtomNode(Atom(minted, True))
+                    touched.add(minted)
+                # p >= 1 on a certain row: no-op.
+            elif isinstance(old_lineage, AtomNode):
+                atom = old_lineage.atom
+                variable = atom.variable
+                if atom.value is not True or not session.registry.is_boolean(
+                    variable
+                ):
+                    raise MutationError(
+                        f"row {old_values!r} of {table!r} has "
+                        "block-disjoint lineage; per-row probability "
+                        "updates apply only to tuple-independent rows"
+                    )
+                if probability >= 1.0:
+                    # Promote to certain; the variable stays registered
+                    # (renamed relations may share this row list).
+                    new_lineage = TRUE
+                    touched.add(variable)
+                else:
+                    old_dist = session.registry.set_boolean(
+                        variable, probability
+                    )
+                    replaced_var = variable
+                    touched.add(variable)
+                    probabilities_changed = True
+            else:
+                raise MutationError(
+                    f"row {old_values!r} of {table!r} carries complex "
+                    "(c-table) lineage; update its probability by "
+                    "re-registering the underlying variables instead"
+                )
+        if new_values is not old_values or new_lineage is not old_lineage:
+            relation.rows[index] = (new_values, new_lineage)
+            undo_log.append(
+                (index, old_values, old_lineage, replaced_var, old_dist,
+                 minted)
+            )
+        elif replaced_var is not None:  # pragma: no cover - unreachable
+            undo_log.append(
+                (index, old_values, old_lineage, replaced_var, old_dist,
+                 minted)
+            )
+    if undo_log:
+        relation._simple_lineage_memo = None
+    report = _invalidate(
+        session,
+        frozenset(touched),
+        probabilities_changed=probabilities_changed,
+    )
+
+    def undo() -> None:
+        for index, old_values, old_lineage, replaced_var, old_dist, minted \
+                in reversed(undo_log):
+            relation.rows[index] = (old_values, old_lineage)
+            if replaced_var is not None and old_dist is not None:
+                session.registry.set_distribution(replaced_var, old_dist)
+            if minted is not None:
+                session.registry.remove_variable(minted)
+                relation.variable_origin.pop(minted, None)
+        relation._simple_lineage_memo = None
+
+    result = MutationResult(
+        "update", table, affected, frozenset(touched), report
+    )
+    return _finish(
+        session, session._txn, result, undo,
+        probabilities_changed=probabilities_changed,
+    )
+
+
+# ----------------------------------------------------------------------
+# Transactions
+# ----------------------------------------------------------------------
+class Transaction:
+    """A rollback scope over a session's mutations.
+
+    Mutations inside the transaction apply immediately (queries issued
+    mid-transaction see them) and log undo closures.  ``commit()``
+    discards the log and bumps the circuit-cache version once — the
+    serving tier's read-your-writes signal.  ``rollback()`` replays the
+    log in reverse, restoring relation rows, minted variables, and
+    replaced distributions, then runs one more invalidation pass over
+    everything the transaction touched (cones compiled *during* the
+    transaction reflect its now-reverted state).
+
+    Use as a context manager: a clean exit commits, an exception rolls
+    back and re-raises::
+
+        with db.transaction():
+            db.insert("R", ("a", 1), probability=0.5)
+            db.update("R", probability=0.9, where={"id": 7})
+    """
+
+    __slots__ = ("session", "_undo", "_touched", "_probs_changed", "_state")
+
+    def __init__(self, session) -> None:
+        if session._txn is not None:
+            raise MutationError(
+                "a transaction is already active on this session"
+            )
+        self.session = session
+        self._undo: List[Callable[[], None]] = []
+        self._touched: set = set()
+        self._probs_changed = False
+        self._state = "active"
+        session._txn = self
+
+    def _record(
+        self,
+        result: MutationResult,
+        undo: Callable[[], None],
+        probabilities_changed: bool,
+    ) -> None:
+        self._undo.append(undo)
+        self._touched.update(result.touched_variables)
+        self._probs_changed = self._probs_changed or probabilities_changed
+
+    @property
+    def active(self) -> bool:
+        return self._state == "active"
+
+    def commit(self) -> None:
+        """Make the transaction's mutations durable for this session."""
+        self._close("committed")
+        self._undo.clear()
+        self.session.circuits.touch()
+
+    def rollback(self) -> None:
+        """Undo every mutation of this transaction, newest first."""
+        self._close("rolled-back")
+        try:
+            for undo in reversed(self._undo):
+                undo()
+        finally:
+            self._undo.clear()
+        # Cones compiled mid-transaction captured since-reverted state.
+        _invalidate(
+            self.session,
+            frozenset(self._touched),
+            probabilities_changed=self._probs_changed,
+        )
+        self.session.circuits.touch()
+
+    def _close(self, state: str) -> None:
+        if self._state != "active":
+            raise MutationError(
+                f"transaction already {self._state}"
+            )
+        self._state = state
+        self.session._txn = None
+
+    def __enter__(self) -> "Transaction":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if not self.active:
+            return  # committed / rolled back explicitly inside the block
+        if exc_type is None:
+            self.commit()
+        else:
+            self.rollback()
+
+    def __repr__(self) -> str:
+        return (
+            f"Transaction({self._state}, {len(self._undo)} mutations, "
+            f"{len(self._touched)} variables touched)"
+        )

@@ -56,7 +56,8 @@ from .cq import ConjunctiveQuery
 from .database import Database
 from .engine import QueryAnswer, evaluate
 from .explain import QueryExplanation, explain, rank_influence
-from .sql import ParsedQuery, parse_conf_query
+from . import mutations
+from .sql import ParsedQuery, parse_conf_query, parse_statement
 from .topk import RankedAnswer, rank_answers
 
 __all__ = ["ProbDB", "QueryResult", "BoundsSnapshot"]
@@ -606,7 +607,7 @@ class ProbDB:
         then rewrites the store without them).
     """
 
-    __slots__ = ("database", "engine", "circuits", "_circuit_store")
+    __slots__ = ("database", "engine", "circuits", "_circuit_store", "_txn")
 
     def __init__(
         self,
@@ -642,6 +643,8 @@ class ProbDB:
         # exact circuit (vectorized, when numpy is available) instead
         # of running per-sample Karp-Luby over the raw lineage.
         engine.circuit_source = self.circuits.get
+        #: The active :class:`~repro.db.mutations.Transaction`, if any.
+        self._txn = None
         self._circuit_store: Optional[str] = (
             None if persist_circuits is None else os.fspath(persist_circuits)
         )
@@ -787,6 +790,78 @@ class ProbDB:
         if isinstance(query, str):
             query = parse_conf_query(query, self.database).query
         return explain(query, self.database)
+
+    # -- mutations (probabilistic DML) -----------------------------------
+    def insert(
+        self,
+        table: str,
+        row: Sequence[Hashable],
+        probability: Optional[float] = None,
+    ) -> "mutations.MutationResult":
+        """Insert one row into ``table``.
+
+        ``probability`` omitted (or ``>= 1``) inserts a certain row;
+        ``0 < p < 1`` mints a fresh tuple-independent lineage variable.
+        Each mutation runs a cone-level invalidation pass — only cached
+        circuits and memo cones whose variable sets touch the change
+        are evicted (:mod:`repro.circuits.incremental`); everything
+        disjoint stays warm.  Outside a :meth:`transaction` the mutation
+        autocommits, bumping the circuit-cache version so live serving
+        snapshots refresh.
+        """
+        return mutations.apply_insert(self, table, row, probability)
+
+    def update(
+        self,
+        table: str,
+        *,
+        values: Optional[Dict[str, Hashable]] = None,
+        probability: Optional[float] = None,
+        where: "mutations.WhereSpec" = None,
+    ) -> "mutations.MutationResult":
+        """Rewrite matching rows' values and/or tuple probability.
+
+        ``where`` is ``None`` (all rows), a ``column -> value`` map, a
+        predicate over the row's ``attribute -> value`` dict, or
+        ``(column, op, literal)`` triples.  See
+        :mod:`repro.db.mutations` for the per-row-shape probability
+        semantics.
+        """
+        return mutations.apply_update(
+            self, table, values=values, probability=probability, where=where
+        )
+
+    def delete(
+        self, table: str, where: "mutations.WhereSpec" = None
+    ) -> "mutations.MutationResult":
+        """Delete matching rows from ``table``."""
+        return mutations.apply_delete(self, table, where)
+
+    def transaction(self) -> "mutations.Transaction":
+        """A rollback scope over this session's mutations.
+
+        Mutations inside apply immediately; a clean context-manager
+        exit commits (one circuit-cache version bump — the serving
+        read-your-writes signal), an exception rolls back relation
+        contents, minted variables, and replaced distributions.
+        """
+        return mutations.Transaction(self)
+
+    def execute(self, text: str):
+        """Run one SQL statement: SELECT, DML, or transaction control.
+
+        Returns a lazy :class:`QueryResult` for ``SELECT``, a
+        :class:`~repro.db.mutations.MutationResult` for DML, a
+        :class:`~repro.db.mutations.Transaction` for ``BEGIN``, and
+        ``None`` for ``COMMIT``/``ROLLBACK``.
+        """
+        statement = parse_statement(text, self.database)
+        if isinstance(statement, ParsedQuery):
+            return QueryResult(
+                self.engine, self.database, parsed=statement,
+                circuit_cache=self.circuits,
+            )
+        return statement.apply(self)
 
     def circuit(
         self,

@@ -18,6 +18,20 @@ Supported WHERE predicates: equality between two columns (an equi-join),
 equality with a literal (a selection), and the comparison operators
 ``< <= > >= <> !=`` between columns or against literals.  Aliases make
 self-joins expressible, exactly as in the paper's motif queries.
+
+Statements
+----------
+:func:`parse_statement` is the statement-level entry point: it parses the
+probabilistic DML dialect —
+
+* ``INSERT INTO t VALUES (...) [WITH PROBABILITY p]``
+* ``UPDATE t SET col = lit, ... , PROBABILITY = p [WHERE ...]``
+* ``DELETE FROM t [WHERE ...]``
+* ``BEGIN`` / ``COMMIT`` / ``ROLLBACK``
+
+— into statement objects over the mutation API of
+:mod:`repro.db.mutations`, and falls through to :func:`parse_conf_query`
+for ``SELECT``.  ``ProbDB.execute`` dispatches the result.
 """
 
 from __future__ import annotations
@@ -28,7 +42,17 @@ from typing import Dict, Hashable, List, Optional, Sequence, Tuple, Union
 from .cq import ConjunctiveQuery, Const, Inequality, SubGoal, Var
 from .database import Database
 
-__all__ = ["parse_conf_query", "run_conf_query", "SqlSyntaxError", "ParsedQuery"]
+__all__ = [
+    "parse_conf_query",
+    "parse_statement",
+    "run_conf_query",
+    "SqlSyntaxError",
+    "ParsedQuery",
+    "InsertStatement",
+    "UpdateStatement",
+    "DeleteStatement",
+    "TransactionStatement",
+]
 
 
 class SqlSyntaxError(ValueError):
@@ -317,6 +341,278 @@ def parse_conf_query(text: str, database: Database) -> ParsedQuery:
 
     query = ConjunctiveQuery(head, subgoals, inequalities, name="sql")
     return ParsedQuery(query, select_columns, wants_conf, conf_alias)
+
+
+# ----------------------------------------------------------------------
+# Statement-level parsing (probabilistic DML + transactions)
+# ----------------------------------------------------------------------
+# DML keywords are matched as plain word tokens, case-insensitively —
+# extending _KEYWORDS would reject tables or columns named "values",
+# "set", or "probability" in existing SELECT queries.
+
+
+def _word_matches(token: Optional[Tuple[str, str]], word: str) -> bool:
+    return (
+        token is not None
+        and token[0] in ("word", "keyword")
+        and token[1].lower() == word
+    )
+
+
+def _accept_word(stream: _TokenStream, word: str) -> bool:
+    if _word_matches(stream.peek(), word):
+        stream.next()
+        return True
+    return False
+
+
+def _expect_word(stream: _TokenStream, word: str) -> None:
+    token = stream.next()
+    if not _word_matches(token, word):
+        raise SqlSyntaxError(
+            f"expected {word.upper()}, found {token[1]!r}"
+        )
+
+
+def _parse_literal(stream: _TokenStream) -> Hashable:
+    kind, value = stream.next()
+    if kind == "string":
+        return value[1:-1]
+    if kind == "number":
+        number = float(value)
+        if number.is_integer() and "." not in value:
+            return int(value)
+        return number
+    raise SqlSyntaxError(f"expected a literal, found {value!r}")
+
+
+def _parse_number(stream: _TokenStream) -> float:
+    kind, value = stream.next()
+    if kind != "number":
+        raise SqlSyntaxError(f"expected a number, found {value!r}")
+    return float(value)
+
+
+def _parse_dml_where(
+    stream: _TokenStream,
+) -> Optional[List[Tuple[str, str, Hashable]]]:
+    """``WHERE col op lit [AND ...]`` into mutation-API triples."""
+    if not stream.accept("keyword", "where"):
+        return None
+    conditions: List[Tuple[str, str, Hashable]] = []
+    while True:
+        column = stream.expect("word")
+        op = stream.expect("op")
+        literal = _parse_literal(stream)
+        conditions.append((column, op, literal))
+        if not stream.accept("keyword", "and"):
+            break
+    return conditions
+
+
+def _finish_statement(stream: _TokenStream) -> None:
+    stream.accept("punct", ";")
+    token = stream.peek()
+    if token is not None:
+        raise SqlSyntaxError(f"unexpected trailing token {token[1]!r}")
+
+
+class InsertStatement:
+    """``INSERT INTO table VALUES (...) [WITH PROBABILITY p]``."""
+
+    __slots__ = ("table", "row", "probability")
+
+    def __init__(
+        self, table: str, row: Tuple[Hashable, ...],
+        probability: Optional[float],
+    ) -> None:
+        self.table = table
+        self.row = row
+        self.probability = probability
+
+    def apply(self, session):
+        return session.insert(
+            self.table, self.row, probability=self.probability
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"InsertStatement({self.table!r}, {self.row!r}, "
+            f"p={self.probability})"
+        )
+
+
+class UpdateStatement:
+    """``UPDATE table SET ... [WHERE ...]``; SET items are column
+    assignments and/or one ``PROBABILITY = p``."""
+
+    __slots__ = ("table", "values", "probability", "where")
+
+    def __init__(
+        self,
+        table: str,
+        values: Optional[Dict[str, Hashable]],
+        probability: Optional[float],
+        where: Optional[List[Tuple[str, str, Hashable]]],
+    ) -> None:
+        self.table = table
+        self.values = values
+        self.probability = probability
+        self.where = where
+
+    def apply(self, session):
+        return session.update(
+            self.table,
+            values=self.values,
+            probability=self.probability,
+            where=self.where,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"UpdateStatement({self.table!r}, values={self.values!r}, "
+            f"p={self.probability}, where={self.where!r})"
+        )
+
+
+class DeleteStatement:
+    """``DELETE FROM table [WHERE ...]``."""
+
+    __slots__ = ("table", "where")
+
+    def __init__(
+        self, table: str,
+        where: Optional[List[Tuple[str, str, Hashable]]],
+    ) -> None:
+        self.table = table
+        self.where = where
+
+    def apply(self, session):
+        return session.delete(self.table, where=self.where)
+
+    def __repr__(self) -> str:
+        return f"DeleteStatement({self.table!r}, where={self.where!r})"
+
+
+class TransactionStatement:
+    """``BEGIN`` / ``COMMIT`` / ``ROLLBACK``."""
+
+    __slots__ = ("action",)
+
+    def __init__(self, action: str) -> None:
+        self.action = action
+
+    def apply(self, session):
+        if self.action == "begin":
+            return session.transaction()
+        txn = session._txn
+        if txn is None:
+            from .mutations import MutationError
+
+            raise MutationError(
+                f"{self.action.upper()} outside a transaction"
+            )
+        if self.action == "commit":
+            txn.commit()
+        else:
+            txn.rollback()
+        return None
+
+    def __repr__(self) -> str:
+        return f"TransactionStatement({self.action!r})"
+
+
+Statement = Union[
+    ParsedQuery,
+    InsertStatement,
+    UpdateStatement,
+    DeleteStatement,
+    TransactionStatement,
+]
+
+
+def _require_table(database: Database, table: str) -> str:
+    if table not in database:
+        raise SqlSyntaxError(f"unknown table {table!r}")
+    return table
+
+
+def parse_statement(text: str, database: Database) -> Statement:
+    """Parse one SQL statement: DML, transaction control, or SELECT.
+
+    ``SELECT`` delegates to :func:`parse_conf_query` (this is the
+    statement-level home the migration table points at); everything
+    else parses into a statement object whose ``apply(session)`` runs
+    it through the mutation API of :mod:`repro.db.mutations`.
+    """
+    tokens = _tokenize(text)
+    if not tokens:
+        raise SqlSyntaxError("empty statement")
+    head = tokens[0][1].lower() if tokens[0][0] in ("word", "keyword") else ""
+    if head not in ("insert", "update", "delete", "begin", "commit",
+                    "rollback"):
+        return parse_conf_query(text, database)
+    stream = _TokenStream(tokens)
+
+    if head in ("begin", "commit", "rollback"):
+        _expect_word(stream, head)
+        # Accept the optional noise words of the common spellings.
+        if head == "begin":
+            _accept_word(stream, "transaction")
+        _finish_statement(stream)
+        return TransactionStatement(head)
+
+    if head == "insert":
+        _expect_word(stream, "insert")
+        _expect_word(stream, "into")
+        table = _require_table(database, stream.expect("word"))
+        _expect_word(stream, "values")
+        stream.expect("punct", "(")
+        row: List[Hashable] = []
+        while True:
+            row.append(_parse_literal(stream))
+            if not stream.accept("punct", ","):
+                break
+        stream.expect("punct", ")")
+        probability: Optional[float] = None
+        if _accept_word(stream, "with"):
+            _expect_word(stream, "probability")
+            probability = _parse_number(stream)
+        _finish_statement(stream)
+        return InsertStatement(table, tuple(row), probability)
+
+    if head == "delete":
+        _expect_word(stream, "delete")
+        _expect_word(stream, "from")
+        table = _require_table(database, stream.expect("word"))
+        where = _parse_dml_where(stream)
+        _finish_statement(stream)
+        return DeleteStatement(table, where)
+
+    # UPDATE table SET item {, item} [WHERE ...]
+    _expect_word(stream, "update")
+    table = _require_table(database, stream.expect("word"))
+    _expect_word(stream, "set")
+    values: Dict[str, Hashable] = {}
+    probability = None
+    while True:
+        if _word_matches(stream.peek(), "probability"):
+            stream.next()
+            stream.accept("op", "=")
+            if probability is not None:
+                raise SqlSyntaxError("PROBABILITY assigned twice")
+            probability = _parse_number(stream)
+        else:
+            column = stream.expect("word")
+            stream.expect("op", "=")
+            if column in values:
+                raise SqlSyntaxError(f"column {column!r} assigned twice")
+            values[column] = _parse_literal(stream)
+        if not stream.accept("punct", ","):
+            break
+    where = _parse_dml_where(stream)
+    _finish_statement(stream)
+    return UpdateStatement(table, values or None, probability, where)
 
 
 def run_conf_query(

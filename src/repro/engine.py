@@ -949,21 +949,17 @@ class ConfidenceEngine:
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
-    def close(self) -> None:
+    def retire_worker_pools(self) -> None:
         """Shut down the engine-lifetime worker pools (idempotent).
-
-        Sharded batches (``workers > 1``) acquire a pool that lives on
-        the engine so repeated batches reuse warm workers; call this
-        when retiring the engine, or rely on the GC finalizer backstop.
-        Engines are also context managers::
-
-            with ConfidenceEngine(registry, workers=4) as engine:
-                engine.compute_many(batch)
 
         The engine stays usable: a later sharded batch simply builds a
         fresh pool.  Pools are never shut down mid-round — a round in
         flight on another thread finishes first (its batch then heals
-        onto a fresh pool on its next round).
+        onto a fresh pool on its next round).  Besides engine
+        retirement, the mutation subsystem calls this when tuple
+        probabilities change: worker decomposition caches carry numeric
+        results keyed only by intern version, which does not move on a
+        probability update, so stale pools must not survive a mutation.
         """
         with self._pool_lock:
             pools = list(self._worker_pools.values())
@@ -973,6 +969,19 @@ class ConfidenceEngine:
             # wait out any in-flight round before closing.
             with pool.round_lock:
                 pool.close()
+
+    def close(self) -> None:
+        """Retire the worker pools when the engine itself retires.
+
+        Sharded batches (``workers > 1``) acquire a pool that lives on
+        the engine so repeated batches reuse warm workers; call this
+        when retiring the engine, or rely on the GC finalizer backstop.
+        Engines are also context managers::
+
+            with ConfidenceEngine(registry, workers=4) as engine:
+                engine.compute_many(batch)
+        """
+        self.retire_worker_pools()
 
     def __enter__(self) -> "ConfidenceEngine":
         return self

@@ -42,6 +42,7 @@ import multiprocessing.connection
 import os
 import signal
 import socket
+import threading
 import time
 import traceback
 import zlib
@@ -100,6 +101,12 @@ class FleetConfig:
     http_server: str = "auto"
     #: Seconds to wait for every worker to report its bound port.
     startup_timeout_seconds: float = 30.0
+    #: How many crashed workers the coordinator will respawn over the
+    #: fleet's lifetime (same store set, fresh intern snapshot).  ``0``
+    #: restores the reap-only behaviour.
+    restart_budget: int = 2
+    #: Supervisor poll interval for dead workers.
+    restart_check_seconds: float = 0.25
 
 
 # ----------------------------------------------------------------------
@@ -412,41 +419,58 @@ class ServingFleet:
         self.addresses: List[Tuple[str, int]] = []
         self._processes: List[multiprocessing.process.BaseProcess] = []
         self._pipes: List["multiprocessing.connection.Connection"] = []
+        #: Crashed workers respawned so far (bounded by
+        #: ``config.restart_budget``).
+        self.restarts = 0
+        self._closing = threading.Event()
+        self._supervisor: Optional[threading.Thread] = None
 
-    def start(self) -> List[Tuple[str, int]]:
-        """Spawn the workers; returns their ``(host, port)`` addresses."""
-        if self._processes:
-            return list(self.addresses)
+    def _spawn(
+        self, ctx, snapshot: InternSnapshot
+    ) -> Tuple[
+        "multiprocessing.process.BaseProcess",
+        "multiprocessing.connection.Connection",
+    ]:
+        cfg = self.config
+        parent_conn, child_conn = ctx.Pipe()
+        process = ctx.Process(
+            target=_fleet_worker_main,
+            args=(
+                child_conn,
+                cfg.host,
+                snapshot,
+                self.registry,
+                self.stores,
+                cfg.serving,
+                cfg.engine,
+                cfg.strict,
+                cfg.reload_check_seconds,
+                cfg.http_server,
+            ),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        return process, parent_conn
+
+    def _context(self):
         # fork (where available) shares the parent's pages — intern
         # tables, registry, loaded modules — making worker start-up
         # cheap; spawn replays the shipped snapshot for real.  Same
         # policy as engine_parallel's process pools.
         if "fork" in multiprocessing.get_all_start_methods():
-            ctx = multiprocessing.get_context("fork")
-        else:  # pragma: no cover - non-posix
-            ctx = multiprocessing.get_context("spawn")
+            return multiprocessing.get_context("fork")
+        return multiprocessing.get_context("spawn")  # pragma: no cover
+
+    def start(self) -> List[Tuple[str, int]]:
+        """Spawn the workers; returns their ``(host, port)`` addresses."""
+        if self._processes:
+            return list(self.addresses)
+        ctx = self._context()
         snapshot = intern_snapshot()
         cfg = self.config
         for _ in range(cfg.workers):
-            parent_conn, child_conn = ctx.Pipe()
-            process = ctx.Process(
-                target=_fleet_worker_main,
-                args=(
-                    child_conn,
-                    cfg.host,
-                    snapshot,
-                    self.registry,
-                    self.stores,
-                    cfg.serving,
-                    cfg.engine,
-                    cfg.strict,
-                    cfg.reload_check_seconds,
-                    cfg.http_server,
-                ),
-                daemon=True,
-            )
-            process.start()
-            child_conn.close()
+            process, parent_conn = self._spawn(ctx, snapshot)
             self._processes.append(process)
             self._pipes.append(parent_conn)
         # Real wall time on purpose: worker start-up is OS work, not
@@ -467,10 +491,78 @@ class ServingFleet:
                     f"fleet worker {index} failed to start:\n{value}"
                 )
             self.addresses.append((cfg.host, int(value)))
+        if cfg.restart_budget > 0:
+            self._closing.clear()
+            self._supervisor = threading.Thread(
+                target=self._supervise, daemon=True,
+                name="fleet-supervisor",
+            )
+            self._supervisor.start()
         return list(self.addresses)
+
+    # -- crash supervision ----------------------------------------------
+    def _supervise(self) -> None:
+        """Respawn crashed workers until closed or out of budget.
+
+        The coordinator historically only *reaped*: a crashed worker
+        left a dead address in the fleet forever.  This loop polls for
+        dead processes and restarts each with the same store set — a
+        fresh intern snapshot (the tables are append-only, so the new
+        snapshot is a superset of the original), a fresh port — bounded
+        by ``restart_budget`` so a worker crashing deterministically on
+        startup cannot fork-bomb the host.
+        """
+        check = max(0.01, self.config.restart_check_seconds)
+        while not self._closing.wait(check):
+            for index, process in enumerate(list(self._processes)):
+                if process.is_alive() or self._closing.is_set():
+                    continue
+                if self.restarts >= self.config.restart_budget:
+                    return
+                self._respawn(index)
+
+    def _respawn(self, index: int) -> None:
+        process = self._processes[index]
+        process.join(0.1)
+        try:
+            self._pipes[index].close()
+        except OSError:
+            pass
+        new_process, conn = self._spawn(self._context(), intern_snapshot())
+        self.restarts += 1
+        deadline = time.monotonic() + self.config.startup_timeout_seconds
+        while not self._closing.is_set():
+            if conn.poll(min(0.1, max(0.0, deadline - time.monotonic()))):
+                kind, value = conn.recv()
+                if kind == "ready":
+                    self._processes[index] = new_process
+                    self._pipes[index] = conn
+                    self.addresses[index] = (self.config.host, int(value))
+                    return
+                break  # startup error: give up on this respawn
+            if time.monotonic() >= deadline:
+                break
+        # Failed or closing: don't leave a half-started orphan behind.
+        try:
+            conn.close()
+        except OSError:
+            pass
+        if new_process.is_alive():
+            new_process.terminate()
+        new_process.join(1.0)
+
+    @property
+    def pids(self) -> List[int]:
+        """Live worker process ids, in worker order (for crash tests)."""
+        return [process.pid or 0 for process in self._processes]
 
     def close(self, *, timeout_seconds: float = 5.0) -> None:
         """Stop every worker (graceful pipe signal, then terminate)."""
+        self._closing.set()
+        supervisor = self._supervisor
+        if supervisor is not None:
+            supervisor.join(timeout_seconds)
+            self._supervisor = None
         for conn in self._pipes:
             try:
                 conn.send(("stop", None))
@@ -533,11 +625,18 @@ class FleetClient(_ClientBase):
         addresses: Sequence[Tuple[str, int]],
         *,
         affinity: bool = True,
+        retry_quota: bool = False,
+        sleep=None,
     ) -> None:
         if not addresses:
             raise ValueError("FleetClient needs at least one address")
         self.addresses = [(host, int(port)) for host, port in addresses]
         self.affinity = affinity
+        #: Opt-in: honor ``Retry-After`` on a 429 quota rejection with
+        #: exactly one retry instead of surfacing immediately.
+        self.retry_quota = retry_quota
+        #: Injectable async sleep (tests pass a fake-clock recorder).
+        self._sleep = sleep if sleep is not None else asyncio.sleep
         self._connections: List[
             Optional[Tuple[asyncio.StreamReader, asyncio.StreamWriter]]
         ] = [None] * len(self.addresses)
@@ -653,7 +752,17 @@ class FleetClient(_ClientBase):
             key: value for key, value in payload.items() if key != "op"
         }
         worker = self.worker_for(payload)
-        return await self.http("POST", f"/v1/{op}", body, worker=worker)
+        try:
+            return await self.http("POST", f"/v1/{op}", body, worker=worker)
+        except ServingError as exc:
+            delay = exc.retry_after_seconds
+            if not (
+                self.retry_quota and exc.status == 429 and delay is not None
+            ):
+                raise
+            # One Retry-After-guided retry; a second 429 surfaces.
+            await self._sleep(float(delay))
+            return await self.http("POST", f"/v1/{op}", body, worker=worker)
 
     async def stats(self) -> List[Dict[str, Any]]:
         """Per-worker ``/v1/stats`` summaries, in worker order."""

@@ -12,6 +12,9 @@ benchmarks.
 """
 
 import asyncio
+import os
+import signal
+import time
 
 import pytest
 
@@ -278,6 +281,74 @@ class TestFleetLifecycle:
                 config=FleetConfig(workers=0),
             )
 
+    def test_crashed_worker_is_respawned(self, tmp_path):
+        """Kill a worker mid-run; the supervisor must restore the fleet."""
+        registry = make_registry()
+        circuits = build_store(registry, tmp_path / "store.bin", [L1, L2])
+        fleet = ServingFleet(
+            registry,
+            {"main": tmp_path / "store.bin"},
+            config=FleetConfig(
+                workers=2,
+                restart_budget=2,
+                restart_check_seconds=0.05,
+            ),
+        )
+        with fleet:
+            victim_index = 1
+            victim_address = fleet.addresses[victim_index]
+            os.kill(fleet.pids[victim_index], signal.SIGKILL)
+            # Real wall clock: process death and respawn are OS work.
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                if fleet.restarts >= 1 and fleet.alive == 2:
+                    break
+                time.sleep(0.05)
+            assert fleet.restarts == 1
+            assert fleet.alive == 2
+            # The replacement got a fresh port at the same slot.
+            replacement = fleet.addresses[victim_index]
+            assert replacement != victim_address
+
+            async def scenario():
+                client = FleetClient(fleet.addresses)
+                try:
+                    response = await client.http(
+                        "POST",
+                        "/v1/evaluate",
+                        {
+                            "lineage": dnf_to_json(dnf(*L2)),
+                            "store": "main",
+                        },
+                        worker=victim_index,
+                    )
+                    assert response["value"] == circuits[L2].evaluate(None)
+                finally:
+                    await client.close()
+
+            run(scenario())
+        assert fleet.alive == 0
+
+    def test_restart_budget_zero_only_reaps(self, tmp_path):
+        registry = make_registry()
+        build_store(registry, tmp_path / "store.bin", [L1])
+        fleet = ServingFleet(
+            registry,
+            {"main": tmp_path / "store.bin"},
+            config=FleetConfig(
+                workers=1, restart_budget=0, restart_check_seconds=0.05
+            ),
+        )
+        with fleet:
+            assert fleet._supervisor is None
+            os.kill(fleet.pids[0], signal.SIGKILL)
+            deadline = time.monotonic() + 10.0
+            while fleet.alive and time.monotonic() < deadline:
+                time.sleep(0.05)
+            time.sleep(0.2)  # a respawn would need a poll cycle
+            assert fleet.alive == 0
+            assert fleet.restarts == 0
+
     def test_store_only_fleet_has_no_cold_path(self, tmp_path):
         registry = make_registry()
         build_store(registry, tmp_path / "store.bin", [L1])
@@ -298,3 +369,99 @@ class TestFleetLifecycle:
                     await client.close()
 
             run(scenario())
+
+
+class TestQuotaRetry:
+    """FleetClient.retry_quota: one Retry-After-guided retry on 429."""
+
+    @staticmethod
+    def make_client(responses, slept, retry_quota=True):
+        client = FleetClient(
+            [("127.0.0.1", 1)],
+            retry_quota=retry_quota,
+            sleep=lambda delay: slept.append(delay) or asyncio.sleep(0),
+        )
+
+        async def fake_http(method, path, body=None, *, worker=0):
+            outcome = responses.pop(0)
+            if isinstance(outcome, Exception):
+                raise outcome
+            return outcome
+
+        client.http = fake_http
+        return client
+
+    @staticmethod
+    def quota_error(retry_after=0.37):
+        return ServingError(
+            "quota-exceeded",
+            "tenant over quota",
+            status=429,
+            details={"retry_after_seconds": retry_after},
+        )
+
+    def test_single_retry_after_429(self):
+        slept = []
+        client = self.make_client(
+            [self.quota_error(0.37), {"value": 1.0}], slept
+        )
+
+        async def scenario():
+            return await client.request({"op": "evaluate", "tenant": "m"})
+
+        assert run(scenario()) == {"value": 1.0}
+        assert slept == [0.37]
+
+    def test_second_429_surfaces(self):
+        slept = []
+        client = self.make_client(
+            [self.quota_error(0.1), self.quota_error(0.2)], slept
+        )
+
+        async def scenario():
+            with pytest.raises(ServingError) as info:
+                await client.request({"op": "evaluate"})
+            assert info.value.status == 429
+
+        run(scenario())
+        assert slept == [0.1]  # exactly one retry, no loop
+
+    def test_opt_out_surfaces_immediately(self):
+        slept = []
+        client = self.make_client(
+            [self.quota_error()], slept, retry_quota=False
+        )
+
+        async def scenario():
+            with pytest.raises(ServingError):
+                await client.request({"op": "evaluate"})
+
+        run(scenario())
+        assert slept == []
+
+    def test_429_without_retry_after_surfaces(self):
+        slept = []
+        client = self.make_client(
+            [ServingError("overloaded", "shed", status=429)], slept
+        )
+
+        async def scenario():
+            with pytest.raises(ServingError):
+                await client.request({"op": "evaluate"})
+
+        run(scenario())
+        assert slept == []
+
+    def test_non_quota_errors_never_retry(self):
+        slept = []
+        client = self.make_client(
+            [ServingError("unknown-store", "nope", status=404)], slept
+        )
+
+        async def scenario():
+            with pytest.raises(ServingError) as info:
+                await client.request({"op": "evaluate"})
+            assert info.value.status == 404
+
+        run(scenario())
+        assert slept == []

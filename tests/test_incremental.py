@@ -1,0 +1,239 @@
+"""Unit tests for cone-level incremental recompilation primitives.
+
+The mutation subsystem (PR 9) relies on three small mechanisms:
+
+* :meth:`CircuitCache.evict_intersecting` / :meth:`DecompositionCache.
+  evict_intersecting` — surgical eviction of exactly the cached
+  circuits / memo cones whose variable-id sets intersect a change;
+* registry mutation (`set_boolean` / `set_distribution` /
+  `remove_variable`) — in-place probability rewrites that keep the
+  interned atom-probability window consistent;
+* :meth:`CircuitCache.touch` — the serving read-your-writes signal: a
+  committed mutation bumps the live-cache version, so snapshots re-cut
+  and ``expect_version`` pins from before the commit 409.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.circuits import (
+    CircuitCache,
+    InvalidationReport,
+    invalidate_variables,
+    variable_ids_of,
+)
+from repro.core.dnf import DNF
+from repro.core.events import Clause
+from repro.core.memo import DecompositionCache
+from repro.core.variables import VariableRegistry, lookup_variable
+from repro.db.database import Database
+from repro.db.relation import Relation
+from repro.engine import ConfidenceEngine, EngineConfig
+from repro.db.session import ProbDB
+from repro.serving import ServingClient, ServingError
+
+
+def make_registry(prefix="i", count=8):
+    registry = VariableRegistry()
+    for index in range(count):
+        registry.add_boolean(f"{prefix}{index}", 0.1 + 0.08 * index)
+    return registry
+
+
+def dnf(*clauses):
+    return DNF([Clause({v: True for v in clause}) for clause in clauses])
+
+
+class TestCircuitCacheEviction:
+    def test_evicts_only_intersecting_entries(self):
+        registry = make_registry()
+        engine = ConfidenceEngine(registry)
+        cache = CircuitCache()
+        left = dnf(("i0", "i1"), ("i2",))
+        right = dnf(("i5", "i6"), ("i7",))
+        cache.put(left, engine.compile_circuit(left))
+        cache.put(right, engine.compile_circuit(right))
+
+        removed = cache.evict_intersecting(variable_ids_of(["i1"]))
+        assert removed == 1
+        assert cache.get(left) is None
+        assert cache.get(right) is not None
+
+    def test_disjoint_change_is_free_and_versionless(self):
+        registry = make_registry()
+        engine = ConfidenceEngine(registry)
+        cache = CircuitCache()
+        lineage = dnf(("i0", "i1"))
+        cache.put(lineage, engine.compile_circuit(lineage))
+        before = cache.version
+
+        assert cache.evict_intersecting(variable_ids_of(["i7"])) == 0
+        assert cache.version == before  # no change, no version bump
+        assert cache.evict_intersecting(frozenset()) == 0
+        assert cache.get(lineage) is not None
+
+    def test_touch_bumps_version_without_evicting(self):
+        registry = make_registry()
+        engine = ConfidenceEngine(registry)
+        cache = CircuitCache()
+        lineage = dnf(("i0",))
+        cache.put(lineage, engine.compile_circuit(lineage))
+        before = cache.version
+        assert cache.touch() == before + 1
+        assert cache.get(lineage) is not None
+
+
+class TestMemoEviction:
+    def test_evicts_cones_touching_variables(self):
+        registry = make_registry()
+        cache = DecompositionCache()
+        engine = ConfidenceEngine(registry, cache=cache)
+        # P4 paths: not read-once, so they actually decompose and memoise.
+        left = dnf(("i0", "i1"), ("i1", "i2"), ("i2", "i3"))
+        right = dnf(("i4", "i5"), ("i5", "i6"), ("i6", "i7"))
+        engine.compute(left)
+        engine.compute(right)
+        assert cache.stats()["entries"] > 0
+        # Baseline: how many misses a fully-warm recompute records
+        # (top-level probes miss transiently even with all cones cached).
+        before = cache.stats()["misses"]
+        engine.compute(right)
+        warm_misses = cache.stats()["misses"] - before
+
+        removed = cache.evict_intersecting(variable_ids_of(["i0"]))
+        assert removed > 0
+        # The disjoint query's cones survive: recomputing it is exactly
+        # as warm as before the eviction.
+        before = cache.stats()["misses"]
+        engine.compute(right)
+        assert cache.stats()["misses"] - before == warm_misses
+
+    def test_empty_touched_set_is_noop(self):
+        cache = DecompositionCache()
+        assert cache.evict_intersecting(frozenset()) == 0
+
+
+class TestVariableIdsOf:
+    def test_maps_names_and_skips_uninterned(self):
+        registry = make_registry(prefix="v", count=2)
+        ids = variable_ids_of(["v0", "v1", "never-interned-xyz"])
+        assert ids == frozenset(
+            lookup_variable(name) for name in ("v0", "v1")
+        )
+        assert None not in ids
+
+    def test_invalidation_report_merges(self):
+        a = InvalidationReport(frozenset({1}), 2, 3)
+        b = InvalidationReport(frozenset({4}), 1, 1)
+        merged = a + b
+        assert merged.variable_ids == frozenset({1, 4})
+        assert merged.circuits_evicted == 3
+        assert merged.memo_evicted == 4
+
+    def test_invalidate_variables_routes_to_both_caches(self):
+        registry = make_registry(prefix="w")
+        engine = ConfidenceEngine(registry)
+        circuits = CircuitCache()
+        memo = DecompositionCache()
+        cone_engine = ConfidenceEngine(registry, cache=memo)
+        lineage = dnf(("w0", "w1"), ("w1", "w2"), ("w2", "w3"))
+        circuits.put(lineage, engine.compile_circuit(lineage))
+        cone_engine.compute(lineage)
+
+        report = invalidate_variables(
+            variable_ids_of(["w1"]), circuits=circuits, memo=memo
+        )
+        assert report.circuits_evicted == 1
+        assert report.memo_evicted > 0
+        assert circuits.get(lineage) is None
+
+
+class TestRegistryMutation:
+    def test_set_boolean_returns_old_distribution(self):
+        registry = VariableRegistry()
+        registry.add_boolean("t", 0.3)
+        old = registry.set_boolean("t", 0.8)
+        assert old[True] == pytest.approx(0.3)
+        assert registry.probability("t", True) == pytest.approx(0.8)
+        # The interned atom-probability fast path agrees.
+        assert registry.set_boolean("t", 0.5)[True] == pytest.approx(0.8)
+
+    @pytest.mark.parametrize("bad", [0.0, -0.5, 1.0, 1.5])
+    def test_set_boolean_rejects_degenerate_mass(self, bad):
+        registry = VariableRegistry()
+        registry.add_boolean("t", 0.3)
+        with pytest.raises(ValueError):
+            registry.set_boolean("t", bad)
+
+    def test_set_distribution_swaps_support(self):
+        registry = VariableRegistry()
+        registry.add_variable("color", {"red": 0.5, "blue": 0.5})
+        old = registry.set_distribution(
+            "color", {"red": 0.2, "green": 0.8}
+        )
+        assert set(old) == {"red", "blue"}
+        assert registry.probability("color", "green") == pytest.approx(0.8)
+        with pytest.raises(KeyError):
+            registry.probability("color", "blue")  # out of the new domain
+
+    def test_remove_variable_clears_and_returns(self):
+        registry = VariableRegistry()
+        registry.add_boolean("gone", 0.4)
+        old = registry.remove_variable("gone")
+        assert old[True] == pytest.approx(0.4)
+        assert "gone" not in registry
+        with pytest.raises(KeyError):
+            registry.remove_variable("gone")
+
+
+class TestServingReadYourWrites:
+    """Committed mutation → live-cache version bump → stale pins 409."""
+
+    def test_commit_invalidates_expect_version_pins(self):
+        registry = VariableRegistry()
+        database = Database(registry)
+        database.add(
+            Relation.tuple_independent(
+                "R", ["x"],
+                [((value,), 0.3 + 0.1 * i)
+                 for i, value in enumerate("abc")],
+                registry,
+            )
+        )
+        db = ProbDB(database, EngineConfig(compile_circuits=True))
+        lineage = dnf((("R", 0),), (("R", 1),))
+        db.confidence(lineage)  # compiles + caches the circuit
+        engine = db.serving()
+        client = ServingClient(engine)
+
+        async def scenario():
+            first = await client.evaluate(lineage, store="session")
+            pinned = first["store_version"]
+            assert pinned == f"cache:{db.circuits.version}"
+
+            # Same pin, no mutation: still served.
+            again = await client.evaluate(
+                lineage, store="session", expect_version=pinned
+            )
+            assert again["value"] == first["value"]
+
+            # An autocommitted mutation bumps the live-cache version...
+            db.update("R", probability=0.9, where={"x": "a"})
+            with pytest.raises(ServingError) as info:
+                await client.evaluate(
+                    lineage, store="session", expect_version=pinned
+                )
+            assert info.value.code == "stale-version"
+            assert info.value.status == 409
+            assert info.value.details["expected"] == pinned
+
+            # ...and an unpinned request sees the new probabilities.
+            fresh = await client.evaluate(lineage, store="session")
+            assert fresh["store_version"] != pinned
+            expected = db.confidence(lineage).probability
+            assert fresh["value"] == pytest.approx(expected)
+            await engine.close()
+
+        asyncio.run(scenario())
+        db.close()

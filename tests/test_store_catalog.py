@@ -1,0 +1,178 @@
+"""Store-catalog lazy-loading edge cases.
+
+The runtime catalog (PR 8) registers stores lazily — ``add_store(
+lazy=True)`` and ``serve_directory`` defer loading to the first
+request — and drops them at runtime.  These tests pin down the edges
+where lazy registration meets a changing filesystem or a concurrent
+``drop_store``: a file deleted before its first touch must 404 (not
+crash the engine), a dropped directory store must come back on
+rescan-on-miss exactly while its file exists, and the rescan/drop race
+must never surface anything but a structured :class:`ServingError`.
+"""
+
+import asyncio
+import os
+import threading
+
+import pytest
+
+from repro.circuits import CircuitCache
+from repro.core.dnf import DNF
+from repro.core.events import Clause
+from repro.core.variables import VariableRegistry
+from repro.engine import ConfidenceEngine
+from repro.serving import (
+    CircuitStoreService,
+    ServingClient,
+    ServingEngine,
+    ServingError,
+)
+
+
+def make_registry():
+    registry = VariableRegistry()
+    for index in range(6):
+        registry.add_boolean(f"s{index}", 0.1 + 0.1 * index)
+    return registry
+
+
+def dnf(*clauses):
+    return DNF([Clause({v: True for v in clause}) for clause in clauses])
+
+
+LINEAGE = (("s0", "s1"), ("s2",))
+
+
+def build_store(registry, path):
+    engine = ConfidenceEngine(registry)
+    cache = CircuitCache()
+    lineage = dnf(*LINEAGE)
+    circuit = engine.compile_circuit(lineage)
+    cache.put(lineage, circuit)
+    cache.save(path)
+    return lineage, circuit
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+class TestLazyFileDeleted:
+    def test_snapshot_404s_not_crashes(self, tmp_path):
+        registry = make_registry()
+        build_store(registry, tmp_path / "gone.bin")
+        build_store(registry, tmp_path / "kept.bin")
+        service = CircuitStoreService(registry)
+        service.add_store("gone", tmp_path / "gone.bin", lazy=True)
+        service.add_store("kept", tmp_path / "kept.bin", lazy=True)
+        os.unlink(tmp_path / "gone.bin")
+
+        for _ in range(3):  # repeatable, not a one-shot crash
+            with pytest.raises(ServingError) as info:
+                service.snapshot("gone")
+            assert info.value.code == "unknown-store"
+            assert info.value.status == 404
+        # The sibling store is untouched by the failure.
+        assert len(service.snapshot("kept")) == 1
+
+    def test_engine_survives_and_keeps_serving(self, tmp_path):
+        registry = make_registry()
+        lineage, circuit = build_store(registry, tmp_path / "kept.bin")
+        build_store(registry, tmp_path / "gone.bin")
+        service = CircuitStoreService(registry)
+        service.add_store("kept", tmp_path / "kept.bin")
+        service.add_store("gone", tmp_path / "gone.bin", lazy=True)
+        os.unlink(tmp_path / "gone.bin")
+        engine = ServingEngine(service, None)
+        client = ServingClient(engine)
+
+        async def scenario():
+            with pytest.raises(ServingError) as info:
+                await client.evaluate(lineage, store="gone")
+            assert info.value.status == 404
+            # Same engine, next request: alive and correct.
+            response = await client.evaluate(lineage, store="kept")
+            assert response["value"] == circuit.evaluate(None)
+            await engine.close()
+
+        run(scenario())
+
+
+class TestDirectoryRescanVsDrop:
+    def test_dropped_store_reappears_while_file_exists(self, tmp_path):
+        """rescan-on-miss wins the race when the file is still on disk.
+
+        ``drop_store`` forgets the *name*; a served directory re-lists
+        its files on the next miss, so the name re-registers.  That is
+        the documented contract: to retire a directory store for good,
+        remove the file (or the directory registration), not just the
+        name.
+        """
+        registry = make_registry()
+        build_store(registry, tmp_path / "alpha.rcir")
+        service = CircuitStoreService(registry)
+        assert service.serve_directory(tmp_path) == ("alpha",)
+        assert len(service.snapshot("alpha")) == 1
+
+        service.drop_store("alpha")
+        # The very next lookup rescans and lazily re-registers it.
+        assert len(service.snapshot("alpha")) == 1
+
+    def test_dropped_store_stays_gone_once_file_removed(self, tmp_path):
+        registry = make_registry()
+        build_store(registry, tmp_path / "beta.rcir")
+        service = CircuitStoreService(registry)
+        service.serve_directory(tmp_path)
+        assert len(service.snapshot("beta")) == 1
+
+        os.unlink(tmp_path / "beta.rcir")
+        service.drop_store("beta")
+        with pytest.raises(ServingError) as info:
+            service.snapshot("beta")
+        assert info.value.code == "unknown-store"
+
+    def test_concurrent_rescan_and_drop_never_tears(self, tmp_path):
+        """Hammer snapshot() against drop_store() from threads.
+
+        Outcomes per call must be exactly: a valid snapshot, or a
+        structured unknown-store error (drop won the race).  Any other
+        exception — KeyError from a torn dict, AttributeError from a
+        half-installed snapshot — fails the test.
+        """
+        registry = make_registry()
+        build_store(registry, tmp_path / "gamma.rcir")
+        service = CircuitStoreService(registry)
+        service.serve_directory(tmp_path)
+        failures = []
+        served = [0]
+        stop = threading.Event()
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    snapshot = service.snapshot("gamma")
+                    assert len(snapshot) == 1
+                    served[0] += 1
+                except ServingError as exc:
+                    if exc.code != "unknown-store":
+                        failures.append(exc)
+                except Exception as exc:  # noqa: BLE001 - the assertion
+                    failures.append(exc)
+
+        def dropper():
+            while not stop.is_set():
+                try:
+                    service.drop_store("gamma")
+                except ServingError:
+                    pass  # already dropped; rescan will bring it back
+
+        threads = [threading.Thread(target=reader) for _ in range(3)]
+        threads.append(threading.Thread(target=dropper))
+        for thread in threads:
+            thread.start()
+        threads[0].join(0.5)  # let the race run for a bounded window
+        stop.set()
+        for thread in threads:
+            thread.join(5.0)
+        assert not failures
+        assert served[0] > 0  # the reader actually got snapshots
