@@ -1,0 +1,200 @@
+"""Guided vs widest-interval refinement scheduling for top-k ranking.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_refine.py
+    REFINE_BENCH_SMOKE=1 PYTHONPATH=src python benchmarks/bench_refine.py
+
+The workload gradient-guided ranking exists for: a mixed-hardness
+answer batch — most answers cheap, a few carrying dense lineages that
+dominate refinement cost — ranked to a certified top-k.  The widest
+-interval scheduler refines whichever straddler has the loosest
+bounds; the gradient-guided scheduler (``rank_answers(guided=True)``,
+the default) scores every boundary candidate by how far its blocking
+bound sits from the certification threshold and, for answers backed by
+a partial circuit, how much the widest residual leaf can actually move
+the answer probability (sum of |∂P/∂p| over the leaf's variables).
+
+Per seed the bench builds the same batch twice — once per scheduler —
+with partial circuits (``max_nodes=48``) pre-compiled into a
+:class:`~repro.circuits.cache.CircuitCache` wired up as the engine's
+``circuit_source``, ranks to top-3, and records the total refinement
+steps each scheduler spent.  Both metrics are **deterministic** (step
+counts depend only on the scheduling policy, never on wall-clock), so
+the regression gate can hold them tight across machines:
+
+* ``orderings_identical`` — guided ranking must certify the *same*
+  top-k ordering as widest-interval on every seed;
+* ``steps_ratio_guided_vs_widest`` — total guided steps over total
+  widest steps; the acceptance bar is ``<= 1.05`` (guided must never
+  cost materially more than the baseline policy it replaces), asserted
+  unless ``REFINE_BENCH_NO_ASSERT=1``.
+
+Results go to ``BENCH_refine.json`` at the repo root (override with
+``REFINE_BENCH_OUTPUT``).  Smoke mode (``REFINE_BENCH_SMOKE=1``, used
+by CI): 6 seeds instead of 20.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import sys
+import time
+
+from repro.circuits.cache import CircuitCache
+from repro.core.dnf import DNF
+from repro.core.variables import VariableRegistry
+from repro.db.topk import _rank_batch
+from repro.engine import ConfidenceEngine
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+#: Result file; override with REFINE_BENCH_OUTPUT so comparison runs
+#: (benchmarks/check_bench_regression.py) don't clobber the committed
+#: baseline.
+OUTPUT = os.environ.get(
+    "REFINE_BENCH_OUTPUT", os.path.join(REPO_ROOT, "BENCH_refine.json")
+)
+
+SMOKE = os.environ.get("REFINE_BENCH_SMOKE") == "1"
+ASSERT_RATIO = os.environ.get("REFINE_BENCH_NO_ASSERT") != "1"
+SEEDS = range(1, 7) if SMOKE else range(1, 21)
+ANSWERS = 8
+HARD = frozenset({1, 4, 6})
+K = 3
+MAX_NODES = 48
+MAX_TOTAL_STEPS = 200_000
+#: Guided scheduling must not cost more steps than the widest-interval
+#: policy it replaces; the counts are deterministic, so the bar is
+#: tight.
+RATIO_BAR = 1.05
+
+
+def make_answers(registry, seed):
+    """A mixed-hardness batch: answers in HARD get dense lineages."""
+    rng = random.Random(seed)
+    answers = []
+    for index in range(ANSWERS):
+        n_vars, n_clauses = (30, 26) if index in HARD else (14, 10)
+        names = [f"x{index}_{i}" for i in range(n_vars)]
+        for name in names:
+            registry.add_boolean(name, rng.uniform(0.05, 0.35))
+        groups = [
+            rng.sample(names, rng.choice([2, 3]))
+            for _ in range(n_clauses)
+        ]
+        answers.append(((f"a{index}",), DNF.from_positive_clauses(groups)))
+    return answers
+
+
+def rank_once(seed, guided):
+    """Rank one seeded batch; return (ordering, steps, seconds)."""
+    registry = VariableRegistry()
+    answers = make_answers(registry, seed)
+    engine = ConfidenceEngine(registry, epsilon=0.0)
+    cache = CircuitCache()
+    for _values, dnf in answers:
+        cache.put(
+            dnf,
+            engine.compile_circuit(dnf, max_nodes=MAX_NODES),
+            exact_only=False,
+        )
+    engine.circuit_source = cache.get
+    started = time.perf_counter()
+    batch = engine.refine_many(
+        [dnf for _values, dnf in answers],
+        epsilon=0.0,
+        initial_steps=4,
+        step_growth=2,
+    )
+    ranked = _rank_batch(
+        batch, answers, K, MAX_TOTAL_STEPS, 0.0, guided=guided
+    )
+    seconds = time.perf_counter() - started
+    return [row.values for row in ranked], batch.total_steps, seconds
+
+
+def main() -> int:
+    per_seed = []
+    total_widest = total_guided = 0
+    seconds_widest = seconds_guided = 0.0
+    orderings_identical = True
+    for seed in SEEDS:
+        widest_order, widest_steps, widest_s = rank_once(seed, False)
+        guided_order, guided_steps, guided_s = rank_once(seed, True)
+        same = widest_order == guided_order
+        orderings_identical = orderings_identical and same
+        total_widest += widest_steps
+        total_guided += guided_steps
+        seconds_widest += widest_s
+        seconds_guided += guided_s
+        per_seed.append(
+            {
+                "seed": seed,
+                "widest_steps": widest_steps,
+                "guided_steps": guided_steps,
+                "ordering_identical": same,
+            }
+        )
+        print(
+            f"seed {seed:2d}: widest {widest_steps:5d}  guided "
+            f"{guided_steps:5d}  ordering "
+            f"{'same' if same else 'DIFFERS'}"
+        )
+
+    ratio = (
+        total_guided / total_widest if total_widest > 0 else float("inf")
+    )
+    report = {
+        "experiment": (
+            "Gradient-guided vs widest-interval top-k refinement "
+            "(benchmarks/bench_refine.py)"
+        ),
+        "workload": (
+            f"{len(list(SEEDS))} seeded batches of {ANSWERS} answers "
+            f"({len(HARD)} dense), partial circuits at "
+            f"max_nodes={MAX_NODES}, certified top-{K}"
+        ),
+        "environment": {
+            "python": sys.version.split()[0],
+            "cpu_count": os.cpu_count(),
+            "smoke": SMOKE,
+        },
+        "per_seed": per_seed,
+        "totals": {
+            "widest_steps": total_widest,
+            "guided_steps": total_guided,
+            "steps_ratio_guided_vs_widest": round(ratio, 4),
+            "orderings_identical": orderings_identical,
+            "widest_seconds": round(seconds_widest, 6),
+            "guided_seconds": round(seconds_guided, 6),
+        },
+        "differential": (
+            "step counts are scheduling-policy-deterministic; the "
+            "ratio and ordering flags are machine-independent"
+        ),
+    }
+    with open(OUTPUT, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(
+        f"\ntotal: widest {total_widest} steps  guided {total_guided} "
+        f"steps  ratio {ratio:.3f}  orderings "
+        f"{'identical' if orderings_identical else 'DIVERGED'}"
+        f"  -> {OUTPUT}"
+    )
+    if ASSERT_RATIO:
+        assert orderings_identical, (
+            "guided ranking certified a different top-k ordering than "
+            "widest-interval on at least one seed"
+        )
+        assert ratio <= RATIO_BAR, (
+            f"guided scheduling spent {ratio:.3f}x the widest-interval "
+            f"steps, above the {RATIO_BAR}x acceptance bar"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,6 +29,11 @@ measures inside a single run:
   a DML mutation (cone-level eviction, warm remainder) vs a full
   from-scratch rebuild.  Baseline from the recorded full run; the gate
   fails if a smoke run cannot reach ``max(2, baseline / SLACK)``.
+* ``steps_ratio_guided_vs_widest`` (refine): gradient-guided top-k
+  refinement vs the widest-interval scheduler.  Step counts are
+  scheduling-deterministic — no timing involved — so this gate is held
+  tight: the smoke ratio may not exceed ``max(baseline, 1.0) × 1.05``
+  and guided ranking must certify the **identical** ordering.
 * ``response_hit_ratio`` (fleet): the share of the repetition-heavy
   socket workload answered from worker response caches.  The ratio is
   fixed by the workload's repeat structure, not the hardware, so the
@@ -41,6 +46,11 @@ measures inside a single run:
 workloads are small): the gate exists to catch *order-of-magnitude*
 regressions on every PR, not single-digit percentages — those are the
 job of the recorded full benches.
+
+Every gate loads its committed baseline through :func:`load_baseline`,
+which fails **loudly** — a missing, unparseable, or non-object
+``BENCH_*.json`` raises :class:`RegressionError` instead of letting
+the gate silently skip a broken baseline.
 
 Smoke outputs are written to a temp directory; the committed baselines
 are never touched.
@@ -79,8 +89,21 @@ def load_baseline(name: str) -> dict:
             f"committed baseline {name} is missing — record it with the "
             "matching bench script before gating on it"
         )
-    with open(path) as handle:
-        return json.load(handle)
+    try:
+        with open(path) as handle:
+            baseline = json.load(handle)
+    except (json.JSONDecodeError, UnicodeDecodeError, OSError) as error:
+        raise RegressionError(
+            f"committed baseline {name} is unreadable ({error}) — "
+            "re-record it with the matching bench script; a corrupt "
+            "baseline must never silently pass the gate"
+        ) from error
+    if not isinstance(baseline, dict):
+        raise RegressionError(
+            f"committed baseline {name} is not a JSON object — "
+            "re-record it with the matching bench script"
+        )
+    return baseline
 
 
 def run_bench(script: str, env: dict, *args: str) -> None:
@@ -356,6 +379,57 @@ def check_fleet(failures: list) -> None:
         )
 
 
+def check_refine(failures: list) -> None:
+    baseline = load_baseline("BENCH_refine.json")
+    baseline_totals = baseline["totals"]
+    baseline_ratio = baseline_totals["steps_ratio_guided_vs_widest"]
+    if not baseline_totals["orderings_identical"]:
+        raise RegressionError(
+            "BENCH_refine.json baseline recorded diverging orderings — "
+            "re-record it; guided ranking must certify the same top-k"
+        )
+    # Step counts are scheduling-deterministic, not timings, so the
+    # gate holds them tight: guided must certify the same ordering and
+    # never spend materially more steps than widest-interval.
+    ratio_threshold = max(baseline_ratio, 1.0) * 1.05
+
+    with tempfile.TemporaryDirectory() as temp_dir:
+        output = os.path.join(temp_dir, "refine_smoke.json")
+        run_bench(
+            "bench_refine.py",
+            {
+                "REFINE_BENCH_SMOKE": "1",
+                "REFINE_BENCH_OUTPUT": output,
+                # The gate applies its own thresholds below.
+                "REFINE_BENCH_NO_ASSERT": "1",
+            },
+        )
+        with open(output) as handle:
+            smoke = json.load(handle)
+    totals = smoke["totals"]
+    smoke_ratio = totals["steps_ratio_guided_vs_widest"]
+    identical = totals["orderings_identical"]
+    ok = identical and smoke_ratio <= ratio_threshold
+    print(
+        f"[refine] guided/widest step ratio: smoke {smoke_ratio:.3f}, "
+        f"baseline {baseline_ratio:.3f}, threshold "
+        f"<= {ratio_threshold:.3f}, orderings "
+        f"{'identical' if identical else 'DIVERGED'} "
+        f"... {'ok' if ok else 'FAIL'}"
+    )
+    if not identical:
+        failures.append(
+            "guided top-k ranking certified a different ordering than "
+            "widest-interval refinement on the smoke batch"
+        )
+    if smoke_ratio > ratio_threshold:
+        failures.append(
+            f"guided refinement step efficiency regressed: ratio "
+            f"{smoke_ratio:.3f} > {ratio_threshold:.3f} (baseline "
+            f"{baseline_ratio:.3f})"
+        )
+
+
 def main() -> int:
     failures: list = []
     check_circuit_speedup(failures)
@@ -364,6 +438,7 @@ def main() -> int:
     check_updates(failures)
     check_serving_overhead(failures)
     check_fleet(failures)
+    check_refine(failures)
     if failures:
         print("\nbench-regression gate FAILED:", file=sys.stderr)
         for failure in failures:

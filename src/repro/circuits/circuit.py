@@ -161,10 +161,10 @@ class Circuit:
         self.atom_nodes = atom_nodes
         self.var_atoms = var_atoms
         #: Parallel to :attr:`residuals`: the unexpanded sub-DNF behind
-        #: each residual leaf, when known.  Only compile-time circuits
-        #: carry them (deserialized stores do not persist sub-DNFs), so
-        #: entries may be ``None`` — those leaves are not refinable via
-        #: :func:`repro.circuits.expand_residuals`.
+        #: each residual leaf, when known.  Compile-time circuits carry
+        #: them, and format-v2 stores persist them (version-1 stores
+        #: predate that), so entries may be ``None`` — those leaves are
+        #: not refinable via :func:`repro.circuits.expand_residuals`.
         self.residual_dnfs: List[Optional[object]] = (
             list(residual_dnfs)
             if residual_dnfs is not None
@@ -232,6 +232,23 @@ class Circuit:
             key = names[kind]
             histogram[key] = histogram.get(key, 0) + 1
         return histogram
+
+    def residual_dnf(self, index: int) -> Optional[object]:
+        """The unexpanded sub-DNF behind residual leaf ``index``.
+
+        ``None`` when out of range or when the leaf's sub-DNF is not
+        recorded (circuits reloaded from pre-v2 stores) — such leaves
+        evaluate soundly but cannot be refined.
+        """
+        if 0 <= index < len(self.residual_dnfs):
+            return self.residual_dnfs[index]
+        return None
+
+    @property
+    def refinable(self) -> bool:
+        """True when at least one residual leaf carries its sub-DNF,
+        i.e. :func:`repro.circuits.expand_residuals` can tighten it."""
+        return any(dnf is not None for dnf in self.residual_dnfs)
 
     def widest_residual(
         self,

@@ -29,7 +29,7 @@ Two layers:
   :meth:`~repro.circuits.CircuitCache.load` and ``ProbDB`` session
   warm-start.
 
-Format notes (version 1)
+Format notes (version 2)
 ------------------------
 The header is ``magic (4s) | version (u16) | flags (u16) | intern
 digest (16) | payload digest (16) | entry count (u32)``, all
@@ -45,6 +45,13 @@ self-contained convention as ``Atom.__reduce__``).  Residual-interval
 leaves of partial circuits serialize with their bounds and variable
 sets, and :meth:`Circuit.condition` clamps are re-applied on load, so
 partial and conditioned circuits round-trip too.
+
+Version 2 additionally records, per residual leaf, the **sub-DNF** the
+truncated compilation left behind (name-based, exactly like lineage
+keys), making persisted partial circuits resumable: a fresh process
+can keep expanding residual leaves where the saving process stopped.
+Version-1 stores remain loadable; their partial circuits evaluate
+soundly but are read-only (``Circuit.refinable`` is false).
 
 What invalidates a store
 ------------------------
@@ -104,6 +111,7 @@ from .circuit import (
 __all__ = [
     "CircuitStoreError",
     "FORMAT_VERSION",
+    "SUPPORTED_VERSIONS",
     "encode_circuit",
     "decode_circuit",
     "encode_cache_slice",
@@ -116,7 +124,17 @@ __all__ = [
 ]
 
 #: On-disk format version; bumped on any incompatible layout change.
-FORMAT_VERSION = 1
+#: Version 2 appends each residual leaf's sub-DNF (name-based, like
+#: lineage keys) so persisted partial circuits stay *refinable* —
+#: ``refine_sweep_bounds`` / ``expand_residuals`` can resume a
+#: truncated run in another process.  Version-1 stores still load, but
+#: their residual leaves carry no sub-DNF and are read-only: sound to
+#: evaluate, impossible to tighten.
+FORMAT_VERSION = 2
+
+#: Store versions this build can read (older versions degrade — see
+#: :data:`FORMAT_VERSION`).
+SUPPORTED_VERSIONS = frozenset({1, 2})
 
 _MAGIC = b"RCIR"
 #: ``magic | version | flags | intern digest | payload digest | count``.
@@ -365,7 +383,12 @@ def _load_dnf(reader: _Reader, table: _LoadedTable) -> DNF:
 # ----------------------------------------------------------------------
 # Circuit records
 # ----------------------------------------------------------------------
-def encode_circuit(circuit: Circuit, key: Optional[DNF] = None) -> bytes:
+def encode_circuit(
+    circuit: Circuit,
+    key: Optional[DNF] = None,
+    *,
+    format_version: int = FORMAT_VERSION,
+) -> bytes:
     """One circuit (plus optional lineage key) as self-contained bytes.
 
     The record is valid in any process: node arrays are rewritten
@@ -374,7 +397,15 @@ def encode_circuit(circuit: Circuit, key: Optional[DNF] = None) -> bytes:
     ``key`` is the lineage DNF the circuit answers —
     :class:`~repro.circuits.CircuitCache` stores round-trip it so a
     reloaded cache keeps answering by lineage equality.
+    ``format_version`` selects the record layout — pass ``1`` to write
+    a store readable by pre-v2 code (residual sub-DNFs are dropped, so
+    reloaded partial circuits evaluate but cannot refine).
     """
+    if format_version not in SUPPORTED_VERSIONS:
+        raise CircuitStoreError(
+            f"cannot encode format version {format_version} "
+            f"(supported: {sorted(SUPPORTED_VERSIONS)})"
+        )
     table = _NameTable()
     body = _Writer()
 
@@ -404,13 +435,24 @@ def encode_circuit(circuit: Circuit, key: Optional[DNF] = None) -> bytes:
     body.f64_seq(circuit.consts)
 
     body.u32(len(circuit.residuals))
-    for low, high, vids in circuit.residuals:
+    for slot, (low, high, vids) in enumerate(circuit.residuals):
         body.f64(low)
         body.f64(high)
         body.u32_seq(
             table.var_index[var_id]
             for var_id in sorted(vids, key=variable_repr)
         )
+        # Format v2: the residual's sub-DNF rides along (when known —
+        # circuits reloaded from v1 stores have none), so a persisted
+        # partial circuit can keep refining in any process.  Its atoms
+        # may extend the table; the table is dumped after the body.
+        if format_version >= 2:
+            sub_dnf = circuit.residual_dnf(slot)
+            if isinstance(sub_dnf, DNF):
+                body.u8(1)
+                _dump_dnf(body, sub_dnf, table)
+            else:
+                body.u8(0)
 
     if key is None:
         body.u8(0)
@@ -481,14 +523,22 @@ def decode_circuit(
     registry: VariableRegistry,
     *,
     validate: bool = True,
+    format_version: int = FORMAT_VERSION,
 ) -> Tuple[Circuit, Optional[DNF]]:
     """Rebuild a circuit (and its lineage key, if recorded) from bytes.
 
     Names are re-interned into *this* process's tables, so the record
     may come from any process in any intern state.  With ``validate``
     (the default) every referenced atom must exist in ``registry`` —
-    see the module docstring on store invalidation.
+    see the module docstring on store invalidation.  ``format_version``
+    selects the record layout (stores carry it in their header);
+    version-1 records lack residual sub-DNFs, so their partial circuits
+    load read-only.
     """
+    if format_version not in SUPPORTED_VERSIONS:
+        raise CircuitStoreError(
+            f"unsupported circuit-record format version {format_version}"
+        )
     reader = _Reader(data)
     table = _LoadedTable(reader)
     if validate:
@@ -509,11 +559,16 @@ def decode_circuit(
         )
     residual_count = reader.u32()
     residuals: List[Tuple[float, float, FrozenSet[int]]] = []
+    residual_dnfs: List[Optional[DNF]] = []
     for _ in range(residual_count):
         low = reader.f64()
         high = reader.f64()
         vids = frozenset(table.var(local) for local in reader.u32_seq())
         residuals.append((low, high, vids))
+        if format_version >= 2 and reader.u8():
+            residual_dnfs.append(_load_dnf(reader, table))
+        else:
+            residual_dnfs.append(None)
     _check_node_structure(
         kinds, arg0_values, arg1_values, children_values, consts,
         residual_count,
@@ -540,6 +595,7 @@ def decode_circuit(
         residuals,
         atom_nodes,
         var_atoms,
+        residual_dnfs=residual_dnfs,
     )
     conditioned = table.extra or ()
     for variable, value in conditioned:
@@ -784,15 +840,20 @@ def merge_cache_slice(data: bytes, cache: DecompositionCache) -> int:
 def save_circuit_store(
     path: PathLike,
     entries: Iterable[Tuple[Optional[DNF], Circuit]],
+    *,
+    format_version: int = FORMAT_VERSION,
 ) -> int:
     """Write ``(lineage key, circuit)`` pairs as a versioned store.
 
     Returns the number of entries written.  The write is atomic-ish: a
     temp file in the same directory is renamed over ``path``, so a
     crash mid-save never leaves a half-written store behind.
+    ``format_version=1`` writes the pre-sub-DNF layout for old readers
+    (see :func:`encode_circuit`).
     """
     records = [
-        encode_circuit(circuit, key=key) for key, circuit in entries
+        encode_circuit(circuit, key=key, format_version=format_version)
+        for key, circuit in entries
     ]
     payload_writer = _Writer()
     for record in records:
@@ -800,7 +861,7 @@ def save_circuit_store(
     payload = payload_writer.getvalue()
     header = _HEADER.pack(
         _MAGIC,
-        FORMAT_VERSION,
+        format_version,
         0,
         intern_table_digest(),
         hashlib.blake2b(payload, digest_size=16).digest(),
@@ -843,11 +904,12 @@ def _read_store(
             f"{os.fspath(path)!r} is not a circuit store "
             f"(bad magic {magic!r})"
         )
-    if version != FORMAT_VERSION:
+    if version not in SUPPORTED_VERSIONS:
         raise CircuitStoreError(
             f"unsupported circuit-store format version {version}; "
-            f"this build reads version {FORMAT_VERSION} — recompile "
-            "the store with the matching library version"
+            f"this build reads versions "
+            f"{sorted(SUPPORTED_VERSIONS)} — recompile the store with "
+            "the matching library version"
         )
     payload = raw[_HEADER.size:]
     actual = hashlib.blake2b(payload, digest_size=16).digest()
@@ -877,15 +939,19 @@ def load_circuit_store(
     ``strict`` (the default) the first invalid record raises
     :class:`CircuitStoreError`; with ``strict=False`` invalid records
     are skipped, which lets a session warm-start from a store whose
-    database has since lost some tuples.
+    database has since lost some tuples.  Version-1 stores load with
+    their partial circuits read-only (no residual sub-DNFs recorded).
     """
-    _info, payload, count = _read_store(path)
+    info, payload, count = _read_store(path)
+    version = int(info["format_version"])  # type: ignore[arg-type]
     reader = _Reader(payload)
     entries: List[Tuple[Optional[DNF], Circuit]] = []
     for index in range(count):
         record = reader.bytes_()
         try:
-            circuit, key = decode_circuit(record, registry)
+            circuit, key = decode_circuit(
+                record, registry, format_version=version
+            )
         except CircuitStoreError as exc:
             if strict:
                 raise CircuitStoreError(

@@ -341,7 +341,16 @@ class QueryResult:
             for index, result in zip(cold, computed):
                 results[index] = result
                 if cache is not None and result.circuit is not None:
-                    cache.put(answers[index][1], result.circuit)
+                    # Partial circuits are cached too (exact_only=False):
+                    # a budgeted run's truncation frontier is resumable
+                    # anytime state — later refinement (and, with a
+                    # persisted store, a future process) expands it in
+                    # place instead of recomputing.  The warm path above
+                    # still requires is_exact before answering from it.
+                    cache.put(
+                        answers[index][1], result.circuit,
+                        exact_only=False,
+                    )
         pairs: List[Tuple[AnswerValues, EngineResult]] = []
         for (values, _dnf), result in zip(answers, results):
             if result is None:  # pragma: no cover - batch invariant
@@ -470,6 +479,11 @@ class QueryResult:
         pairs: List[Tuple[AnswerValues, Circuit]] = []
         for values, dnf in self.lineage():
             circuit = cache.get(dnf) if cache is not None else None
+            if circuit is not None and not circuit.is_exact:
+                # The cache may hold a *partial* circuit (resumable
+                # anytime state from a budgeted run); an explicit
+                # compile wants the real thing.
+                circuit = None
             if circuit is None:
                 circuit = self.engine.compile_circuit(
                     dnf, max_nodes=max_nodes
@@ -641,8 +655,13 @@ class ProbDB:
         self.circuits = CircuitCache()
         # Let the engine's MC rung sample worlds on a session-cached
         # exact circuit (vectorized, when numpy is available) instead
-        # of running per-sample Karp-Luby over the raw lineage.
+        # of running per-sample Karp-Luby over the raw lineage — and
+        # let batched refinement resume cached *partial* circuits
+        # (strategy "circuit-refine"), writing expansion progress back
+        # so it survives the batch and, with a persisted store, the
+        # process.
         engine.circuit_source = self.circuits.get
+        engine.circuit_sink = self._store_partial_circuit
         #: The active :class:`~repro.db.mutations.Transaction`, if any.
         self._txn = None
         self._circuit_store: Optional[str] = (
@@ -779,7 +798,9 @@ class ProbDB:
             deadline_seconds=deadline_seconds,
         )
         if result.circuit is not None:
-            self.circuits.put(dnf, result.circuit)
+            # exact_only=False: budgeted runs leave resumable partial
+            # circuits behind (see BatchComputation.refine).
+            self.circuits.put(dnf, result.circuit, exact_only=False)
         return result
 
     def explain(
@@ -879,12 +900,18 @@ class ProbDB:
         dnf = lineage.to_dnf() if isinstance(lineage, Formula) else lineage
         if max_nodes is None:
             cached = self.circuits.get(dnf)
-            if cached is not None:
+            if cached is not None and cached.is_exact:
                 return cached
         circuit = self.engine.compile_circuit(dnf, max_nodes=max_nodes)
         if max_nodes is None:
             self.circuits.put(dnf, circuit)
         return circuit
+
+    def _store_partial_circuit(self, dnf: DNF, circuit: Circuit) -> None:
+        """Engine write-back (``circuit_sink``): keep refinement
+        progress.  ``exact_only=False`` because the whole point is
+        storing partial circuits — resumable anytime state."""
+        self.circuits.put(dnf, circuit, exact_only=False)
 
     def save_circuits(self, path: Optional[PathLike] = None) -> int:
         """Persist the session's compiled circuits; returns the count.

@@ -25,7 +25,7 @@ from typing import Hashable, List, Optional, Sequence, Tuple
 
 from ..core.dnf import DNF
 from ..core.orders import VariableSelector
-from ..core.variables import VariableRegistry
+from ..core.variables import VariableRegistry, variable_name
 
 __all__ = ["rank_answers", "top_k_answers", "RankedAnswer"]
 
@@ -74,6 +74,7 @@ def rank_answers(
     separation: float = 0.0,
     workers: Optional[int] = None,
     executor_kind: Optional[str] = None,
+    guided: Optional[bool] = None,
 ) -> List[RankedAnswer]:
     """The k most probable answers, certified by interval separation.
 
@@ -103,6 +104,15 @@ def rank_answers(
         with ``workers > 1`` refinement runs on a sharded worker pool
         (:mod:`repro.engine_parallel`), each ranking round refining the
         widest boundary-straddling intervals concurrently.
+    guided:
+        Refinement-target selection.  ``True`` (or the ``None``/auto
+        default) consults :meth:`repro.circuits.Circuit.gradients` on
+        candidates that have a refinable partial circuit and refines
+        the one whose expansion maximally narrows the k-vs-(k+1)
+        separation gap; candidates without circuits — and ``False`` —
+        use the classic widest-interval schedule.  Both schedules
+        certify the same ranking; guidance only changes how much work
+        certification takes.
 
     Returns
     -------
@@ -128,7 +138,10 @@ def rank_answers(
         executor_kind=executor_kind,
     )
     try:
-        return _rank_batch(batch, answers, k, max_total_steps, separation)
+        return _rank_batch(
+            batch, answers, k, max_total_steps, separation,
+            guided=guided is None or guided,
+        )
     finally:
         # Release a sharded batch's reference to the engine-lifetime
         # worker pool.  The pool itself survives on the engine (warm
@@ -139,7 +152,92 @@ def rank_answers(
             close()
 
 
-def _rank_batch(batch, answers, k, max_total_steps, separation):
+def _refinement_circuit(batch, index):
+    """A refinable partial circuit for a ranking candidate, if any.
+
+    Looks at the candidate's own result first (circuit-refine rounds
+    carry their expansion progress), then the engine's session-wired
+    ``circuit_source``.
+    """
+    result = batch.results[index]
+    candidates = [result.circuit]
+    source = getattr(batch.engine, "circuit_source", None)
+    if source is not None:
+        candidates.append(source(batch.dnfs[index]))
+    for circuit in candidates:
+        if (
+            circuit is not None
+            and not circuit.is_exact
+            and circuit.refinable
+            and not circuit.conditioned
+        ):
+            return circuit
+    return None
+
+
+def _gradient_target(
+    batch, order, boundary, k, kth_lower, best_excluded_upper, separation
+):
+    """The boundary candidate whose refinement most narrows the gap.
+
+    Every boundary straddler is scored by *relevance* — how far its
+    blocking bound sits from the certification threshold (a top-k
+    member blocks via its lower bound, an excluded answer via its
+    upper), capped at its interval width since one round cannot move a
+    bound further than that.  Candidates with a refinable partial
+    circuit additionally discount relevance by expected *progress*: the
+    fraction of the interval the widest residual leaf accounts for,
+    weighted by the total :meth:`~repro.circuits.Circuit.gradients`
+    magnitude over that leaf's variables (how hard expanding the leaf
+    can move the root).  Ties fall to the widest interval, so with no
+    usable gradient signal the choice degenerates to the classic
+    widest-interval schedule; with no circuits at all ``None`` is
+    returned and the caller takes that schedule directly.
+    """
+    topk = set(order[:k])
+    best_index = None
+    best_key = (-1.0, -1.0)
+    saw_circuit = False
+    for index in boundary:
+        result = batch.results[index]
+        if index in topk:
+            # A top-k member blocks via its lower bound: it must rise
+            # above the best excluded upper (plus separation).
+            relevance = (best_excluded_upper + separation) - result.lower
+        else:
+            # An excluded member blocks via its upper bound: it must
+            # drop below the k-th lower (minus separation).
+            relevance = result.upper - (kth_lower - separation)
+        relevance = min(relevance, result.width())
+        if relevance <= 0.0:
+            continue
+        effectiveness = 1.0  # a d-tree rerun attacks the whole interval
+        circuit = _refinement_circuit(batch, index)
+        if circuit is not None:
+            slot = circuit.widest_residual()
+            if slot is not None:
+                saw_circuit = True
+                low, high, vids = circuit.residuals[slot]
+                width = result.width() or 1.0
+                gradients = circuit.gradients()
+                influence = sum(
+                    abs(gradients.get(variable_name(vid), 0.0))
+                    for vid in vids
+                )
+                effectiveness = min(
+                    1.0, (high - low) / width * (1.0 + influence)
+                )
+        key = (relevance * effectiveness, result.width())
+        if key > best_key:
+            best_key = key
+            best_index = index
+    if not saw_circuit:
+        return None
+    return best_index
+
+
+def _rank_batch(batch, answers, k, max_total_steps, separation,
+                *, guided=True):
     values = [answer_values for answer_values, _dnf in answers]
     results = batch.results
 
@@ -186,7 +284,24 @@ def _rank_batch(batch, answers, k, max_total_steps, separation):
             or batch.out_of_time()
         ):
             break  # fully converged ties or out of budget: best effort
-        if batch.step(boundary) is None:
+        progressed = False
+        if guided:
+            # Gradient guidance: spend the round on the candidate whose
+            # circuit says refinement most narrows the k-vs-(k+1) gap,
+            # instead of blindly on the widest straddler.
+            target = _gradient_target(
+                batch, order, boundary, k,
+                kth_lower, best_excluded_upper, separation,
+            )
+            if target is not None:
+                before_steps = batch.total_steps
+                before_width = results[target].width()
+                batch.refine(target)
+                progressed = (
+                    batch.total_steps > before_steps
+                    or results[target].width() < before_width
+                )
+        if not progressed and batch.step(boundary) is None:
             break  # nothing refinable (budget headroom exhausted)
 
     order.sort(key=sort_key)

@@ -493,6 +493,125 @@ def _merge_refined(
     return result
 
 
+def _interval_converged(
+    low: float, high: float, epsilon: float, error_kind: str
+) -> bool:
+    """Does ``[low, high]`` certify the request?  Mirrors the d-tree
+    run's Prop. 5.8 criterion (one definition, so the circuit-refine
+    path cannot disagree with the ε-approximation on convergence)."""
+    if error_kind == ABSOLUTE:
+        return high - low <= 2.0 * epsilon
+    return (1.0 - epsilon) * high <= (1.0 + epsilon) * low
+
+
+def _interval_estimate(
+    low: float, high: float, epsilon: float, error_kind: str,
+    converged: bool,
+) -> float:
+    """The reported estimate for certified bounds (mirrors the d-tree
+    run's ``make_result``: midpoint of the qualifying interval)."""
+    if not converged:
+        return (low + high) / 2.0
+    if error_kind == ABSOLUTE:
+        estimate = ((high - epsilon) + (low + epsilon)) / 2.0
+    else:
+        estimate = ((1.0 - epsilon) * high + (1.0 + epsilon) * low) / 2.0
+    return max(low, min(high, estimate))
+
+
+def resumable_circuit(
+    engine: "ConfidenceEngine",
+    dnf: DNF,
+    *candidates: Optional[Circuit],
+) -> Optional[Circuit]:
+    """The first candidate partial circuit refinement can resume.
+
+    Checks the explicit ``candidates`` first (a batch's own expansion
+    progress), then the engine's :attr:`~ConfidenceEngine.circuit_source`
+    (the session cache).  A circuit qualifies when it is partial, its
+    residual leaves carry their sub-DNFs (``Circuit.refinable`` — true
+    for compile-time circuits and format-v2 store reloads, false for
+    pre-v2 stores), it lives on this engine's registry, and it is
+    unconditioned (the cache keys plain lineage; a conditioned circuit
+    answers a different distribution).
+    """
+    pool = list(candidates)
+    source = engine.circuit_source
+    if source is not None:
+        pool.append(source(dnf))
+    for circuit in pool:
+        if (
+            circuit is not None
+            and not circuit.is_exact
+            and circuit.refinable
+            and circuit.registry is engine.registry
+            and not circuit.conditioned
+        ):
+            return circuit
+    return None
+
+
+def _circuit_refine_result(
+    engine: "ConfidenceEngine",
+    dnf: DNF,
+    circuit: Circuit,
+    previous: "EngineResult",
+    budget: int,
+    epsilon: float,
+    error_kind: str,
+) -> "EngineResult":
+    """One strategy-"circuit-refine" round: expand the widest residual.
+
+    Instead of re-running the ε-approximation from scratch with a
+    bigger budget, the cached partial circuit is tightened *in place*:
+    the widest refinable residual leaf's sub-DNF is compiled (replaying
+    the engine's decomposition cache where it is warm — resuming a
+    just-computed batch costs zero cold steps) and spliced in via
+    :func:`repro.circuits.expand_residuals`.  The expanded circuit is
+    written back through :attr:`ConfidenceEngine.circuit_sink` so
+    progress survives the batch (and, with a persisted session store,
+    the process).
+    """
+    from .circuits.compiler import expand_residuals
+
+    slot = circuit.widest_residual()
+    if slot is None:  # pragma: no cover - guarded by resumable_circuit
+        return _merge_refined(previous, previous)
+    sub_dnf = circuit.residual_dnf(slot)
+    assert isinstance(sub_dnf, DNF)
+    stats = CircuitCompilationStats()
+    replacement = engine.compile_circuit(
+        sub_dnf,
+        max_nodes=engine._circuit_node_budget(budget, sub_dnf),
+        stats=stats,
+    )
+    expanded = expand_residuals(circuit, {slot: replacement})
+    low, high = expanded.evaluate_bounds()
+    converged = _interval_converged(low, high, epsilon, error_kind)
+    result = EngineResult(
+        _interval_estimate(low, high, epsilon, error_kind, converged),
+        low,
+        high,
+        "circuit-refine",
+        "resumed the cached partial circuit: widest residual leaf "
+        "expanded in place instead of re-running the ε-approximation",
+        converged,
+        epsilon,
+        error_kind,
+        steps=previous.steps + stats.cold_steps,
+        details={
+            "residual_slot": slot,
+            "residuals_left": len(expanded.residuals),
+            "cold_steps": stats.cold_steps,
+        },
+        circuit=expanded,
+    )
+    sink = engine.circuit_sink
+    if sink is not None:
+        sink(dnf, expanded)
+    return _merge_refined(previous, result)
+
+
 class BatchComputation:
     """Anytime round-robin refinement of many lineages on one engine.
 
@@ -630,7 +749,16 @@ class BatchComputation:
         return max(candidates, key=lambda index: self.results[index].width())
 
     def refine(self, index: int) -> EngineResult:
-        """Grow ``index``'s budget and recompute it (cache-resumed).
+        """Grow ``index``'s budget and tighten it (cache-resumed).
+
+        When a budgeted run left a refinable partial circuit behind —
+        this batch's own expansion progress, or the session cache via
+        :attr:`ConfidenceEngine.circuit_source` (including circuits
+        reloaded from a persisted store in a fresh process) — the round
+        expands the widest residual leaf in place (strategy
+        ``"circuit-refine"``) instead of re-running the ε-approximation
+        from scratch.  Otherwise it recomputes with a
+        ``step_growth``-times larger budget, as before.
 
         ``total_steps`` tracks the *latest* run's step count per tuple —
         the shared cache makes a re-run resume rather than repeat, so
@@ -640,7 +768,31 @@ class BatchComputation:
             self.budgets[index] * self.step_growth
         )
         previous = self.results[index]
-        result = _merge_refined(previous, self._compute(index))
+        circuit = resumable_circuit(
+            self.engine, self.dnfs[index], previous.circuit
+        )
+        result: Optional[EngineResult] = None
+        if circuit is not None:
+            result = _circuit_refine_result(
+                self.engine,
+                self.dnfs[index],
+                circuit,
+                previous,
+                self.budgets[index],
+                self.epsilon,
+                self.error_kind,
+            )
+            if (
+                not result.converged
+                and result.steps == previous.steps
+                and result.width() >= previous.width()
+            ):
+                # The expansion stalled (node budget too tight to make
+                # progress on this leaf): fall back to the classic
+                # re-run so the driver loop always advances.
+                result = None
+        if result is None:
+            result = _merge_refined(previous, self._compute(index))
         self.results[index] = result
         self.total_steps += result.steps - previous.steps
         return result
@@ -711,6 +863,14 @@ class ConfidenceEngine:
         #: of running per-sample Karp-Luby over the raw lineage.
         self.circuit_source: Optional[
             Callable[[DNF], Optional[Circuit]]
+        ] = None
+        #: Optional ``(DNF, Circuit) -> None`` write-back the session
+        #: layer wires to its circuit cache: the circuit-refine path
+        #: stores each expanded partial circuit here, so anytime
+        #: progress survives the batch — and, when the session persists
+        #: its store, the process.
+        self.circuit_sink: Optional[
+            Callable[[DNF, Circuit], None]
         ] = None
 
     # -- EngineConfig field mirrors (pre-config API compatibility) -------

@@ -99,8 +99,10 @@ from .engine import (
     EngineConfig,
     EngineResult,
     Lineage,
+    _circuit_refine_result,
     _merge_refined,
     _wants_exact_circuit,
+    resumable_circuit,
 )
 
 __all__ = ["ShardedBatchComputation", "WorkerPool", "build_worker_engine"]
@@ -953,10 +955,45 @@ class ShardedBatchComputation:
         return installed
 
     def refine(self, index: int) -> EngineResult:
-        """Grow ``index``'s budget and recompute it on a worker."""
+        """Grow ``index``'s budget and tighten it.
+
+        Mirrors :meth:`repro.engine.BatchComputation.refine`: when a
+        refinable partial circuit exists for the tuple (the batch's own
+        expansion progress, or the coordinator session's cache — the
+        coordinator owns ``circuit_source``), the round expands the
+        widest residual leaf in place on the coordinator (strategy
+        ``"circuit-refine"``); otherwise the tuple is recomputed on a
+        worker with a grown budget, as before.
+        """
         budget = self.budgets[index]
         if budget is not None:
             self.budgets[index] = self._capped(budget * self.step_growth)
+        previous = self.results[index]
+        circuit = resumable_circuit(
+            self.engine, self.dnfs[index], previous.circuit
+        )
+        if circuit is not None:
+            node_budget = self.budgets[index]
+            if node_budget is None:
+                node_budget = max(previous.steps, 64)
+            result = _circuit_refine_result(
+                self.engine,
+                self.dnfs[index],
+                circuit,
+                previous,
+                node_budget,
+                self.epsilon,
+                self.error_kind,
+            )
+            if (
+                result.converged
+                or result.steps != previous.steps
+                or result.width() < previous.width()
+            ):
+                self.results[index] = result
+                self.total_steps += result.steps - previous.steps
+                return result
+            # Expansion stalled: fall through to the worker re-run.
         self._execute_round([index])
         return self.results[index]
 

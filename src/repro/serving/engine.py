@@ -78,6 +78,14 @@ _OPS = ("evaluate", "bounds", "gradients", "what_if", "sweep", "top_k")
 _CACHEABLE_STRATEGIES = frozenset({"store", "overlay", "engine-compile"})
 
 
+def _interval_width(circuit: Circuit) -> float:
+    """Root-bound width under base probabilities — the tightness order
+    refinement improves, used to pick between two partial circuits for
+    the same lineage."""
+    low, high = circuit.evaluate_bounds()
+    return high - low
+
+
 @dataclass(frozen=True)
 class ServingConfig:
     """Tuning knobs for one :class:`ServingEngine`.
@@ -459,21 +467,42 @@ class ServingEngine:
         deadline: Optional[float],
         *,
         compile_cold: bool,
+        require_exact: bool = False,
     ) -> Tuple[Optional[Circuit], str]:
         """Resolve a circuit: store snapshot, then overlay, then cold.
+
+        A *partial* store hit defers to the overlay when the overlay
+        holds a strictly tighter circuit for the same lineage — that is
+        where ``refine`` requests park their expansion progress, and a
+        stale snapshot must not shadow it.  With ``require_exact``,
+        partial circuits never resolve at all (operations like
+        ``evaluate`` and ``gradients`` need exact values, not interval
+        midpoints); the lineage degrades to the cold path below, whose
+        unbudgeted compile is exact.
 
         Returns ``(None, "engine")`` for a cold lineage when
         ``compile_cold`` is False — the caller degrades to a direct
         engine computation instead of compiling.
         """
-        circuit = snapshot.get(dnf)
+        circuit: Optional[Circuit] = snapshot.get(dnf)
+        strategy = "store"
+        if circuit is not None and not circuit.is_exact:
+            refined = self.overlay.get(dnf)
+            if refined is not None and (
+                refined.is_exact
+                or _interval_width(refined) < _interval_width(circuit)
+            ):
+                circuit, strategy = refined, "overlay"
+        elif circuit is None:
+            circuit, strategy = self.overlay.get(dnf), "overlay"
+        if require_exact and circuit is not None and not circuit.is_exact:
+            circuit = None
         if circuit is not None:
-            self.stats.store_hits += 1
-            return circuit, "store"
-        circuit = self.overlay.get(dnf)
-        if circuit is not None:
-            self.stats.overlay_hits += 1
-            return circuit, "overlay"
+            if strategy == "store":
+                self.stats.store_hits += 1
+            else:
+                self.stats.overlay_hits += 1
+            return circuit, strategy
         self.stats.store_misses += 1
         if self.engine is None:
             raise ServingError(
@@ -579,7 +608,11 @@ class ServingEngine:
         # A cold lineage with overrides needs a circuit (the engine
         # computes base probabilities only), so compile in that case.
         circuit, strategy = await self._circuit_for(
-            snapshot, dnf, deadline, compile_cold=overrides is not None
+            snapshot,
+            dnf,
+            deadline,
+            compile_cold=overrides is not None,
+            require_exact=True,
         )
         if circuit is None:
             result = await self._engine_compute(dnf, request, deadline)
@@ -633,7 +666,7 @@ class ServingEngine:
             return response
         if refine and circuit.residuals and self.engine is not None:
             circuit, pair = await self._refine(
-                dnf, circuit, [overrides], request, deadline
+                snapshot, dnf, circuit, [overrides], request, deadline
             )
             bounds = list(pair[0])
             strategy = strategy + "+refined"
@@ -660,7 +693,7 @@ class ServingEngine:
         if cached is not None:
             return cached
         circuit, strategy = await self._circuit_for(
-            snapshot, dnf, deadline, compile_cold=True
+            snapshot, dnf, deadline, compile_cold=True, require_exact=True
         )
         assert circuit is not None
         # Scalar on purpose: Circuit.gradients is the bit-exact
@@ -703,7 +736,7 @@ class ServingEngine:
         if cached is not None:
             return cached
         circuit, strategy = await self._circuit_for(
-            snapshot, dnf, deadline, compile_cold=True
+            snapshot, dnf, deadline, compile_cold=True, require_exact=True
         )
         assert circuit is not None
         scenarios = what_if_scenarios(variable, probabilities)
@@ -753,7 +786,7 @@ class ServingEngine:
         response = self._base(snapshot, strategy)
         if refine and circuit.residuals and self.engine is not None:
             circuit, bounds = await self._refine(
-                dnf, circuit, scenarios, request, deadline
+                snapshot, dnf, circuit, scenarios, request, deadline
             )
             response["strategy"] = strategy + "+refined"
             response["results"] = [list(pair) for pair in bounds]
@@ -799,7 +832,8 @@ class ServingEngine:
         assert self._batcher is not None
         for dnf in dnfs:
             circuit, strategy = await self._circuit_for(
-                snapshot, dnf, deadline, compile_cold=True
+                snapshot, dnf, deadline, compile_cold=True,
+                require_exact=True,
             )
             assert circuit is not None
             strategies.add(strategy)
@@ -852,13 +886,22 @@ class ServingEngine:
 
     async def _refine(
         self,
+        snapshot: StoreSnapshot,
         dnf: DNF,
         circuit: Circuit,
         scenarios: List[Optional[Dict[Any, Any]]],
         request: Mapping[str, Any],
         deadline: Optional[float],
     ) -> Tuple[Circuit, List[Tuple[float, float]]]:
-        """Batched residual refinement across all request scenarios."""
+        """Batched residual refinement across all request scenarios.
+
+        The expanded circuit outlives the request: it always lands in
+        the overlay (``_circuit_for`` prefers it over the stale partial
+        snapshot), and for live-cache stores it is also written back to
+        the backing session cache, whose owner persists it on close
+        (``persist_circuits=``) — refinement progress survives requests
+        and processes.
+        """
         engine = self.engine
         assert engine is not None
         target_width = float(request.get("target_width", 0.0))
@@ -876,6 +919,14 @@ class ServingEngine:
         refined, bounds = await self._with_engine(deadline, work)
         if refined is not circuit:
             self.overlay.put(dnf, refined, exact_only=False)
+            if not self.stores.writeback(snapshot.name, dnf, refined):
+                # File snapshots are immutable, so the progress lives
+                # only in the overlay — drop the store's cached
+                # responses, which would otherwise keep replaying the
+                # pre-refinement bounds.  (Live-cache writebacks bump
+                # the snapshot version instead, which purges on the
+                # next request.)
+                self.responses.purge_store(snapshot.name)
             self.stats.refinements += 1
         return refined, bounds
 

@@ -268,6 +268,26 @@ class CircuitStoreService:
             self._caches[name] = cache
         return snapshot
 
+    def writeback(
+        self, name: str, lineage: DNF, circuit: Circuit
+    ) -> bool:
+        """Write a refined circuit back into ``name``'s backing cache.
+
+        Only live-cache stores (:meth:`add_cache`) are mutable: the put
+        bumps the cache's mutation counter, so the next version probe
+        re-cuts the snapshot and every reader sees the refinement — and
+        the session that owns the cache persists it on close when it
+        was opened with ``persist_circuits=``, carrying the progress
+        across processes.  File-backed snapshots are immutable; returns
+        ``False`` and the caller keeps the refinement in its own
+        overlay.
+        """
+        cache = self._caches.get(name)
+        if cache is None:
+            return False
+        cache.put(lineage, circuit, exact_only=False)
+        return True
+
     def names(self) -> Tuple[str, ...]:
         return tuple(sorted(set(self._snapshots) | set(self._lazy)))
 

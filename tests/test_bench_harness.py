@@ -1,6 +1,8 @@
 """Tests for the benchmark harness utilities."""
 
 import csv
+import importlib.util
+import json
 import os
 
 import pytest
@@ -85,6 +87,80 @@ class TestHarness:
 
         harness = Harness("registered", results_dir=str(tmp_path))
         assert harness in ALL_HARNESSES
+
+
+def _load_gate_module():
+    path = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "benchmarks",
+        "check_bench_regression.py",
+    )
+    spec = importlib.util.spec_from_file_location(
+        "check_bench_regression", path
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestRegressionGateBaselines:
+    """The gate must fail loudly on broken committed baselines."""
+
+    @pytest.fixture()
+    def gate(self, tmp_path, monkeypatch):
+        module = _load_gate_module()
+        monkeypatch.setattr(module, "REPO_ROOT", str(tmp_path))
+        return module
+
+    def test_missing_baseline_fails_loudly(self, gate):
+        with pytest.raises(gate.RegressionError, match="missing"):
+            gate.load_baseline("BENCH_absent.json")
+
+    def test_unparseable_baseline_fails_loudly(self, gate, tmp_path):
+        (tmp_path / "BENCH_corrupt.json").write_text(
+            '{"totals": {"speedup":'
+        )
+        with pytest.raises(gate.RegressionError, match="unreadable"):
+            gate.load_baseline("BENCH_corrupt.json")
+
+    def test_non_object_baseline_fails_loudly(self, gate, tmp_path):
+        (tmp_path / "BENCH_list.json").write_text("[1, 2, 3]\n")
+        with pytest.raises(
+            gate.RegressionError, match="not a JSON object"
+        ):
+            gate.load_baseline("BENCH_list.json")
+
+    def test_valid_baseline_loads(self, gate, tmp_path):
+        payload = {"totals": {"speedup_warm_vs_cold": 12.5}}
+        (tmp_path / "BENCH_ok.json").write_text(json.dumps(payload))
+        assert gate.load_baseline("BENCH_ok.json") == payload
+
+    def test_refine_gate_rejects_diverged_baseline(self, gate, tmp_path):
+        # A baseline recorded with diverging orderings is itself a bug;
+        # check_refine refuses it before spending a smoke run.
+        (tmp_path / "BENCH_refine.json").write_text(
+            json.dumps(
+                {
+                    "totals": {
+                        "steps_ratio_guided_vs_widest": 0.9,
+                        "orderings_identical": False,
+                    }
+                }
+            )
+        )
+        with pytest.raises(gate.RegressionError, match="orderings"):
+            gate.check_refine([])
+
+    def test_committed_baselines_parse(self, gate, monkeypatch):
+        # The real repo-root baselines must always satisfy the loader.
+        repo_root = os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__))
+        )
+        monkeypatch.setattr(gate, "REPO_ROOT", repo_root)
+        for name in sorted(os.listdir(repo_root)):
+            if name.startswith("BENCH_") and name.endswith(".json"):
+                baseline = gate.load_baseline(name)
+                assert isinstance(baseline, dict)
 
 
 class TestFormatTable:

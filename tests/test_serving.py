@@ -553,7 +553,9 @@ class TestRefineSweepBounds:
         assert response["bounds"] == [low, high]
         assert serving.stats.refinements == 1
 
-    def test_deserialized_leaves_not_refinable(self, tmp_path):
+    def test_deserialized_leaves_stay_refinable(self, tmp_path):
+        # Format v2 persists each residual leaf's sub-DNF, so a
+        # reloaded partial circuit refines exactly like the original.
         registry = make_registry()
         engine = ConfidenceEngine(registry)
         lineage = self.big_lineage()
@@ -566,15 +568,16 @@ class TestRefineSweepBounds:
         other.load_into(path, registry)
         loaded = other.get(lineage)
         assert loaded is not None and loaded.residuals
-        # Sub-DNFs are in-memory only: no refinable leaf after reload.
+        assert loaded.refinable
         refined, bounds = refine_sweep_bounds(
             loaded,
             [None],
             compile_subcircuit=engine.compile_circuit,
-            max_rounds=4,
+            max_rounds=8,
         )
-        assert refined is loaded
-        assert bounds == sweep_bounds(loaded, [None])
+        assert refined is not loaded
+        exact = engine.compile_circuit(lineage)
+        assert bounds == sweep_bounds(exact, [None])
 
 
 # ----------------------------------------------------------------------

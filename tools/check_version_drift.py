@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Version-drift guard: the three version declarations must agree.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_version_drift.py
+
+The release version is declared in three places that are trivially easy
+to update out of sync:
+
+* ``pyproject.toml`` — ``[project] version``;
+* ``src/repro/__init__.py`` — ``repro.__version__``;
+* ``README.md`` — the top (most recent) row of the version table.
+
+CI runs this guard on every push; it exits non-zero with a diff-style
+message when any pair disagrees, and also fails when the README table
+is missing entirely (deleting the table must not silently disable the
+guard).
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+import tomllib
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def pyproject_version() -> str:
+    with open(os.path.join(REPO_ROOT, "pyproject.toml"), "rb") as handle:
+        return tomllib.load(handle)["project"]["version"]
+
+
+def package_version() -> str:
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    import repro
+
+    return repro.__version__
+
+
+def readme_version() -> str:
+    with open(os.path.join(REPO_ROOT, "README.md")) as handle:
+        text = handle.read()
+    # The newest release is the first data row of the version table:
+    # "| 1.10.0 | ... |".  Header/separator rows never start with a
+    # digit, so the first such row is the one to check.
+    match = re.search(r"^\|\s*(\d+\.\d+\.\d+)\s*\|", text, re.MULTILINE)
+    if match is None:
+        raise SystemExit(
+            "README.md has no version table — the guard needs a "
+            "'| <semver> | ... |' row documenting the current release"
+        )
+    return match.group(1)
+
+
+def main() -> int:
+    versions = {
+        "pyproject.toml": pyproject_version(),
+        "repro.__version__": package_version(),
+        "README.md version table": readme_version(),
+    }
+    for source, version in versions.items():
+        print(f"{source}: {version}")
+    if len(set(versions.values())) != 1:
+        print("\nversion drift detected:", file=sys.stderr)
+        for source, version in versions.items():
+            print(f"  {source} declares {version}", file=sys.stderr)
+        return 1
+    print("\nall version declarations agree")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
